@@ -1,0 +1,123 @@
+"""E8 — ablations over the design choices (DESIGN.md §3, experiment E8).
+
+(i)   reusable delta/2^H testset vs. H disposable testsets;
+(ii)  optimal vs. even tolerance allocation;
+(iii) exact binomial (§4.3) vs. Hoeffding sizing;
+(iv)  the honest adaptive attacker vs. both testset sizings.
+"""
+
+from conftest import emit
+
+from repro.experiments.ablations import (
+    run_adaptive_attack,
+    run_allocation_ablation,
+    run_filter_false_reject,
+    run_reusable_vs_disposable,
+    run_tight_bound_ablation,
+)
+from repro.utils.formatting import Table
+
+
+def test_reusable_vs_disposable(benchmark):
+    rows = benchmark(run_reusable_vs_disposable)
+    table = Table(
+        ["H", "reusable (delta/2^H)", "disposable (H x delta/H)", "ratio"],
+        align=[">"] * 4,
+        title="ablation (i): fully-adaptive testset strategies",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.steps,
+                f"{r.reusable_total:,}",
+                f"{r.disposable_total:,}",
+                f"{r.disposable_total / r.reusable_total:.1f}x",
+            ]
+        )
+    emit(table.render())
+    for r in rows:
+        assert r.reusable_wins
+    # The advantage grows with H (disposable is Theta(H log H) vs Theta(H)).
+    ratios = [r.disposable_total / r.reusable_total for r in rows]
+    assert ratios == sorted(ratios)
+
+
+def test_allocation_ablation(benchmark):
+    rows = benchmark(run_allocation_ablation)
+    table = Table(
+        ["|coef| ratio", "optimal n", "even-split n", "savings"],
+        align=[">"] * 4,
+        title="ablation (ii): tolerance allocation",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.coefficient_ratio,
+                f"{r.optimal_samples:,.0f}",
+                f"{r.even_split_samples:,.0f}",
+                f"{r.savings:.2f}x",
+            ]
+        )
+    emit(table.render())
+    for r in rows:
+        assert r.optimal_samples <= r.even_split_samples + 1e-6
+    # Symmetric clauses gain nothing; asymmetric ones gain plenty.
+    assert abs(rows[0].savings - 1.0) < 1e-9
+    assert rows[-1].savings > 2.0
+
+
+def test_tight_bound_ablation(benchmark):
+    rows = benchmark.pedantic(run_tight_bound_ablation, rounds=1, iterations=1)
+    table = Table(
+        ["eps", "hoeffding n", "exact binomial n", "savings"],
+        align=[">"] * 4,
+        title="ablation (iii): §4.3 tight numerical bounds",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.epsilon,
+                f"{r.hoeffding_samples:,}",
+                f"{r.tight_samples:,}",
+                f"{r.savings_fraction:.0%}",
+            ]
+        )
+    emit(table.render())
+    for r in rows:
+        assert r.tight_samples <= r.hoeffding_samples
+        assert 0.10 <= r.savings_fraction <= 0.45
+
+
+def test_adaptive_attack(benchmark):
+    outcomes = benchmark.pedantic(run_adaptive_attack, rounds=1, iterations=1)
+    table = Table(
+        ["sizing", "n", "mean gap", "max gap", "guarantee held"],
+        align=["<", ">", ">", ">", "^"],
+        title="ablation (iv): honest adaptive attacker, 64 queries",
+    )
+    for o in outcomes:
+        table.add_row(
+            [
+                o.sizing,
+                f"{o.testset_size:,}",
+                f"{o.mean_final_gap:.4f}",
+                f"{o.max_final_gap:.4f}",
+                "yes" if o.guarantee_held else "NO",
+            ]
+        )
+    emit(table.render())
+    naive, adaptive = outcomes
+    assert not naive.guarantee_held  # feedback reuse breaks naive sizing
+    assert adaptive.guarantee_held  # the 2^H budget absorbs it
+
+
+def test_filter_false_reject(benchmark):
+    outcome = benchmark.pedantic(run_filter_false_reject, rounds=1, iterations=1)
+    emit(
+        f"ablation (v): filter false-reject rate "
+        f"{outcome.observed_false_reject_rate:.5f} vs budget "
+        f"{outcome.delta_budget:.5f} (true d={outcome.true_difference}, "
+        f"threshold={outcome.threshold})"
+    )
+    # The bound must hold with Monte-Carlo slack.
+    assert outcome.observed_false_reject_rate <= outcome.delta_budget + 0.01

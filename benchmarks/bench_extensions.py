@@ -1,0 +1,95 @@
+"""E9 — extension-feature studies (stratified sampling, metric tax,
+drift budgets) plus the paired-difference Figure 4 companion."""
+
+from conftest import emit
+
+from repro.experiments.extensions import (
+    run_drift_budget,
+    run_metric_tax,
+    run_stratified_ablation,
+)
+from repro.experiments.figure4 import run_figure4_paired
+from repro.utils.formatting import Table
+
+
+def test_stratified_ablation(benchmark):
+    rows = benchmark(run_stratified_ablation)
+    table = Table(
+        ["rare weight", "proportional eps", "optimized eps", "improvement"],
+        align=[">"] * 4,
+        title="E9a: stratified allocation vs proportional (10K labels)",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.rare_weight,
+                f"{r.proportional_tolerance:.5f}",
+                f"{r.optimized_tolerance:.5f}",
+                f"{r.improvement:.2f}x",
+            ]
+        )
+    emit(table.render())
+    improvements = [r.improvement for r in rows]
+    # No gain when balanced; growing gain with skew.
+    assert improvements[0] == 1.0
+    assert improvements == sorted(improvements)
+    assert improvements[-1] > 1.3
+
+
+def test_metric_tax(benchmark):
+    rows = benchmark(run_metric_tax)
+    table = Table(
+        ["min class share", "accuracy n", "macro-F1 n", "tax"],
+        align=[">"] * 4,
+        title="E9b: macro-F1 label tax vs accuracy (McDiarmid)",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.min_class_fraction,
+                f"{r.accuracy_samples:,}",
+                f"{r.f1_samples:,}",
+                f"{r.tax:.0f}x",
+            ]
+        )
+    emit(table.render())
+    taxes = [r.tax for r in rows]
+    assert taxes == sorted(taxes)  # skew makes F1 testing more expensive
+    assert taxes[0] > 1.0
+
+
+def test_drift_budget(benchmark):
+    rows = benchmark(run_drift_budget)
+    table = Table(
+        ["periods", "labels/period", "total"],
+        align=[">"] * 3,
+        title="E9c: drift-monitor budgets (accuracy floor, eps=0.02)",
+    )
+    for r in rows:
+        table.add_row([r.periods, f"{r.samples_per_period:,}", f"{r.total_samples:,}"])
+    emit(table.render())
+    # Union bound: per-period cost grows only logarithmically in horizon.
+    daily, monthly = rows[-1], rows[0]
+    assert daily.samples_per_period < 2 * monthly.samples_per_period
+
+
+def test_figure4_paired(benchmark):
+    points = benchmark.pedantic(run_figure4_paired, rounds=1, iterations=1)
+    table = Table(
+        ["n", "hoeffding eps (range 2)", "bennett eps (p=0.1)", "empirical"],
+        align=[">"] * 4,
+        title="Figure 4 companion: paired-difference estimator validity",
+    )
+    for pt in points:
+        table.add_row(
+            [
+                f"{pt.n_samples:,}",
+                f"{pt.hoeffding_epsilon:.4f}",
+                f"{pt.bennett_epsilon:.4f}",
+                f"{pt.empirical_error:.4f}",
+            ]
+        )
+    emit(table.render())
+    for pt in points:
+        assert pt.bennett_valid  # Bennett dominates the empirical error
+        assert pt.bennett_epsilon < pt.hoeffding_epsilon / 2  # and is >2x tighter

@@ -1,0 +1,39 @@
+"""E1 — Figure 2: the baseline sample-size table, regenerated exactly.
+
+Every one of the 64 cells must equal the paper's printed value (this is
+an analytic computation; no tolerance is needed).
+"""
+
+from conftest import emit
+
+from repro.experiments.figure2 import PAPER_FIGURE2, run_figure2
+from repro.utils.formatting import Table, format_count
+
+
+def test_figure2_table(benchmark):
+    rows = benchmark(run_figure2)
+
+    table = Table(
+        ["1-delta", "eps", "F1/F4 none", "F1/F4 full", "F2/F3 none", "F2/F3 full"],
+        align=[">"] * 6,
+        title="Figure 2: samples required, H = 32 steps ('*' = impractical)",
+    )
+    for row in rows:
+        flags = row.impractical()
+        table.add_row(
+            [
+                row.reliability,
+                row.tolerance,
+                format_count(row.f1_none) + ("*" if flags["f1_none"] else ""),
+                format_count(row.f1_full) + ("*" if flags["f1_full"] else ""),
+                format_count(row.f2_none) + ("*" if flags["f2_none"] else ""),
+                format_count(row.f2_full) + ("*" if flags["f2_full"] else ""),
+            ]
+        )
+    emit(table.render())
+
+    for row in rows:
+        expected = PAPER_FIGURE2[(row.reliability, row.tolerance)]
+        assert (row.f1_none, row.f1_full, row.f2_none, row.f2_full) == expected, (
+            f"cell ({row.reliability}, {row.tolerance}) diverges from the paper"
+        )

@@ -1,0 +1,68 @@
+"""E2 — Figure 3: impact of epsilon, delta and p on label complexity.
+
+Shape assertions: at (p=0.1, eps=0.01) the Bennett optimization saves
+roughly an order of magnitude over the Hoeffding baseline, and active
+labeling amortizes another order of magnitude per commit; the advantage
+shrinks as p grows and collapses by p=0.5.
+"""
+
+from conftest import emit
+
+from repro.experiments.figure3 import sweep_delta, sweep_epsilon, sweep_variance_bound
+from repro.utils.formatting import Table
+
+
+def _render(points, varying: str) -> str:
+    table = Table(
+        [varying, "baseline", "pattern-1", "improvement", "active/commit"],
+        align=[">"] * 5,
+        title=f"Figure 3 sweep over {varying}",
+    )
+    for p in points:
+        x = getattr(
+            p,
+            {"eps": "epsilon", "p": "variance_bound", "delta": "delta"}[varying],
+        )
+        table.add_row(
+            [
+                f"{x:g}",
+                f"{p.baseline_labels:,}",
+                f"{p.optimized_labels:,}",
+                f"{p.improvement:.1f}x",
+                f"{p.active_labels_per_commit:,}",
+            ]
+        )
+    return table.render()
+
+
+def test_figure3_epsilon_sweep(benchmark):
+    points = benchmark(sweep_epsilon)
+    emit(_render(points, "eps"))
+    by_eps = {p.epsilon: p for p in points}
+    headline = by_eps[0.01]
+    assert headline.optimized_labels == 29_048  # the paper's "29K"
+    assert 8.0 <= headline.improvement <= 12.0  # "~10x fewer"
+    # Active labeling is another ~10x per commit.
+    assert headline.optimized_labels / headline.active_labels_per_commit >= 8.0
+    # The baseline collapses quadratically; the optimized curve is milder.
+    assert by_eps[0.01].baseline_labels > 90 * by_eps[0.1].baseline_labels
+
+
+def test_figure3_variance_bound_sweep(benchmark):
+    points = benchmark(sweep_variance_bound)
+    emit(_render(points, "p"))
+    improvements = [p.improvement for p in points]
+    # Improvement decays monotonically as the variance bound loosens...
+    assert all(a >= b for a, b in zip(improvements, improvements[1:]))
+    # ...from >15x at p=0.05 to low single digits at p=0.5.
+    assert improvements[0] > 15.0
+    assert improvements[-1] < 4.0
+
+
+def test_figure3_delta_sweep(benchmark):
+    points = benchmark(sweep_delta)
+    emit(_render(points, "delta"))
+    # Reliability is cheap: 1000x stricter delta costs < 2x the labels.
+    assert points[-1].optimized_labels < 2 * points[0].optimized_labels
+    for p in points:
+        assert p.improvement > 8.0

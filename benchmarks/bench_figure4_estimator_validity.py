@@ -1,0 +1,51 @@
+"""E3 — Figure 4: predicted tolerance vs. empirical error, 98% model.
+
+Shape assertions (the paper's message):
+
+* both estimators *dominate* the empirical error everywhere (validity);
+* the Bennett tolerance is far closer to the empirical error than
+  Hoeffding's (tightness) — Hoeffding wastes a factor of ~3 at p=0.05;
+* tightness improves as the assumed variance bound approaches the true
+  Bernoulli variance (0.0196 at 98% accuracy).
+"""
+
+from conftest import emit
+
+from repro.experiments.figure4 import run_figure4
+from repro.utils.formatting import Table
+
+
+def test_figure4_bounds_dominate_empirical(benchmark):
+    points = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    table = Table(
+        ["p", "n", "hoeffding eps", "bennett eps", "empirical error"],
+        align=[">"] * 5,
+        title="Figure 4: estimated vs empirical error (true accuracy 0.98)",
+    )
+    for pt in points:
+        table.add_row(
+            [
+                pt.variance_bound,
+                f"{pt.n_samples:,}",
+                f"{pt.hoeffding_epsilon:.4f}",
+                f"{pt.bennett_epsilon:.4f}",
+                f"{pt.empirical_error:.4f}",
+            ]
+        )
+    emit(table.render())
+
+    for pt in points:
+        # Validity: both bounds dominate the empirical 1-delta error.
+        assert pt.hoeffding_valid, f"Hoeffding under-covered at n={pt.n_samples}"
+        assert pt.bennett_valid, f"Bennett under-covered at n={pt.n_samples}"
+        # The optimized bound is strictly tighter than the baseline.
+        assert pt.bennett_epsilon < pt.hoeffding_epsilon
+
+    # Tightness: at p=0.05, Bennett is within ~2.5x of the empirical error
+    # while Hoeffding is ~3x looser than Bennett at practical n.
+    big = [pt for pt in points if pt.n_samples >= 5000]
+    for pt in big:
+        if pt.variance_bound == 0.05:
+            assert pt.hoeffding_epsilon / pt.bennett_epsilon > 2.0
+            assert pt.bennett_epsilon / pt.empirical_error < 3.0

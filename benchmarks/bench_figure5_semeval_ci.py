@@ -1,0 +1,59 @@
+"""E4 — Figure 5: the three SemEval CI configurations, replayed.
+
+Assertions: the planned sample sizes equal the paper's (4,713 / 4,713 /
+5,204, all within the 5,509 labels available, vs. 44,268 for Hoeffding);
+all three traces leave iteration 7 active; fn-free passes a superset of
+fp-free's commits.
+"""
+
+from conftest import emit
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.experiments.figure5 import run_figure5
+from repro.ml.datasets.emotion import make_semeval_history
+from repro.utils.formatting import Table
+
+
+def test_figure5_semeval_traces(benchmark):
+    history = make_semeval_history()
+    traces = benchmark.pedantic(
+        run_figure5, args=(history,), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["iteration", *(t.config.name for t in traces)],
+        align=[">"] + ["^"] * len(traces),
+        title="Figure 5: continuous integration steps",
+    )
+    for i in range(len(traces[0].signals)):
+        table.add_row([i + 2, *("PASS" if t.signals[i] else "fail" for t in traces)])
+    emit(table.render())
+    for trace in traces:
+        emit(
+            f"{trace.config.name}: N={trace.planned_samples:,} "
+            f"(paper {trace.config.paper_samples:,}), active iteration "
+            f"{trace.active_iteration}"
+        )
+
+    for trace in traces:
+        assert trace.planned_samples == trace.config.paper_samples
+        assert trace.planned_samples <= history.testset_size
+        assert trace.active_iteration == 7  # the second-to-last model
+
+    fp_free, fn_free, adaptive = traces
+    # fn-free accepts everything fp-free accepts (Unknown -> True).
+    assert all(
+        not fp or fn for fp, fn in zip(fp_free.signals, fn_free.signals)
+    )
+    # The adaptive query releases signals to the developer; I/II do not.
+    assert adaptive.developer_saw_signals
+    assert not fp_free.developer_saw_signals
+
+    # The Hoeffding baseline cannot be served by the 5,509 labels.
+    # (The paper states the bound as "n > 44,268", i.e. the floor of the
+    # real-valued requirement; our integer requirement is its ceiling.)
+    baseline = SampleSizeEstimator(optimizations="none").plan(
+        "n - o > 0.02 +/- 0.02", delta=0.002, adaptivity="none", steps=7
+    )
+    assert int(baseline.samples_real) == 44_268
+    assert baseline.samples > history.testset_size

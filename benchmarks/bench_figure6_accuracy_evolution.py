@@ -1,0 +1,33 @@
+"""E5 — Figure 6: development vs. test accuracy over the iterations.
+
+Assertions: dev accuracy is monotone increasing; test accuracy peaks at
+iteration 7 (the model Figure 5's queries leave active) and dips at the
+final submission.
+"""
+
+from conftest import emit
+
+from repro.experiments.figure6 import run_figure6
+from repro.utils.formatting import Table
+
+
+def test_figure6_accuracy_evolution(benchmark):
+    evolution = benchmark(run_figure6)
+
+    table = Table(
+        ["iteration", "dev accuracy", "test accuracy"],
+        align=[">"] * 3,
+        title="Figure 6: evolution of development and test accuracy",
+    )
+    for it, dev, test in zip(
+        evolution.iterations, evolution.dev_accuracy, evolution.test_accuracy
+    ):
+        table.add_row([it, f"{dev:.3f}", f"{test:.3f}"])
+    emit(table.render())
+
+    assert evolution.dev_monotone
+    assert evolution.best_test_iteration == 7
+    # The last commit regresses on test while improving on dev — the
+    # overfitting story the CI system protects against.
+    assert evolution.test_accuracy[-1] < evolution.test_accuracy[-2]
+    assert evolution.dev_accuracy[-1] > evolution.dev_accuracy[-2]

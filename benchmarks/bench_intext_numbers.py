@@ -1,0 +1,34 @@
+"""E6 — every in-text sample-size claim, recomputed and compared."""
+
+from conftest import emit
+
+from repro.experiments.intext import run_intext
+from repro.utils.formatting import Table
+
+
+def test_intext_claims(benchmark):
+    claims = benchmark(run_intext)
+
+    table = Table(
+        ["source", "claim", "paper", "computed", "match"],
+        align=["<", "<", ">", ">", "^"],
+        title="in-text sample-size claims",
+    )
+    for claim in claims:
+        table.add_row(
+            [
+                claim.source,
+                claim.description,
+                f"{claim.paper_value:,.0f}",
+                f"{claim.computed_value:,.1f}",
+                "yes" if claim.matches else "NO",
+            ]
+        )
+    emit(table.render())
+
+    for claim in claims:
+        assert claim.matches, (
+            f"{claim.source} claim {claim.paper_value} vs computed "
+            f"{claim.computed_value}"
+        )
+    assert len(claims) >= 13

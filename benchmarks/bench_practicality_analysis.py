@@ -1,0 +1,56 @@
+"""E7 — §2.3 practicality window and §4.1.2 active-labeling effort.
+
+Assertions: 2–4 engineers at 2 s/label produce 28.8K–57.6K labels/day
+(the paper rounds to "30,000 to 60,000"); the cheap mode reaches ~10x
+within two tolerance points; 2,188 labels at 5 s/label is ~3 hours.
+"""
+
+from conftest import emit
+
+from repro.experiments.practicality import (
+    run_active_labeling_effort,
+    run_budget_analysis,
+    run_cheap_mode,
+)
+from repro.utils.formatting import Table
+
+
+def test_practicality_budget(benchmark):
+    budgets = benchmark(run_budget_analysis)
+    table = Table(
+        ["team size", "sec/label", "labels/day"],
+        align=[">"] * 3,
+        title="§2.3: daily labeling capacity",
+    )
+    for b in budgets:
+        table.add_row([b.team_size, b.seconds_per_label, f"{b.labels_per_day:,}"])
+    emit(table.render())
+    by_team = {b.team_size: b.labels_per_day for b in budgets}
+    assert by_team[2] == 28_800  # "30,000" side of the window
+    assert by_team[4] == 57_600  # "60,000" side of the window
+
+
+def test_cheap_mode(benchmark):
+    rows = benchmark(run_cheap_mode)
+    table = Table(
+        ["tolerance", "labels", "reduction"],
+        align=[">"] * 3,
+        title="§2.3 cheap mode: labels vs tolerance (F2, H=32, 0.9999)",
+    )
+    for r in rows:
+        table.add_row([r.tolerance, f"{r.labels:,}", f"{r.reduction_vs_strict:.1f}x"])
+    emit(table.render())
+    # "easily reduced by a factor 10x ... by increasing the error
+    # tolerance by a single or two percentage points"
+    assert rows[-1].tolerance <= 0.03
+    assert rows[-1].reduction_vs_strict >= 8.0
+
+
+def test_active_labeling_effort(benchmark):
+    effort = benchmark(run_active_labeling_effort)
+    emit(
+        f"§4.1.2: {effort.labels_per_commit:,} labels/commit at "
+        f"{effort.seconds_per_label:g} s/label = {effort.hours_per_day:.2f} h/day"
+    )
+    # "the labeling team only needs to commit 3 hours a day"
+    assert 2.5 <= effort.hours_per_day <= 3.5

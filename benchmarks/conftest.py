@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure), asserts
+its shape against the paper, and prints the regenerated rows/series (run
+with ``-s`` to see them).  ``pytest-benchmark`` provides the timing; the
+heavy Monte-Carlo benches use ``benchmark.pedantic`` with a single round
+so the statistical workload is not repeated dozens of times.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a regenerated artifact (visible with ``pytest -s``)."""
+    sys.stdout.write("\n" + text + "\n")

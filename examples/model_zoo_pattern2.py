@@ -1,0 +1,86 @@
+"""Pattern 2 at runtime: the ImageNet-winners observation (§4.2).
+
+The paper motivates the implicit-variance optimization with a striking
+fact: AlexNet, AlexNet-BN, GoogLeNet, VGG and ResNet — five years of
+architecture research — disagree on at most 25% of their top-1
+predictions.  This example reproduces the observation on the simulated
+zoo, then runs the full Pattern 2 two-testset procedure for a CI
+comparison between two zoo members:
+
+1. estimate their disagreement on a small *unlabeled* testset (16x
+   smaller than what direct testing would need);
+2. use the measured bound to size a Bennett test of ``n - o`` and run it.
+
+Run:  python examples/model_zoo_pattern2.py
+"""
+
+from repro.core.dsl.parser import parse_condition
+from repro.core.patterns.implicit_variance import ImplicitVarianceProcedure
+from repro.core.patterns.matcher import find_gain_clause
+from repro.ml.datasets.model_zoo import ImageNetZoo
+from repro.stats.estimation import PairedSample
+from repro.utils.formatting import Table
+
+
+def main() -> None:
+    zoo = ImageNetZoo(n_examples=60_000, seed=0)
+
+    # The §4.2 observation, reproduced.
+    table = Table(
+        ["model", "top-1 accuracy"],
+        align=["<", ">"],
+        title="the (simulated) ImageNet zoo",
+    )
+    for member in zoo.members:
+        table.add_row([member.name, f"{zoo.accuracy_of(member.name):.3f}"])
+    print(table.render())
+    print(
+        f"max pairwise top-1 disagreement: "
+        f"{zoo.max_pairwise_disagreement():.3f}  (paper: <= 0.25)\n"
+    )
+
+    # CI question: is the candidate at least 1 point better than the
+    # deployed GoogLeNet?  Tested for a genuine upgrade (ResNet) and a
+    # regression (AlexNet-BN).
+    condition = "n - o > 0.01 +/- 0.02"
+    gain = find_gain_clause(parse_condition(condition))
+    assert gain is not None
+    procedure = ImplicitVarianceProcedure(gain, delta=0.001, mode="fp-free")
+    labels = zoo.labels
+    old = zoo._lookup("GoogLeNet").model.predictions
+
+    for candidate_name in ("ResNet", "AlexNet-BN"):
+        new = zoo._lookup(candidate_name).model.predictions
+        print(f"--- candidate: {candidate_name} (old: GoogLeNet)")
+
+        # Stage 1: unlabeled disagreement estimation (no labels attached).
+        n1 = procedure.difference_samples
+        stage1 = PairedSample(old_predictions=old[:n1], new_predictions=new[:n1])
+        d_hat = stage1.difference
+        p_hat = min(1.0, d_hat + procedure.difference_tolerance)
+        n2 = procedure.test_samples_for(p_hat)
+        print(
+            f"stage 1 (unlabeled): {n1:,} examples -> d-hat = {d_hat:.3f}, "
+            f"variance bound p-hat = {p_hat:.3f}"
+        )
+        direct = procedure.test_samples_for(1.0)
+        print(
+            f"stage 2 (labeled):   {n2:,} examples needed "
+            f"(vs ~{direct:,} with no variance bound — "
+            f"{direct / n2:.1f}x more)"
+        )
+
+        # Stage 2: the labeled Bennett test.
+        stage2 = PairedSample(
+            old_predictions=old[:n2], new_predictions=new[:n2], labels=labels[:n2]
+        )
+        outcome = procedure.run(stage1, stage2)
+        print(
+            f"gain estimate: {outcome.gain_estimate:+.4f} in "
+            f"{outcome.gain_interval} -> {outcome.outcome.value.upper()} "
+            f"({'PASS' if outcome.passed else 'FAIL'})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

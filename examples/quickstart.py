@@ -1,0 +1,98 @@
+"""Quickstart: the four-step ease.ml/ci workflow on a simulated project.
+
+1. The integration team writes a ``.travis.yml``-style script with an
+   ``ml:`` section;
+2. the sample-size estimator tells them how many test labels to provide;
+3. developers commit models;
+4. the engine returns rigorous pass/fail signals, and the new-testset
+   alarm fires when the statistical budget runs out.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CIEngine, CIScript, SampleSizeEstimator, Testset
+from repro.ci.notifications import ConsoleTransport
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+SCRIPT = """
+language: python
+
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.02 /\\ d < 0.1 +/- 0.02
+  - reliability: 0.999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 8
+"""
+
+
+def main() -> None:
+    # Step 1: parse and validate the script.
+    script = CIScript.from_yaml(SCRIPT)
+    print("parsed script:")
+    print(script.describe())
+    print()
+
+    # Step 2: how many labels must the integration team provide?
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+    )
+    print(plan.describe())
+    print()
+
+    # Simulate the world: a deployed model at 85% accuracy over a pool of
+    # exactly the required size, then a chain of candidate models evolved
+    # from whatever is currently active.
+    pool = plan.pool_size
+    world = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.85, new_accuracy=0.85, difference=0.0),
+        n_examples=pool,
+        seed=1,
+    )
+    testset = Testset(labels=world.labels, name="quickstart-testset")
+    engine = CIEngine(
+        script, testset, world.old_model, notifier=ConsoleTransport().send
+    )
+
+    # Steps 3-4: commit candidates and read the signals.  Each candidate
+    # evolves from the active model's predictions on the shared pool.
+    candidates = [
+        ("tweak-learning-rate", 0.855, 0.04),  # +0.5 points: below the bar
+        ("add-features", 0.895, 0.07),         # +4.5 points: clear pass
+        ("risky-rewrite", 0.880, 0.18),        # changes too much: d-clause fails
+        ("better-regularizer", 0.942, 0.06),   # +4.7 points over new active
+    ]
+    for i, (name, accuracy, difference) in enumerate(candidates):
+        active_predictions = engine.active_model.predictions
+        candidate = FixedPredictionModel(
+            evolve_predictions(
+                active_predictions,
+                world.labels,
+                target_accuracy=accuracy,
+                difference=difference,
+                seed=100 + i,
+            ),
+            name=name,
+        )
+        result = engine.submit(candidate)
+        signal = "PASS" if result.developer_signal else "FAIL"
+        print(f"commit {name!r}: {signal}")
+        print("  " + result.evaluation.describe().replace("\n", "\n  "))
+        if result.alarm_event is not None:
+            print(f"  !! {result.alarm_event.message}")
+    print()
+    print(f"evaluations used: {engine.manager.uses} / budget {script.steps}")
+    print(f"active model: {engine.active_model.name}")
+
+
+if __name__ == "__main__":
+    main()

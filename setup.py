@@ -1,0 +1,9 @@
+"""Setuptools shim for offline editable installs (`python setup.py develop`).
+
+The canonical metadata lives in pyproject.toml; this file exists because the
+build environment has no network access and no `wheel` package, so pip's
+PEP 660 editable path is unavailable.
+"""
+from setuptools import setup
+
+setup()

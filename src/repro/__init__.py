@@ -1,0 +1,84 @@
+"""repro — a from-scratch reproduction of **ease.ml/ci** (Renggli et al.,
+MLSys 2019): continuous integration for machine learning models with
+rigorous (epsilon, delta) guarantees at practical labeling cost.
+
+Quick start::
+
+    from repro import SampleSizeEstimator
+
+    est = SampleSizeEstimator()
+    plan = est.plan("n - o > 0.02 +/- 0.01 /\\\\ d < 0.1 +/- 0.01",
+                    reliability=0.9999, adaptivity="full", steps=32)
+    print(plan.samples)          # testset size to request from the user
+    print(plan.describe())
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
+system inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record.
+"""
+
+from repro.core.dsl import parse_condition, parse_expression
+from repro.core.dsl.nodes import Clause, Formula
+from repro.core.estimators import (
+    Adaptivity,
+    ClausePlan,
+    ClauseStrategy,
+    SampleSizeEstimator,
+    SampleSizePlan,
+)
+from repro.core.evaluation import ConditionEvaluator, EvaluationResult
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary
+from repro.core.script import CIScript
+from repro.core.testset import Testset, TestsetManager
+from repro.core.alarm import AlarmEvent, AlarmReason, NewTestsetAlarm
+from repro.core.engine import CIEngine, CommitResult
+from repro.stats.estimation import PairedSample
+from repro.exceptions import (
+    ReproError,
+    ParseError,
+    ScriptError,
+    InvalidParameterError,
+    TestsetExhaustedError,
+    TestsetSizeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # DSL
+    "parse_condition",
+    "parse_expression",
+    "Clause",
+    "Formula",
+    # estimation
+    "Adaptivity",
+    "SampleSizeEstimator",
+    "SampleSizePlan",
+    "ClausePlan",
+    "ClauseStrategy",
+    # evaluation
+    "ConditionEvaluator",
+    "EvaluationResult",
+    "Interval",
+    "Mode",
+    "TernaryResult",
+    "resolve_ternary",
+    "PairedSample",
+    # engine
+    "CIScript",
+    "Testset",
+    "TestsetManager",
+    "AlarmEvent",
+    "AlarmReason",
+    "NewTestsetAlarm",
+    "CIEngine",
+    "CommitResult",
+    # errors
+    "ReproError",
+    "ParseError",
+    "ScriptError",
+    "InvalidParameterError",
+    "TestsetExhaustedError",
+    "TestsetSizeError",
+]

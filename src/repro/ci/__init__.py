@@ -1,0 +1,38 @@
+"""Travis-like CI substrate: repositories, commits, builds, notifications.
+
+The paper positions ease.ml/ci as an extension of an existing CI engine
+(Figure 1 shows the GitHub + ``.travis.yml`` workflow).  This package
+supplies that surrounding machinery so the examples and experiments can
+exercise the *whole* four-step loop — define script, provide testset,
+commit models, receive signals — rather than calling the statistical core
+directly:
+
+* :mod:`commit` / :mod:`repository` — a minimal model-versioning store;
+* :mod:`notifications` — pluggable message transports (in-memory email
+  for tests, console for examples);
+* :mod:`service` — :class:`~repro.ci.service.CIService`, which watches a
+  repository, triggers a build per commit, runs the ease.ml/ci engine and
+  routes signals/alarms to the right parties.
+"""
+
+from repro.ci.commit import Commit, CommitStatus
+from repro.ci.repository import ModelRepository
+from repro.ci.notifications import (
+    EmailMessage,
+    NotificationTransport,
+    InMemoryEmailTransport,
+    ConsoleTransport,
+)
+from repro.ci.service import BuildRecord, CIService
+
+__all__ = [
+    "Commit",
+    "CommitStatus",
+    "ModelRepository",
+    "EmailMessage",
+    "NotificationTransport",
+    "InMemoryEmailTransport",
+    "ConsoleTransport",
+    "BuildRecord",
+    "CIService",
+]

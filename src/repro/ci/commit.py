@@ -1,0 +1,55 @@
+"""Commit objects for the model repository."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CommitStatus", "Commit"]
+
+
+class CommitStatus(enum.Enum):
+    """Lifecycle of a commit inside the CI pipeline."""
+
+    PENDING = "pending"  #: committed, build not yet run
+    PASSED = "passed"  #: build ran; CI signal was pass
+    FAILED = "failed"  #: build ran; CI signal was fail
+    ACCEPTED = "accepted"  #: accepted without a visible signal (adaptivity none)
+    SKIPPED = "skipped"  #: build could not run (e.g. testset exhausted)
+
+
+@dataclass
+class Commit:
+    """One committed model version.
+
+    Attributes
+    ----------
+    sequence:
+        0-based commit number within its repository (stands in for a
+        timestamp; the library avoids wall-clock reads for determinism).
+    model:
+        The committed model object (anything with ``predict``).
+    message:
+        The commit message.
+    author:
+        Developer identifier.
+    status:
+        Current pipeline status, updated by the CI service.
+    """
+
+    sequence: int
+    model: Any
+    message: str = ""
+    author: str = "developer"
+    status: CommitStatus = field(default=CommitStatus.PENDING)
+
+    @property
+    def commit_id(self) -> str:
+        """A stable short hex id derived from sequence/author/message."""
+        payload = f"{self.sequence}:{self.author}:{self.message}".encode()
+        return hashlib.sha1(payload).hexdigest()[:10]
+
+    def __str__(self) -> str:
+        return f"commit {self.commit_id} (#{self.sequence}, {self.status.value})"

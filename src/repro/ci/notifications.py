@@ -1,0 +1,97 @@
+"""Notification transports for CI signals and testset alarms.
+
+Two delivery paths exist in the paper's workflow:
+
+* under ``adaptivity: none`` the true pass/fail signal is mailed to a
+  third-party address the developer cannot read (§2.2);
+* the *new testset alarm* notifies the integration team when the testset's
+  statistical budget is spent (§2.3).
+
+Production systems would plug in SMTP or a chat webhook; the experiments
+use :class:`InMemoryEmailTransport` (assertable) and examples use
+:class:`ConsoleTransport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+__all__ = [
+    "EmailMessage",
+    "NotificationTransport",
+    "InMemoryEmailTransport",
+    "ConsoleTransport",
+]
+
+
+@dataclass(frozen=True)
+class EmailMessage:
+    """A delivered notification.
+
+    Attributes
+    ----------
+    recipient:
+        Address (or role name) the message was sent to.
+    subject, body:
+        Message content.
+    sequence:
+        0-based delivery order within the transport.
+    """
+
+    recipient: str
+    subject: str
+    body: str
+    sequence: int
+
+
+class NotificationTransport(Protocol):
+    """Anything that can deliver a (recipient, subject, body) triple."""
+
+    def send(self, recipient: str, subject: str, body: str) -> None:
+        """Deliver one message."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemoryEmailTransport:
+    """Records messages for inspection — the test double of choice.
+
+    The developer-visibility invariant of ``adaptivity: none`` is tested
+    by asserting that all true signals land here and nowhere else.
+    """
+
+    def __init__(self):
+        self._messages: list[EmailMessage] = []
+
+    def send(self, recipient: str, subject: str, body: str) -> None:
+        """Record a message."""
+        self._messages.append(
+            EmailMessage(
+                recipient=recipient,
+                subject=subject,
+                body=body,
+                sequence=len(self._messages),
+            )
+        )
+
+    @property
+    def messages(self) -> list[EmailMessage]:
+        """All delivered messages, in order."""
+        return list(self._messages)
+
+    def messages_for(self, recipient: str) -> list[EmailMessage]:
+        """Messages delivered to a specific recipient."""
+        return [m for m in self._messages if m.recipient == recipient]
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class ConsoleTransport:
+    """Prints messages to stdout (used by the runnable examples)."""
+
+    def send(self, recipient: str, subject: str, body: str) -> None:
+        """Print one message."""
+        print(f"--- mail to {recipient}: {subject}")
+        for line in body.splitlines():
+            print(f"    {line}")

@@ -1,0 +1,76 @@
+"""A minimal model-versioning repository.
+
+Stands in for the "GitHub repository" of Figure 1: developers commit
+models (plus messages), the CI service observes new commits and runs
+builds.  Observers are registered callables — the CI service subscribes
+itself, mirroring a webhook.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.ci.commit import Commit
+from repro.exceptions import EngineStateError
+
+__all__ = ["ModelRepository"]
+
+
+class ModelRepository:
+    """An append-only sequence of model commits with observer hooks.
+
+    Parameters
+    ----------
+    name:
+        Repository identifier used in logs and notifications.
+    """
+
+    def __init__(self, name: str = "ml-repo"):
+        self.name = name
+        self._commits: list[Commit] = []
+        self._observers: list[Callable[[Commit], None]] = []
+
+    # -- committing -----------------------------------------------------------
+    def commit(self, model: Any, message: str = "", author: str = "developer") -> Commit:
+        """Append a new model version and notify observers (webhook)."""
+        commit = Commit(
+            sequence=len(self._commits),
+            model=model,
+            message=message,
+            author=author,
+        )
+        self._commits.append(commit)
+        for observer in self._observers:
+            observer(commit)
+        return commit
+
+    def on_commit(self, observer: Callable[[Commit], None]) -> None:
+        """Register a callable invoked for every future commit."""
+        self._observers.append(observer)
+
+    # -- history ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._commits)
+
+    def __iter__(self) -> Iterator[Commit]:
+        return iter(self._commits)
+
+    def __getitem__(self, index: int) -> Commit:
+        return self._commits[index]
+
+    @property
+    def head(self) -> Commit:
+        """The most recent commit."""
+        if not self._commits:
+            raise EngineStateError(f"repository {self.name!r} has no commits")
+        return self._commits[-1]
+
+    def log(self) -> str:
+        """A short, newest-first commit log."""
+        lines = []
+        for commit in reversed(self._commits):
+            lines.append(
+                f"{commit.commit_id}  [{commit.status.value:^8}]  "
+                f"{commit.author}: {commit.message or '(no message)'}"
+            )
+        return "\n".join(lines)

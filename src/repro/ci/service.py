@@ -1,0 +1,168 @@
+"""The CI service: repository webhooks → builds → signals (Figure 1).
+
+:class:`CIService` is the outermost orchestration layer.  It subscribes to
+a :class:`~repro.ci.repository.ModelRepository`, and for every commit:
+
+1. triggers a *build* (numbered, recorded);
+2. runs the ease.ml/ci engine's evaluation;
+3. updates the commit status with what the developer is allowed to see;
+4. routes third-party notifications and testset alarms through the
+   configured transport.
+
+The integration team interacts with the service to install fresh testsets
+when alarms fire; the development team only sees commit statuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ci.commit import Commit, CommitStatus
+from repro.ci.notifications import NotificationTransport
+from repro.ci.repository import ModelRepository
+from repro.core.engine import CIEngine, CommitResult
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.exceptions import TestsetExhaustedError
+
+__all__ = ["BuildRecord", "CIService"]
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """One build triggered by one commit.
+
+    Attributes
+    ----------
+    build_number:
+        1-based build counter (matching CI-server conventions).
+    commit:
+        The commit that triggered the build.
+    result:
+        The engine's :class:`CommitResult`, or ``None`` when the build was
+        skipped (testset exhausted and not yet replaced).
+    skipped_reason:
+        Why the build did not run, when applicable.
+    """
+
+    build_number: int
+    commit: Commit
+    result: CommitResult | None
+    skipped_reason: str | None = None
+
+    @property
+    def ran(self) -> bool:
+        """Whether the build executed an evaluation."""
+        return self.result is not None
+
+
+class CIService:
+    """Binds a repository to an ease.ml/ci engine.
+
+    Parameters
+    ----------
+    script:
+        The validated CI configuration.
+    testset:
+        Initial testset from the integration team.
+    baseline_model:
+        The deployed model new commits are compared against.
+    repository:
+        The watched repository (a fresh one is created when omitted).
+    transport:
+        Notification transport for third-party signals and alarms.
+    engine_kwargs:
+        Extra keyword arguments forwarded to :class:`CIEngine` (e.g.
+        ``estimator`` or ``enforce_testset_size``).
+    """
+
+    def __init__(
+        self,
+        script: CIScript,
+        testset: Testset,
+        baseline_model: Any,
+        *,
+        repository: ModelRepository | None = None,
+        transport: NotificationTransport | None = None,
+        **engine_kwargs: Any,
+    ):
+        self.script = script
+        self.transport = transport
+        notifier = transport.send if transport is not None else None
+        self.engine = CIEngine(
+            script, testset, baseline_model, notifier=notifier, **engine_kwargs
+        )
+        self.repository = repository if repository is not None else ModelRepository()
+        self.repository.on_commit(self._on_commit)
+        self._builds: list[BuildRecord] = []
+
+    # -- inspection --------------------------------------------------------------
+    @property
+    def builds(self) -> list[BuildRecord]:
+        """All builds, in order."""
+        return list(self._builds)
+
+    @property
+    def active_model(self) -> Any:
+        """The currently deployed model (last truly passing commit)."""
+        return self.engine.active_model
+
+    # -- the webhook ---------------------------------------------------------------
+    def _on_commit(self, commit: Commit) -> None:
+        build_number = len(self._builds) + 1
+        try:
+            result = self.engine.submit(commit.model)
+        except TestsetExhaustedError as exc:
+            commit.status = CommitStatus.SKIPPED
+            self._builds.append(
+                BuildRecord(
+                    build_number=build_number,
+                    commit=commit,
+                    result=None,
+                    skipped_reason=str(exc),
+                )
+            )
+            return
+        commit.status = self._status_for(result)
+        self._builds.append(
+            BuildRecord(build_number=build_number, commit=commit, result=result)
+        )
+
+    @staticmethod
+    def _status_for(result: CommitResult) -> CommitStatus:
+        if result.developer_signal is None:
+            return CommitStatus.ACCEPTED
+        return CommitStatus.PASSED if result.developer_signal else CommitStatus.FAILED
+
+    # -- integration-team operations --------------------------------------------------
+    def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:
+        """Install a fresh testset after an alarm (delegates to the engine)."""
+        self.engine.install_testset(testset, baseline_model)
+
+    def summary(self) -> str:
+        """A per-build summary table for logs and examples."""
+        lines = [f"builds for repository {self.repository.name!r}:"]
+        for build in self._builds:
+            if not build.ran:
+                lines.append(
+                    f"  #{build.build_number:<3} {build.commit.commit_id}  SKIPPED "
+                    f"({build.skipped_reason})"
+                )
+                continue
+            result = build.result
+            assert result is not None
+            signal = (
+                "pass"
+                if result.developer_signal
+                else "fail"
+                if result.developer_signal is not None
+                else "(hidden)"
+            )
+            alarm = f"  ALARM: {result.alarm_event.reason.value}" if result.alarm_event else ""
+            lines.append(
+                f"  #{build.build_number:<3} {build.commit.commit_id}  "
+                f"signal={signal:<8} promoted={str(result.promoted):<5} "
+                f"uses={result.testset_uses}{alarm}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Command-line interface: the sample-size estimator as a shell utility.
+
+The paper frames the Sample Size Estimator as a *system utility* the
+integration team runs before collecting data (§2.3).  This CLI exposes it:
+
+``python -m repro plan``
+    Size a condition given reliability/adaptivity/steps — prints the plan
+    (labels, unlabeled pool, per-commit active-labeling cost).
+
+``python -m repro validate <script.yml>``
+    Parse and validate a ``.travis.yml``-style script's ``ml:`` section,
+    printing the normalized configuration and its plan.
+
+``python -m repro figure2``
+    Regenerate the paper's Figure 2 table on stdout.
+
+Examples
+--------
+::
+
+    python -m repro plan --condition "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01" \\
+        --reliability 0.9999 --adaptivity full --steps 32
+    python -m repro plan --condition "n - o > 0.02 +/- 0.02" \\
+        --reliability 0.998 --steps 7 --variance-bound 0.1
+    python -m repro validate .travis.yml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.script.config import CIScript
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ease.ml/ci sample-size estimation and script validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="size a test condition")
+    plan.add_argument(
+        "--condition", required=True, help="DSL condition, e.g. 'n - o > 0.02 +/- 0.01'"
+    )
+    group = plan.add_mutually_exclusive_group(required=True)
+    group.add_argument("--reliability", type=float, help="1 - delta, e.g. 0.9999")
+    group.add_argument("--delta", type=float, help="failure budget directly")
+    plan.add_argument(
+        "--adaptivity",
+        default="none",
+        choices=["none", "full", "firstChange"],
+        help="interaction mode (default: none)",
+    )
+    plan.add_argument("--steps", type=int, default=1, help="testset lifetime H")
+    plan.add_argument(
+        "--variance-bound",
+        type=float,
+        default=None,
+        help="a-priori bound on consecutive-model prediction difference "
+        "(enables the Pattern 2 optimization)",
+    )
+    plan.add_argument(
+        "--baseline",
+        action="store_true",
+        help="disable the Section 4 optimizations (Hoeffding only)",
+    )
+    plan.add_argument(
+        "--exact-binomial",
+        action="store_true",
+        help="size single-variable clauses by exact binomial inversion (§4.3)",
+    )
+
+    validate = sub.add_parser("validate", help="validate a script file")
+    validate.add_argument("script", type=Path, help="path to the .travis.yml-style file")
+
+    sub.add_parser("figure2", help="regenerate the paper's Figure 2 table")
+
+    experiments = sub.add_parser(
+        "experiments", help="run all E1-E9 experiments, writing JSON artifacts"
+    )
+    experiments.add_argument(
+        "--output", type=Path, default=Path("results"), help="artifact directory"
+    )
+    experiments.add_argument(
+        "--quick", action="store_true", help="shrink Monte-Carlo workloads"
+    )
+    return parser
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    estimator = SampleSizeEstimator(
+        optimizations="none" if args.baseline else "auto",
+        use_exact_binomial=args.exact_binomial,
+    )
+    plan = estimator.plan(
+        args.condition,
+        reliability=args.reliability,
+        delta=args.delta,
+        adaptivity=args.adaptivity,
+        steps=args.steps,
+        known_variance_bound=args.variance_bound,
+    )
+    print(plan.describe())
+    return 0
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    script = CIScript.from_file(args.script)
+    print("script is valid:")
+    print(script.describe())
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    print()
+    print(plan.describe())
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    records = run_all(args.output, quick=args.quick)
+    for record in records:
+        print(f"{record.experiment_id:16} -> {record.path}")
+    print(f"wrote {len(records)} artifacts + summary.json to {args.output}/")
+    return 0
+
+
+def _run_figure2(_: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import run_figure2
+    from repro.utils.formatting import Table, format_count
+
+    table = Table(
+        ["1-delta", "eps", "F1/F4 none", "F1/F4 full", "F2/F3 none", "F2/F3 full"],
+        align=[">"] * 6,
+        title="Figure 2: samples required, H = 32 ('*' = impractical)",
+    )
+    for row in run_figure2():
+        flags = row.impractical()
+        table.add_row(
+            [
+                row.reliability,
+                row.tolerance,
+                format_count(row.f1_none) + ("*" if flags["f1_none"] else ""),
+                format_count(row.f1_full) + ("*" if flags["f1_full"] else ""),
+                format_count(row.f2_none) + ("*" if flags["f2_none"] else ""),
+                format_count(row.f2_full) + ("*" if flags["f2_full"] else ""),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "plan": _run_plan,
+        "validate": _run_validate,
+        "figure2": _run_figure2,
+        "experiments": _run_experiments,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the ease.ml/ci condition DSL, the
+sample-size estimators, the pattern optimizations, and the CI engine.
+
+Import the convenience surface from :mod:`repro` directly; this package
+exists to organize the implementation by subsystem (see DESIGN.md §4).
+"""
+
+from repro.core.dsl import parse_condition, parse_expression
+from repro.core.intervals import Interval
+from repro.core.logic import TernaryResult, resolve_ternary
+from repro.core.estimators import SampleSizeEstimator, SampleSizePlan
+from repro.core.evaluation import ConditionEvaluator, EvaluationResult
+from repro.core.testset import Testset, TestsetManager
+from repro.core.alarm import NewTestsetAlarm, AlarmEvent
+from repro.core.engine import CIEngine, CommitResult
+
+__all__ = [
+    "parse_condition",
+    "parse_expression",
+    "Interval",
+    "TernaryResult",
+    "resolve_ternary",
+    "SampleSizeEstimator",
+    "SampleSizePlan",
+    "ConditionEvaluator",
+    "EvaluationResult",
+    "Testset",
+    "TestsetManager",
+    "NewTestsetAlarm",
+    "AlarmEvent",
+    "CIEngine",
+    "CommitResult",
+]

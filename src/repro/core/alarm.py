@@ -1,0 +1,116 @@
+"""The "new testset alarm" system utility (§2.3).
+
+The alarm watches the engine's testset consumption and fires when the
+current testset can no longer support the next committed model:
+
+* ``BUDGET_EXHAUSTED`` — the pre-defined budget of ``H`` evaluations is
+  spent (non-adaptive and fully-adaptive scenarios, §3.2–3.3);
+* ``FIRST_CHANGE_PASS`` — a commit passed under ``firstChange``
+  adaptivity, which retires the testset immediately (§3.4).
+
+Alarm events carry enough context for the integration team to act (which
+testset, after how many uses, why), and observers — e.g. an email
+transport — can subscribe to be notified.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["AlarmReason", "AlarmEvent", "NewTestsetAlarm"]
+
+
+class AlarmReason(enum.Enum):
+    """Why a fresh testset is needed."""
+
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    FIRST_CHANGE_PASS = "first-change-pass"
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """A fired alarm.
+
+    Attributes
+    ----------
+    reason:
+        Why the testset retired.
+    testset_name:
+        Name of the retired testset (now released to developers).
+    uses:
+        Evaluations the testset served before retiring.
+    generation:
+        Which testset generation retired (1-based).
+    message:
+        Rendered human-readable summary (what the alarm email would say).
+    """
+
+    reason: AlarmReason
+    testset_name: str
+    uses: int
+    generation: int
+    message: str
+
+
+class NewTestsetAlarm:
+    """Collects alarm events and fans them out to subscribers.
+
+    Subscribers are callables taking an :class:`AlarmEvent`; exceptions
+    from subscribers propagate (a CI deployment would rather fail loudly
+    than silently drop an alarm).
+    """
+
+    def __init__(self):
+        self._events: list[AlarmEvent] = []
+        self._subscribers: list[Callable[[AlarmEvent], None]] = []
+
+    @property
+    def events(self) -> list[AlarmEvent]:
+        """All fired events, in order."""
+        return list(self._events)
+
+    @property
+    def fired(self) -> bool:
+        """Whether any alarm has fired."""
+        return bool(self._events)
+
+    def subscribe(self, callback: Callable[[AlarmEvent], None]) -> None:
+        """Register an observer for future alarm events."""
+        self._subscribers.append(callback)
+
+    def fire(
+        self,
+        reason: AlarmReason,
+        *,
+        testset_name: str,
+        uses: int,
+        generation: int,
+    ) -> AlarmEvent:
+        """Fire an alarm and notify subscribers; returns the event."""
+        if reason is AlarmReason.BUDGET_EXHAUSTED:
+            detail = (
+                f"testset {testset_name!r} has served its full budget of "
+                f"{uses} evaluations"
+            )
+        else:
+            detail = (
+                f"a commit passed under firstChange adaptivity after "
+                f"{uses} evaluations on testset {testset_name!r}"
+            )
+        event = AlarmEvent(
+            reason=reason,
+            testset_name=testset_name,
+            uses=uses,
+            generation=generation,
+            message=(
+                f"[ease.ml/ci] new testset required (generation {generation}): "
+                f"{detail}. The old testset is released and may now be used "
+                "as a development set."
+            ),
+        )
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event

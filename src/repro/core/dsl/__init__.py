@@ -1,0 +1,57 @@
+"""The ease.ml/ci condition DSL (Appendix A.1 of the paper).
+
+Grammar::
+
+    c    :-  floating point constant
+    v    :-  n | o | d
+    op1  :-  + | -
+    op2  :-  *
+    EXP  :-  v | v op1 EXP | EXP op2 c
+    cmp  :-  > | <
+    C    :-  EXP cmp c +/- c
+    F    :-  C | C /\\ F
+
+The implementation is a classical pipeline: :mod:`lexer` tokenizes,
+:mod:`parser` builds the AST of :mod:`nodes`, and :mod:`linear`
+canonicalizes expressions into the linear form
+``sum_v coeff_v * v + constant`` that the estimator layer consumes.
+
+The parser accepts a slight superset of the paper's grammar (parentheses,
+constants on either side of ``*``, unary minus, standard precedence) and a
+``strict=True`` mode that rejects anything outside the literal Appendix A.1
+productions.
+"""
+
+from repro.core.dsl.tokens import Token, TokenType
+from repro.core.dsl.lexer import tokenize
+from repro.core.dsl.nodes import (
+    BinaryOp,
+    Clause,
+    Constant,
+    Expression,
+    Formula,
+    Negation,
+    Variable,
+    VARIABLES,
+)
+from repro.core.dsl.parser import parse_condition, parse_clause, parse_expression
+from repro.core.dsl.linear import LinearExpression, linearize
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Expression",
+    "Variable",
+    "Constant",
+    "BinaryOp",
+    "Negation",
+    "Clause",
+    "Formula",
+    "VARIABLES",
+    "parse_condition",
+    "parse_clause",
+    "parse_expression",
+    "LinearExpression",
+    "linearize",
+]

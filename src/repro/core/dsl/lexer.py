@@ -1,0 +1,137 @@
+"""Tokenizer for the condition DSL.
+
+Hand-rolled scanner (no regex dispatch) so that the two multi-character
+operators ``+/-`` and ``/\\`` are matched greedily and error positions are
+exact.  The full token vocabulary is defined in
+:mod:`repro.core.dsl.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.core.dsl.tokens import Token, TokenType
+from repro.exceptions import LexerError
+
+__all__ = ["tokenize"]
+
+#: The three random variables of the logical data model (Section 2.2).
+_VARIABLE_NAMES = frozenset({"n", "o", "d"})
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ``source`` into a token list ending with an ``EOF`` token.
+
+    Raises
+    ------
+    LexerError
+        On any character outside the DSL alphabet, a malformed number, or
+        a ``/`` not followed by ``\\`` (division is intentionally excluded
+        from the grammar — see Section 2.2 "Ratio statistics").
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "+":
+            # Greedy: "+/-" is a single token.
+            if source.startswith("+/-", i):
+                tokens.append(Token(TokenType.PLUS_MINUS, "+/-", i))
+                i += 3
+            else:
+                tokens.append(Token(TokenType.PLUS, "+", i))
+                i += 1
+            continue
+        if ch == "-":
+            tokens.append(Token(TokenType.MINUS, "-", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == ">":
+            tokens.append(Token(TokenType.GREATER, ">", i))
+            i += 1
+            continue
+        if ch == "<":
+            tokens.append(Token(TokenType.LESS, "<", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == "/":
+            if source.startswith("/\\", i):
+                tokens.append(Token(TokenType.AND, "/\\", i))
+                i += 2
+                continue
+            raise LexerError(
+                "'/' is not an operator in the DSL (division is unsupported; "
+                "did you mean the conjunction '/\\'?)",
+                position=i,
+                source=source,
+            )
+        if ch.isdigit() or ch == ".":
+            text, value, consumed = _scan_number(source, i)
+            tokens.append(Token(TokenType.NUMBER, text, i, value=value))
+            i += consumed
+            continue
+        if ch.isalpha():
+            text, consumed = _scan_word(source, i)
+            if text in _VARIABLE_NAMES:
+                tokens.append(Token(TokenType.VARIABLE, text, i))
+                i += consumed
+                continue
+            raise LexerError(
+                f"unknown identifier {text!r}; the only variables are "
+                "'n' (new accuracy), 'o' (old accuracy) and 'd' (difference)",
+                position=i,
+                source=source,
+            )
+        raise LexerError(f"unexpected character {ch!r}", position=i, source=source)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def _scan_number(source: str, start: int) -> tuple[str, float, int]:
+    """Scan a float literal (``12``, ``0.5``, ``.5``, ``1e-3``)."""
+    i = start
+    length = len(source)
+    seen_dot = False
+    while i < length and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+        if source[i] == ".":
+            seen_dot = True
+        i += 1
+    # Optional exponent part.
+    if i < length and source[i] in "eE":
+        j = i + 1
+        if j < length and source[j] in "+-":
+            j += 1
+        if j < length and source[j].isdigit():
+            while j < length and source[j].isdigit():
+                j += 1
+            i = j
+    text = source[start:i]
+    try:
+        value = float(text)
+    except ValueError:
+        raise LexerError(
+            f"malformed number literal {text!r}", position=start, source=source
+        ) from None
+    return text, value, i - start
+
+
+def _scan_word(source: str, start: int) -> tuple[str, int]:
+    """Scan a maximal alphabetic identifier."""
+    i = start
+    while i < len(source) and source[i].isalpha():
+        i += 1
+    return source[start:i], i - start

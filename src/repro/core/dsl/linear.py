@@ -1,0 +1,174 @@
+"""Canonicalization of DSL expressions into linear form.
+
+Every expression the grammar can produce is linear in the variables
+``{n, o, d}`` (multiplication only pairs an expression with a constant).
+:func:`linearize` folds an AST into a :class:`LinearExpression` —
+``sum_v coeff_v * v + constant`` — which is the representation the
+sample-size estimator operates on: each variable term contributes a
+Hoeffding budget scaled by ``|coeff| * range`` (rule 1 of Section 3.1), and
+the per-term tolerances are allocated across terms (rule 2).
+
+Products of two variable-bearing subexpressions (expressible only through
+the permissive parser with parentheses, e.g. ``(n - o) * (n + o)``) are
+rejected with :class:`~repro.exceptions.SemanticError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.dsl.nodes import (
+    BinaryOp,
+    Clause,
+    Constant,
+    Expression,
+    Negation,
+    Variable,
+    VARIABLES,
+)
+from repro.exceptions import SemanticError
+
+__all__ = ["LinearExpression", "linearize"]
+
+
+@dataclass(frozen=True)
+class LinearExpression:
+    """An expression in canonical linear form.
+
+    Attributes
+    ----------
+    coefficients:
+        Mapping from variable name to its (possibly zero) coefficient.
+        Only nonzero coefficients are stored.
+    constant:
+        The additive constant term.
+    """
+
+    coefficients: Mapping[str, float] = field(default_factory=dict)
+    constant: float = 0.0
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            name: float(coef)
+            for name, coef in self.coefficients.items()
+            if coef != 0.0
+        }
+        for name in cleaned:
+            if name not in VARIABLES:
+                raise SemanticError(f"unknown variable {name!r} in linear form")
+        object.__setattr__(self, "coefficients", cleaned)
+
+    def coefficient(self, name: str) -> float:
+        """The coefficient of ``name`` (zero when absent)."""
+        return self.coefficients.get(name, 0.0)
+
+    def variables(self) -> frozenset[str]:
+        """Variables with nonzero coefficients."""
+        return frozenset(self.coefficients)
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether no variable appears (the expression is degenerate)."""
+        return not self.coefficients
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Evaluate with exact variable values."""
+        total = self.constant
+        for name, coef in self.coefficients.items():
+            total += coef * float(assignment[name])
+        return total
+
+    def value_range(self, variable_ranges: Mapping[str, float] | None = None) -> float:
+        """Length of the interval the expression can span.
+
+        With each variable ``v`` ranging over an interval of length
+        ``r_v`` (default 1 for all three variables), a linear combination
+        spans an interval of length ``sum_v |coeff_v| * r_v``.
+        """
+        total = 0.0
+        for name, coef in self.coefficients.items():
+            r = 1.0 if variable_ranges is None else float(variable_ranges[name])
+            total += abs(coef) * r
+        return total
+
+    # -- algebra -------------------------------------------------------------
+    def __add__(self, other: "LinearExpression") -> "LinearExpression":
+        coeffs = dict(self.coefficients)
+        for name, coef in other.coefficients.items():
+            coeffs[name] = coeffs.get(name, 0.0) + coef
+        return LinearExpression(coeffs, self.constant + other.constant)
+
+    def __sub__(self, other: "LinearExpression") -> "LinearExpression":
+        return self + other.scale(-1.0)
+
+    def scale(self, factor: float) -> "LinearExpression":
+        """Multiply every coefficient and the constant by ``factor``."""
+        return LinearExpression(
+            {name: coef * factor for name, coef in self.coefficients.items()},
+            self.constant * factor,
+        )
+
+    def to_source(self) -> str:
+        """Render as DSL-compatible source (canonical variable order)."""
+        parts: list[str] = []
+        for name in VARIABLES:
+            coef = self.coefficient(name)
+            if coef == 0.0:
+                continue
+            if not parts:
+                prefix = "" if coef > 0 else "-"
+            else:
+                prefix = " + " if coef > 0 else " - "
+            mag = abs(coef)
+            term = name if mag == 1.0 else f"{mag:g} * {name}"
+            parts.append(f"{prefix}{term}")
+        if self.constant != 0.0 or not parts:
+            sign = " + " if self.constant >= 0 else " - "
+            if not parts:
+                sign = "" if self.constant >= 0 else "-"
+            parts.append(f"{sign}{abs(self.constant):g}")
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+
+def linearize(expression: Expression | Clause) -> LinearExpression:
+    """Fold an AST expression (or a clause's LHS) into linear form.
+
+    Raises
+    ------
+    SemanticError
+        If the expression multiplies two variable-bearing subexpressions
+        (nonlinear, outside the DSL's semantics).
+    """
+    if isinstance(expression, Clause):
+        expression = expression.expression
+    return _linearize(expression)
+
+
+def _linearize(node: Expression) -> LinearExpression:
+    if isinstance(node, Variable):
+        return LinearExpression({node.name: 1.0})
+    if isinstance(node, Constant):
+        return LinearExpression({}, node.value)
+    if isinstance(node, Negation):
+        return _linearize(node.operand).scale(-1.0)
+    if isinstance(node, BinaryOp):
+        left = _linearize(node.left)
+        right = _linearize(node.right)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        # Multiplication: at least one side must be constant.
+        if left.is_constant:
+            return right.scale(left.constant)
+        if right.is_constant:
+            return left.scale(right.constant)
+        raise SemanticError(
+            "nonlinear expression: cannot multiply two variable-bearing "
+            f"subexpressions ({node.left.to_source()!r} * {node.right.to_source()!r})"
+        )
+    raise SemanticError(f"unknown expression node {type(node).__name__}")

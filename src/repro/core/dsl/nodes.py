@@ -1,0 +1,252 @@
+"""Abstract syntax tree for the condition DSL.
+
+The node classes are frozen dataclasses: hashable, comparable by value, and
+printable back to DSL source via :meth:`Expression.to_source` (a round-trip
+property tested with hypothesis).  Expressions evaluate against exact
+variable assignments via :meth:`Expression.evaluate`, which the Monte-Carlo
+validation uses to compute ground-truth clause outcomes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.exceptions import SemanticError
+
+__all__ = [
+    "VARIABLES",
+    "Expression",
+    "Variable",
+    "Constant",
+    "BinaryOp",
+    "Negation",
+    "Clause",
+    "Formula",
+]
+
+#: The logical data model of Section 2.2: new accuracy, old accuracy,
+#: prediction difference.  All range over ``[0, 1]``.
+VARIABLES: tuple[str, ...] = ("n", "o", "d")
+
+
+class Expression(ABC):
+    """Base class for arithmetic expressions over ``{n, o, d}``."""
+
+    @abstractmethod
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Evaluate with exact variable values (no uncertainty)."""
+
+    @abstractmethod
+    def to_source(self) -> str:
+        """Render back to DSL-parseable source text."""
+
+    @abstractmethod
+    def variables(self) -> frozenset[str]:
+        """The set of variable names appearing in this expression."""
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    """A reference to one of the three model-quality variables."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in VARIABLES:
+            raise SemanticError(
+                f"unknown variable {self.name!r}; expected one of {VARIABLES}"
+            )
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        try:
+            return float(assignment[self.name])
+        except KeyError:
+            raise SemanticError(f"no value provided for variable {self.name!r}") from None
+
+    def to_source(self) -> str:
+        return self.name
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A floating-point literal."""
+
+    value: float
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        return self.value
+
+    def to_source(self) -> str:
+        return _format_number(self.value)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Negation(Expression):
+    """Unary minus (an extension beyond the literal grammar)."""
+
+    operand: Expression
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        return -self.operand.evaluate(assignment)
+
+    def to_source(self) -> str:
+        inner = self.operand.to_source()
+        if isinstance(self.operand, BinaryOp):
+            inner = f"({inner})"
+        return f"-{inner}"
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary arithmetic node; ``op`` is one of ``+``, ``-``, ``*``.
+
+    Division is deliberately absent (Section 2.2 leaves ratio statistics
+    to future work); the lexer already rejects ``/``.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+    _VALID_OPS = ("+", "-", "*")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID_OPS:
+            raise SemanticError(f"unsupported operator {self.op!r}")
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        lhs = self.left.evaluate(assignment)
+        rhs = self.right.evaluate(assignment)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        return lhs * rhs
+
+    def to_source(self) -> str:
+        left = self.left.to_source()
+        right = self.right.to_source()
+        if self.op == "*":
+            if isinstance(self.left, BinaryOp) and self.left.op in "+-":
+                left = f"({left})"
+            if isinstance(self.right, BinaryOp) and self.right.op in "+-":
+                right = f"({right})"
+        elif self.op == "-" and isinstance(self.right, BinaryOp) and self.right.op in "+-":
+            right = f"({right})"
+        return f"{left} {self.op} {right}"
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One comparison ``EXP cmp c +/- c``.
+
+    Attributes
+    ----------
+    expression:
+        The left-hand-side arithmetic expression.
+    comparator:
+        ``">"`` or ``"<"``.
+    threshold:
+        The right-hand-side constant the expression is compared against.
+    tolerance:
+        The ``+/-`` error tolerance ``epsilon`` for estimating the
+        expression.  Must be strictly positive: a zero tolerance would
+        demand an exact estimate, which no finite testset provides.
+    """
+
+    expression: Expression
+    comparator: str
+    threshold: float
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.comparator not in (">", "<"):
+            raise SemanticError(f"comparator must be '>' or '<', got {self.comparator!r}")
+        if not self.tolerance > 0.0:
+            raise SemanticError(
+                f"tolerance must be strictly positive, got {self.tolerance}"
+            )
+        if not self.expression.variables():
+            raise SemanticError(
+                "clause expression references no variable; testing a constant "
+                f"is vacuous: {self.expression.to_source()!r}"
+            )
+
+    def evaluate_exact(self, assignment: Mapping[str, float]) -> bool:
+        """Ground-truth outcome under exact variable values."""
+        value = self.expression.evaluate(assignment)
+        return value > self.threshold if self.comparator == ">" else value < self.threshold
+
+    def to_source(self) -> str:
+        """Render back to DSL source."""
+        return (
+            f"{self.expression.to_source()} {self.comparator} "
+            f"{_format_number(self.threshold)} +/- {_format_number(self.tolerance)}"
+        )
+
+    def variables(self) -> frozenset[str]:
+        """Variables referenced by the clause expression."""
+        return self.expression.variables()
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A conjunction of clauses — the full test condition ``F``."""
+
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise SemanticError("a formula must contain at least one clause")
+        object.__setattr__(self, "clauses", tuple(self.clauses))
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def evaluate_exact(self, assignment: Mapping[str, float]) -> bool:
+        """Ground-truth conjunction outcome under exact values."""
+        return all(c.evaluate_exact(assignment) for c in self.clauses)
+
+    def variables(self) -> frozenset[str]:
+        """Union of variables over all clauses."""
+        out: frozenset[str] = frozenset()
+        for clause in self.clauses:
+            out |= clause.variables()
+        return out
+
+    def to_source(self) -> str:
+        """Render back to DSL source."""
+        return " /\\ ".join(c.to_source() for c in self.clauses)
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+
+def _format_number(value: float) -> str:
+    """Format a float for source round-tripping (no trailing zeros)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,257 @@
+"""Recursive-descent parser for the condition DSL.
+
+Produces the AST of :mod:`repro.core.dsl.nodes` from source text such as::
+
+    n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01
+
+The default mode accepts a pragmatic superset of the Appendix A.1 grammar
+(parentheses, standard ``*`` precedence, constants on either side of ``*``,
+unary minus).  ``strict=True`` enforces the literal paper grammar:
+
+* ``EXP :- v | v op1 EXP | EXP op2 c`` — additive chains must start with a
+  variable, and ``*`` must have the constant on the right;
+* no parentheses, no unary minus.
+"""
+
+from __future__ import annotations
+
+from repro.core.dsl.lexer import tokenize
+from repro.core.dsl.nodes import (
+    BinaryOp,
+    Clause,
+    Constant,
+    Expression,
+    Formula,
+    Negation,
+    Variable,
+)
+from repro.core.dsl.tokens import Token, TokenType
+from repro.exceptions import SyntaxParseError
+
+__all__ = ["parse_condition", "parse_clause", "parse_expression"]
+
+
+def parse_condition(source: str, *, strict: bool = False) -> Formula:
+    """Parse a full test condition (one or more ``/\\``-joined clauses).
+
+    Parameters
+    ----------
+    source:
+        DSL text, e.g. ``"n - o > 0.02 +/- 0.01"``.
+    strict:
+        Enforce the literal Appendix A.1 grammar (see module docstring).
+
+    Returns
+    -------
+    Formula
+        The parsed conjunction.
+
+    Raises
+    ------
+    LexerError, SyntaxParseError, SemanticError
+        On malformed input.
+    """
+    parser = _Parser(source, strict=strict)
+    formula = parser.parse_formula()
+    parser.expect(TokenType.EOF)
+    return formula
+
+
+def parse_clause(source: str, *, strict: bool = False) -> Clause:
+    """Parse a single clause ``EXP cmp c +/- c``."""
+    parser = _Parser(source, strict=strict)
+    clause = parser.parse_clause()
+    parser.expect(TokenType.EOF)
+    return clause
+
+
+def parse_expression(source: str, *, strict: bool = False) -> Expression:
+    """Parse a bare arithmetic expression over ``{n, o, d}``."""
+    parser = _Parser(source, strict=strict)
+    expr = parser.parse_expression()
+    parser.expect(TokenType.EOF)
+    return expr
+
+
+class _Parser:
+    """Token-stream cursor with one production method per nonterminal."""
+
+    def __init__(self, source: str, *, strict: bool):
+        self.source = source
+        self.strict = strict
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- cursor helpers ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def match(self, *types: TokenType) -> bool:
+        return self.current.type in types
+
+    def expect(self, token_type: TokenType) -> Token:
+        if not self.match(token_type):
+            raise SyntaxParseError(
+                f"expected {token_type.value}, found "
+                f"{self.current.text or 'end of input'!r}",
+                position=self.current.position,
+                source=self.source,
+            )
+        return self.advance()
+
+    def _error(self, message: str) -> SyntaxParseError:
+        return SyntaxParseError(
+            message, position=self.current.position, source=self.source
+        )
+
+    # -- productions ---------------------------------------------------------
+    def parse_formula(self) -> Formula:
+        clauses = [self.parse_clause()]
+        while self.match(TokenType.AND):
+            self.advance()
+            clauses.append(self.parse_clause())
+        return Formula(tuple(clauses))
+
+    def parse_clause(self) -> Clause:
+        expression = self.parse_expression()
+        if not self.match(TokenType.GREATER, TokenType.LESS):
+            raise self._error(
+                f"expected a comparison ('>' or '<'), found "
+                f"{self.current.text or 'end of input'!r}"
+            )
+        comparator = self.advance().text
+        threshold = self._parse_signed_constant("threshold")
+        self._expect_plus_minus()
+        tolerance = self._parse_signed_constant("tolerance")
+        return Clause(
+            expression=expression,
+            comparator=comparator,
+            threshold=threshold,
+            tolerance=tolerance,
+        )
+
+    def _expect_plus_minus(self) -> None:
+        if not self.match(TokenType.PLUS_MINUS):
+            raise self._error(
+                "every clause needs an explicit error tolerance: expected "
+                f"'+/-', found {self.current.text or 'end of input'!r}"
+            )
+        self.advance()
+
+    def _parse_signed_constant(self, what: str) -> float:
+        sign = 1.0
+        if self.match(TokenType.MINUS):
+            if self.strict:
+                raise self._error(f"negative {what} is not allowed in strict mode")
+            self.advance()
+            sign = -1.0
+        if not self.match(TokenType.NUMBER):
+            raise self._error(
+                f"expected a numeric {what}, found "
+                f"{self.current.text or 'end of input'!r}"
+            )
+        token = self.advance()
+        assert token.value is not None
+        return sign * token.value
+
+    def parse_expression(self) -> Expression:
+        if self.strict:
+            return self._parse_strict_expression()
+        return self._parse_additive()
+
+    # Permissive grammar: standard precedence with * above +/-.
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while self.match(TokenType.PLUS, TokenType.MINUS):
+            op = self.advance().text
+            right = self._parse_multiplicative()
+            expr = BinaryOp(op, expr, right)
+        return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while self.match(TokenType.STAR):
+            self.advance()
+            right = self._parse_unary()
+            expr = BinaryOp("*", expr, right)
+        return expr
+
+    def _parse_unary(self) -> Expression:
+        if self.match(TokenType.MINUS):
+            self.advance()
+            return Negation(self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expression:
+        if self.match(TokenType.VARIABLE):
+            return Variable(self.advance().text)
+        if self.match(TokenType.NUMBER):
+            token = self.advance()
+            assert token.value is not None
+            return Constant(token.value)
+        if self.match(TokenType.LPAREN):
+            self.advance()
+            expr = self._parse_additive()
+            self.expect(TokenType.RPAREN)
+            return expr
+        raise self._error(
+            f"expected a variable, number or '(', found "
+            f"{self.current.text or 'end of input'!r}"
+        )
+
+    # Strict grammar: EXP :- v | v op1 EXP | EXP op2 c.
+    # The productions are right-recursive for op1 and left-recursive for
+    # op2; we parse "TERM (op1 TERM)*" where TERM is "v ('*' c)*" or
+    # "c '*' v"-free (strict mode requires the constant on the right), and
+    # verify the head of each additive chain is a variable term.
+    def _parse_strict_expression(self) -> Expression:
+        expr = self._parse_strict_term(head=True)
+        while self.match(TokenType.PLUS, TokenType.MINUS):
+            op = self.advance().text
+            right = self._parse_strict_term(head=False)
+            expr = BinaryOp(op, expr, right)
+        return expr
+
+    def _parse_strict_term(self, *, head: bool) -> Expression:
+        # The paper's own Section 3.1 example ("n - 1.1 * o") puts the
+        # constant on the left of '*' even though the grammar production is
+        # "EXP op2 c"; strict mode therefore accepts both "v * c" and
+        # "c * v" scalings, but nothing else.
+        if self.match(TokenType.NUMBER):
+            token = self.advance()
+            assert token.value is not None
+            coefficient = Constant(token.value)
+            self.expect(TokenType.STAR)
+            if not self.match(TokenType.VARIABLE):
+                raise self._error(
+                    "strict grammar requires a variable after 'c *'"
+                )
+            expr: Expression = BinaryOp(
+                "*", coefficient, Variable(self.advance().text)
+            )
+        elif self.match(TokenType.VARIABLE):
+            expr = Variable(self.advance().text)
+        else:
+            raise self._error(
+                "strict grammar requires each additive term to be a variable "
+                "optionally scaled by a constant, found "
+                f"{self.current.text or 'end of input'!r}"
+            )
+        while self.match(TokenType.STAR):
+            self.advance()
+            if not self.match(TokenType.NUMBER):
+                raise self._error(
+                    "strict grammar only allows multiplication by a constant "
+                    "on the right (EXP * c)"
+                )
+            token = self.advance()
+            assert token.value is not None
+            expr = BinaryOp("*", expr, Constant(token.value))
+        return expr

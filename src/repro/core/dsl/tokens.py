@@ -1,0 +1,53 @@
+"""Token definitions for the condition DSL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token"]
+
+
+class TokenType(enum.Enum):
+    """Terminal symbols of the Appendix A.1 grammar (plus parentheses)."""
+
+    NUMBER = "NUMBER"  #: floating point constant, e.g. ``0.02``
+    VARIABLE = "VARIABLE"  #: one of ``n``, ``o``, ``d``
+    PLUS = "PLUS"  #: ``+``
+    MINUS = "MINUS"  #: ``-``
+    STAR = "STAR"  #: ``*``
+    GREATER = "GREATER"  #: ``>``
+    LESS = "LESS"  #: ``<``
+    PLUS_MINUS = "PLUS_MINUS"  #: ``+/-`` — the error-tolerance marker
+    AND = "AND"  #: ``/\`` — clause conjunction
+    LPAREN = "LPAREN"  #: ``(``
+    RPAREN = "RPAREN"  #: ``)``
+    EOF = "EOF"  #: end of input sentinel
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token.
+
+    Attributes
+    ----------
+    type:
+        The terminal category.
+    text:
+        The exact source substring.
+    position:
+        Zero-based character offset of the first character in the source,
+        used for caret diagnostics in parse errors.
+    value:
+        The parsed float for ``NUMBER`` tokens, ``None`` otherwise.
+    """
+
+    type: TokenType
+    text: str
+    position: int
+    value: float | None = None
+
+    def __repr__(self) -> str:
+        if self.type is TokenType.NUMBER:
+            return f"Token({self.type.name}, {self.value})"
+        return f"Token({self.type.name}, {self.text!r})"

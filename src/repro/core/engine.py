@@ -1,0 +1,267 @@
+"""The ease.ml/ci engine: commit evaluation with rigorous signals (Fig. 1).
+
+:class:`CIEngine` binds together every piece built so far:
+
+* a :class:`~repro.core.script.CIScript` (condition, reliability, mode,
+  adaptivity, steps);
+* a :class:`~repro.core.estimators.SampleSizeEstimator` producing the
+  :class:`~repro.core.estimators.plans.SampleSizePlan`;
+* a :class:`~repro.core.testset.TestsetManager` tracking statistical
+  budget, with the :class:`~repro.core.alarm.NewTestsetAlarm` watching it;
+* a :class:`~repro.core.evaluation.ConditionEvaluator` applying the §3.5
+  interval semantics per commit.
+
+Signal routing per adaptivity mode (§2.2, §3.2–3.4):
+
+* ``full`` — the developer sees pass/fail immediately;
+* ``none`` — every commit is *accepted* into the repository, the
+  developer sees nothing, and the true signal goes to the third-party
+  address on the script (via a pluggable notifier callable);
+* ``firstChange`` — like ``full``, but the first passing commit retires
+  the testset immediately (the hybrid argument that keeps the sample size
+  at the non-adaptive level).
+
+In every mode the engine maintains the *active* model — the last commit
+that truly passed — as the "old model" ``o`` that subsequent commits are
+compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.alarm import AlarmEvent, AlarmReason, NewTestsetAlarm
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.estimators.plans import SampleSizePlan
+from repro.core.evaluation import ConditionEvaluator, EvaluationResult
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetManager
+from repro.exceptions import TestsetSizeError
+from repro.stats.estimation import PairedSample
+
+__all__ = ["CommitResult", "CIEngine"]
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What one commit produced.
+
+    Attributes
+    ----------
+    commit_index:
+        0-based index of the commit within the current engine lifetime.
+    evaluation:
+        The full interval-semantics evaluation (true signal inside).
+    truly_passed:
+        The true pass/fail signal (what the integration team learns).
+    developer_signal:
+        What the developer observes: the signal under ``full`` /
+        ``firstChange``; ``None`` under ``none`` (information embargo).
+    accepted:
+        Whether the commit is accepted into the repository (under
+        ``none`` every commit is accepted regardless of the signal).
+    promoted:
+        Whether this commit became the new active (old) model.
+    testset_uses:
+        Budget consumed on the current testset after this commit.
+    alarm_event:
+        The alarm fired by this commit, if any.
+    """
+
+    commit_index: int
+    evaluation: EvaluationResult
+    truly_passed: bool
+    developer_signal: bool | None
+    accepted: bool
+    promoted: bool
+    testset_uses: int
+    alarm_event: AlarmEvent | None
+
+
+class CIEngine:
+    """Continuous integration engine for ML models.
+
+    Parameters
+    ----------
+    script:
+        The validated configuration.
+    testset:
+        The initial testset provided by the integration team.  Its size is
+        checked against the sample-size plan at construction.
+    baseline_model:
+        The currently deployed ("old") model the first commit is compared
+        against.  Anything with ``predict(features) -> predictions``.
+    estimator:
+        Optional custom :class:`SampleSizeEstimator` (defaults to
+        optimizations on, honouring the script's ``variance_bound``).
+    notifier:
+        Callable ``(email, subject, body)`` used for third-party signal
+        delivery under ``adaptivity: none``; also receives alarm emails.
+    enforce_testset_size:
+        Refuse to run when the testset is smaller than the plan requires
+        (on by default; Figure 5's adaptive query is an example of a
+        deliberate override, where the paper accepts a slightly larger
+        tolerance instead).
+    """
+
+    def __init__(
+        self,
+        script: CIScript,
+        testset: Testset,
+        baseline_model: Any,
+        *,
+        estimator: SampleSizeEstimator | None = None,
+        notifier: Callable[[str, str, str], None] | None = None,
+        enforce_testset_size: bool = True,
+    ):
+        self.script = script
+        self.estimator = estimator or SampleSizeEstimator()
+        self.plan: SampleSizePlan = self.estimator.plan(
+            script.condition,
+            delta=script.delta,
+            adaptivity=script.adaptivity,
+            steps=script.steps,
+            known_variance_bound=script.variance_bound,
+        )
+        if enforce_testset_size and testset.size < self.plan.pool_size:
+            raise TestsetSizeError(
+                f"testset {testset.name!r} has {testset.size} examples but the "
+                f"plan requires {self.plan.pool_size}; collect more labels or "
+                "relax the condition"
+            )
+        self.manager = TestsetManager(testset, budget=script.steps)
+        self.alarm = NewTestsetAlarm()
+        self.notifier = notifier
+        self.evaluator = ConditionEvaluator(
+            self.plan, script.mode, enforce_sample_size=enforce_testset_size
+        )
+        self.active_model = baseline_model
+        self._active_predictions = self.manager.current.predict_with(baseline_model)
+        self._results: list[CommitResult] = []
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def results(self) -> list[CommitResult]:
+        """All commit results, in order."""
+        return list(self._results)
+
+    @property
+    def commits_evaluated(self) -> int:
+        """Total commits evaluated over the engine lifetime."""
+        return len(self._results)
+
+    # -- the four-step workflow ---------------------------------------------------
+    def submit(self, model: Any) -> CommitResult:
+        """Step 3 of the workflow: a developer commits a model.
+
+        Evaluates the configured condition with the (epsilon, delta)
+        guarantee and routes the signal per the adaptivity mode.
+
+        Raises
+        ------
+        TestsetExhaustedError
+            When the current testset's budget is spent and no fresh
+            testset has been installed.
+        """
+        testset = self.manager.current  # raises when exhausted
+        uses = self.manager.consume()
+
+        new_predictions = testset.predict_with(model)
+        sample = PairedSample(
+            old_predictions=self._active_predictions,
+            new_predictions=new_predictions,
+            labels=testset.labels,
+        )
+        evaluation = self.evaluator.evaluate(sample)
+        truly_passed = evaluation.passed
+
+        adaptivity = self.script.adaptivity
+        developer_signal = truly_passed if adaptivity.releases_signal_to_developer else None
+        accepted = True if adaptivity is Adaptivity.NONE else truly_passed
+
+        promoted = False
+        if truly_passed:
+            self.active_model = model
+            self._active_predictions = new_predictions
+            promoted = True
+
+        alarm_event = self._maybe_alarm(truly_passed, uses, testset)
+        if adaptivity is Adaptivity.NONE:
+            self._notify_third_party(truly_passed)
+
+        result = CommitResult(
+            commit_index=len(self._results),
+            evaluation=evaluation,
+            truly_passed=truly_passed,
+            developer_signal=developer_signal,
+            accepted=accepted,
+            promoted=promoted,
+            testset_uses=uses,
+            alarm_event=alarm_event,
+        )
+        self._results.append(result)
+        return result
+
+    def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:
+        """Install a fresh testset after an alarm (new generation).
+
+        The active model's predictions are recomputed on the new testset;
+        passing ``baseline_model`` also resets the active model.
+        """
+        self.manager.install(testset)
+        if baseline_model is not None:
+            self.active_model = baseline_model
+        if self.manager.current.size < self.plan.pool_size and self.evaluator.enforce_sample_size:
+            raise TestsetSizeError(
+                f"replacement testset has {self.manager.current.size} examples "
+                f"but the plan requires {self.plan.pool_size}"
+            )
+        self._active_predictions = self.manager.current.predict_with(self.active_model)
+
+    # -- internals ------------------------------------------------------------
+    def _maybe_alarm(
+        self, truly_passed: bool, uses: int, testset: Testset
+    ) -> AlarmEvent | None:
+        adaptivity = self.script.adaptivity
+        if truly_passed and adaptivity.retires_testset_on_pass:
+            self.manager.retire()
+            event = self.alarm.fire(
+                AlarmReason.FIRST_CHANGE_PASS,
+                testset_name=testset.name,
+                uses=uses,
+                generation=self.manager.generation,
+            )
+        elif self.manager.budget_spent:
+            self.manager.retire()
+            event = self.alarm.fire(
+                AlarmReason.BUDGET_EXHAUSTED,
+                testset_name=testset.name,
+                uses=uses,
+                generation=self.manager.generation,
+            )
+        else:
+            return None
+        if self.notifier is not None:
+            self.notifier(
+                self.script.notification_email or "integration-team",
+                "[ease.ml/ci] new testset required",
+                event.message,
+            )
+        return event
+
+    def _notify_third_party(self, truly_passed: bool) -> None:
+        if self.notifier is None:
+            return
+        signal = "PASS" if truly_passed else "FAIL"
+        self.notifier(
+            self.script.notification_email or "integration-team",
+            f"[ease.ml/ci] commit #{len(self._results) + 1}: {signal}",
+            (
+                f"condition : {self.script.condition_source}\n"
+                f"signal    : {signal}\n"
+                "This signal is withheld from the development team "
+                "(adaptivity: none)."
+            ),
+        )

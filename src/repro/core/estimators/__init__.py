@@ -1,0 +1,32 @@
+"""Sample-size estimation (Sections 3 and 4 of the paper).
+
+The public entry point is :class:`SampleSizeEstimator`, which turns a parsed
+formula plus reliability parameters into a :class:`SampleSizePlan` — the
+number of test examples to request from the user, along with the
+per-clause / per-variable tolerance and failure-probability allocations that
+the condition evaluator later consumes (so the (epsilon, delta) contract is
+honoured end to end by construction).
+
+Layering:
+
+* :mod:`adaptivity` — the none / full / firstChange delta budgets (§3.2–3.4);
+* :mod:`allocation` — optimal tolerance allocation across the terms of a
+  linear expression (the ``min max`` problem of §3.1, in closed form);
+* :mod:`plans` — the frozen result dataclasses;
+* :mod:`api` — the estimator facade, including pattern-optimized planning.
+"""
+
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.estimators.allocation import allocate_tolerances, TermAllocation
+from repro.core.estimators.plans import ClausePlan, SampleSizePlan, ClauseStrategy
+from repro.core.estimators.api import SampleSizeEstimator
+
+__all__ = [
+    "Adaptivity",
+    "allocate_tolerances",
+    "TermAllocation",
+    "ClauseStrategy",
+    "ClausePlan",
+    "SampleSizePlan",
+    "SampleSizeEstimator",
+]

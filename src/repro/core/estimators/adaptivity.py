@@ -1,0 +1,85 @@
+"""Adaptivity modes and their failure-probability budgets (§3.2–3.4).
+
+The statistical cost of reusing one testset for ``H`` commits depends on how
+much information flows back to the developer:
+
+* ``none`` — the pass/fail bit goes to a third party; the ``H`` models are
+  (conditionally) independent of the testset, so a plain union bound gives
+  per-model budget ``delta / H``.
+* ``full`` — the developer sees each bit immediately.  A deterministic (or
+  pseudo-random) developer's next model is a function of the feedback
+  history, of which there are at most ``2^H``; union-bounding over those
+  histories gives ``delta / 2^H`` (the Ladder-style argument of §3.3).
+* ``firstChange`` — the developer sees the bit, but the system retires the
+  testset the moment a commit passes.  While the testset lives, the
+  feedback stream is the constant "fail", so only ``H`` states need the
+  union bound: budget ``delta / H``, same as non-adaptive — the leak is
+  paid for with a shorter testset lifetime, not more samples (§3.4).
+
+The trivial fully-adaptive alternative — a fresh testset per commit, total
+``H * n(delta / H)`` — is provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["Adaptivity"]
+
+
+class Adaptivity(enum.Enum):
+    """The script's ``adaptivity`` flag."""
+
+    NONE = "none"
+    FULL = "full"
+    FIRST_CHANGE = "firstChange"
+
+    @classmethod
+    def parse(cls, text: str) -> "Adaptivity":
+        """Parse the script spelling (case-insensitive for convenience).
+
+        The ``none -> email@host`` redirection syntax is handled one level
+        up in the script config; this parser expects the bare mode name.
+        """
+        normalized = text.strip()
+        for mode in cls:
+            if mode.value.lower() == normalized.lower():
+                return mode
+        raise InvalidParameterError(
+            f"unknown adaptivity {text!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+    def effective_delta(self, delta: float, steps: int) -> float:
+        """The per-evaluation failure budget for an ``H``-step process.
+
+        Returns ``delta / H`` for ``none`` and ``firstChange``; for ``full``
+        the ``delta / 2^H`` budget is computed in log-space to avoid
+        underflow at large ``H`` (the downstream consumers only ever take
+        ``log`` of it, via :meth:`log_effective_delta`).
+        """
+        check_probability(delta, "delta")
+        steps = check_positive_int(steps, "steps")
+        return math.exp(self.log_effective_delta(delta, steps))
+
+    def log_effective_delta(self, delta: float, steps: int) -> float:
+        """``ln`` of :meth:`effective_delta`, safe for very large ``H``."""
+        check_probability(delta, "delta")
+        steps = check_positive_int(steps, "steps")
+        if self is Adaptivity.FULL:
+            return math.log(delta) - steps * math.log(2.0)
+        return math.log(delta) - math.log(steps)
+
+    @property
+    def releases_signal_to_developer(self) -> bool:
+        """Whether the developer observes the pass/fail bit."""
+        return self is not Adaptivity.NONE
+
+    @property
+    def retires_testset_on_pass(self) -> bool:
+        """Whether a passing commit immediately triggers the alarm (§3.4)."""
+        return self is Adaptivity.FIRST_CHANGE

@@ -1,0 +1,208 @@
+"""Result objects of sample-size estimation.
+
+A :class:`SampleSizePlan` is the contract between the estimator and the
+rest of the system:
+
+* the **sample size** the user must provide (``plan.samples``);
+* per-clause :class:`ClausePlan` entries recording the strategy (plain
+  Hoeffding per variable vs. Bennett on the paired difference), the
+  failure-probability budget, and the per-term tolerance allocation —
+  exactly what the condition evaluator needs to build its confidence
+  intervals;
+* labeling metadata (which clauses need labels at all, and what fraction
+  of examples active labeling expects to label per commit).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.dsl.nodes import Clause, Formula
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.estimators.allocation import TermAllocation
+
+__all__ = ["ClauseStrategy", "ClausePlan", "SampleSizePlan"]
+
+
+class ClauseStrategy(enum.Enum):
+    """How a clause's left-hand side is estimated."""
+
+    #: Baseline (§3.1): estimate each variable independently with Hoeffding
+    #: and combine through interval algebra.
+    HOEFFDING_PER_VARIABLE = "hoeffding-per-variable"
+    #: Optimized (§4.1/4.2): estimate the paired difference ``n - o``
+    #: directly, using Bennett's inequality with a variance bound.
+    BENNETT_PAIRED = "bennett-paired"
+    #: Single Bernoulli variable sized by exact binomial inversion (§4.3).
+    EXACT_BINOMIAL = "exact-binomial"
+
+
+@dataclass(frozen=True)
+class ClausePlan:
+    """Sizing decision for one clause.
+
+    Attributes
+    ----------
+    clause:
+        The parsed clause this plan covers.
+    strategy:
+        Estimation strategy (see :class:`ClauseStrategy`).
+    delta:
+        Failure budget assigned to the clause (after the adaptivity and
+        formula-level splits).
+    samples:
+        Real-valued sample requirement.
+    terms:
+        Per-variable tolerance allocations (``HOEFFDING_PER_VARIABLE`` and
+        ``EXACT_BINOMIAL``); empty for ``BENNETT_PAIRED``.
+    variance_bound:
+        The variance bound ``p`` used by ``BENNETT_PAIRED`` (else ``None``).
+    requires_labels:
+        Whether evaluating this clause needs ground-truth labels.  A pure
+        ``d`` clause is label-free (Technical Observation 2).
+    labeled_fraction:
+        Expected fraction of the testset needing labels per evaluation
+        (1.0 for accuracy clauses without active labeling; ``p`` for a
+        ``BENNETT_PAIRED`` clause under active labeling).
+    """
+
+    clause: Clause
+    strategy: ClauseStrategy
+    delta: float
+    samples: float
+    terms: tuple[TermAllocation, ...] = ()
+    variance_bound: float | None = None
+    requires_labels: bool = True
+    labeled_fraction: float = 1.0
+
+    @property
+    def samples_int(self) -> int:
+        """Integer (ceil) sample requirement."""
+        return int(math.ceil(self.samples - 1e-9))
+
+    def variable_tolerances(self) -> Mapping[str, float]:
+        """Tolerance on each raw variable (for interval construction)."""
+        return {t.variable: t.variable_tolerance for t in self.terms}
+
+    @property
+    def expression_tolerance(self) -> float:
+        """The clause's total LHS tolerance (should equal ``clause.tolerance``)."""
+        if self.terms:
+            return sum(t.tolerance for t in self.terms)
+        return self.clause.tolerance
+
+
+@dataclass(frozen=True)
+class SampleSizePlan:
+    """The full sizing decision for a formula over an ``H``-step process.
+
+    Attributes
+    ----------
+    formula:
+        The parsed condition.
+    delta:
+        The user's total failure budget (``1 - reliability``).
+    adaptivity:
+        Interaction mode (drives the per-evaluation budget).
+    steps:
+        Testset lifetime ``H`` in evaluations.
+    clause_plans:
+        One :class:`ClausePlan` per clause.
+    notes:
+        Free-form provenance notes (which optimizations fired and why).
+    """
+
+    formula: Formula
+    delta: float
+    adaptivity: Adaptivity
+    steps: int
+    clause_plans: tuple[ClausePlan, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def samples_real(self) -> float:
+        """Real-valued *labeled* sample requirement (see :attr:`samples`)."""
+        labeled = [p.samples for p in self.clause_plans if p.requires_labels]
+        return max(labeled) if labeled else 0.0
+
+    @property
+    def samples(self) -> int:
+        """Labels the user must provide — the paper's headline quantity.
+
+        Max over the clauses that require ground truth (§3.1 rule 3).
+        Clauses over ``d`` alone are excluded: they are evaluated on
+        unlabeled data (Technical Observation 2), whose cost the paper
+        treats as negligible next to labeling.  For baseline plans (every
+        clause needs labels) this equals :attr:`pool_size`.
+        """
+        return int(math.ceil(self.samples_real - 1e-9))
+
+    @property
+    def pool_size(self) -> int:
+        """Total examples (labeled + unlabeled) the engine needs on hand.
+
+        Max over *all* clauses — label-free ``d`` clauses still consume
+        unlabeled draws from the pool.
+        """
+        return int(math.ceil(max(p.samples for p in self.clause_plans) - 1e-9))
+
+    @property
+    def labels_per_evaluation(self) -> int:
+        """Expected fresh labels per commit under active labeling (§4.1.2).
+
+        For ``BENNETT_PAIRED`` clauses only the disagreeing fraction
+        (at most the variance bound ``p``) needs labels each evaluation.
+        """
+        needs = [
+            p.samples * p.labeled_fraction
+            for p in self.clause_plans
+            if p.requires_labels
+        ]
+        return int(math.ceil(max(needs) - 1e-9)) if needs else 0
+
+    @property
+    def effective_delta(self) -> float:
+        """Per-evaluation failure budget after the adaptivity split."""
+        return self.adaptivity.effective_delta(self.delta, self.steps)
+
+    def clause_plan_for(self, clause: Clause) -> ClausePlan:
+        """Look up the plan for a specific clause instance."""
+        for plan in self.clause_plans:
+            if plan.clause == clause:
+                return plan
+        raise KeyError(f"no plan for clause {clause.to_source()!r}")
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by examples/benchmarks)."""
+        lines = [
+            f"condition   : {self.formula.to_source()}",
+            f"reliability : {1.0 - self.delta}",
+            f"adaptivity  : {self.adaptivity.value}",
+            f"steps (H)   : {self.steps}",
+            f"labels      : {self.samples:,}",
+        ]
+        if self.pool_size != self.samples:
+            lines.append(f"pool size   : {self.pool_size:,} (extra examples unlabeled)")
+        if self.labels_per_evaluation != self.samples:
+            lines.append(
+                f"per commit  : {self.labels_per_evaluation:,} fresh labels "
+                "(active labeling)"
+            )
+        for plan in self.clause_plans:
+            lines.append(
+                f"  clause {plan.clause.to_source()!r}: "
+                f"{plan.strategy.value}, delta={plan.delta:.3g}, "
+                f"n={plan.samples_int:,}"
+                + (
+                    f", variance bound p={plan.variance_bound:g}"
+                    if plan.variance_bound is not None
+                    else ""
+                )
+                + ("" if plan.requires_labels else " [label-free]")
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

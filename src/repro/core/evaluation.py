@@ -1,0 +1,206 @@
+"""Condition evaluation over confidence intervals (§3.5, Appendix A.2).
+
+Given a :class:`~repro.core.estimators.plans.SampleSizePlan` and the paired
+predictions of the (old, new) models on the testset, the evaluator:
+
+1. computes the point estimates of the variables each clause needs;
+2. widens them into confidence intervals using *the tolerances the plan
+   allocated* (so the evaluation consumes exactly the (epsilon, delta)
+   budget the sizing promised);
+3. combines intervals through the linear expression via interval algebra;
+4. compares against the threshold to get {True, False, Unknown} per clause;
+5. takes the Kleene conjunction and collapses it to pass/fail with the
+   script's fp-free / fn-free mode.
+
+For ``BENNETT_PAIRED`` clauses the expression is estimated directly from
+the paired per-example differences (tighter than combining two independent
+accuracy intervals); the interval is ``estimate ± clause.tolerance``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.dsl.linear import linearize
+from repro.core.dsl.nodes import Clause
+from repro.core.estimators.plans import ClausePlan, ClauseStrategy, SampleSizePlan
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary, ternary_and
+from repro.exceptions import InvalidParameterError, TestsetSizeError
+from repro.stats.estimation import PairedSample
+
+__all__ = ["ClauseEvaluation", "EvaluationResult", "ConditionEvaluator"]
+
+
+@dataclass(frozen=True)
+class ClauseEvaluation:
+    """Evaluation detail for one clause.
+
+    Attributes
+    ----------
+    clause:
+        The clause evaluated.
+    interval:
+        The confidence interval computed for the clause's left-hand side.
+    outcome:
+        Three-valued comparison result.
+    estimates:
+        The point estimates of the variables used (for diagnostics).
+    """
+
+    clause: Clause
+    interval: Interval
+    outcome: TernaryResult
+    estimates: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Full evaluation of a formula against one commit.
+
+    Attributes
+    ----------
+    ternary:
+        The Kleene conjunction over clause outcomes.
+    passed:
+        The binary signal after applying the mode (Unknown resolution).
+    mode:
+        The mode used for the resolution.
+    clause_evaluations:
+        Per-clause detail, in formula order.
+    """
+
+    ternary: TernaryResult
+    passed: bool
+    mode: Mode
+    clause_evaluations: tuple[ClauseEvaluation, ...]
+
+    @property
+    def was_determinate(self) -> bool:
+        """True when the decision did not rely on Unknown-resolution."""
+        return self.ternary is not TernaryResult.UNKNOWN
+
+    def describe(self) -> str:
+        """Human-readable one-evaluation summary."""
+        lines = [
+            f"result: {'PASS' if self.passed else 'FAIL'} "
+            f"(ternary={self.ternary.value}, mode={self.mode.value})"
+        ]
+        for ce in self.clause_evaluations:
+            ests = ", ".join(f"{k}={v:.4f}" for k, v in sorted(ce.estimates.items()))
+            lines.append(
+                f"  {ce.clause.to_source()}: LHS in {ce.interval} "
+                f"-> {ce.outcome.value}  [{ests}]"
+            )
+        return "\n".join(lines)
+
+
+class ConditionEvaluator:
+    """Evaluates a plan's formula against paired model predictions.
+
+    Parameters
+    ----------
+    plan:
+        The sizing plan whose tolerance allocations drive the intervals.
+    mode:
+        ``fp-free`` or ``fn-free`` (string or :class:`Mode`).
+    enforce_sample_size:
+        When ``True`` (default), evaluating with fewer examples than the
+        plan requires raises :class:`TestsetSizeError` — the guarantee
+        would silently not hold otherwise.
+    """
+
+    def __init__(
+        self,
+        plan: SampleSizePlan,
+        mode: Mode | str,
+        *,
+        enforce_sample_size: bool = True,
+    ):
+        self.plan = plan
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+        self.enforce_sample_size = bool(enforce_sample_size)
+
+    def evaluate(self, sample: PairedSample) -> EvaluationResult:
+        """Evaluate the formula on one testset's paired predictions."""
+        if self.enforce_sample_size and len(sample) < self.plan.pool_size:
+            raise TestsetSizeError(
+                f"testset has {len(sample)} examples but the plan requires "
+                f"{self.plan.pool_size}; the ({self.plan.delta:g})-guarantee "
+                "would not hold"
+            )
+        evaluations = tuple(
+            self._evaluate_clause(clause_plan, sample)
+            for clause_plan in self.plan.clause_plans
+        )
+        ternary = ternary_and(e.outcome for e in evaluations)
+        return EvaluationResult(
+            ternary=ternary,
+            passed=resolve_ternary(ternary, self.mode),
+            mode=self.mode,
+            clause_evaluations=evaluations,
+        )
+
+    # -- clause machinery ------------------------------------------------------
+    def _evaluate_clause(
+        self, clause_plan: ClausePlan, sample: PairedSample
+    ) -> ClauseEvaluation:
+        if clause_plan.strategy is ClauseStrategy.BENNETT_PAIRED:
+            return self._evaluate_paired(clause_plan, sample)
+        return self._evaluate_per_variable(clause_plan, sample)
+
+    def _evaluate_paired(
+        self, clause_plan: ClausePlan, sample: PairedSample
+    ) -> ClauseEvaluation:
+        clause = clause_plan.clause
+        lin = linearize(clause)
+        scale = lin.coefficient("n")
+        gain = sample.accuracy_gain
+        estimate = scale * gain + lin.constant
+        interval = Interval.from_estimate(estimate, clause.tolerance)
+        outcome = interval.compare(clause.comparator, clause.threshold)
+        return ClauseEvaluation(
+            clause=clause,
+            interval=interval,
+            outcome=outcome,
+            estimates={"n-o": gain, "d": sample.difference},
+        )
+
+    def _evaluate_per_variable(
+        self, clause_plan: ClausePlan, sample: PairedSample
+    ) -> ClauseEvaluation:
+        clause = clause_plan.clause
+        lin = linearize(clause)
+        tolerances = clause_plan.variable_tolerances()
+        estimates: dict[str, float] = {}
+        interval = Interval.exact(lin.constant)
+        for variable in sorted(lin.variables()):
+            coefficient = lin.coefficient(variable)
+            estimate = self._estimate_variable(variable, sample)
+            estimates[variable] = estimate
+            tolerance = tolerances.get(variable)
+            if tolerance is None:  # pragma: no cover - plans always allocate
+                raise InvalidParameterError(
+                    f"plan has no tolerance for variable {variable!r}"
+                )
+            interval = interval + Interval.from_estimate(estimate, tolerance).scale(
+                coefficient
+            )
+        outcome = interval.compare(clause.comparator, clause.threshold)
+        return ClauseEvaluation(
+            clause=clause,
+            interval=interval,
+            outcome=outcome,
+            estimates=estimates,
+        )
+
+    @staticmethod
+    def _estimate_variable(variable: str, sample: PairedSample) -> float:
+        if variable == "n":
+            return sample.new_accuracy
+        if variable == "o":
+            return sample.old_accuracy
+        if variable == "d":
+            return sample.difference
+        raise InvalidParameterError(f"unknown variable {variable!r}")

@@ -1,0 +1,37 @@
+"""Extensions beyond the paper's shipped feature set.
+
+Section 2.2's "Discussion and Future Extensions" names three directions
+the released system does not cover; this package implements them with the
+same estimator machinery (and the same (epsilon, delta) discipline):
+
+* **Beyond accuracy** (:mod:`metrics`) — quality metrics with bounded
+  per-example sensitivity (F1, macro-F1) tested via McDiarmid's
+  inequality, exactly the replacement the paper sketches;
+* **Order statistics** (:mod:`order_stats`) — "the new model is among the
+  top-k models in the development history";
+* **Concept drift** (:mod:`drift`) — the paper's dual problem: fix one
+  model, monitor its quality over a stream of fresh testsets.
+
+:mod:`repro.stats.stratified` (the "stratified samples for skewed cases"
+remark) lives in the stats layer since it is a pure estimator.
+"""
+
+from repro.core.extensions.metrics import (
+    AccuracyMetric,
+    MacroF1Metric,
+    MetricCondition,
+    MetricTester,
+)
+from repro.core.extensions.order_stats import TopKCondition, TopKOutcome
+from repro.core.extensions.drift import DriftMonitor, DriftObservation
+
+__all__ = [
+    "AccuracyMetric",
+    "MacroF1Metric",
+    "MetricCondition",
+    "MetricTester",
+    "TopKCondition",
+    "TopKOutcome",
+    "DriftMonitor",
+    "DriftObservation",
+]

@@ -1,0 +1,151 @@
+"""Concept-drift monitoring: the dual of continuous integration.
+
+§2.2: *"instead of fixing the test set and testing multiple models,
+monitoring concept shift is to fix a single model and test its
+generalization over multiple test sets over time."*
+
+:class:`DriftMonitor` enforces an accuracy floor ``n > threshold +/- eps``
+for one deployed model over a stream of periodic testsets drawn from the
+then-current distribution.  The statistical structure mirrors the
+non-adaptive CI case with the roles swapped: the model is fixed, the
+``T`` periods play the role of ``H`` commits, and a union bound gives each
+period a ``delta / T`` budget — so every period's verdict holds jointly
+with probability ``1 - delta``.
+
+A period whose verdict is False (or Unknown under fp-free) raises a drift
+alarm carrying the observed accuracy trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary
+from repro.exceptions import EngineStateError, TestsetSizeError
+from repro.stats.estimation import estimate_accuracy
+from repro.stats.inequalities import HoeffdingInequality
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["DriftObservation", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftObservation:
+    """One monitoring period's verdict.
+
+    Attributes
+    ----------
+    period:
+        0-based period index.
+    accuracy_estimate:
+        Measured accuracy on the period's fresh testset.
+    interval:
+        Its confidence interval at the period budget.
+    outcome:
+        Three-valued comparison against the floor.
+    healthy:
+        The resolved verdict (False = drift alarm).
+    """
+
+    period: int
+    accuracy_estimate: float
+    interval: Interval
+    outcome: TernaryResult
+    healthy: bool
+
+
+class DriftMonitor:
+    """Monitors one model's accuracy floor across ``T`` periods.
+
+    Parameters
+    ----------
+    model:
+        The deployed model (anything with ``predict``).
+    threshold:
+        The accuracy floor being enforced.
+    tolerance:
+        Estimation tolerance ``epsilon`` per period.
+    delta:
+        Total failure budget across all ``periods``.
+    periods:
+        Number of monitoring periods the budget must cover.
+    mode:
+        Unknown resolution; ``fn-free`` (the default) only alarms when the
+        floor is *certainly* violated — the sensible default for paging a
+        team — while ``fp-free`` alarms on any uncertainty.
+    """
+
+    def __init__(
+        self,
+        model,
+        threshold: float,
+        tolerance: float,
+        delta: float,
+        periods: int,
+        mode: Mode | str = Mode.FN_FREE,
+    ):
+        self.model = model
+        self.threshold = check_positive(threshold, "threshold")
+        self.tolerance = check_positive(tolerance, "tolerance")
+        self.delta = check_probability(delta, "delta")
+        self.periods = check_positive_int(periods, "periods")
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+        self._observations: list[DriftObservation] = []
+
+    @property
+    def period_delta(self) -> float:
+        """The per-period budget ``delta / T`` (union bound)."""
+        return self.delta / self.periods
+
+    @property
+    def samples_per_period(self) -> int:
+        """Fresh labels each period's testset needs."""
+        hoeffding = HoeffdingInequality(two_sided=True)
+        return int(
+            math.ceil(hoeffding.sample_size(self.tolerance, self.period_delta))
+        )
+
+    @property
+    def observations(self) -> list[DriftObservation]:
+        """All period verdicts so far."""
+        return list(self._observations)
+
+    @property
+    def drift_detected(self) -> bool:
+        """Whether any period alarmed."""
+        return any(not obs.healthy for obs in self._observations)
+
+    def observe(self, features: np.ndarray, labels: np.ndarray) -> DriftObservation:
+        """Score one period's fresh testset and record the verdict."""
+        if len(self._observations) >= self.periods:
+            raise EngineStateError(
+                f"monitoring budget of {self.periods} periods is spent; "
+                "re-plan with a fresh delta budget"
+            )
+        labels = np.asarray(labels)
+        if len(labels) < self.samples_per_period:
+            raise TestsetSizeError(
+                f"period testset has {len(labels)} labels; "
+                f"{self.samples_per_period} required"
+            )
+        predictions = np.asarray(self.model.predict(features))
+        estimate = estimate_accuracy(predictions, labels)
+        interval = Interval.from_estimate(estimate, self.tolerance)
+        outcome = interval.compare_greater(self.threshold)
+        observation = DriftObservation(
+            period=len(self._observations),
+            accuracy_estimate=estimate,
+            interval=interval,
+            outcome=outcome,
+            healthy=resolve_ternary(outcome, self.mode),
+        )
+        self._observations.append(observation)
+        return observation
+
+    def trajectory(self) -> np.ndarray:
+        """Accuracy estimates over periods (for plotting/reporting)."""
+        return np.array([obs.accuracy_estimate for obs in self._observations])

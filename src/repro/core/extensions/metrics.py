@@ -1,0 +1,230 @@
+"""Beyond accuracy: CI conditions over bounded-sensitivity metrics.
+
+The paper (§2.2): *"It is possible to extend the current system to
+accommodate these scores by replacing the Bennett's inequality with the
+McDiarmid's inequality, together with the sensitivity of F1-score and AUC
+score."*  This module does exactly that:
+
+* a :class:`QualityMetric` declares how to compute itself from
+  ``(predictions, labels)`` and a **sensitivity constant** ``c`` such that
+  changing any single test example changes the metric by at most ``c / m``
+  on an ``m``-example testset (the bounded-differences condition);
+* :class:`MetricTester` sizes testsets with McDiarmid's inequality
+  (``m = c^2 ln(1/delta_eff) / (2 eps^2)``) under the same adaptivity
+  budgets as the accuracy system, and evaluates
+  :class:`MetricCondition` s with the same interval / three-valued-logic
+  semantics.
+
+Sensitivity notes
+-----------------
+* Accuracy: one example flips at most one indicator — ``c = 1``.
+* Macro-F1 over ``K`` classes: one example affects the precision/recall of
+  at most two classes; each affected class's F1 moves by at most
+  ``2 / support``.  With a minimum class support of ``alpha * m`` the
+  per-example effect is bounded by ``(2/K) * 2/(alpha m) * K = 4/(alpha m)``
+  ... conservatively folded into ``c = 4 / (K * alpha)`` for the macro
+  average.  Skewed testsets (small ``alpha``) therefore pay a large
+  sensitivity — the regime where the paper suggests stratified sampling
+  (see :mod:`repro.stats.stratified`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary
+from repro.exceptions import InvalidParameterError, TestsetSizeError
+from repro.ml.metrics import accuracy, macro_f1
+from repro.stats.inequalities import McDiarmidInequality
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["QualityMetric", "AccuracyMetric", "MacroF1Metric", "MetricCondition", "MetricTester"]
+
+
+class QualityMetric(ABC):
+    """A model-quality metric with a bounded-differences certificate."""
+
+    #: Human-readable name used in conditions and reports.
+    name: str = "metric"
+
+    @abstractmethod
+    def compute(self, predictions: np.ndarray, labels: np.ndarray) -> float:
+        """Evaluate the metric on a labeled testset."""
+
+    @abstractmethod
+    def sensitivity(self) -> float:
+        """The constant ``c``: one example changes the metric by <= c/m."""
+
+
+class AccuracyMetric(QualityMetric):
+    """Plain accuracy — sensitivity 1 (recovers the core system's sizing)."""
+
+    name = "accuracy"
+
+    def compute(self, predictions: np.ndarray, labels: np.ndarray) -> float:
+        return accuracy(predictions, labels)
+
+    def sensitivity(self) -> float:
+        return 1.0
+
+
+class MacroF1Metric(QualityMetric):
+    """Macro-averaged F1 with a minimum-class-support assumption.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes ``K``.
+    min_class_fraction:
+        Assumed lower bound ``alpha`` on every class's share of the
+        testset.  The sensitivity certificate is ``c = 4 / (K * alpha)``;
+        the evaluator verifies the assumption on the realized testset and
+        refuses to certify when it is violated.
+    """
+
+    def __init__(self, n_classes: int, min_class_fraction: float = 0.05):
+        self.n_classes = check_positive_int(n_classes, "n_classes")
+        self.min_class_fraction = check_in_range(
+            min_class_fraction, "min_class_fraction", 0.0, 1.0,
+            low_inclusive=False, high_inclusive=False,
+        )
+        self.name = f"macro-f1[K={n_classes}]"
+
+    def compute(self, predictions: np.ndarray, labels: np.ndarray) -> float:
+        counts = np.bincount(np.asarray(labels), minlength=self.n_classes)
+        if counts.min() < self.min_class_fraction * len(labels):
+            raise InvalidParameterError(
+                "testset violates the min_class_fraction assumption "
+                f"(smallest class share {counts.min() / len(labels):.4f} < "
+                f"{self.min_class_fraction}); the sensitivity certificate "
+                "does not apply — consider stratified sampling"
+            )
+        return macro_f1(predictions, labels, self.n_classes)
+
+    def sensitivity(self) -> float:
+        return 4.0 / (self.n_classes * self.min_class_fraction)
+
+
+@dataclass(frozen=True)
+class MetricCondition:
+    """``metric cmp threshold +/- tolerance`` over one model.
+
+    The difference form (new vs old) is expressed by testing the paired
+    metric gap with doubled sensitivity (changing one example moves *each*
+    model's metric by at most ``c/m``).
+    """
+
+    metric: QualityMetric
+    comparator: str
+    threshold: float
+    tolerance: float
+    paired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.comparator not in (">", "<"):
+            raise InvalidParameterError(
+                f"comparator must be '>' or '<', got {self.comparator!r}"
+            )
+        check_positive(self.tolerance, "tolerance")
+
+    @property
+    def effective_sensitivity(self) -> float:
+        """Doubled in the paired (new - old) form."""
+        base = self.metric.sensitivity()
+        return 2.0 * base if self.paired else base
+
+
+class MetricTester:
+    """Sizes and evaluates metric conditions with McDiarmid budgets.
+
+    Parameters
+    ----------
+    condition:
+        The metric condition to enforce.
+    delta:
+        Total failure budget.
+    adaptivity, steps:
+        Interaction mode, with the same budgets as the core system.
+    mode:
+        Unknown-resolution mode (fp-free / fn-free).
+    """
+
+    def __init__(
+        self,
+        condition: MetricCondition,
+        delta: float,
+        *,
+        adaptivity: str | Adaptivity = Adaptivity.NONE,
+        steps: int = 1,
+        mode: Mode | str = Mode.FP_FREE,
+    ):
+        self.condition = condition
+        self.delta = check_probability(delta, "delta")
+        self.adaptivity = (
+            adaptivity
+            if isinstance(adaptivity, Adaptivity)
+            else Adaptivity.parse(adaptivity)
+        )
+        self.steps = check_positive_int(steps, "steps")
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+        self._inequality = McDiarmidInequality(
+            sensitivity=condition.effective_sensitivity, two_sided=True
+        )
+
+    @property
+    def effective_delta(self) -> float:
+        """Per-evaluation budget after the adaptivity split."""
+        return self.adaptivity.effective_delta(self.delta, self.steps)
+
+    def sample_size(self) -> int:
+        """Labeled examples needed per evaluation."""
+        import math
+
+        return int(
+            math.ceil(
+                self._inequality.sample_size(
+                    self.condition.tolerance, self.effective_delta
+                )
+            )
+        )
+
+    def evaluate(
+        self,
+        predictions: np.ndarray,
+        labels: np.ndarray,
+        old_predictions: np.ndarray | None = None,
+    ) -> tuple[float, Interval, TernaryResult, bool]:
+        """Evaluate one commit.
+
+        Returns ``(estimate, interval, ternary, passed)``.  For paired
+        conditions ``old_predictions`` is required and the estimate is the
+        metric gap ``metric(new) - metric(old)``.
+        """
+        labels = np.asarray(labels)
+        if len(labels) < self.sample_size():
+            raise TestsetSizeError(
+                f"testset has {len(labels)} examples; the metric condition "
+                f"needs {self.sample_size()}"
+            )
+        value = self.condition.metric.compute(np.asarray(predictions), labels)
+        if self.condition.paired:
+            if old_predictions is None:
+                raise InvalidParameterError(
+                    "paired metric condition needs old_predictions"
+                )
+            value -= self.condition.metric.compute(
+                np.asarray(old_predictions), labels
+            )
+        interval = Interval.from_estimate(value, self.condition.tolerance)
+        outcome = interval.compare(self.condition.comparator, self.condition.threshold)
+        return value, interval, outcome, resolve_ternary(outcome, self.mode)

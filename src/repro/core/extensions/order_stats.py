@@ -1,0 +1,149 @@
+"""Order-statistic conditions: "new model among the top-k in history".
+
+§2.2: *"Some users think that order statistics are also useful, e.g., to
+make sure the new model is among top-5 models in the development
+history."*
+
+Implementation: every historical model's accuracy and the candidate's
+accuracy are estimated on the shared testset to ``(epsilon, delta')``
+with ``delta' = delta_eff / (H_hist + 1)`` (union bound over all
+estimates).  The k-th best historical accuracy then has a confidence
+interval given by the k-th order statistic of the per-model intervals —
+the k-th largest lower bound and the k-th largest upper bound — and the
+candidate "is top-k" when its interval clears the k-th best's interval
+under the usual three-valued comparison:
+
+* candidate_low  > kth_high        -> True  (strictly beats the k-th best)
+* candidate_high < kth_low         -> False (cannot reach the top k)
+* otherwise                        -> Unknown (resolved by the mode)
+
+This is conservative (True means "certainly among the top k", counting
+ties against the candidate), matching the fp-free reading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary
+from repro.exceptions import InvalidParameterError, TestsetSizeError
+from repro.stats.estimation import estimate_accuracy
+from repro.stats.inequalities import HoeffdingInequality
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = ["TopKCondition", "TopKOutcome"]
+
+
+@dataclass(frozen=True)
+class TopKOutcome:
+    """Result of a top-k evaluation.
+
+    Attributes
+    ----------
+    candidate_interval:
+        Confidence interval of the candidate's accuracy.
+    kth_best_interval:
+        Interval of the k-th best historical accuracy.
+    outcome, passed:
+        Three-valued result and its mode resolution.
+    ranked_estimates:
+        Historical point estimates, descending (diagnostics).
+    """
+
+    candidate_interval: Interval
+    kth_best_interval: Interval
+    outcome: TernaryResult
+    passed: bool
+    ranked_estimates: tuple[float, ...]
+
+
+class TopKCondition:
+    """"The candidate is among the top-``k`` models" tester.
+
+    Parameters
+    ----------
+    k:
+        Rank threshold (1 = must beat every historical model).
+    tolerance:
+        Per-accuracy estimation tolerance ``epsilon``.
+    delta:
+        Total failure budget for one evaluation (split over all models).
+    mode:
+        Unknown-resolution mode.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        tolerance: float,
+        delta: float,
+        mode: Mode | str = Mode.FP_FREE,
+    ):
+        self.k = check_positive_int(k, "k")
+        self.tolerance = check_positive(tolerance, "tolerance")
+        self.delta = check_probability(delta, "delta")
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+
+    def sample_size(self, history_size: int) -> int:
+        """Labels needed so all ``history_size + 1`` estimates hold jointly."""
+        history_size = check_positive_int(history_size, "history_size")
+        per_model_delta = self.delta / (history_size + 1)
+        hoeffding = HoeffdingInequality(two_sided=True)
+        return int(math.ceil(hoeffding.sample_size(self.tolerance, per_model_delta)))
+
+    def evaluate(
+        self,
+        candidate_predictions: np.ndarray,
+        history_predictions: list[np.ndarray],
+        labels: np.ndarray,
+    ) -> TopKOutcome:
+        """Evaluate the candidate against the development history."""
+        if not history_predictions:
+            raise InvalidParameterError("history must contain at least one model")
+        if self.k > len(history_predictions):
+            # Fewer historical models than k: trivially top-k.
+            interval = Interval.from_estimate(
+                estimate_accuracy(candidate_predictions, labels), self.tolerance
+            )
+            return TopKOutcome(
+                candidate_interval=interval,
+                kth_best_interval=Interval(0.0, 0.0),
+                outcome=TernaryResult.TRUE,
+                passed=True,
+                ranked_estimates=tuple(
+                    sorted(
+                        (estimate_accuracy(h, labels) for h in history_predictions),
+                        reverse=True,
+                    )
+                ),
+            )
+        needed = self.sample_size(len(history_predictions))
+        if len(labels) < needed:
+            raise TestsetSizeError(
+                f"top-{self.k} test over {len(history_predictions)} historical "
+                f"models needs {needed} labels, got {len(labels)}"
+            )
+        estimates = [estimate_accuracy(h, labels) for h in history_predictions]
+        lows = sorted((e - self.tolerance for e in estimates), reverse=True)
+        highs = sorted((e + self.tolerance for e in estimates), reverse=True)
+        kth_best = Interval(lows[self.k - 1], highs[self.k - 1])
+        candidate = Interval.from_estimate(
+            estimate_accuracy(candidate_predictions, labels), self.tolerance
+        )
+        if candidate.low > kth_best.high:
+            outcome = TernaryResult.TRUE
+        elif candidate.high < kth_best.low:
+            outcome = TernaryResult.FALSE
+        else:
+            outcome = TernaryResult.UNKNOWN
+        return TopKOutcome(
+            candidate_interval=candidate,
+            kth_best_interval=kth_best,
+            outcome=outcome,
+            passed=resolve_ternary(outcome, self.mode),
+            ranked_estimates=tuple(sorted(estimates, reverse=True)),
+        )

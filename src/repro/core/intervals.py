@@ -1,0 +1,125 @@
+"""Interval arithmetic for confidence-interval-based condition evaluation.
+
+Section 3.5: instead of comparing point estimates against thresholds (which
+produces uncontrolled false positives *and* negatives), ease.ml/ci replaces
+each estimate by its confidence interval and evaluates clause left-hand
+sides with a simple interval algebra, e.g. ``[a, b] + [c, d] = [a+c, b+d]``.
+A comparison of an interval against a constant then yields three-valued
+output (True / False / Unknown) — see :mod:`repro.core.logic`.
+
+Only the operations the DSL needs are implemented: addition, subtraction,
+scaling by a constant, and containment/ordering queries.  Multiplication of
+two intervals is intentionally absent (the DSL is linear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.logic import TernaryResult
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[low, high]``.
+
+    Used to carry ``point estimate ± tolerance`` through expression
+    evaluation.  Degenerate intervals (``low == high``) represent exact
+    values.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise InvalidParameterError(
+                f"interval bounds out of order: [{self.low}, {self.high}]"
+            )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_estimate(cls, center: float, tolerance: float) -> "Interval":
+        """The interval ``[center - tolerance, center + tolerance]``."""
+        if tolerance < 0:
+            raise InvalidParameterError(f"tolerance must be >= 0, got {tolerance}")
+        return cls(center - tolerance, center + tolerance)
+
+    @classmethod
+    def exact(cls, value: float) -> "Interval":
+        """A degenerate (zero-width) interval."""
+        return cls(value, value)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """``high - low``."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        """Midpoint."""
+        return (self.low + self.high) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies in the closed interval."""
+        return self.low <= value <= self.high
+
+    # -- algebra (Section 3.5) -------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    def scale(self, factor: float) -> "Interval":
+        """Multiply by a scalar (flipping endpoints for negative factors)."""
+        a, b = self.low * factor, self.high * factor
+        return Interval(min(a, b), max(a, b))
+
+    def shift(self, offset: float) -> "Interval":
+        """Translate both endpoints by ``offset``."""
+        return Interval(self.low + offset, self.high + offset)
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection, or ``None`` when disjoint."""
+        lo, hi = max(self.low, other.low), min(self.high, other.high)
+        return Interval(lo, hi) if lo <= hi else None
+
+    # -- three-valued comparisons (Appendix A.2) -------------------------------
+    def compare_greater(self, threshold: float) -> TernaryResult:
+        """Three-valued ``self > threshold``.
+
+        True when the entire interval clears the threshold, False when the
+        entire interval is at or below it, Unknown when it straddles.
+        """
+        if self.low > threshold:
+            return TernaryResult.TRUE
+        if self.high <= threshold:
+            return TernaryResult.FALSE
+        return TernaryResult.UNKNOWN
+
+    def compare_less(self, threshold: float) -> TernaryResult:
+        """Three-valued ``self < threshold``."""
+        if self.high < threshold:
+            return TernaryResult.TRUE
+        if self.low >= threshold:
+            return TernaryResult.FALSE
+        return TernaryResult.UNKNOWN
+
+    def compare(self, comparator: str, threshold: float) -> TernaryResult:
+        """Dispatch on the DSL comparator (``">"`` or ``"<"``)."""
+        if comparator == ">":
+            return self.compare_greater(threshold)
+        if comparator == "<":
+            return self.compare_less(threshold)
+        raise InvalidParameterError(f"unknown comparator {comparator!r}")
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}]"

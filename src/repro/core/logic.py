@@ -1,0 +1,96 @@
+"""Three-valued logic and the fp-free / fn-free decision mapping.
+
+Appendix A.2: a clause evaluated over confidence intervals returns one of
+{True, False, Unknown}.  The ``mode`` parameter of an ease.ml/ci script
+maps this ternary outcome onto the binary pass/fail signal:
+
+* ``fp-free`` — Unknown ⇒ False.  Whenever the system says "pass", the
+  condition genuinely holds (with probability ``1 - delta``); the price is
+  possible false *negatives* within the tolerance band.
+* ``fn-free`` — Unknown ⇒ True.  Whenever the system says "fail", the
+  condition genuinely fails; the price is possible false *positives*.
+
+Conjunction follows Kleene's strong three-valued logic: False dominates,
+then Unknown, then True.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["TernaryResult", "Mode", "ternary_and", "resolve_ternary"]
+
+
+class TernaryResult(enum.Enum):
+    """Kleene three-valued truth value."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard rail
+        raise TypeError(
+            "TernaryResult cannot be coerced to bool; use resolve_ternary() "
+            "with an explicit mode"
+        )
+
+    def __and__(self, other: "TernaryResult") -> "TernaryResult":
+        return ternary_and((self, other))
+
+
+class Mode(enum.Enum):
+    """The script's ``mode`` field: which error kind is eliminated."""
+
+    FP_FREE = "fp-free"
+    FN_FREE = "fn-free"
+
+    @classmethod
+    def parse(cls, text: str) -> "Mode":
+        """Parse the script spelling (``fp-free`` / ``fn-free``)."""
+        normalized = text.strip().lower()
+        for mode in cls:
+            if mode.value == normalized:
+                return mode
+        raise InvalidParameterError(
+            f"unknown mode {text!r}; expected 'fp-free' or 'fn-free'"
+        )
+
+
+def ternary_and(values: Iterable[TernaryResult]) -> TernaryResult:
+    """Kleene conjunction: False < Unknown < True.
+
+    An empty conjunction is True (the neutral element), matching the
+    convention for ``all()``.
+    """
+    result = TernaryResult.TRUE
+    for value in values:
+        if not isinstance(value, TernaryResult):
+            raise InvalidParameterError(f"expected TernaryResult, got {value!r}")
+        if value is TernaryResult.FALSE:
+            return TernaryResult.FALSE
+        if value is TernaryResult.UNKNOWN:
+            result = TernaryResult.UNKNOWN
+    return result
+
+
+def resolve_ternary(value: TernaryResult, mode: Mode | str) -> bool:
+    """Collapse a ternary outcome to the binary pass/fail signal.
+
+    Parameters
+    ----------
+    value:
+        The three-valued evaluation outcome.
+    mode:
+        ``Mode.FP_FREE`` (Unknown → False) or ``Mode.FN_FREE``
+        (Unknown → True); strings are parsed with :meth:`Mode.parse`.
+    """
+    if isinstance(mode, str):
+        mode = Mode.parse(mode)
+    if value is TernaryResult.TRUE:
+        return True
+    if value is TernaryResult.FALSE:
+        return False
+    return mode is Mode.FN_FREE

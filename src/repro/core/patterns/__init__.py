@@ -1,0 +1,60 @@
+"""Label-complexity optimizations (Section 4 of the paper).
+
+ease.ml/ci improves on the worst-case ``O(1/epsilon^2)`` Hoeffding sizing
+not in general, but for a sub-family of practically popular conditions:
+
+* **Pattern 1** (:mod:`hierarchical`) — formulas containing
+  ``d < A +/- B /\\ n - o > C +/- D``: the difference clause bounds the
+  variance of the paired difference, unlocking Bennett's inequality
+  (up to ~10x fewer labels at one-point tolerance), and the difference can
+  be *tested on unlabeled data* (hierarchical testing).
+* **Active labeling** (:mod:`active`) — only predictions that differ
+  between the two models need labels, so the per-commit labeling effort is
+  a further factor ``p`` smaller and can be amortized day by day.
+* **Pattern 2** (:mod:`implicit_variance`) — bare ``n - o > C +/- D``
+  conditions: the system estimates the disagreement on a (16x smaller)
+  unlabeled testset first, then applies the Pattern 1 machinery with the
+  estimated variance bound.
+* **Coarse-to-fine** (:mod:`implicit_variance`) — ``n > A +/- B`` with
+  large ``A``: a coarse lower bound on ``n`` bounds the Bernoulli variance
+  by ``lb (1 - lb)``, again enabling Bennett.
+
+:mod:`matcher` contains the structural formula matching shared by all of
+them.
+"""
+
+from repro.core.patterns.matcher import (
+    DifferenceClauseMatch,
+    GainClauseMatch,
+    AccuracyBoundMatch,
+    find_difference_clause,
+    find_gain_clause,
+    find_accuracy_bound_clause,
+    match_pattern1,
+    match_pattern2,
+    Pattern1Match,
+)
+from repro.core.patterns.hierarchical import HierarchicalTest, FilterOutcome
+from repro.core.patterns.active import ActiveLabelingSession, ActiveLabelingStep
+from repro.core.patterns.implicit_variance import (
+    ImplicitVarianceProcedure,
+    CoarseToFineAccuracyTest,
+)
+
+__all__ = [
+    "DifferenceClauseMatch",
+    "GainClauseMatch",
+    "AccuracyBoundMatch",
+    "find_difference_clause",
+    "find_gain_clause",
+    "find_accuracy_bound_clause",
+    "match_pattern1",
+    "match_pattern2",
+    "Pattern1Match",
+    "HierarchicalTest",
+    "FilterOutcome",
+    "ActiveLabelingSession",
+    "ActiveLabelingStep",
+    "ImplicitVarianceProcedure",
+    "CoarseToFineAccuracyTest",
+]

@@ -1,0 +1,205 @@
+"""Active labeling (§4.1.2): label only what the models disagree on.
+
+To estimate the paired gain ``n - o``, examples where old and new models
+agree contribute exactly zero to the sum of per-example differences — so
+their labels are never read.  When consecutive commits differ on at most a
+fraction ``p`` of predictions, each commit needs at most ``p * N`` fresh
+labels, and labels accumulate in a pool: an example labeled for commit 3
+is free for commit 7.
+
+This module implements the bookkeeping as a session object over a fixed
+unlabeled pool (the paper's stationarity requirement: "ask the user to
+provide a pool of unlabeled data points at the same time, and then only
+ask for labels when needed").  The label source is any callable mapping
+pool indices to labels — in production a human labeling queue, in the
+experiments an oracle backed by the synthetic dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary
+from repro.core.patterns.matcher import GainClauseMatch
+from repro.exceptions import InvalidParameterError, LabelBudgetExceededError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ActiveLabelingStep", "ActiveLabelingSession"]
+
+#: Signature of a label source: receives ascending pool indices, returns
+#: the corresponding labels.
+LabelSource = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ActiveLabelingStep:
+    """Outcome of evaluating one commit inside an active-labeling session.
+
+    Attributes
+    ----------
+    commit_index:
+        0-based index of the evaluation within the session.
+    difference_estimate:
+        ``d_hat`` between the new model and the session's reference model,
+        computed label-free on the full pool.
+    gain_estimate:
+        Paired estimate of ``n - o`` over the full pool (labels read only
+        on disagreements).
+    gain_interval:
+        ``gain_estimate ± tolerance``.
+    outcome:
+        Ternary comparison of the gain clause.
+    passed:
+        Binary signal after mode resolution.
+    fresh_labels:
+        Labels newly acquired for this commit.
+    cumulative_labels:
+        Total labels acquired since the session started.
+    """
+
+    commit_index: int
+    difference_estimate: float
+    gain_estimate: float
+    gain_interval: Interval
+    outcome: TernaryResult
+    passed: bool
+    fresh_labels: int
+    cumulative_labels: int
+
+
+class ActiveLabelingSession:
+    """Amortized labeling over a fixed unlabeled pool.
+
+    Parameters
+    ----------
+    pool_size:
+        Number of examples in the unlabeled pool (the Bennett-sized
+        testset).
+    label_source:
+        Callable invoked with the indices that need fresh labels; must
+        return the labels in the same order.
+    gain:
+        The matched gain clause being tested.
+    mode:
+        fp-free / fn-free signal resolution.
+    reference_predictions:
+        Predictions of the deployed (old) model on the pool.
+    max_labels:
+        Optional hard cap on total labels; exceeding it raises
+        :class:`LabelBudgetExceededError` (for budget-bounded workflows).
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        label_source: LabelSource,
+        gain: GainClauseMatch,
+        reference_predictions: np.ndarray,
+        mode: Mode | str = Mode.FP_FREE,
+        *,
+        max_labels: int | None = None,
+    ):
+        self.pool_size = check_positive_int(pool_size, "pool_size")
+        reference_predictions = np.asarray(reference_predictions)
+        if len(reference_predictions) != self.pool_size:
+            raise InvalidParameterError(
+                f"reference_predictions has {len(reference_predictions)} entries "
+                f"for a pool of {self.pool_size}"
+            )
+        self.label_source = label_source
+        self.gain = gain
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+        self.reference_predictions = reference_predictions
+        self.max_labels = max_labels
+        # labels[i] is meaningful only where labeled_mask[i] is True.
+        self._labels = np.zeros(self.pool_size, dtype=reference_predictions.dtype)
+        self._labeled_mask = np.zeros(self.pool_size, dtype=bool)
+        self._steps: list[ActiveLabelingStep] = []
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def labeled_count(self) -> int:
+        """Total pool examples labeled so far."""
+        return int(self._labeled_mask.sum())
+
+    @property
+    def steps(self) -> list[ActiveLabelingStep]:
+        """History of evaluations, in order."""
+        return list(self._steps)
+
+    @property
+    def labeled_fraction(self) -> float:
+        """Fraction of the pool labeled so far."""
+        return self.labeled_count / self.pool_size
+
+    # -- the core operation --------------------------------------------------------
+    def evaluate_commit(self, new_predictions: np.ndarray) -> ActiveLabelingStep:
+        """Evaluate a new model against the session's reference model.
+
+        Acquires labels only for disagreeing examples not labeled before,
+        then forms the paired gain estimate over the *entire* pool
+        (agreements contribute zero difference regardless of their label).
+        """
+        new_predictions = np.asarray(new_predictions)
+        if len(new_predictions) != self.pool_size:
+            raise InvalidParameterError(
+                f"new_predictions has {len(new_predictions)} entries for a "
+                f"pool of {self.pool_size}"
+            )
+        disagree = new_predictions != self.reference_predictions
+        d_hat = float(disagree.mean())
+
+        need = np.flatnonzero(disagree & ~self._labeled_mask)
+        if self.max_labels is not None and self.labeled_count + len(need) > self.max_labels:
+            raise LabelBudgetExceededError(
+                f"commit needs {len(need)} fresh labels; budget "
+                f"{self.max_labels - self.labeled_count} remaining"
+            )
+        if len(need) > 0:
+            fresh = np.asarray(self.label_source(need))
+            if len(fresh) != len(need):
+                raise InvalidParameterError(
+                    f"label_source returned {len(fresh)} labels for "
+                    f"{len(need)} requests"
+                )
+            self._labels[need] = fresh
+            self._labeled_mask[need] = True
+
+        # Paired gain over the full pool: zero on agreements by construction.
+        idx = np.flatnonzero(disagree)
+        if len(idx) == 0:
+            gain_estimate = 0.0
+        else:
+            labels = self._labels[idx]
+            new_correct = (new_predictions[idx] == labels).astype(np.int8)
+            old_correct = (self.reference_predictions[idx] == labels).astype(np.int8)
+            gain_estimate = float((new_correct - old_correct).sum() / self.pool_size)
+
+        scaled = self.gain.scale * gain_estimate
+        interval = Interval.from_estimate(scaled, self.gain.tolerance)
+        outcome = interval.compare(">", self.gain.threshold)
+        step = ActiveLabelingStep(
+            commit_index=len(self._steps),
+            difference_estimate=d_hat,
+            gain_estimate=gain_estimate,
+            gain_interval=interval,
+            outcome=outcome,
+            passed=resolve_ternary(outcome, self.mode),
+            fresh_labels=len(need),
+            cumulative_labels=self.labeled_count,
+        )
+        self._steps.append(step)
+        return step
+
+    def promote_reference(self, new_predictions: np.ndarray) -> None:
+        """Make a (passing) model the new reference for later commits."""
+        new_predictions = np.asarray(new_predictions)
+        if len(new_predictions) != self.pool_size:
+            raise InvalidParameterError(
+                "promoted predictions must cover the whole pool"
+            )
+        self.reference_predictions = new_predictions

@@ -1,0 +1,201 @@
+"""Hierarchical testing (Pattern 1, §4.1.1).
+
+The two-level test for formulas ``d < A +/- B /\\ n - o > C +/- D``:
+
+1. **Filter** — estimate the disagreement ``d`` on *unlabeled* data to an
+   ``(epsilon', delta/2)`` guarantee.  If ``d_hat > A + epsilon'`` the
+   condition already fails (the difference clause cannot hold), and no
+   labels are spent at all.
+2. **Test** — conditioned on the filter passing, the per-example paired
+   difference has second moment at most ``p`` (``= A`` under the paper's
+   "threshold" policy, ``= A + 2 epsilon'`` under the strictly safe
+   "inflated" policy), so the gain clause is tested with two-sided
+   Bennett at budget ``delta/2``.
+
+With ``p = 0.1``, ``1 - delta = 0.9999`` and one-point tolerance this
+yields 29K samples for 32 non-adaptive steps and ~68K for 32
+fully-adaptive steps — about 10x below the Hoeffding baseline (§4.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.intervals import Interval
+from repro.core.logic import Mode, TernaryResult, resolve_ternary, ternary_and
+from repro.core.patterns.matcher import DifferenceClauseMatch, GainClauseMatch
+from repro.exceptions import InvalidParameterError, TestsetSizeError
+from repro.stats.estimation import PairedSample
+from repro.stats.inequalities import BennettInequality, HoeffdingInequality
+from repro.utils.validation import check_probability
+
+__all__ = ["FilterOutcome", "HierarchicalOutcome", "HierarchicalTest"]
+
+
+class FilterOutcome(enum.Enum):
+    """Result of the unlabeled filter stage."""
+
+    #: ``d_hat > A + epsilon'`` — reject without labeling anything.
+    REJECTED = "rejected"
+    #: The difference is plausibly below the cap; proceed to the test stage.
+    PROCEED = "proceed"
+
+
+@dataclass(frozen=True)
+class HierarchicalOutcome:
+    """Full outcome of a hierarchical evaluation.
+
+    Attributes
+    ----------
+    filter_outcome:
+        Whether the unlabeled filter rejected the commit outright.
+    difference_estimate:
+        ``d_hat`` from the filter stage.
+    difference_outcome:
+        Ternary outcome of the difference clause itself.
+    gain_interval:
+        Confidence interval for the gain clause LHS (``None`` when the
+        filter rejected, since the test stage never ran).
+    gain_outcome:
+        Ternary outcome of the gain clause (``FALSE`` on filter rejection:
+        the conjunction is already decided).
+    ternary:
+        Conjunction outcome.
+    passed:
+        Binary signal after mode resolution.
+    labels_used:
+        Number of labeled examples consumed (0 on filter rejection).
+    """
+
+    filter_outcome: FilterOutcome
+    difference_estimate: float
+    difference_outcome: TernaryResult
+    gain_interval: Interval | None
+    gain_outcome: TernaryResult
+    ternary: TernaryResult
+    passed: bool
+    labels_used: int
+
+
+class HierarchicalTest:
+    """Runtime two-stage evaluator for Pattern 1 formulas.
+
+    Parameters
+    ----------
+    difference:
+        The matched ``d < A +/- B`` clause.
+    gain:
+        The matched ``n - o > C +/- D`` clause.
+    delta:
+        The per-evaluation failure budget (already divided by ``H`` or
+        ``2^H`` by the caller); split ``delta/2`` filter, ``delta/2`` test.
+    mode:
+        fp-free / fn-free resolution for the final signal.
+    variance_bound_policy:
+        ``"threshold"`` (``p = A``, paper §4.1.1 numbers) or ``"inflated"``
+        (``p = A + 2B``).
+    """
+
+    def __init__(
+        self,
+        difference: DifferenceClauseMatch,
+        gain: GainClauseMatch,
+        delta: float,
+        mode: Mode | str = Mode.FP_FREE,
+        *,
+        variance_bound_policy: str = "threshold",
+    ):
+        self.difference = difference
+        self.gain = gain
+        self.delta = check_probability(delta, "delta")
+        self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
+        if variance_bound_policy not in ("threshold", "inflated"):
+            raise InvalidParameterError(
+                f"unknown variance_bound_policy {variance_bound_policy!r}"
+            )
+        self.variance_bound_policy = variance_bound_policy
+
+    # -- sizing ----------------------------------------------------------------
+    @property
+    def variance_bound(self) -> float:
+        """The ``p`` used by the Bennett test stage."""
+        if self.variance_bound_policy == "threshold":
+            return min(1.0, self.difference.threshold)
+        return min(1.0, self.difference.inflated_variance_bound)
+
+    @property
+    def filter_samples(self) -> int:
+        """Unlabeled samples for the ``(epsilon', delta/2)`` filter."""
+        hoeffding = HoeffdingInequality(value_range=1.0, two_sided=False)
+        return int(
+            math.ceil(
+                hoeffding.sample_size(self.difference.tolerance, self.delta / 2.0)
+            )
+        )
+
+    @property
+    def test_samples(self) -> int:
+        """Samples for the Bennett test stage (labels only on disagreements)."""
+        bennett = BennettInequality(
+            variance_bound=self.variance_bound, magnitude_bound=1.0, two_sided=True
+        )
+        return int(
+            math.ceil(bennett.sample_size(self.gain.tolerance, self.delta / 2.0))
+        )
+
+    @property
+    def expected_labels(self) -> int:
+        """Expected labels per evaluation: only disagreements are labeled."""
+        return int(math.ceil(self.test_samples * self.variance_bound))
+
+    # -- runtime ---------------------------------------------------------------
+    def run(self, sample: PairedSample) -> HierarchicalOutcome:
+        """Run filter then (conditionally) test on one paired sample.
+
+        ``sample`` may be unlabeled; labels are only touched if the filter
+        lets the commit through, and only the disagreement subset is read
+        (callers integrating with a labeling workflow should consult
+        :attr:`HierarchicalOutcome.labels_used`).
+        """
+        if len(sample) < max(self.filter_samples, self.test_samples):
+            raise TestsetSizeError(
+                f"sample has {len(sample)} examples; hierarchical test needs "
+                f"max(filter={self.filter_samples}, test={self.test_samples})"
+            )
+        d_hat = sample.difference
+        eps_prime = self.difference.tolerance
+        diff_interval = Interval.from_estimate(d_hat, eps_prime)
+        diff_outcome = diff_interval.compare("<", self.difference.threshold)
+
+        if d_hat > self.difference.threshold + eps_prime:
+            # Step 1 of §4.1.1: reject with no labeling at all.
+            ternary = TernaryResult.FALSE
+            return HierarchicalOutcome(
+                filter_outcome=FilterOutcome.REJECTED,
+                difference_estimate=d_hat,
+                difference_outcome=TernaryResult.FALSE,
+                gain_interval=None,
+                gain_outcome=TernaryResult.FALSE,
+                ternary=ternary,
+                passed=resolve_ternary(ternary, self.mode),
+                labels_used=0,
+            )
+
+        # Step 2: Bennett test of the gain clause on labeled disagreements.
+        gain_estimate = self.gain.scale * sample.accuracy_gain
+        gain_interval = Interval.from_estimate(gain_estimate, self.gain.tolerance)
+        gain_outcome = gain_interval.compare(">", self.gain.threshold)
+        ternary = ternary_and((diff_outcome, gain_outcome))
+        labels_used = int(sample.disagreement_mask.sum())
+        return HierarchicalOutcome(
+            filter_outcome=FilterOutcome.PROCEED,
+            difference_estimate=d_hat,
+            difference_outcome=diff_outcome,
+            gain_interval=gain_interval,
+            gain_outcome=gain_outcome,
+            ternary=ternary,
+            passed=resolve_ternary(ternary, self.mode),
+            labels_used=labels_used,
+        )

@@ -1,0 +1,181 @@
+"""Structural pattern matching on parsed formulas.
+
+The optimizer looks for three clause shapes (after linear canonicalization,
+so ``o * -1 + n > ...`` matches just like ``n - o > ...``):
+
+* a **difference clause** ``d < A +/- B`` — coefficient exactly 1 on ``d``,
+  nothing else;
+* a **gain clause** ``a*(n - o) > C +/- D`` — opposite coefficients on
+  ``n`` and ``o`` (positive on ``n``), no ``d`` term; ``a`` is usually 1;
+* an **accuracy bound clause** ``n > A +/- B`` — coefficient 1 on ``n``
+  alone, used by the coarse-to-fine optimization when ``A`` is large.
+
+Matching is purely structural; whether an optimization actually *fires*
+(e.g. Pattern 1 needs both a difference and a gain clause) is decided by
+:func:`match_pattern1` / :func:`match_pattern2` and ultimately by the
+estimator facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dsl.linear import linearize
+from repro.core.dsl.nodes import Clause, Formula
+
+__all__ = [
+    "DifferenceClauseMatch",
+    "GainClauseMatch",
+    "AccuracyBoundMatch",
+    "find_difference_clause",
+    "find_gain_clause",
+    "find_accuracy_bound_clause",
+    "Pattern1Match",
+    "match_pattern1",
+    "match_pattern2",
+]
+
+#: Tolerance for float coefficient comparisons during matching.
+_COEF_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class DifferenceClauseMatch:
+    """A clause of the form ``d < A +/- B``.
+
+    Attributes
+    ----------
+    clause:
+        The matched clause.
+    threshold:
+        ``A`` — the disagreement cap, which doubles as the variance bound
+        for the Bennett step.
+    tolerance:
+        ``B`` — the filter tolerance ``epsilon'``.
+    """
+
+    clause: Clause
+    threshold: float
+    tolerance: float
+
+    @property
+    def inflated_variance_bound(self) -> float:
+        """The conservative bound ``A + 2 epsilon'`` available after the
+        hierarchical filter passes (step 2 of §4.1.1)."""
+        return self.threshold + 2.0 * self.tolerance
+
+
+@dataclass(frozen=True)
+class GainClauseMatch:
+    """A clause of the form ``a * (n - o) > C +/- D`` with ``a > 0``.
+
+    Attributes
+    ----------
+    clause:
+        The matched clause.
+    scale:
+        The common coefficient magnitude ``a`` (1 in all paper examples).
+    threshold:
+        ``C`` (already including any constant folded from the expression).
+    tolerance:
+        ``D``.
+    """
+
+    clause: Clause
+    scale: float
+    threshold: float
+    tolerance: float
+
+
+@dataclass(frozen=True)
+class AccuracyBoundMatch:
+    """A clause of the form ``n > A +/- B`` (new-model accuracy floor)."""
+
+    clause: Clause
+    threshold: float
+    tolerance: float
+
+
+def find_difference_clause(formula: Formula) -> DifferenceClauseMatch | None:
+    """First clause matching ``d < A +/- B``, or ``None``."""
+    for clause in formula:
+        lin = linearize(clause)
+        if (
+            clause.comparator == "<"
+            and set(lin.variables()) == {"d"}
+            and abs(lin.coefficient("d") - 1.0) <= _COEF_ATOL
+        ):
+            # Fold any constant into the threshold: d + c < A  <=>  d < A - c.
+            threshold = clause.threshold - lin.constant
+            if 0.0 < threshold <= 1.0:
+                return DifferenceClauseMatch(
+                    clause=clause, threshold=threshold, tolerance=clause.tolerance
+                )
+    return None
+
+
+def find_gain_clause(formula: Formula) -> GainClauseMatch | None:
+    """First clause matching ``a*(n - o) > C +/- D`` (``a > 0``), or ``None``."""
+    for clause in formula:
+        lin = linearize(clause)
+        if clause.comparator != ">":
+            continue
+        if set(lin.variables()) != {"n", "o"}:
+            continue
+        cn, co = lin.coefficient("n"), lin.coefficient("o")
+        if cn <= 0.0 or abs(cn + co) > _COEF_ATOL:
+            continue
+        return GainClauseMatch(
+            clause=clause,
+            scale=cn,
+            threshold=clause.threshold - lin.constant,
+            tolerance=clause.tolerance,
+        )
+    return None
+
+
+def find_accuracy_bound_clause(formula: Formula) -> AccuracyBoundMatch | None:
+    """First clause matching ``n > A +/- B``, or ``None``."""
+    for clause in formula:
+        lin = linearize(clause)
+        if (
+            clause.comparator == ">"
+            and set(lin.variables()) == {"n"}
+            and abs(lin.coefficient("n") - 1.0) <= _COEF_ATOL
+        ):
+            threshold = clause.threshold - lin.constant
+            if 0.0 <= threshold < 1.0:
+                return AccuracyBoundMatch(
+                    clause=clause, threshold=threshold, tolerance=clause.tolerance
+                )
+    return None
+
+
+@dataclass(frozen=True)
+class Pattern1Match:
+    """Pattern 1 (§4.1): a difference clause plus a gain clause."""
+
+    difference: DifferenceClauseMatch
+    gain: GainClauseMatch
+
+
+def match_pattern1(formula: Formula) -> Pattern1Match | None:
+    """Match ``d < A +/- B /\\ n - o > C +/- D`` (in any clause order,
+    possibly with extra clauses alongside)."""
+    difference = find_difference_clause(formula)
+    gain = find_gain_clause(formula)
+    if difference is None or gain is None:
+        return None
+    return Pattern1Match(difference=difference, gain=gain)
+
+
+def match_pattern2(formula: Formula) -> GainClauseMatch | None:
+    """Match a gain clause *without* an accompanying difference clause.
+
+    Pattern 2 (§4.2) fires when the user asks for ``n - o > C +/- D`` but
+    supplied no explicit disagreement constraint — the system then
+    estimates the disagreement itself on unlabeled data.
+    """
+    if find_difference_clause(formula) is not None:
+        return None
+    return find_gain_clause(formula)

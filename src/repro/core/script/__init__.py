@@ -1,0 +1,7 @@
+"""ease.ml/ci script parsing: the yamlite subset parser and the typed
+:class:`CIScript` configuration object."""
+
+from repro.core.script.yamlite import parse_yamlite
+from repro.core.script.config import CIScript
+
+__all__ = ["parse_yamlite", "CIScript"]

@@ -1,0 +1,245 @@
+"""Typed representation of an ease.ml/ci script (§2.2).
+
+A script is a ``.travis.yml`` file with an ``ml:`` section::
+
+    ml:
+      - script     : ./test_model.py
+      - condition  : n - o > 0.02 +/- 0.01
+      - reliability: 0.9999
+      - mode       : fp-free
+      - adaptivity : full
+      - steps      : 32
+
+:class:`CIScript` validates every field, parses the condition into the DSL
+AST, and resolves the ``adaptivity: none -> email@host`` redirection
+syntax into the mode plus a notification address.
+
+One extension beyond the paper's syntax is accepted: an optional
+``variance_bound`` field declaring an a-priori bound on the prediction
+difference between consecutive commits, which is how the Figure 5
+experiments communicate the "no more than 10% difference between any two
+submissions" fact to the Pattern 2 optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.dsl.nodes import Formula
+from repro.core.dsl.parser import parse_condition
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.logic import Mode
+from repro.core.script.yamlite import parse_yamlite
+from repro.exceptions import ScriptError
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["CIScript"]
+
+_KNOWN_FIELDS = {
+    "script",
+    "condition",
+    "reliability",
+    "mode",
+    "adaptivity",
+    "steps",
+    "variance_bound",
+}
+
+
+@dataclass(frozen=True)
+class CIScript:
+    """A validated ease.ml/ci configuration.
+
+    Attributes
+    ----------
+    condition:
+        The parsed test condition.
+    condition_source:
+        The original condition text (kept for display round-trips).
+    reliability:
+        ``1 - delta``; the probability with which every signal is valid.
+    mode:
+        ``fp-free`` or ``fn-free`` (Unknown-resolution semantics).
+    adaptivity:
+        ``none`` / ``full`` / ``firstChange``.
+    steps:
+        Testset budget ``H``.
+    script_path:
+        The user's test entry point (carried through; the engine does not
+        execute it — model evaluation happens in-process).
+    notification_email:
+        Third-party address for true signals under ``adaptivity: none``.
+    variance_bound:
+        Optional a-priori bound on consecutive-model prediction
+        difference (extension; enables Pattern 2 sizing).
+    """
+
+    condition: Formula
+    condition_source: str
+    reliability: float
+    mode: Mode
+    adaptivity: Adaptivity
+    steps: int
+    script_path: str | None = None
+    notification_email: str | None = None
+    variance_bound: float | None = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.reliability, "reliability")
+        check_positive_int(self.steps, "steps")
+        if self.variance_bound is not None:
+            check_probability(self.variance_bound, "variance_bound")
+        if self.adaptivity is Adaptivity.NONE and not self.notification_email:
+            raise ScriptError(
+                "adaptivity 'none' requires a third-party notification "
+                "address: write adaptivity : none -> someone@example.com"
+            )
+
+    @property
+    def delta(self) -> float:
+        """The failure budget ``1 - reliability``."""
+        return 1.0 - self.reliability
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_dict(cls, fields: Mapping[str, Any]) -> "CIScript":
+        """Build from a flat mapping of script fields (already merged)."""
+        unknown = set(fields) - _KNOWN_FIELDS
+        if unknown:
+            raise ScriptError(
+                f"unknown ml-section fields: {sorted(unknown)}; expected a "
+                f"subset of {sorted(_KNOWN_FIELDS)}"
+            )
+        missing = {"condition", "reliability", "mode", "adaptivity", "steps"} - set(
+            fields
+        )
+        if missing:
+            raise ScriptError(f"ml section is missing required fields: {sorted(missing)}")
+
+        condition_source = str(fields["condition"]).strip()
+        try:
+            condition = parse_condition(condition_source)
+        except Exception as exc:
+            raise ScriptError(f"invalid condition {condition_source!r}: {exc}") from exc
+
+        adaptivity_raw = str(fields["adaptivity"]).strip()
+        try:
+            adaptivity, email = cls._parse_adaptivity(adaptivity_raw)
+        except ScriptError:
+            raise
+        except Exception as exc:
+            raise ScriptError(str(exc)) from exc
+
+        reliability = fields["reliability"]
+        if not isinstance(reliability, (int, float)) or isinstance(reliability, bool):
+            raise ScriptError(f"reliability must be a number, got {reliability!r}")
+
+        steps = fields["steps"]
+        if isinstance(steps, bool) or not isinstance(steps, int):
+            raise ScriptError(f"steps must be an integer, got {steps!r}")
+
+        mode_raw = str(fields["mode"]).strip()
+        try:
+            mode = Mode.parse(mode_raw)
+        except Exception as exc:
+            raise ScriptError(str(exc)) from exc
+
+        variance_bound = fields.get("variance_bound")
+        if variance_bound is not None and (
+            isinstance(variance_bound, bool)
+            or not isinstance(variance_bound, (int, float))
+        ):
+            raise ScriptError(
+                f"variance_bound must be a number, got {variance_bound!r}"
+            )
+
+        script_path = fields.get("script")
+        try:
+            return cls(
+                condition=condition,
+                condition_source=condition_source,
+                reliability=float(reliability),
+                mode=mode,
+                adaptivity=adaptivity,
+                steps=steps,
+                script_path=None if script_path is None else str(script_path),
+                notification_email=email,
+                variance_bound=None if variance_bound is None else float(variance_bound),
+            )
+        except ScriptError:
+            raise
+        except Exception as exc:
+            raise ScriptError(str(exc)) from exc
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "CIScript":
+        """Parse a full ``.travis.yml``-style document and extract ``ml:``."""
+        document = parse_yamlite(text)
+        if not isinstance(document, dict) or "ml" not in document:
+            raise ScriptError("document has no 'ml' section")
+        section = document["ml"]
+        return cls.from_dict(cls._merge_ml_section(section))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CIScript":
+        """Read and parse a script file."""
+        return cls.from_yaml(Path(path).read_text())
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _merge_ml_section(section: Any) -> dict[str, Any]:
+        """The paper's ml section is a list of single-key maps; merge it.
+
+        A plain mapping is also accepted (the natural YAML alternative).
+        """
+        if isinstance(section, dict):
+            return dict(section)
+        if isinstance(section, list):
+            merged: dict[str, Any] = {}
+            for item in section:
+                if not isinstance(item, dict):
+                    raise ScriptError(
+                        f"ml section entries must be 'key: value' items, got {item!r}"
+                    )
+                for key, value in item.items():
+                    if key in merged:
+                        raise ScriptError(f"duplicate ml field {key!r}")
+                    merged[key] = value
+            return merged
+        raise ScriptError(f"ml section must be a list or mapping, got {section!r}")
+
+    @staticmethod
+    def _parse_adaptivity(text: str) -> tuple[Adaptivity, str | None]:
+        """Resolve ``none -> xx@abc.com`` into (mode, email)."""
+        if "->" in text:
+            mode_part, _, email_part = text.partition("->")
+            adaptivity = Adaptivity.parse(mode_part)
+            email = email_part.strip()
+            if adaptivity is not Adaptivity.NONE:
+                raise ScriptError(
+                    "an email redirection is only meaningful with "
+                    f"adaptivity 'none', got {text!r}"
+                )
+            if not email or "@" not in email:
+                raise ScriptError(f"invalid notification address {email!r}")
+            return adaptivity, email
+        return Adaptivity.parse(text), None
+
+    def describe(self) -> str:
+        """Render the script back as an ml section (for logs/examples)."""
+        lines = ["ml:"]
+        if self.script_path:
+            lines.append(f"  - script     : {self.script_path}")
+        lines.append(f"  - condition  : {self.condition_source}")
+        lines.append(f"  - reliability: {self.reliability}")
+        lines.append(f"  - mode       : {self.mode.value}")
+        adaptivity = self.adaptivity.value
+        if self.notification_email:
+            adaptivity += f" -> {self.notification_email}"
+        lines.append(f"  - adaptivity : {adaptivity}")
+        lines.append(f"  - steps      : {self.steps}")
+        if self.variance_bound is not None:
+            lines.append(f"  - variance_bound : {self.variance_bound}")
+        return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""A from-scratch YAML-subset parser for ``.travis.yml``-style files.
+
+ease.ml/ci scripts extend the Travis CI configuration format with an
+``ml:`` section (§2.2).  This module implements exactly the YAML subset
+those files use — block mappings, block sequences, scalars, comments —
+with no external dependency:
+
+* block mappings: ``key: value`` with nesting by indentation;
+* block sequences: ``- item`` where an item is a scalar or a (possibly
+  inline-starting) mapping — the paper's scripts are sequences of
+  single-entry mappings, e.g. ``- condition : n - o > 0.02 +/- 0.01``;
+* scalars: strings (optionally single/double quoted), integers, floats,
+  booleans (``true/false``), ``null``;
+* ``#`` comments and blank lines.
+
+Intentionally **not** supported (out of scope for CI configs): anchors,
+aliases, tags, flow collections, multi-line strings, documents.  Inputs
+using those raise :class:`~repro.exceptions.ScriptError` rather than
+being misparsed.
+
+The value grammar is whitespace-tolerant around ``:`` (the paper's
+examples write ``key : value``), and scalar values containing ``:`` are
+kept intact when they cannot start a nested mapping (e.g. condition
+strings and email addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ScriptError
+
+__all__ = ["parse_yamlite"]
+
+
+@dataclass
+class _Line:
+    indent: int
+    content: str
+    number: int  # 1-based source line number
+
+
+def _logical_lines(text: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        without_comment = _strip_comment(raw)
+        stripped = without_comment.strip()
+        if not stripped:
+            continue
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ScriptError(f"line {number}: tabs are not allowed in indentation")
+        indent = len(without_comment) - len(without_comment.lstrip(" "))
+        lines.append(_Line(indent=indent, content=stripped, number=number))
+    return lines
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``#`` comment, respecting quoted strings."""
+    out: list[str] = []
+    quote: str | None = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "#":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def parse_yamlite(text: str) -> Any:
+    """Parse a YAML-subset document into dicts / lists / scalars.
+
+    Returns ``None`` for an empty document.
+
+    Raises
+    ------
+    ScriptError
+        On inconsistent indentation, unsupported constructs, or duplicate
+        mapping keys.
+    """
+    lines = _logical_lines(text)
+    if not lines:
+        return None
+    for line in lines:
+        if line.content.startswith(("&", "*", "!")) or line.content in ("---", "..."):
+            raise ScriptError(
+                f"line {line.number}: YAML feature {line.content.split()[0]!r} "
+                "is not supported by the yamlite subset"
+            )
+    value, next_index = _parse_block(lines, 0, lines[0].indent)
+    if next_index != len(lines):
+        stray = lines[next_index]
+        raise ScriptError(
+            f"line {stray.number}: unexpected content at indentation "
+            f"{stray.indent} (expected indentation {lines[0].indent})"
+        )
+    return value
+
+
+def _parse_block(lines: list[_Line], index: int, indent: int) -> tuple[Any, int]:
+    """Parse the block starting at ``lines[index]`` with given indentation."""
+    line = lines[index]
+    if line.content.startswith("- ") or line.content == "-":
+        return _parse_sequence(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_sequence(lines: list[_Line], index: int, indent: int) -> tuple[list, int]:
+    items: list[Any] = []
+    while index < len(lines):
+        line = lines[index]
+        if line.indent != indent or not (
+            line.content.startswith("- ") or line.content == "-"
+        ):
+            break
+        inner = line.content[1:].strip()
+        if not inner:
+            # A nested block follows on subsequent, deeper-indented lines.
+            if index + 1 < len(lines) and lines[index + 1].indent > indent:
+                value, index = _parse_block(lines, index + 1, lines[index + 1].indent)
+                items.append(value)
+                continue
+            items.append(None)
+            index += 1
+            continue
+        key_value = _try_split_mapping_entry(inner)
+        if key_value is not None:
+            key, rest = key_value
+            entry: dict[str, Any] = {}
+            if rest:
+                entry[key] = _parse_scalar(rest)
+                index += 1
+            else:
+                if index + 1 < len(lines) and lines[index + 1].indent > indent:
+                    value, index = _parse_block(
+                        lines, index + 1, lines[index + 1].indent
+                    )
+                    entry[key] = value
+                else:
+                    entry[key] = None
+                    index += 1
+            # Additional sibling keys of the same item appear indented
+            # under the dash at indent + 2 (the "- key:\n  key2:" layout).
+            while index < len(lines) and lines[index].indent == indent + 2:
+                sibling, index = _parse_mapping(lines, index, indent + 2)
+                for k, v in sibling.items():
+                    if k in entry:
+                        raise ScriptError(
+                            f"line {lines[index - 1].number}: duplicate key {k!r}"
+                        )
+                    entry[k] = v
+            items.append(entry)
+            continue
+        items.append(_parse_scalar(inner))
+        index += 1
+    return items, index
+
+
+def _parse_mapping(lines: list[_Line], index: int, indent: int) -> tuple[dict, int]:
+    mapping: dict[str, Any] = {}
+    while index < len(lines):
+        line = lines[index]
+        if line.indent != indent:
+            if line.indent > indent:
+                raise ScriptError(
+                    f"line {line.number}: unexpected indentation {line.indent} "
+                    f"(expected {indent})"
+                )
+            break
+        if line.content.startswith("- "):
+            break
+        key_value = _try_split_mapping_entry(line.content)
+        if key_value is None:
+            raise ScriptError(
+                f"line {line.number}: expected 'key: value', got "
+                f"{line.content!r}"
+            )
+        key, rest = key_value
+        if key in mapping:
+            raise ScriptError(f"line {line.number}: duplicate key {key!r}")
+        if rest:
+            mapping[key] = _parse_scalar(rest)
+            index += 1
+            continue
+        if index + 1 < len(lines) and lines[index + 1].indent > indent:
+            value, index = _parse_block(lines, index + 1, lines[index + 1].indent)
+            mapping[key] = value
+        else:
+            mapping[key] = None
+            index += 1
+    return mapping, index
+
+
+def _try_split_mapping_entry(content: str) -> tuple[str, str] | None:
+    """Split ``key : value`` at the first top-level colon.
+
+    Returns ``None`` when the content cannot be a mapping entry (no colon,
+    or the colon sits inside a quoted string).  A colon must be followed
+    by whitespace or end-of-line to count as the separator — this keeps
+    scalar values like ``xx@abc.com:8080`` or times intact.
+    """
+    quote: str | None = None
+    for i, ch in enumerate(content):
+        if quote:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            continue
+        if ch == ":" and (i + 1 == len(content) or content[i + 1] in " \t"):
+            key = content[:i].strip()
+            if not key:
+                return None
+            return key, content[i + 1 :].strip()
+    return None
+
+
+def _parse_scalar(text: str) -> Any:
+    """Interpret a scalar token: quoted string, bool, null, number or str."""
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("null", "~", "none"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

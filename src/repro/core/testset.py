@@ -1,0 +1,207 @@
+"""Testset objects and their statistical-budget lifecycle (§2.3).
+
+A :class:`Testset` is the labeled data the *integration team* provides.  A
+:class:`TestsetManager` tracks how much statistical power remains: every
+evaluation consumes one of the ``H`` budgeted uses; when the budget is
+spent (or a ``firstChange`` pass retires the set early), the manager marks
+the testset *released* — it may then be handed to the development team as
+a validation set, and a fresh testset must be installed before the next
+commit can be evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import EngineStateError, TestsetExhaustedError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Testset", "TestsetManager"]
+
+
+@dataclass
+class Testset:
+    """A labeled evaluation set.
+
+    Attributes
+    ----------
+    labels:
+        Ground-truth labels, shape ``(N,)``.
+    features:
+        Model inputs aligned with ``labels``.  For simulated experiments
+        this is typically ``np.arange(N)`` — simulated models map example
+        indices to predictions — but any array a model's ``predict``
+        accepts works.
+    name:
+        Human-readable identifier used in alarms and logs.
+    """
+
+    labels: np.ndarray
+    features: np.ndarray | None = None
+    name: str = "testset"
+
+    #: keep pytest from collecting this as a test class
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels)
+        if self.labels.ndim != 1:
+            raise EngineStateError(
+                f"labels must be one-dimensional, got shape {self.labels.shape}"
+            )
+        if self.features is None:
+            self.features = np.arange(len(self.labels))
+        else:
+            self.features = np.asarray(self.features)
+            if len(self.features) != len(self.labels):
+                raise EngineStateError(
+                    f"features ({len(self.features)}) and labels "
+                    f"({len(self.labels)}) must align"
+                )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def size(self) -> int:
+        """Number of labeled examples."""
+        return len(self.labels)
+
+    def predict_with(self, model: Any) -> np.ndarray:
+        """Run ``model.predict`` over this testset's features."""
+        predictions = np.asarray(model.predict(self.features))
+        if len(predictions) != len(self.labels):
+            raise EngineStateError(
+                f"model returned {len(predictions)} predictions for "
+                f"{len(self.labels)} examples"
+            )
+        return predictions
+
+
+@dataclass
+class _TestsetRecord:
+    """Internal bookkeeping for one testset generation."""
+
+    testset: Testset
+    budget: int
+    uses: int = 0
+    released: bool = False
+
+
+class TestsetManager:
+    """Tracks statistical-budget consumption across testset generations.
+
+    Parameters
+    ----------
+    testset:
+        The initial testset.
+    budget:
+        Number of evaluations (``steps`` / ``H``) the testset supports.
+
+    Notes
+    -----
+    The manager is deliberately ignorant of *why* a testset retires —
+    budget exhaustion vs. hybrid-mode early retirement — the engine
+    decides that and calls :meth:`retire` accordingly.  The manager's
+    invariants: a released testset can never be consumed again, and
+    exactly one testset is active at a time.
+    """
+
+    __test__ = False  # not a test class despite the name
+
+    def __init__(self, testset: Testset, budget: int):
+        self._budget = check_positive_int(budget, "budget")
+        self._current = _TestsetRecord(testset=testset, budget=self._budget)
+        self._released: list[Testset] = []
+        self._generation = 1
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def current(self) -> Testset:
+        """The active testset.
+
+        Raises :class:`TestsetExhaustedError` if the current set has been
+        released and no replacement installed.
+        """
+        if self._current.released:
+            raise TestsetExhaustedError(
+                f"testset {self._current.testset.name!r} has been released; "
+                "install a fresh testset before evaluating further commits"
+            )
+        return self._current.testset
+
+    @property
+    def uses(self) -> int:
+        """Evaluations consumed on the current testset."""
+        return self._current.uses
+
+    @property
+    def remaining(self) -> int:
+        """Evaluations left in the current budget (0 when released)."""
+        if self._current.released:
+            return 0
+        return self._current.budget - self._current.uses
+
+    @property
+    def generation(self) -> int:
+        """1-based counter of testsets installed so far."""
+        return self._generation
+
+    @property
+    def released_testsets(self) -> list[Testset]:
+        """Retired testsets, now safe to hand to developers as dev sets."""
+        return list(self._released)
+
+    @property
+    def is_exhausted(self) -> bool:
+        """Whether a fresh testset is required before the next evaluation."""
+        return self._current.released
+
+    # -- lifecycle ------------------------------------------------------------
+    def consume(self) -> int:
+        """Spend one evaluation; returns the use count after spending.
+
+        Raises
+        ------
+        TestsetExhaustedError
+            When the current testset is already released.
+        """
+        if self._current.released:
+            raise TestsetExhaustedError(
+                "no statistical budget left: the current testset is released"
+            )
+        self._current.uses += 1
+        return self._current.uses
+
+    @property
+    def budget_spent(self) -> bool:
+        """True when the current testset has served its full budget."""
+        return self._current.uses >= self._current.budget
+
+    def retire(self) -> Testset:
+        """Release the current testset (making it a dev set) and return it."""
+        if self._current.released:
+            raise EngineStateError("testset already released")
+        self._current.released = True
+        self._released.append(self._current.testset)
+        return self._current.testset
+
+    def install(self, testset: Testset, budget: int | None = None) -> None:
+        """Install a fresh testset, starting a new generation.
+
+        The previous testset must have been retired first — silently
+        replacing a live testset would discard statistical budget without
+        an audit trail.
+        """
+        if not self._current.released:
+            raise EngineStateError(
+                "retire() the current testset before installing a new one"
+            )
+        self._current = _TestsetRecord(
+            testset=testset,
+            budget=check_positive_int(budget, "budget") if budget else self._budget,
+        )
+        self._generation += 1

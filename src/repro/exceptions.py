@@ -1,0 +1,131 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+
+The hierarchy mirrors the system layers described in ``DESIGN.md``:
+
+* DSL / script parsing errors (:class:`ParseError`, :class:`ScriptError`);
+* statistical configuration errors (:class:`InvalidParameterError`,
+  :class:`InfeasibleConditionError`);
+* CI runtime errors (:class:`TestsetExhaustedError`,
+  :class:`TestsetSizeError`, :class:`EngineStateError`);
+* labeling errors (:class:`LabelBudgetExceededError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "LexerError",
+    "SyntaxParseError",
+    "SemanticError",
+    "ScriptError",
+    "InvalidParameterError",
+    "InfeasibleConditionError",
+    "TestsetExhaustedError",
+    "TestsetSizeError",
+    "EngineStateError",
+    "LabelBudgetExceededError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ParseError(ReproError):
+    """Base class for errors raised while parsing the condition DSL.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    position:
+        Zero-based character offset in the source string where the error was
+        detected, or ``None`` when the offset is unknown.
+    source:
+        The text being parsed, used to render a caret diagnostic.
+    """
+
+    def __init__(self, message: str, position: int | None = None, source: str | None = None):
+        self.position = position
+        self.source = source
+        super().__init__(self._render(message))
+
+    def _render(self, message: str) -> str:
+        if self.position is None or self.source is None:
+            return message
+        line = self.source.splitlines() or [""]
+        # The DSL is single-line; clamp the caret into range for safety.
+        caret = min(max(self.position, 0), len(line[0]))
+        return f"{message}\n  {line[0]}\n  {' ' * caret}^ (at offset {self.position})"
+
+
+class LexerError(ParseError):
+    """An unrecognized character or malformed literal in the condition text."""
+
+
+class SyntaxParseError(ParseError):
+    """The token stream does not match the Appendix A.1 grammar."""
+
+
+class SemanticError(ParseError):
+    """The condition parses but violates a semantic rule.
+
+    Examples: an empty conjunction, a tolerance outside ``(0, 1)``, or an
+    expression that references no variable (so its value is a constant and
+    testing it is vacuous).
+    """
+
+
+class ScriptError(ReproError):
+    """A ``.travis.yml``-style script is malformed or fails validation."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A statistical parameter is outside its valid domain.
+
+    Raised for example when ``delta`` is not in ``(0, 1)``, a tolerance is
+    non-positive, or a variance bound ``p`` exceeds the variable's range.
+    """
+
+
+class InfeasibleConditionError(ReproError):
+    """No finite testset can satisfy the requested guarantee.
+
+    This happens for degenerate requests such as a zero error tolerance, or
+    pattern optimizations whose preconditions exclude the supplied formula.
+    """
+
+
+class TestsetExhaustedError(ReproError):
+    """The testset's statistical budget is spent; a fresh testset is needed.
+
+    The CI engine raises this when a commit arrives after the *new testset
+    alarm* has fired (Section 2.3 of the paper) and no replacement testset
+    has been installed.
+    """
+
+    __test__ = False  # keep pytest from collecting the class
+
+
+class TestsetSizeError(ReproError):
+    """The provided testset is smaller than the sample-size estimate."""
+
+    __test__ = False
+
+
+class EngineStateError(ReproError):
+    """An operation is invalid in the engine's current lifecycle state."""
+
+
+class LabelBudgetExceededError(ReproError):
+    """An active-labeling step requested more labels than the pool holds."""
+
+
+class SimulationError(ReproError):
+    """A Monte-Carlo simulation was configured inconsistently."""

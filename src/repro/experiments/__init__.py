@@ -1,0 +1,45 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module owns one artifact (see DESIGN.md §3 for the experiment index)
+and exposes a ``run_*`` function returning plain dataclasses, which the
+``benchmarks/`` harness renders and the test suite asserts on:
+
+=========  ============================================  ==================
+module     paper artifact                                id
+=========  ============================================  ==================
+figure2    Figure 2 sample-size table                    E1
+figure3    Figure 3 label-complexity curves              E2
+figure4    Figure 4 bound-vs-empirical-error validation  E3
+figure5    Figure 5 SemEval CI traces                    E4
+figure6    Figure 6 accuracy-evolution series            E5
+intext     every in-text sample-size claim               E6
+practicality  §2.3 / §4.1.2 labeling-effort arithmetic   E7
+ablations  design-choice ablations                       E8
+=========  ============================================  ==================
+"""
+
+from repro.experiments import (  # noqa: F401 (re-exported submodules)
+    ablations,
+    extensions,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    intext,
+    practicality,
+    runner,
+)
+
+__all__ = [
+    "extensions",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "intext",
+    "practicality",
+    "ablations",
+    "runner",
+]

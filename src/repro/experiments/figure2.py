@@ -1,0 +1,120 @@
+"""Figure 2 (E1): baseline sample sizes for the use-case conditions.
+
+Regenerates the full table — conditions F1/F4 (single variable) and F2/F3
+(accuracy difference), adaptivity none vs. full, reliabilities 0.99 to
+0.99999, tolerances 0.1 to 0.01, at ``H = 32`` steps — using the §3
+baseline estimator.  The paper flags "impractical" cells in red; we carry
+a boolean using the §2.3 practicality budget (60K labels, the top of the
+"2–4 engineers for a day" window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators.api import SampleSizeEstimator
+
+__all__ = [
+    "RELIABILITIES",
+    "TOLERANCES",
+    "Figure2Row",
+    "run_figure2",
+]
+
+#: The 1 - delta grid of the paper's table.
+RELIABILITIES: tuple[float, ...] = (0.99, 0.999, 0.9999, 0.99999)
+
+#: The epsilon grid of the paper's table.
+TOLERANCES: tuple[float, ...] = (0.1, 0.05, 0.025, 0.01)
+
+#: Condition templates: F1/F4 reduce to a single [0,1] variable; F2/F3 to
+#: the difference of two.  Thresholds are irrelevant to the sample size.
+_CONDITION_F1 = "n > 0.8 +/- {eps}"
+_CONDITION_F2 = "n - o > 0.02 +/- {eps}"
+
+#: §2.3: 30–60K labels per testset is the acceptable window; above it a
+#: cell is flagged impractical (the paper's red entries).
+PRACTICALITY_BUDGET = 60_000
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One row of the Figure 2 table.
+
+    Attributes
+    ----------
+    reliability, tolerance:
+        Grid coordinates (``1 - delta`` and ``epsilon``).
+    f1_none, f1_full:
+        F1/F4 sample sizes under non-adaptive / fully-adaptive modes.
+    f2_none, f2_full:
+        F2/F3 sample sizes likewise.
+    """
+
+    reliability: float
+    tolerance: float
+    f1_none: int
+    f1_full: int
+    f2_none: int
+    f2_full: int
+
+    def impractical(self, budget: int = PRACTICALITY_BUDGET) -> dict[str, bool]:
+        """Which cells exceed the practicality budget."""
+        return {
+            "f1_none": self.f1_none > budget,
+            "f1_full": self.f1_full > budget,
+            "f2_none": self.f2_none > budget,
+            "f2_full": self.f2_full > budget,
+        }
+
+
+def run_figure2(steps: int = 32) -> list[Figure2Row]:
+    """Compute the full table with the §3 baseline estimator."""
+    estimator = SampleSizeEstimator(optimizations="none")
+    rows: list[Figure2Row] = []
+    for reliability in RELIABILITIES:
+        for eps in TOLERANCES:
+            sizes = {}
+            for key, template in (("f1", _CONDITION_F1), ("f2", _CONDITION_F2)):
+                for adaptivity in ("none", "full"):
+                    plan = estimator.plan(
+                        template.format(eps=eps),
+                        reliability=reliability,
+                        adaptivity=adaptivity,
+                        steps=steps,
+                    )
+                    sizes[f"{key}_{adaptivity}"] = plan.samples
+            rows.append(
+                Figure2Row(
+                    reliability=reliability,
+                    tolerance=eps,
+                    f1_none=sizes["f1_none"],
+                    f1_full=sizes["f1_full"],
+                    f2_none=sizes["f2_none"],
+                    f2_full=sizes["f2_full"],
+                )
+            )
+    return rows
+
+
+#: The paper's published Figure 2 values, keyed by (reliability, epsilon),
+#: in column order (F1 none, F1 full, F2 none, F2 full).  The test suite
+#: asserts exact agreement.
+PAPER_FIGURE2: dict[tuple[float, float], tuple[int, int, int, int]] = {
+    (0.99, 0.1): (404, 1340, 1753, 5496),
+    (0.99, 0.05): (1615, 5358, 7012, 21984),
+    (0.99, 0.025): (6457, 21429, 28045, 87933),
+    (0.99, 0.01): (40355, 133930, 175282, 549581),
+    (0.999, 0.1): (519, 1455, 2214, 5957),
+    (0.999, 0.05): (2075, 5818, 8854, 23826),
+    (0.999, 0.025): (8299, 23271, 35414, 95302),
+    (0.999, 0.01): (51868, 145443, 221333, 595633),
+    (0.9999, 0.1): (634, 1570, 2674, 6417),
+    (0.9999, 0.05): (2536, 6279, 10696, 25668),
+    (0.9999, 0.025): (10141, 25113, 42782, 102670),
+    (0.9999, 0.01): (63381, 156956, 267385, 641684),
+    (0.99999, 0.1): (749, 1685, 3135, 6878),
+    (0.99999, 0.05): (2996, 6739, 12538, 27510),
+    (0.99999, 0.025): (11983, 26955, 50150, 110038),
+    (0.99999, 0.01): (74894, 168469, 313437, 687736),
+}

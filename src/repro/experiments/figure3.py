@@ -1,0 +1,105 @@
+"""Figure 3 (E2): impact of epsilon, delta and p on label complexity.
+
+Three sweeps over the F5-style condition ``d < p /\\ n - o > c`` with
+``H = 32`` non-adaptive steps, each comparing three label costs:
+
+* **baseline** — §3 Hoeffding sizing of the gain clause (267,385 labels at
+  one-point tolerance and 0.9999 reliability);
+* **optimized** — Pattern 1 Bennett sizing (29,048 labels at ``p = 0.1``,
+  the ~10x improvement);
+* **active** — fresh labels per commit under active labeling (a further
+  factor ``~p``).
+
+Sweep A varies ``epsilon`` at fixed ``(delta, p)``; sweep B varies ``p``
+at fixed ``(epsilon, delta)``; sweep C varies ``delta`` at fixed
+``(epsilon, p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators.api import SampleSizeEstimator
+
+__all__ = ["Figure3Point", "sweep_epsilon", "sweep_variance_bound", "sweep_delta"]
+
+_CONDITION = "d < {p} +/- {eps} /\\ n - o > 0.02 +/- {eps}"
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point on a Figure 3 curve.
+
+    Attributes
+    ----------
+    epsilon, delta, variance_bound:
+        The sweep coordinates (one varies per sweep).
+    baseline_labels:
+        Hoeffding sizing of the same formula (optimizations off).
+    optimized_labels:
+        Pattern 1 (Bennett) label requirement.
+    active_labels_per_commit:
+        Fresh labels per commit under active labeling.
+    improvement:
+        ``baseline / optimized``.
+    """
+
+    epsilon: float
+    delta: float
+    variance_bound: float
+    baseline_labels: int
+    optimized_labels: int
+    active_labels_per_commit: int
+    improvement: float
+
+
+def _point(eps: float, delta: float, p: float, steps: int) -> Figure3Point:
+    condition = _CONDITION.format(p=p, eps=eps)
+    baseline = SampleSizeEstimator(optimizations="none").plan(
+        condition, delta=delta, adaptivity="none", steps=steps
+    )
+    optimized = SampleSizeEstimator().plan(
+        condition, delta=delta, adaptivity="none", steps=steps
+    )
+    return Figure3Point(
+        epsilon=eps,
+        delta=delta,
+        variance_bound=p,
+        baseline_labels=baseline.samples,
+        optimized_labels=optimized.samples,
+        active_labels_per_commit=optimized.labels_per_evaluation,
+        improvement=baseline.samples / optimized.samples,
+    )
+
+
+def sweep_epsilon(
+    *,
+    epsilons: tuple[float, ...] = (0.1, 0.05, 0.025, 0.01, 0.005),
+    delta: float = 1e-4,
+    variance_bound: float = 0.1,
+    steps: int = 32,
+) -> list[Figure3Point]:
+    """Label complexity as the tolerance tightens (the O(1/eps^2) wall)."""
+    return [_point(eps, delta, variance_bound, steps) for eps in epsilons]
+
+
+def sweep_variance_bound(
+    *,
+    variance_bounds: tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.5),
+    epsilon: float = 0.01,
+    delta: float = 1e-4,
+    steps: int = 32,
+) -> list[Figure3Point]:
+    """Label complexity as the disagreement cap grows (improvement shrinks)."""
+    return [_point(epsilon, delta, p, steps) for p in variance_bounds]
+
+
+def sweep_delta(
+    *,
+    deltas: tuple[float, ...] = (1e-2, 1e-3, 1e-4, 1e-5),
+    epsilon: float = 0.01,
+    variance_bound: float = 0.1,
+    steps: int = 32,
+) -> list[Figure3Point]:
+    """Label complexity as reliability tightens (logarithmic, cheap)."""
+    return [_point(epsilon, d, variance_bound, steps) for d in deltas]

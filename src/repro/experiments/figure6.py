@@ -1,0 +1,64 @@
+"""Figure 6 (E5): development vs. test accuracy over the eight iterations.
+
+The companion series to Figure 5: the developer's validation accuracy
+climbs monotonically while the true test accuracy peaks at iteration 7 and
+dips at the final submission — which is why a CI system that leaves
+iteration 7 active "correlates with the test accuracy evolution" even
+though the developer would have picked her last commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.datasets.emotion import SemEvalHistory, make_semeval_history
+
+__all__ = ["AccuracyEvolution", "run_figure6"]
+
+
+@dataclass(frozen=True)
+class AccuracyEvolution:
+    """The two Figure 6 series plus derived checkpoints.
+
+    Attributes
+    ----------
+    iterations:
+        1-based iteration indices.
+    dev_accuracy:
+        Developer-side validation accuracy per iteration (scripted).
+    test_accuracy:
+        Measured accuracy of each scripted model on the held-out testset.
+    best_test_iteration:
+        Iteration with the highest test accuracy (should be 7).
+    dev_monotone:
+        Whether the dev series is non-decreasing (it is, by design).
+    """
+
+    iterations: tuple[int, ...]
+    dev_accuracy: tuple[float, ...]
+    test_accuracy: tuple[float, ...]
+    best_test_iteration: int
+    dev_monotone: bool
+
+
+def run_figure6(history: SemEvalHistory | None = None) -> AccuracyEvolution:
+    """Measure both series from the scripted history."""
+    if history is None:
+        history = make_semeval_history()
+    dev = tuple(it.dev_accuracy for it in history.iterations)
+    test = tuple(
+        float(np.mean(model.predictions == history.labels))
+        for model in history.models
+    )
+    indices = tuple(it.index for it in history.iterations)
+    best = indices[int(np.argmax(test))]
+    monotone = all(b >= a for a, b in zip(dev, dev[1:]))
+    return AccuracyEvolution(
+        iterations=indices,
+        dev_accuracy=dev,
+        test_accuracy=test,
+        best_test_iteration=best,
+        dev_monotone=monotone,
+    )

@@ -1,0 +1,117 @@
+"""E7: the §2.3 practicality analysis and §4.1.2 labeling arithmetic.
+
+Three claims are quantified:
+
+1. "30,000 to 60,000 is what 2 to 4 engineers can label in a day (8
+   hours) at a rate of 2 seconds per label" — the per-testset budget that
+   defines "practical";
+2. the "cheap mode": relaxing the tolerance by one or two points cuts the
+   label bill by roughly 10x;
+3. §4.1.2: with active labeling at 5 s/label, the 2,188 fresh labels a
+   daily commit needs cost about 3 hours of one labeler's day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.ml.labeling import LabelingCostModel
+
+__all__ = [
+    "PracticalityBudget",
+    "CheapModeRow",
+    "run_budget_analysis",
+    "run_cheap_mode",
+    "run_active_labeling_effort",
+]
+
+
+@dataclass(frozen=True)
+class PracticalityBudget:
+    """Labels-per-day capacity of labeling teams (§2.3)."""
+
+    team_size: int
+    seconds_per_label: float
+    hours_per_day: float
+    labels_per_day: int
+
+
+def run_budget_analysis() -> list[PracticalityBudget]:
+    """Capacity of 2–4 engineer teams at 2 s/label, 8 h days."""
+    out = []
+    for team in (2, 3, 4):
+        model = LabelingCostModel(seconds_per_label=2.0, team_size=team)
+        out.append(
+            PracticalityBudget(
+                team_size=team,
+                seconds_per_label=2.0,
+                hours_per_day=8.0,
+                labels_per_day=model.labels_per_day(),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class CheapModeRow:
+    """Label cost at a relaxed tolerance, relative to the strict one."""
+
+    tolerance: float
+    labels: int
+    reduction_vs_strict: float
+
+
+def run_cheap_mode(
+    *,
+    condition_template: str = "n - o > 0.02 +/- {eps}",
+    strict_tolerance: float = 0.01,
+    relaxed_tolerances: tuple[float, ...] = (0.02, 0.025, 0.03),
+    delta: float = 1e-4,
+    steps: int = 32,
+) -> list[CheapModeRow]:
+    """The "cheap mode": +1–2 points of tolerance → ~10x fewer labels."""
+    estimator = SampleSizeEstimator(optimizations="none")
+
+    def labels(eps: float) -> int:
+        return estimator.plan(
+            condition_template.format(eps=eps),
+            delta=delta,
+            adaptivity="none",
+            steps=steps,
+        ).samples
+
+    strict = labels(strict_tolerance)
+    rows = [CheapModeRow(tolerance=strict_tolerance, labels=strict, reduction_vs_strict=1.0)]
+    for eps in relaxed_tolerances:
+        relaxed = labels(eps)
+        rows.append(
+            CheapModeRow(
+                tolerance=eps,
+                labels=relaxed,
+                reduction_vs_strict=strict / relaxed,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ActiveLabelingEffort:
+    """§4.1.2: daily human cost of active labeling."""
+
+    labels_per_commit: int
+    seconds_per_label: float
+    hours_per_day: float
+
+
+def run_active_labeling_effort(
+    labels_per_commit: int = 2_188, seconds_per_label: float = 5.0
+) -> ActiveLabelingEffort:
+    """Hours per day to keep up with one commit per day (paper: ~3 h)."""
+    model = LabelingCostModel(seconds_per_label=seconds_per_label)
+    effort = model.effort(labels_per_commit)
+    return ActiveLabelingEffort(
+        labels_per_commit=labels_per_commit,
+        seconds_per_label=seconds_per_label,
+        hours_per_day=effort.person_hours,
+    )

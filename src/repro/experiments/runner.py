@@ -1,0 +1,151 @@
+"""Run every experiment and persist JSON artifacts.
+
+``python -m repro experiments --output results/`` executes the E1–E9
+drivers and writes one JSON file per experiment plus a ``summary.json``
+with headline agreement checks.  The artifacts are plain JSON (via
+:mod:`repro.utils.serialization`) so reproduction records can be diffed
+across library versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.utils.serialization import dumps
+
+__all__ = ["ExperimentRecord", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One persisted experiment artifact."""
+
+    experiment_id: str
+    description: str
+    path: Path
+
+
+def _experiments(quick: bool) -> list[tuple[str, str, Callable[[], Any]]]:
+    """The (id, description, runner) registry.
+
+    ``quick`` shrinks the Monte-Carlo workloads (used by tests); the
+    default sizes match the benchmark harness.
+    """
+    from repro.experiments import (
+        ablations,
+        extensions,
+        figure2,
+        figure3,
+        figure4,
+        figure5,
+        figure6,
+        intext,
+        practicality,
+    )
+
+    replicates = 2_000 if quick else 20_000
+
+    return [
+        ("E1-figure2", "baseline sample-size table", figure2.run_figure2),
+        (
+            "E2-figure3",
+            "label-complexity sweeps",
+            lambda: {
+                "epsilon": figure3.sweep_epsilon(),
+                "variance_bound": figure3.sweep_variance_bound(),
+                "delta": figure3.sweep_delta(),
+            },
+        ),
+        (
+            "E3-figure4",
+            "bound-vs-empirical validity",
+            lambda: figure4.run_figure4(n_replicates=replicates),
+        ),
+        ("E4-figure5", "SemEval CI traces", figure5.run_figure5),
+        ("E5-figure6", "accuracy evolution", figure6.run_figure6),
+        ("E6-intext", "in-text claims", intext.run_intext),
+        (
+            "E7-practicality",
+            "labeling-effort arithmetic",
+            lambda: {
+                "budgets": practicality.run_budget_analysis(),
+                "cheap_mode": practicality.run_cheap_mode(),
+                "active_effort": practicality.run_active_labeling_effort(),
+            },
+        ),
+        (
+            "E8-ablations",
+            "design-choice ablations",
+            lambda: {
+                "reusable_vs_disposable": ablations.run_reusable_vs_disposable(),
+                "allocation": ablations.run_allocation_ablation(),
+                "tight_bounds": ablations.run_tight_bound_ablation(),
+                "adaptive_attack": ablations.run_adaptive_attack(
+                    n_replicates=2 if quick else 8
+                ),
+            },
+        ),
+        (
+            "E9-extensions",
+            "extension studies",
+            lambda: {
+                "stratified": extensions.run_stratified_ablation(),
+                "metric_tax": extensions.run_metric_tax(),
+                "drift_budget": extensions.run_drift_budget(),
+                "figure4_paired": figure4.run_figure4_paired(
+                    n_replicates=replicates
+                ),
+            },
+        ),
+    ]
+
+
+def run_all(output_dir: str | Path, *, quick: bool = False) -> list[ExperimentRecord]:
+    """Execute every experiment, writing one JSON artifact each.
+
+    Parameters
+    ----------
+    output_dir:
+        Directory for the artifacts (created if missing).
+    quick:
+        Shrink Monte-Carlo workloads for fast smoke runs.
+
+    Returns
+    -------
+    list[ExperimentRecord]
+        One record per written artifact (summary.json excluded).
+    """
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    records: list[ExperimentRecord] = []
+    summary: dict[str, Any] = {}
+    for experiment_id, description, runner in _experiments(quick):
+        result = runner()
+        path = output / f"{experiment_id}.json"
+        path.write_text(dumps(result))
+        records.append(
+            ExperimentRecord(
+                experiment_id=experiment_id, description=description, path=path
+            )
+        )
+        summary[experiment_id] = description
+
+    # Headline agreement checks folded into the summary.
+    from repro.experiments.figure2 import PAPER_FIGURE2, run_figure2
+    from repro.experiments.intext import run_intext
+
+    figure2_exact = all(
+        (r.f1_none, r.f1_full, r.f2_none, r.f2_full)
+        == PAPER_FIGURE2[(r.reliability, r.tolerance)]
+        for r in run_figure2()
+    )
+    intext_claims = run_intext()
+    summary["checks"] = {
+        "figure2_all_cells_exact": figure2_exact,
+        "intext_claims_total": len(intext_claims),
+        "intext_claims_matching": sum(c.matches for c in intext_claims),
+    }
+    (output / "summary.json").write_text(dumps(summary))
+    return records

@@ -1,0 +1,55 @@
+"""ML substrate: models, dataset generators, labeling workflows.
+
+Everything the paper's evaluation depends on but does not itself
+contribute: classifiers to commit (both *really trained* ones and
+precisely calibrated simulated ones), synthetic stand-ins for the paper's
+datasets (infinite MNIST, the SemEval-2019 Task 3 corpus, the ImageNet
+model zoo), and the labeling-effort machinery behind the practicality
+analysis (§2.3, §4.1.2).
+"""
+
+from repro.ml.models.base import Model, FixedPredictionModel
+from repro.ml.models.simulated import (
+    JointBuckets,
+    ModelPairSpec,
+    SimulatedPair,
+    simulate_model_pair,
+    simulate_accuracy_model,
+    evolve_predictions,
+)
+from repro.ml.models.linear import SoftmaxRegression
+from repro.ml.models.naive_bayes import MultinomialNaiveBayes
+from repro.ml.models.knn import KNearestNeighbors
+from repro.ml.models.majority import MajorityClassModel
+from repro.ml.labeling import LabelOracle, LabelingCostModel
+from repro.ml.metrics import (
+    accuracy,
+    disagreement,
+    disagreement_matrix,
+    confusion_matrix,
+    f1_scores,
+    macro_f1,
+)
+
+__all__ = [
+    "Model",
+    "FixedPredictionModel",
+    "JointBuckets",
+    "ModelPairSpec",
+    "SimulatedPair",
+    "simulate_model_pair",
+    "simulate_accuracy_model",
+    "evolve_predictions",
+    "SoftmaxRegression",
+    "MultinomialNaiveBayes",
+    "KNearestNeighbors",
+    "MajorityClassModel",
+    "LabelOracle",
+    "LabelingCostModel",
+    "accuracy",
+    "disagreement",
+    "disagreement_matrix",
+    "confusion_matrix",
+    "f1_scores",
+    "macro_f1",
+]

@@ -1,0 +1,28 @@
+"""Synthetic dataset generators standing in for the paper's data sources.
+
+Each generator documents which paper artifact it substitutes and why the
+substitution preserves the behaviour under test (see DESIGN.md §2).
+"""
+
+from repro.ml.datasets.synthetic import make_blobs_classification
+from repro.ml.datasets.mnist_like import InfiniteDigitStream
+from repro.ml.datasets.emotion import (
+    EMOTION_CLASSES,
+    EmotionDatasetGenerator,
+    SemEvalHistory,
+    ScriptedIteration,
+    make_semeval_history,
+)
+from repro.ml.datasets.model_zoo import ImageNetZoo, ZooModel
+
+__all__ = [
+    "make_blobs_classification",
+    "InfiniteDigitStream",
+    "EMOTION_CLASSES",
+    "EmotionDatasetGenerator",
+    "SemEvalHistory",
+    "ScriptedIteration",
+    "make_semeval_history",
+    "ImageNetZoo",
+    "ZooModel",
+]

@@ -1,0 +1,322 @@
+"""SemEval-2019 Task 3 stand-in: emotion classification workload (§5.2).
+
+**Substitution note (Figures 5 and 6).**  The paper replays eight models
+that were incrementally developed for the EmoContext competition
+(classify an utterance as Happy / Sad / Angry / Others) against the
+5,509-item test set released after the competition.  Neither the models
+nor the data are distributable here, so this module provides:
+
+* :class:`EmotionDatasetGenerator` — a synthetic emotion-text corpus
+  (class-conditional unigram bags over a shared vocabulary) on which real
+  classifiers (naive Bayes, softmax regression) can be trained, for the
+  end-to-end example;
+* :func:`make_semeval_history` — a **scripted development history**: eight
+  :class:`~repro.ml.models.base.FixedPredictionModel`\\ s over a
+  5,509-example testset whose accuracy trajectory and pairwise prediction
+  differences reproduce the properties the paper's experiment depends on:
+
+  - dev accuracy increases monotonically while test accuracy peaks at
+    iteration 7 and dips at iteration 8 (Figure 6's shape, which makes
+    the CI system's choice of the second-to-last model "correlate with
+    the test accuracy evolution");
+  - **any two** submissions differ on at most 10% of predictions (the
+    fact the paper's Pattern 2 optimization exploits, ``p = 0.1``).
+
+  The construction reserves a "volatile" region of 10% of the examples:
+  all models agree outside it, so every pairwise difference is bounded by
+  the region size; accuracies are tuned inside it with exact counts, so
+  the engine's measured gains match the scripted trajectory to ``1/N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.ml.models.base import FixedPredictionModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "EMOTION_CLASSES",
+    "EmotionDatasetGenerator",
+    "ScriptedIteration",
+    "SemEvalHistory",
+    "make_semeval_history",
+    "DEFAULT_TEST_ACCURACIES",
+    "DEFAULT_DEV_ACCURACIES",
+]
+
+#: The four EmoContext classes (class 0 is the dominant "others").
+EMOTION_CLASSES: tuple[str, ...] = ("others", "happy", "sad", "angry")
+
+#: Scripted test-accuracy trajectory (see module docstring).  Chosen so
+#: that under the paper's three Figure 5 conditions the pass/fail traces
+#: end with iteration 7 active: one >4-point jump at iteration 7, a dip at
+#: iteration 8, small positive gains elsewhere (with one regression at
+#: iteration 4 so fn-free also shows a FAIL).
+DEFAULT_TEST_ACCURACIES: tuple[float, ...] = (
+    0.820,
+    0.833,
+    0.845,
+    0.842,
+    0.851,
+    0.858,
+    0.864,
+    0.861,
+)
+
+#: Scripted development-set trajectory (monotone, as in Figure 6: the
+#: developer always sees progress on her own validation data).
+DEFAULT_DEV_ACCURACIES: tuple[float, ...] = (
+    0.801,
+    0.842,
+    0.853,
+    0.861,
+    0.868,
+    0.874,
+    0.883,
+    0.889,
+)
+
+
+@dataclass(frozen=True)
+class ScriptedIteration:
+    """Metadata for one scripted development iteration.
+
+    Attributes
+    ----------
+    index:
+        1-based iteration number (matching the paper's "Iteration k").
+    dev_accuracy:
+        Accuracy on the developer's own validation data.
+    test_accuracy:
+        True accuracy on the held-out competition testset.
+    description:
+        What the (fictional) developer changed this iteration.
+    """
+
+    index: int
+    dev_accuracy: float
+    test_accuracy: float
+    description: str
+
+
+_ITERATION_NOTES = (
+    "baseline: bag-of-words logistic regression",
+    "add pretrained word embeddings",
+    "bidirectional LSTM encoder",
+    "aggressive dropout (overshoots)",
+    "tune dropout and learning rate",
+    "add attention pooling",
+    "ensemble of three seeds",
+    "larger ensemble (overfits dev)",
+)
+
+
+@dataclass(frozen=True)
+class SemEvalHistory:
+    """A scripted 8-model development history over a shared testset.
+
+    Attributes
+    ----------
+    labels:
+        Ground-truth labels of the testset (size 5,509 by default).
+    models:
+        One :class:`FixedPredictionModel` per iteration, in submission
+        order.
+    iterations:
+        Per-iteration metadata (dev/test accuracy, notes).
+    volatile_fraction:
+        The any-pair prediction-difference bound used in construction.
+    """
+
+    labels: np.ndarray
+    models: tuple[FixedPredictionModel, ...]
+    iterations: tuple[ScriptedIteration, ...]
+    volatile_fraction: float
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    @property
+    def testset_size(self) -> int:
+        """Number of labeled test items (5,509 in the paper)."""
+        return len(self.labels)
+
+    def pairwise_difference(self, i: int, j: int) -> float:
+        """Empirical prediction-difference rate between iterations i and j
+        (0-based)."""
+        a = self.models[i].predictions
+        b = self.models[j].predictions
+        return float(np.mean(a != b))
+
+    def max_pairwise_difference(self) -> float:
+        """The largest difference over all model pairs (must be <= 10%)."""
+        worst = 0.0
+        for i in range(len(self.models)):
+            for j in range(i + 1, len(self.models)):
+                worst = max(worst, self.pairwise_difference(i, j))
+        return worst
+
+
+def make_semeval_history(
+    *,
+    n_examples: int = 5509,
+    test_accuracies: tuple[float, ...] = DEFAULT_TEST_ACCURACIES,
+    dev_accuracies: tuple[float, ...] = DEFAULT_DEV_ACCURACIES,
+    volatile_fraction: float = 0.1,
+    seed=7,
+) -> SemEvalHistory:
+    """Construct the scripted history (see module docstring).
+
+    Raises
+    ------
+    SimulationError
+        When the accuracy trajectory cannot be realized inside the
+        volatile region (targets too spread out for the given fraction).
+    """
+    n_examples = check_positive_int(n_examples, "n_examples")
+    if len(test_accuracies) != len(dev_accuracies):
+        raise SimulationError("test and dev trajectories must have equal length")
+    rng = ensure_rng(seed)
+    n_classes = len(EMOTION_CLASSES)
+    labels = rng.integers(0, n_classes, size=n_examples)
+
+    volatile_size = int(round(volatile_fraction * n_examples))
+    volatile = rng.choice(n_examples, size=volatile_size, replace=False)
+    stable = np.setdiff1d(np.arange(n_examples), volatile)
+
+    # Stable region: shared predictions for every model.  Its correctness
+    # rate anchors the achievable accuracy window.
+    stable_correct_rate = 0.88
+    n_stable_correct = int(round(stable_correct_rate * len(stable)))
+    stable_correct = rng.choice(stable, size=n_stable_correct, replace=False)
+    stable_wrong = np.setdiff1d(stable, stable_correct)
+
+    shared = labels.copy()
+    # All models make the *same* mistake on stable-wrong examples.
+    shared[stable_wrong] = (labels[stable_wrong] + 1) % n_classes
+
+    models: list[FixedPredictionModel] = []
+    iterations: list[ScriptedIteration] = []
+    for k, (test_acc, dev_acc) in enumerate(zip(test_accuracies, dev_accuracies)):
+        target_correct = int(round(test_acc * n_examples))
+        inside_correct = target_correct - len(stable_correct)
+        if not 0 <= inside_correct <= volatile_size:
+            raise SimulationError(
+                f"iteration {k + 1}: target accuracy {test_acc} needs "
+                f"{inside_correct} correct volatile examples, outside "
+                f"[0, {volatile_size}]"
+            )
+        predictions = shared.copy()
+        correct_subset = rng.choice(volatile, size=inside_correct, replace=False)
+        wrong_subset = np.setdiff1d(volatile, correct_subset)
+        predictions[correct_subset] = labels[correct_subset]
+        # Distinct wrong-class offsets across iterations make even
+        # both-wrong volatile examples disagree between most model pairs.
+        offset = 1 + (k % (n_classes - 1))
+        predictions[wrong_subset] = (labels[wrong_subset] + offset) % n_classes
+        note = _ITERATION_NOTES[k % len(_ITERATION_NOTES)]
+        models.append(
+            FixedPredictionModel(predictions, name=f"iteration-{k + 1}")
+        )
+        iterations.append(
+            ScriptedIteration(
+                index=k + 1,
+                dev_accuracy=dev_acc,
+                test_accuracy=test_acc,
+                description=note,
+            )
+        )
+    return SemEvalHistory(
+        labels=labels,
+        models=tuple(models),
+        iterations=tuple(iterations),
+        volatile_fraction=volatile_fraction,
+    )
+
+
+class EmotionDatasetGenerator:
+    """Synthetic emotion-text corpus: class-conditional unigram bags.
+
+    Each class has a token distribution over a shared vocabulary: a common
+    core (function words, shared by all classes) plus class-specific
+    emotion vocabulary.  Utterances are bags of tokens; features are count
+    vectors — the natural input for multinomial naive Bayes and a fine
+    input for softmax regression.
+
+    Parameters
+    ----------
+    vocabulary_size:
+        Total vocabulary (first ``n_core`` tokens are shared).
+    core_fraction:
+        Fraction of each utterance drawn from the shared core (higher is
+        harder).
+    mean_length:
+        Mean utterance length (Poisson).
+    class_priors:
+        Class probabilities; defaults to an "others"-heavy prior
+        (0.5, 0.17, 0.17, 0.16) matching the task's skew.
+    seed:
+        Seed for the class-distribution construction.
+    """
+
+    def __init__(
+        self,
+        *,
+        vocabulary_size: int = 300,
+        core_fraction: float = 0.7,
+        mean_length: float = 12.0,
+        class_priors: tuple[float, ...] = (0.5, 0.17, 0.17, 0.16),
+        seed=0,
+    ):
+        self.vocabulary_size = check_positive_int(vocabulary_size, "vocabulary_size")
+        if not 0.0 <= core_fraction < 1.0:
+            raise SimulationError("core_fraction must be in [0, 1)")
+        if abs(sum(class_priors) - 1.0) > 1e-9:
+            raise SimulationError("class_priors must sum to 1")
+        if len(class_priors) != len(EMOTION_CLASSES):
+            raise SimulationError(
+                f"need {len(EMOTION_CLASSES)} class priors, got {len(class_priors)}"
+            )
+        self.core_fraction = core_fraction
+        self.mean_length = mean_length
+        self.class_priors = np.asarray(class_priors)
+        rng = ensure_rng(seed)
+        n_core = self.vocabulary_size // 2
+        self.n_core = n_core
+        core = rng.dirichlet(np.ones(n_core))
+        n_specific = self.vocabulary_size - n_core
+        per_class = n_specific // len(EMOTION_CLASSES)
+        self.token_distributions = np.zeros(
+            (len(EMOTION_CLASSES), self.vocabulary_size)
+        )
+        for c in range(len(EMOTION_CLASSES)):
+            dist = np.zeros(self.vocabulary_size)
+            dist[:n_core] = core * self.core_fraction
+            lo = n_core + c * per_class
+            hi = n_core + (c + 1) * per_class if c < len(EMOTION_CLASSES) - 1 else None
+            block = slice(lo, hi)
+            width = (self.vocabulary_size - lo) if hi is None else per_class
+            dist[block] = rng.dirichlet(np.ones(width)) * (1.0 - self.core_fraction)
+            self.token_distributions[c] = dist / dist.sum()
+
+    def sample(self, n_examples: int, seed=None) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``(count_features, labels)``; counts have shape
+        ``(n_examples, vocabulary_size)``."""
+        n_examples = check_positive_int(n_examples, "n_examples")
+        rng = ensure_rng(seed)
+        labels = rng.choice(len(EMOTION_CLASSES), size=n_examples, p=self.class_priors)
+        lengths = np.maximum(1, rng.poisson(self.mean_length, size=n_examples))
+        counts = np.zeros((n_examples, self.vocabulary_size), dtype=np.int64)
+        # One batched multinomial per class (Generator.multinomial
+        # broadcasts over the per-utterance length vector).
+        for c in range(len(EMOTION_CLASSES)):
+            idx = np.flatnonzero(labels == c)
+            if len(idx) == 0:
+                continue
+            counts[idx] = rng.multinomial(lengths[idx], self.token_distributions[c])
+        return counts, labels

@@ -1,0 +1,160 @@
+"""ImageNet-winners disagreement zoo (motivation for Pattern 2, §4.2).
+
+**Substitution note.**  The paper observes that AlexNet, GoogLeNet,
+AlexNet-BN, VGG and ResNet — five years of ImageNet progress — disagree on
+at most 25% of top-1 predictions (15% for top-5 correctness), concluding
+that consecutive CI commits will typically differ far less.  This module
+generates five prediction vectors with exactly that envelope: a shared
+"stable" region of configurable size outside which all models agree, so
+every pairwise top-1 difference is bounded by the volatile fraction, with
+per-model accuracies matching the historical top-1 numbers.  The only
+property downstream code consumes is the disagreement/accuracy geometry,
+which is preserved by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.ml.models.base import FixedPredictionModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ZooModel", "ImageNetZoo"]
+
+#: Historical top-1 accuracies (approximate, single-crop).
+_ZOO_SPECS: tuple[tuple[str, float], ...] = (
+    ("AlexNet", 0.57),
+    ("AlexNet-BN", 0.60),
+    ("GoogLeNet", 0.69),
+    ("VGG", 0.71),
+    ("ResNet", 0.76),
+)
+
+
+@dataclass(frozen=True)
+class ZooModel:
+    """One zoo member: name, target accuracy, prediction model."""
+
+    name: str
+    target_accuracy: float
+    model: FixedPredictionModel
+
+
+class ImageNetZoo:
+    """Five models over one labeled evaluation set with bounded disagreement.
+
+    Parameters
+    ----------
+    n_examples:
+        Evaluation-set size (default 10,000).
+    n_classes:
+        Label-space size (default 1,000, the ImageNet convention).
+    volatile_fraction:
+        Upper bound on any pairwise top-1 disagreement (default 0.25,
+        the paper's observation).
+    seed:
+        RNG seed.
+
+    Notes
+    -----
+    Accuracies are produced inside the volatile region on top of a shared
+    stable region, exactly like the SemEval history construction; the
+    spread of target accuracies (0.57–0.76) must fit within the volatile
+    fraction, which 0.25 does (0.19 < 0.25).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_examples: int = 10_000,
+        n_classes: int = 1_000,
+        volatile_fraction: float = 0.25,
+        seed=0,
+    ):
+        n_examples = check_positive_int(n_examples, "n_examples")
+        n_classes = check_positive_int(n_classes, "n_classes")
+        accuracies = [acc for _, acc in _ZOO_SPECS]
+        spread = max(accuracies) - min(accuracies)
+        if spread > volatile_fraction:
+            raise SimulationError(
+                f"accuracy spread {spread:g} exceeds volatile fraction "
+                f"{volatile_fraction:g}"
+            )
+        rng = ensure_rng(seed)
+        self.n_classes = n_classes
+        self.labels = rng.integers(0, n_classes, size=n_examples)
+
+        volatile_size = int(round(volatile_fraction * n_examples))
+        volatile = rng.choice(n_examples, size=volatile_size, replace=False)
+        stable = np.setdiff1d(np.arange(n_examples), volatile)
+        # Choose the stable correctness so every target fits the volatile
+        # capacity: stable_correct <= min_acc * n and
+        # (max_acc * n - stable_correct) <= volatile_size.
+        lo = max(0.0, max(accuracies) - volatile_fraction)
+        stable_rate = (lo + min(accuracies)) / 2.0 / (1.0 - volatile_fraction)
+        n_stable_correct = int(round(stable_rate * len(stable)))
+        stable_correct = rng.choice(stable, size=n_stable_correct, replace=False)
+        stable_wrong = np.setdiff1d(stable, stable_correct)
+        shared = self.labels.copy()
+        shared[stable_wrong] = (self.labels[stable_wrong] + 1) % n_classes
+
+        members: list[ZooModel] = []
+        for k, (name, acc) in enumerate(_ZOO_SPECS):
+            target_correct = int(round(acc * n_examples))
+            inside_correct = target_correct - n_stable_correct
+            if not 0 <= inside_correct <= volatile_size:
+                raise SimulationError(
+                    f"{name}: cannot realize accuracy {acc} inside the "
+                    "volatile region"
+                )
+            predictions = shared.copy()
+            correct_subset = rng.choice(volatile, size=inside_correct, replace=False)
+            wrong_subset = np.setdiff1d(volatile, correct_subset)
+            predictions[correct_subset] = self.labels[correct_subset]
+            offset = 1 + (k % (n_classes - 1))
+            predictions[wrong_subset] = (self.labels[wrong_subset] + offset) % n_classes
+            members.append(
+                ZooModel(
+                    name=name,
+                    target_accuracy=acc,
+                    model=FixedPredictionModel(predictions, name=name),
+                )
+            )
+        self.members: tuple[ZooModel, ...] = tuple(members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def accuracy_of(self, name: str) -> float:
+        """Empirical accuracy of a member on the shared evaluation set."""
+        member = self._lookup(name)
+        return float(np.mean(member.model.predictions == self.labels))
+
+    def disagreement(self, name_a: str, name_b: str) -> float:
+        """Pairwise top-1 prediction-difference rate."""
+        a = self._lookup(name_a).model.predictions
+        b = self._lookup(name_b).model.predictions
+        return float(np.mean(a != b))
+
+    def max_pairwise_disagreement(self) -> float:
+        """The largest pairwise disagreement (paper: <= 25%)."""
+        worst = 0.0
+        for i in range(len(self.members)):
+            for j in range(i + 1, len(self.members)):
+                a = self.members[i].model.predictions
+                b = self.members[j].model.predictions
+                worst = max(worst, float(np.mean(a != b)))
+        return worst
+
+    def _lookup(self, name: str) -> ZooModel:
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise KeyError(
+            f"unknown zoo model {name!r}; members: "
+            f"{[m.name for m in self.members]}"
+        )

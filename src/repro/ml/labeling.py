@@ -1,0 +1,149 @@
+"""Labeling effort: oracles and the §2.3 / §4.1.2 cost model.
+
+The paper's practicality argument is denominated in human labeling time:
+"30,000 to 60,000 [labels] is what 2 to 4 engineers can label in a day (8
+hours) at a rate of 2 seconds per label", and under active labeling "a
+labeling throughput of 5 seconds per label [means] the labeling team only
+needs to commit 3 hours a day".  :class:`LabelingCostModel` encodes that
+arithmetic; :class:`LabelOracle` simulates the labeling team against a
+ground-truth array while metering consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LabelBudgetExceededError
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["LabelOracle", "LabelingCostModel", "LabelingEffort"]
+
+
+@dataclass(frozen=True)
+class LabelingEffort:
+    """Human effort implied by a labeling request.
+
+    Attributes
+    ----------
+    n_labels:
+        Labels requested.
+    seconds:
+        Total labeling seconds (one labeler).
+    person_hours:
+        ``seconds / 3600``.
+    person_days:
+        Days of work for one labeler at the cost model's workday length.
+    team_days:
+        Days for the whole team working in parallel.
+    """
+
+    n_labels: int
+    seconds: float
+    person_hours: float
+    person_days: float
+    team_days: float
+
+
+class LabelingCostModel:
+    """Converts label counts into human time (§2.3 arithmetic).
+
+    Parameters
+    ----------
+    seconds_per_label:
+        Throughput of one labeler (2 s in §2.3; 5 s in §4.1.2's
+        "well designed interface" scenario).
+    team_size:
+        Number of labelers working in parallel.
+    hours_per_day:
+        Workday length (8 h in the paper).
+    """
+
+    def __init__(
+        self,
+        seconds_per_label: float = 2.0,
+        team_size: int = 1,
+        hours_per_day: float = 8.0,
+    ):
+        self.seconds_per_label = check_positive(seconds_per_label, "seconds_per_label")
+        self.team_size = check_positive_int(team_size, "team_size")
+        self.hours_per_day = check_positive(hours_per_day, "hours_per_day")
+
+    def effort(self, n_labels: int) -> LabelingEffort:
+        """Effort to produce ``n_labels`` labels."""
+        if n_labels < 0:
+            raise LabelBudgetExceededError(f"negative label count {n_labels}")
+        seconds = n_labels * self.seconds_per_label
+        person_hours = seconds / 3600.0
+        person_days = person_hours / self.hours_per_day
+        return LabelingEffort(
+            n_labels=int(n_labels),
+            seconds=seconds,
+            person_hours=person_hours,
+            person_days=person_days,
+            team_days=person_days / self.team_size,
+        )
+
+    def labels_per_day(self) -> int:
+        """Labels the whole team produces in one workday."""
+        per_labeler = int(self.hours_per_day * 3600.0 / self.seconds_per_label)
+        return per_labeler * self.team_size
+
+
+class LabelOracle:
+    """A metered label source backed by ground truth.
+
+    Drop-in ``label_source`` for
+    :class:`~repro.core.patterns.active.ActiveLabelingSession`: returns
+    true labels for requested indices while tracking how many labels were
+    consumed and how much human time that represents.
+
+    Parameters
+    ----------
+    labels:
+        Ground-truth label array for the pool.
+    cost_model:
+        Optional cost model for effort accounting.
+    budget:
+        Optional hard cap on total labels served.
+    """
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        *,
+        cost_model: LabelingCostModel | None = None,
+        budget: int | None = None,
+    ):
+        self.labels = np.asarray(labels)
+        self.cost_model = cost_model or LabelingCostModel()
+        self.budget = budget
+        self._served = 0
+        self._requests: list[int] = []
+
+    def __call__(self, indices: np.ndarray) -> np.ndarray:
+        """Serve labels for ``indices`` (the ``label_source`` protocol)."""
+        indices = np.asarray(indices)
+        if self.budget is not None and self._served + len(indices) > self.budget:
+            raise LabelBudgetExceededError(
+                f"label request of {len(indices)} exceeds remaining budget "
+                f"{self.budget - self._served}"
+            )
+        self._served += len(indices)
+        self._requests.append(len(indices))
+        return self.labels[indices]
+
+    @property
+    def labels_served(self) -> int:
+        """Total labels produced so far."""
+        return self._served
+
+    @property
+    def request_sizes(self) -> list[int]:
+        """Per-request label counts, in order."""
+        return list(self._requests)
+
+    def total_effort(self) -> LabelingEffort:
+        """Human effort spent so far under the cost model."""
+        return self.cost_model.effort(self._served)

@@ -1,0 +1,90 @@
+"""Evaluation metrics over prediction arrays.
+
+Accuracy and disagreement are the paper's core quantities; confusion
+matrices and F1 scores support the "beyond accuracy" extension the paper
+names (F1 via McDiarmid sensitivity, §2.2 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "accuracy",
+    "disagreement",
+    "disagreement_matrix",
+    "confusion_matrix",
+    "f1_scores",
+    "macro_f1",
+]
+
+
+def _aligned(*arrays: np.ndarray) -> list[np.ndarray]:
+    out = [np.asarray(a) for a in arrays]
+    lengths = {len(a) for a in out}
+    if len(lengths) != 1:
+        raise InvalidParameterError(f"array lengths differ: {sorted(lengths)}")
+    if 0 in lengths:
+        raise InvalidParameterError("empty arrays")
+    return out
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    predictions, labels = _aligned(predictions, labels)
+    return float(np.mean(predictions == labels))
+
+
+def disagreement(predictions_a: np.ndarray, predictions_b: np.ndarray) -> float:
+    """Fraction of examples where two prediction vectors differ (``d``)."""
+    a, b = _aligned(predictions_a, predictions_b)
+    return float(np.mean(a != b))
+
+
+def disagreement_matrix(prediction_sets: list[np.ndarray]) -> np.ndarray:
+    """Symmetric pairwise-disagreement matrix over multiple models."""
+    if not prediction_sets:
+        raise InvalidParameterError("need at least one prediction set")
+    k = len(prediction_sets)
+    out = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            out[i, j] = out[j, i] = disagreement(prediction_sets[i], prediction_sets[j])
+    return out
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Counts matrix ``C[true, predicted]``."""
+    predictions, labels = _aligned(predictions, labels)
+    if n_classes is None:
+        n_classes = int(max(predictions.max(), labels.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=int)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def f1_scores(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Per-class F1 (0 where a class has no predictions and no instances)."""
+    cm = confusion_matrix(predictions, labels, n_classes)
+    tp = np.diag(cm).astype(float)
+    predicted = cm.sum(axis=0).astype(float)
+    actual = cm.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+    return f1
+
+
+def macro_f1(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int | None = None
+) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    return float(np.mean(f1_scores(predictions, labels, n_classes)))

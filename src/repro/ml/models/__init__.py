@@ -1,0 +1,30 @@
+"""Model implementations: trained classifiers and calibrated simulations."""
+
+from repro.ml.models.base import Model, FixedPredictionModel
+from repro.ml.models.linear import SoftmaxRegression
+from repro.ml.models.naive_bayes import MultinomialNaiveBayes
+from repro.ml.models.knn import KNearestNeighbors
+from repro.ml.models.majority import MajorityClassModel
+from repro.ml.models.simulated import (
+    JointBuckets,
+    ModelPairSpec,
+    SimulatedPair,
+    simulate_model_pair,
+    simulate_accuracy_model,
+    evolve_predictions,
+)
+
+__all__ = [
+    "Model",
+    "FixedPredictionModel",
+    "SoftmaxRegression",
+    "MultinomialNaiveBayes",
+    "KNearestNeighbors",
+    "MajorityClassModel",
+    "JointBuckets",
+    "ModelPairSpec",
+    "SimulatedPair",
+    "simulate_model_pair",
+    "simulate_accuracy_model",
+    "evolve_predictions",
+]

@@ -1,0 +1,74 @@
+"""The model interface the CI engine consumes.
+
+A *model* is anything with ``predict(features) -> predictions``.  The
+engine never trains or introspects models — exactly like a real CI system,
+it only runs them on the testset.
+
+:class:`FixedPredictionModel` is the workhorse of the experiments: a model
+whose predictions on the (indexed) testset are a stored array.  Simulated
+development histories are sequences of these.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Model", "FixedPredictionModel"]
+
+
+@runtime_checkable
+class Model(Protocol):
+    """Structural interface: ``predict`` over a feature array."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Return one prediction per row/entry of ``features``."""
+        ...  # pragma: no cover - protocol
+
+
+class FixedPredictionModel:
+    """A model defined by a fixed prediction table over an indexed dataset.
+
+    Works with testsets whose ``features`` are example indices (the
+    convention used by every simulated experiment): ``predict(indices)``
+    gathers the stored predictions at those indices.
+
+    Parameters
+    ----------
+    predictions:
+        Prediction for every example in the underlying pool.
+    name:
+        Identifier for logs and commit messages.
+    """
+
+    def __init__(self, predictions: np.ndarray, name: str = "model"):
+        self.predictions = np.asarray(predictions)
+        if self.predictions.ndim != 1:
+            raise InvalidParameterError(
+                f"predictions must be one-dimensional, got shape "
+                f"{self.predictions.shape}"
+            )
+        self.name = name
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Gather stored predictions at the given example indices."""
+        indices = np.asarray(features)
+        if indices.ndim != 1:
+            raise InvalidParameterError(
+                "FixedPredictionModel expects a 1-D array of example indices"
+            )
+        if not np.issubdtype(indices.dtype, np.integer):
+            raise InvalidParameterError(
+                "FixedPredictionModel expects integer example indices; "
+                "use a trained model for raw feature matrices"
+            )
+        return self.predictions[indices]
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __repr__(self) -> str:
+        return f"FixedPredictionModel({self.name!r}, n={len(self.predictions)})"

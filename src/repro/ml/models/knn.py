@@ -1,0 +1,75 @@
+"""k-nearest-neighbours classifier (Euclidean, chunked, numpy only).
+
+Used in examples as a second "real" model family so CI comparisons
+between genuinely different model classes (kNN vs logistic regression)
+can be demonstrated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors:
+    """Plain kNN with majority voting (ties -> smallest class id).
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    chunk_size:
+        Rows of the query matrix processed per distance block, bounding
+        peak memory at ``chunk_size * len(train)`` floats.
+    """
+
+    def __init__(self, k: int = 5, *, chunk_size: int = 256):
+        self.k = check_positive_int(k, "k")
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self._train_x: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
+        self._n_classes: int = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNearestNeighbors":
+        """Memorize the training set."""
+        X = np.asarray(features, dtype=float)
+        y = np.asarray(labels)
+        if X.ndim != 2:
+            raise InvalidParameterError(f"features must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise InvalidParameterError("features and labels must align")
+        if self.k > len(X):
+            raise InvalidParameterError(
+                f"k={self.k} exceeds training-set size {len(X)}"
+            )
+        self._train_x = X
+        self._train_y = y
+        self._n_classes = int(y.max()) + 1
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority vote among the k nearest training points."""
+        if self._train_x is None or self._train_y is None:
+            raise InvalidParameterError("model is not fitted")
+        Q = np.asarray(features, dtype=float)
+        out = np.empty(len(Q), dtype=self._train_y.dtype)
+        train_sq = np.sum(self._train_x**2, axis=1)
+        for start in range(0, len(Q), self.chunk_size):
+            block = Q[start : start + self.chunk_size]
+            # Squared Euclidean distances via the expansion trick.
+            d2 = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self._train_x.T
+                + train_sq[None, :]
+            )
+            nearest = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            votes = self._train_y[nearest]
+            counts = np.zeros((len(block), self._n_classes), dtype=int)
+            for c in range(self._n_classes):
+                counts[:, c] = (votes == c).sum(axis=1)
+            out[start : start + self.chunk_size] = counts.argmax(axis=1)
+        return out

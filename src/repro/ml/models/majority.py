@@ -1,0 +1,37 @@
+"""Majority-class baseline model.
+
+The canonical "quality bug" model for exercising condition F1 (lower-bound
+worst-case quality): committing it should trip a well-configured
+``n > c`` test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["MajorityClassModel"]
+
+
+class MajorityClassModel:
+    """Always predicts the most frequent training class."""
+
+    def __init__(self):
+        self._majority: int | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MajorityClassModel":
+        """Record the majority class (features are ignored)."""
+        y = np.asarray(labels)
+        if len(y) == 0:
+            raise InvalidParameterError("labels must be non-empty")
+        values, counts = np.unique(y, return_counts=True)
+        self._majority = int(values[counts.argmax()])
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """A constant vector of the majority class."""
+        if self._majority is None:
+            raise InvalidParameterError("model is not fitted")
+        features = np.asarray(features)
+        return np.full(len(features), self._majority, dtype=int)

@@ -1,0 +1,70 @@
+"""Multinomial naive Bayes over token-count features.
+
+The natural classifier for the emotion-text workload (the SemEval-like
+dataset generates bag-of-words count vectors).  Laplace-smoothed, fully
+vectorized, log-space scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["MultinomialNaiveBayes"]
+
+
+class MultinomialNaiveBayes:
+    """Classic multinomial NB with Laplace smoothing.
+
+    Parameters
+    ----------
+    n_classes:
+        Label-space size.
+    alpha:
+        Additive smoothing strength.
+    """
+
+    def __init__(self, n_classes: int, *, alpha: float = 1.0):
+        self.n_classes = check_positive_int(n_classes, "n_classes")
+        self.alpha = check_positive(alpha, "alpha")
+        self.log_priors: np.ndarray | None = None
+        self.log_likelihoods: np.ndarray | None = None  # (n_classes, vocab)
+
+    def fit(self, counts: np.ndarray, labels: np.ndarray) -> "MultinomialNaiveBayes":
+        """Fit on a count matrix ``(m, vocab)`` and integer labels."""
+        X = np.asarray(counts, dtype=float)
+        y = np.asarray(labels)
+        if X.ndim != 2:
+            raise InvalidParameterError(f"counts must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise InvalidParameterError("counts and labels must align")
+        if (X < 0).any():
+            raise InvalidParameterError("counts must be non-negative")
+        m, vocab = X.shape
+        class_counts = np.zeros(self.n_classes)
+        token_counts = np.zeros((self.n_classes, vocab))
+        for c in range(self.n_classes):
+            mask = y == c
+            class_counts[c] = mask.sum()
+            if mask.any():
+                token_counts[c] = X[mask].sum(axis=0)
+        # Laplace-smoothed priors and likelihoods.
+        self.log_priors = np.log(
+            (class_counts + self.alpha) / (m + self.alpha * self.n_classes)
+        )
+        smoothed = token_counts + self.alpha
+        self.log_likelihoods = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def predict_log_proba(self, counts: np.ndarray) -> np.ndarray:
+        """Unnormalized class log-scores, shape ``(m, n_classes)``."""
+        if self.log_priors is None or self.log_likelihoods is None:
+            raise InvalidParameterError("model is not fitted")
+        X = np.asarray(counts, dtype=float)
+        return X @ self.log_likelihoods.T + self.log_priors
+
+    def predict(self, counts: np.ndarray) -> np.ndarray:
+        """Highest-scoring class per example."""
+        return self.predict_log_proba(counts).argmax(axis=1)

@@ -1,0 +1,410 @@
+"""Calibrated (old, new) model-pair simulation.
+
+The experiments need model pairs with *exactly specified* population
+statistics: old accuracy ``o``, new accuracy ``n``, and prediction
+difference ``d``.  This module solves for the joint per-example outcome
+distribution and materializes prediction/label arrays from it.
+
+Joint model
+-----------
+For top-1 classification, an example falls into one of five buckets:
+
+====================  =========================  ==========
+bucket                meaning                    mass
+====================  =========================  ==========
+``agree_correct``     same prediction, correct   ``q_ac``
+``agree_wrong``       same prediction, wrong     ``q_aw``
+``old_only_correct``  differ, old right          ``q_om``
+``new_only_correct``  differ, new right          ``q_nm``
+``disagree_wrong``    differ, both wrong         ``q_dw``
+====================  =========================  ==========
+
+(Two different predictions cannot both be correct, so there is no
+"disagree, both correct" bucket.)  The constraints are::
+
+    q_ac + q_om           = old_accuracy
+    q_ac + q_nm           = new_accuracy
+    q_om + q_nm + q_dw    = difference
+    all masses >= 0, sum = 1
+
+One degree of freedom remains; it is pinned by ``disagree_wrong``
+(default 0 — the binary-classification geometry, also the minimum-``d``
+configuration for a given accuracy gap).  For multiclass simulations a
+positive ``disagree_wrong`` requires at least 3 classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.ml.models.base import FixedPredictionModel
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "JointBuckets",
+    "ModelPairSpec",
+    "SimulatedPair",
+    "simulate_model_pair",
+    "simulate_accuracy_model",
+]
+
+_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class JointBuckets:
+    """The solved five-bucket joint distribution (masses sum to 1)."""
+
+    agree_correct: float
+    agree_wrong: float
+    old_only_correct: float
+    new_only_correct: float
+    disagree_wrong: float
+
+    def as_array(self) -> np.ndarray:
+        """Masses in a fixed order (the order used by the sampler)."""
+        return np.array(
+            [
+                self.agree_correct,
+                self.agree_wrong,
+                self.old_only_correct,
+                self.new_only_correct,
+                self.disagree_wrong,
+            ]
+        )
+
+    @property
+    def old_accuracy(self) -> float:
+        """Implied old-model accuracy."""
+        return self.agree_correct + self.old_only_correct
+
+    @property
+    def new_accuracy(self) -> float:
+        """Implied new-model accuracy."""
+        return self.agree_correct + self.new_only_correct
+
+    @property
+    def difference(self) -> float:
+        """Implied prediction-difference rate ``d``."""
+        return self.old_only_correct + self.new_only_correct + self.disagree_wrong
+
+
+@dataclass(frozen=True)
+class ModelPairSpec:
+    """Target population statistics for an (old, new) model pair.
+
+    Parameters
+    ----------
+    old_accuracy, new_accuracy:
+        Target accuracies ``o`` and ``n``.
+    difference:
+        Target prediction-difference rate ``d``.
+    disagree_wrong:
+        Mass where models disagree and both are wrong (needs >= 3 classes
+        when positive).
+    """
+
+    old_accuracy: float
+    new_accuracy: float
+    difference: float
+    disagree_wrong: float = 0.0
+
+    def solve(self) -> JointBuckets:
+        """Solve the bucket masses; raises :class:`SimulationError` when the
+        targets are jointly infeasible."""
+        o = check_fraction(self.old_accuracy, "old_accuracy")
+        n = check_fraction(self.new_accuracy, "new_accuracy")
+        d = check_fraction(self.difference, "difference")
+        q_dw = check_fraction(self.disagree_wrong, "disagree_wrong")
+        gain = n - o
+        disagree_informative = d - q_dw  # q_om + q_nm
+        if disagree_informative < -_ATOL:
+            raise SimulationError(
+                f"disagree_wrong={q_dw} exceeds difference={d}"
+            )
+        if abs(gain) > disagree_informative + _ATOL:
+            raise SimulationError(
+                f"|new - old| = {abs(gain):g} cannot exceed the informative "
+                f"disagreement {disagree_informative:g} "
+                "(models that differ on few predictions cannot differ much "
+                "in accuracy)"
+            )
+        q_nm = (disagree_informative + gain) / 2.0
+        q_om = (disagree_informative - gain) / 2.0
+        q_ac = o - q_om
+        q_aw = 1.0 - q_ac - q_om - q_nm - q_dw
+        for name, q in [
+            ("agree_correct", q_ac),
+            ("agree_wrong", q_aw),
+            ("old_only_correct", q_om),
+            ("new_only_correct", q_nm),
+        ]:
+            if q < -_ATOL:
+                raise SimulationError(
+                    f"infeasible spec (bucket {name} = {q:g} < 0): "
+                    f"o={o}, n={n}, d={d}, disagree_wrong={q_dw}"
+                )
+        return JointBuckets(
+            agree_correct=max(0.0, q_ac),
+            agree_wrong=max(0.0, q_aw),
+            old_only_correct=max(0.0, q_om),
+            new_only_correct=max(0.0, q_nm),
+            disagree_wrong=max(0.0, q_dw),
+        )
+
+
+@dataclass(frozen=True)
+class SimulatedPair:
+    """Materialized predictions and labels for a simulated model pair.
+
+    Attributes
+    ----------
+    old_model, new_model:
+        :class:`FixedPredictionModel` instances over the example pool.
+    labels:
+        Ground-truth labels of the pool.
+    buckets:
+        The joint distribution the pair was drawn from.
+    """
+
+    old_model: FixedPredictionModel
+    new_model: FixedPredictionModel
+    labels: np.ndarray
+    buckets: JointBuckets
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def _materialize(
+    assignments: np.ndarray, n_classes: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Turn bucket assignments into (labels, old_preds, new_preds)."""
+    n = len(assignments)
+    labels = rng.integers(0, n_classes, size=n)
+    old = labels.copy()
+    new = labels.copy()
+
+    def wrong(base: np.ndarray) -> np.ndarray:
+        # A uniformly random class different from `base`, vectorized:
+        # draw an offset in [1, K-1] and rotate.
+        offsets = rng.integers(1, n_classes, size=len(base))
+        return (base + offsets) % n_classes
+
+    idx_aw = np.flatnonzero(assignments == 1)
+    if len(idx_aw):
+        shared_wrong = wrong(labels[idx_aw])
+        old[idx_aw] = shared_wrong
+        new[idx_aw] = shared_wrong
+    idx_om = np.flatnonzero(assignments == 2)
+    if len(idx_om):
+        new[idx_om] = wrong(labels[idx_om])
+    idx_nm = np.flatnonzero(assignments == 3)
+    if len(idx_nm):
+        old[idx_nm] = wrong(labels[idx_nm])
+    idx_dw = np.flatnonzero(assignments == 4)
+    if len(idx_dw):
+        if n_classes < 3:
+            raise SimulationError(
+                "disagree_wrong outcomes need at least 3 classes"
+            )
+        lab = labels[idx_dw]
+        off1 = rng.integers(1, n_classes, size=len(idx_dw))
+        # Second offset distinct from both 0 and off1.
+        off2 = rng.integers(1, n_classes - 1, size=len(idx_dw))
+        off2 = np.where(off2 >= off1, off2 + 1, off2)
+        old[idx_dw] = (lab + off1) % n_classes
+        new[idx_dw] = (lab + off2) % n_classes
+    return labels, old, new
+
+
+def simulate_model_pair(
+    spec: ModelPairSpec,
+    n_examples: int,
+    *,
+    n_classes: int = 4,
+    exact: bool = True,
+    seed=None,
+) -> SimulatedPair:
+    """Materialize a model pair matching ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        Target statistics (solved internally).
+    n_examples:
+        Pool size.
+    n_classes:
+        Label-space size (>= 2; >= 3 when ``disagree_wrong > 0``).
+    exact:
+        ``True`` assigns deterministic bucket *counts*
+        (``round(mass * n)``, largest-remainder apportioned) so empirical
+        statistics hit the spec to within ``1/n`` — right for replaying
+        scripted histories.  ``False`` draws i.i.d. bucket memberships —
+        right for Monte-Carlo coverage experiments.
+    seed:
+        RNG seed / generator.
+    """
+    n_examples = check_positive_int(n_examples, "n_examples")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    if n_classes < 2:
+        raise SimulationError("need at least 2 classes")
+    rng = ensure_rng(seed)
+    buckets = spec.solve()
+    masses = buckets.as_array()
+    if exact:
+        counts = _largest_remainder(masses, n_examples)
+        assignments = np.repeat(np.arange(5), counts)
+        rng.shuffle(assignments)
+    else:
+        assignments = rng.choice(5, size=n_examples, p=masses / masses.sum())
+    labels, old, new = _materialize(assignments, n_classes, rng)
+    return SimulatedPair(
+        old_model=FixedPredictionModel(old, name="old"),
+        new_model=FixedPredictionModel(new, name="new"),
+        labels=labels,
+        buckets=buckets,
+    )
+
+
+def simulate_accuracy_model(
+    true_accuracy: float,
+    n_examples: int,
+    *,
+    n_classes: int = 10,
+    exact: bool = False,
+    seed=None,
+) -> tuple[FixedPredictionModel, np.ndarray]:
+    """A single model with the given (population or exact) accuracy.
+
+    Returns ``(model, labels)``.  With ``exact=False`` each example is
+    independently correct with probability ``true_accuracy`` (the right
+    model for validating concentration bounds); with ``exact=True`` the
+    correct count is ``round(true_accuracy * n)``.
+    """
+    check_fraction(true_accuracy, "true_accuracy")
+    n_examples = check_positive_int(n_examples, "n_examples")
+    rng = ensure_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_examples)
+    if exact:
+        n_correct = int(round(true_accuracy * n_examples))
+        correct_mask = np.zeros(n_examples, dtype=bool)
+        correct_mask[rng.choice(n_examples, size=n_correct, replace=False)] = True
+    else:
+        correct_mask = rng.random(n_examples) < true_accuracy
+    predictions = labels.copy()
+    idx_wrong = np.flatnonzero(~correct_mask)
+    if len(idx_wrong):
+        offsets = rng.integers(1, n_classes, size=len(idx_wrong))
+        predictions[idx_wrong] = (labels[idx_wrong] + offsets) % n_classes
+    return FixedPredictionModel(predictions, name=f"acc~{true_accuracy:g}"), labels
+
+
+def evolve_predictions(
+    old_predictions: np.ndarray,
+    labels: np.ndarray,
+    *,
+    target_accuracy: float,
+    difference: float,
+    n_classes: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Derive a successor model *within an existing world*.
+
+    Given the incumbent's predictions and the ground truth, produce new
+    predictions whose empirical accuracy is ``target_accuracy`` and whose
+    empirical disagreement with the incumbent is ``difference`` (both to
+    within ``1/n``).  This is how simulated development histories are
+    chained: each commit evolves from the currently active model over the
+    same labeled pool, exactly like a real fine-tuning iteration.
+
+    The construction flips three kinds of examples, never more than the
+    difference budget allows:
+
+    * correct -> wrong (``x`` examples),
+    * wrong -> correct (``y`` examples, ``y - x`` = accuracy delta),
+    * wrong -> differently wrong (``z`` examples, absorbing leftover
+      difference budget; needs >= 3 classes when positive).
+
+    Raises
+    ------
+    SimulationError
+        When the accuracy move exceeds the difference budget, or the
+        world lacks enough correct/wrong examples to flip.
+    """
+    old_predictions = np.asarray(old_predictions)
+    labels = np.asarray(labels)
+    if len(old_predictions) != len(labels):
+        raise SimulationError("old_predictions and labels must align")
+    n = len(labels)
+    check_fraction(target_accuracy, "target_accuracy")
+    check_fraction(difference, "difference")
+    if n_classes is None:
+        n_classes = int(max(old_predictions.max(), labels.max())) + 1
+    rng = ensure_rng(seed)
+
+    correct_idx = np.flatnonzero(old_predictions == labels)
+    wrong_idx = np.flatnonzero(old_predictions != labels)
+    old_correct = len(correct_idx)
+    n_wrong = len(wrong_idx)
+    target_correct = int(round(target_accuracy * n))
+    budget = int(round(difference * n))  # = x + y + z, the flips to make
+    delta = target_correct - old_correct  # = y - x
+    if abs(delta) > budget:
+        raise SimulationError(
+            f"accuracy move of {delta} examples exceeds the difference "
+            f"budget of {budget}"
+        )
+    # Flip kinds: x correct->wrong, y wrong->correct, z wrong->other-wrong.
+    # Constraints: y - x = delta, x + y + z = budget, x <= #correct,
+    # y + z <= #wrong, all >= 0.  That bounds x to a window; any choice in
+    # it is valid, and larger x means more informative churn.
+    x_lo = max(0, budget - n_wrong, -delta)
+    x_hi = min(old_correct, (budget - delta) // 2)
+    if n_classes < 3:
+        # No wrong->other-wrong flips exist in a binary world: z must be
+        # (close to) zero, pinning x at the top of its window.
+        x_lo = max(x_lo, (budget - delta) // 2)
+    if x_lo > x_hi:
+        raise SimulationError(
+            "infeasible evolution: cannot change "
+            f"{difference:.0%} of predictions while moving accuracy from "
+            f"{old_correct / n:.4f} to {target_accuracy:.4f} "
+            f"(only {n_wrong} wrong examples available)"
+        )
+    x = x_lo + (x_hi - x_lo) // 4  # a little churn beyond the minimum
+    y = x + delta
+    z = budget - x - y
+    new_predictions = old_predictions.copy()
+    if x > 0:
+        chosen = rng.choice(correct_idx, size=x, replace=False)
+        offsets = rng.integers(1, n_classes, size=x)
+        new_predictions[chosen] = (labels[chosen] + offsets) % n_classes
+    flip_pool = rng.permutation(wrong_idx)
+    if y > 0:
+        new_predictions[flip_pool[:y]] = labels[flip_pool[:y]]
+    if z > 0:
+        churn = flip_pool[y : y + z]
+        # A wrong class different from both the label and the old wrong
+        # prediction (guaranteed representable when n_classes >= 3).
+        current = new_predictions[churn]
+        candidate = (current + 1) % n_classes
+        collision = candidate == labels[churn]
+        candidate[collision] = (candidate[collision] + 1) % n_classes
+        new_predictions[churn] = candidate
+    return new_predictions
+
+
+def _largest_remainder(masses: np.ndarray, total: int) -> np.ndarray:
+    """Apportion ``total`` into integer counts proportional to ``masses``."""
+    raw = masses * total
+    counts = np.floor(raw).astype(int)
+    shortfall = total - counts.sum()
+    if shortfall > 0:
+        order = np.argsort(-(raw - counts))
+        counts[order[:shortfall]] += 1
+    return counts

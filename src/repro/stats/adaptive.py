@@ -1,0 +1,211 @@
+"""Adaptive-analysis substrate: the Ladder mechanism and testset attackers.
+
+The fully-adaptive sample-size rule of Section 3.3 rests on a union bound
+over the ``2^H`` possible feedback histories a deterministic developer can
+observe.  This module provides the pieces needed to *validate that argument
+empirically* (ablation E8-iv in DESIGN.md):
+
+* :class:`Ladder` — the Blum–Hardt "Ladder" leaderboard mechanism the paper
+  cites as inspiration: it releases the best-so-far score only when a
+  submission improves by more than a step size, limiting information leak.
+* :class:`ThresholdAttacker` — a deterministic adaptive developer that uses
+  pass/fail feedback to overfit a *reused* testset: it submits random
+  perturbations and keeps coordinates that flip the signal favourably.  A
+  classic aggregation attack: on a testset sized for the non-adaptive
+  guarantee it manufactures a model whose measured gain wildly exceeds its
+  true gain; on a testset sized with the ``2^H`` budget it cannot.
+* :class:`AdaptiveAttacker` — the generic driving loop, recording the gap
+  between the attacker's *empirical* statistic and its *true* statistic.
+
+These are simulation tools, not part of the user-facing CI API, but they
+live in the library because the benchmarks and tests exercise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["Ladder", "ThresholdAttacker", "AdaptiveAttacker", "AttackTrace"]
+
+
+class Ladder:
+    """The Ladder mechanism of Blum & Hardt (2015).
+
+    Maintains a best-so-far score ``R``; a new submission's score is
+    released (rounded to the step size) only if it exceeds ``R`` by at
+    least ``step_size``, otherwise the previous best is repeated.  This
+    caps the information each submission can extract from the holdout and
+    yields ``O(log^{1/3}(H)/n^{1/3})`` leaderboard error, uniformly over
+    adaptively chosen submissions.
+
+    Parameters
+    ----------
+    step_size:
+        The improvement threshold ``eta``; the Blum–Hardt analysis suggests
+        ``eta ~ (log(H)/n)^{1/3}``.
+    """
+
+    def __init__(self, step_size: float):
+        self.step_size = check_positive(step_size, "step_size")
+        self._best = -np.inf
+        self._history: list[float] = []
+
+    @property
+    def best(self) -> float:
+        """Best released score so far (``-inf`` before any submission)."""
+        return self._best
+
+    @property
+    def history(self) -> list[float]:
+        """Released score after each submission, in order."""
+        return list(self._history)
+
+    def submit(self, empirical_score: float) -> float:
+        """Score a submission and return the released leaderboard value."""
+        if empirical_score >= self._best + self.step_size:
+            # Round to the step grid so the release leaks at most
+            # log2(1/step) bits, as in the original mechanism.
+            released = round(empirical_score / self.step_size) * self.step_size
+            self._best = released
+        self._history.append(self._best)
+        return self._best
+
+
+@dataclass
+class AttackTrace:
+    """Outcome of an adaptive attack against a reused testset.
+
+    Attributes
+    ----------
+    empirical_scores:
+        The attacker's measured statistic after each accepted step.
+    true_scores:
+        The corresponding population statistic (known to the simulation).
+    queries:
+        Total number of pass/fail queries issued.
+    """
+
+    empirical_scores: list[float] = field(default_factory=list)
+    true_scores: list[float] = field(default_factory=list)
+    queries: int = 0
+
+    @property
+    def final_overfit_gap(self) -> float:
+        """Final ``empirical - true`` gap — the quantity the (eps, delta)
+        guarantee is supposed to keep below eps."""
+        if not self.empirical_scores:
+            return 0.0
+        return self.empirical_scores[-1] - self.true_scores[-1]
+
+    @property
+    def max_overfit_gap(self) -> float:
+        """Largest gap observed anywhere along the attack."""
+        if not self.empirical_scores:
+            return 0.0
+        gaps = np.asarray(self.empirical_scores) - np.asarray(self.true_scores)
+        return float(np.max(gaps))
+
+
+class ThresholdAttacker:
+    """An adaptive developer that overfits a reused testset via pass/fail bits.
+
+    World model: the attacker commits classifiers whose *true* accuracy is
+    always ``base_accuracy`` (its proposals are random guesses off the
+    testset).  The testset is a fixed realized sample of ``n`` examples;
+    the attacker never observes per-example correctness — only the 1-bit
+    "did the candidate beat the incumbent" signal.  Each round it proposes
+    re-randomizing its predictions on a random block of examples; the
+    *oracle* (which owns the hidden correctness) resolves what that does
+    to empirical accuracy, and the attacker keeps the candidate exactly
+    when the signal says "pass".
+
+    This is the classic 1-bit-per-query overfitting construction: accepted
+    proposals ratchet the empirical accuracy upward while the true
+    accuracy never moves, and after ``H`` queries the expected gap scales
+    like ``sqrt(H / n)`` — which is precisely what the ``delta / 2^H``
+    sizing of §3.3 is built to absorb and the naive per-model sizing is
+    not.  The attacker is deterministic given its seed and the feedback
+    history — the adversary class of the §3.3 union bound.
+    """
+
+    def __init__(
+        self,
+        n_testset: int,
+        base_accuracy: float = 0.5,
+        block_fraction: float = 0.05,
+        seed=None,
+    ):
+        self.n_testset = check_positive_int(n_testset, "n_testset")
+        if not 0.0 < base_accuracy < 1.0:
+            raise SimulationError(f"base_accuracy must be in (0,1), got {base_accuracy}")
+        self.base_accuracy = base_accuracy
+        self.block_fraction = check_positive(block_fraction, "block_fraction")
+        self._rng = ensure_rng(seed)
+        # Hidden (oracle-side) correctness of the incumbent model's
+        # predictions on the realized testset.
+        self.correct = self._rng.random(self.n_testset) < base_accuracy
+        self.true_accuracy = base_accuracy
+
+    @property
+    def empirical_accuracy(self) -> float:
+        """Incumbent measured accuracy on the (reused) testset."""
+        return float(np.mean(self.correct))
+
+    def propose(self) -> tuple[np.ndarray, np.ndarray]:
+        """One proposal: ``(block indices, candidate correctness draw)``.
+
+        The candidate re-randomizes predictions on the block, so its
+        hidden correctness there is a fresh Bernoulli(``base_accuracy``)
+        draw — resolved here (oracle side) but *never shown* to the
+        decision rule, which only sees the accept bit.
+        """
+        k = max(1, int(self.block_fraction * self.n_testset))
+        indices = self._rng.choice(self.n_testset, size=k, replace=False)
+        candidate_correct = self._rng.random(k) < self.base_accuracy
+        return indices, candidate_correct
+
+    def apply(self, indices: np.ndarray, candidate_correct: np.ndarray, accept: bool) -> None:
+        """Install the candidate when the signal said pass."""
+        if accept:
+            self.correct[indices] = candidate_correct
+
+
+class AdaptiveAttacker:
+    """Drives a :class:`ThresholdAttacker` against a pass/fail oracle.
+
+    Parameters
+    ----------
+    attacker:
+        The proposal mechanism.
+    improvement_threshold:
+        The oracle answers "pass" when the candidate's empirical accuracy
+        exceeds the incumbent's by more than this threshold — a stand-in
+        for the CI condition ``n - o > c``.
+    """
+
+    def __init__(self, attacker: ThresholdAttacker, improvement_threshold: float = 0.0):
+        self.attacker = attacker
+        self.improvement_threshold = improvement_threshold
+
+    def run(self, n_rounds: int) -> AttackTrace:
+        """Run ``n_rounds`` adaptive queries and return the trace."""
+        n_rounds = check_positive_int(n_rounds, "n_rounds")
+        trace = AttackTrace()
+        for _ in range(n_rounds):
+            incumbent = self.attacker.empirical_accuracy
+            indices, candidate_correct = self.attacker.propose()
+            candidate = self.attacker.correct.copy()
+            candidate[indices] = candidate_correct
+            candidate_acc = float(np.mean(candidate))
+            accept = candidate_acc > incumbent + self.improvement_threshold
+            self.attacker.apply(indices, candidate_correct, accept)
+            trace.queries += 1
+            trace.empirical_scores.append(self.attacker.empirical_accuracy)
+            trace.true_scores.append(self.attacker.true_accuracy)
+        return trace

@@ -1,0 +1,181 @@
+"""Empirical estimation of the DSL variables ``n``, ``o`` and ``d``.
+
+Given the predictions of the old and new models on a testset (and labels,
+where available), these helpers compute the point estimates used by the CI
+engine:
+
+* ``n`` — accuracy of the new model,
+* ``o`` — accuracy of the old model,
+* ``d`` — fraction of examples where the two models' predictions differ
+  (computable *without labels*, the linchpin of the Section 4 savings),
+* ``n - o`` — estimated directly from the paired per-example differences,
+  whose variance is bounded by ``d`` (Technical Observation 1).
+
+All inputs are numpy arrays of shape ``(m,)``; predictions may be any dtype
+supporting ``==`` comparison (integers for class ids, strings for labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "PairedSample",
+    "estimate_accuracy",
+    "estimate_difference",
+    "estimate_accuracy_gain",
+]
+
+
+def _validate_same_length(**arrays: np.ndarray) -> int:
+    lengths = {name: len(arr) for name, arr in arrays.items()}
+    unique = set(lengths.values())
+    if len(unique) != 1:
+        raise InvalidParameterError(f"array length mismatch: {lengths}")
+    (m,) = unique
+    if m == 0:
+        raise InvalidParameterError("empty arrays: need at least one test example")
+    return m
+
+
+def estimate_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Empirical accuracy: fraction of predictions equal to labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    _validate_same_length(predictions=predictions, labels=labels)
+    return float(np.mean(predictions == labels))
+
+
+def estimate_difference(old_predictions: np.ndarray, new_predictions: np.ndarray) -> float:
+    """Empirical prediction-difference rate ``d`` (labels not required)."""
+    old_predictions = np.asarray(old_predictions)
+    new_predictions = np.asarray(new_predictions)
+    _validate_same_length(old=old_predictions, new=new_predictions)
+    return float(np.mean(old_predictions != new_predictions))
+
+
+def estimate_accuracy_gain(
+    old_predictions: np.ndarray,
+    new_predictions: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """Paired estimate of ``n - o`` from per-example correctness differences.
+
+    Mathematically equal to ``accuracy(new) - accuracy(old)`` on the same
+    testset, but computed as the mean of ``1[new_i correct] - 1[old_i
+    correct] ∈ {-1, 0, 1}``, making explicit that only examples where the
+    models disagree contribute — the variance-bound argument of Section 4.
+    """
+    old_predictions = np.asarray(old_predictions)
+    new_predictions = np.asarray(new_predictions)
+    labels = np.asarray(labels)
+    _validate_same_length(old=old_predictions, new=new_predictions, labels=labels)
+    diff = (new_predictions == labels).astype(np.int8) - (
+        old_predictions == labels
+    ).astype(np.int8)
+    return float(np.mean(diff))
+
+
+@dataclass(frozen=True)
+class PairedSample:
+    """Predictions of an (old, new) model pair on a shared testset.
+
+    A convenience bundle produced by the CI engine when it evaluates a
+    commit: it exposes the three DSL variables and the disagreement
+    bookkeeping needed by the pattern optimizations.
+
+    Parameters
+    ----------
+    old_predictions, new_predictions:
+        Class predictions of each model, aligned by example.
+    labels:
+        Ground-truth labels, or ``None`` when operating on an unlabeled
+        pool (then only ``d``-related quantities are available).
+    """
+
+    old_predictions: np.ndarray
+    new_predictions: np.ndarray
+    labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "old": np.asarray(self.old_predictions),
+            "new": np.asarray(self.new_predictions),
+        }
+        if self.labels is not None:
+            arrays["labels"] = np.asarray(self.labels)
+        _validate_same_length(**arrays)
+        object.__setattr__(self, "old_predictions", arrays["old"])
+        object.__setattr__(self, "new_predictions", arrays["new"])
+        if self.labels is not None:
+            object.__setattr__(self, "labels", arrays["labels"])
+
+    def __len__(self) -> int:
+        return len(self.old_predictions)
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether ground truth is attached."""
+        return self.labels is not None
+
+    def _require_labels(self) -> np.ndarray:
+        if self.labels is None:
+            raise InvalidParameterError(
+                "this PairedSample is unlabeled; accuracy statistics need labels"
+            )
+        return self.labels
+
+    @property
+    def old_accuracy(self) -> float:
+        """Point estimate of ``o``."""
+        return estimate_accuracy(self.old_predictions, self._require_labels())
+
+    @property
+    def new_accuracy(self) -> float:
+        """Point estimate of ``n``."""
+        return estimate_accuracy(self.new_predictions, self._require_labels())
+
+    @property
+    def difference(self) -> float:
+        """Point estimate of ``d`` — never needs labels."""
+        return estimate_difference(self.old_predictions, self.new_predictions)
+
+    @property
+    def accuracy_gain(self) -> float:
+        """Paired point estimate of ``n - o``."""
+        return estimate_accuracy_gain(
+            self.old_predictions, self.new_predictions, self._require_labels()
+        )
+
+    @property
+    def disagreement_mask(self) -> np.ndarray:
+        """Boolean mask of examples where the two models disagree.
+
+        Active labeling (Section 4.1.2) labels exactly these examples.
+        """
+        return np.asarray(self.old_predictions != self.new_predictions)
+
+    def disagreement_indices(self) -> np.ndarray:
+        """Indices of disagreeing examples, ascending."""
+        return np.flatnonzero(self.disagreement_mask)
+
+    def subsample(self, indices: np.ndarray) -> "PairedSample":
+        """A new :class:`PairedSample` restricted to ``indices``."""
+        idx = np.asarray(indices)
+        return PairedSample(
+            old_predictions=self.old_predictions[idx],
+            new_predictions=self.new_predictions[idx],
+            labels=None if self.labels is None else self.labels[idx],
+        )
+
+    def with_labels(self, labels: np.ndarray) -> "PairedSample":
+        """Attach labels, returning a new labeled sample."""
+        return PairedSample(
+            old_predictions=self.old_predictions,
+            new_predictions=self.new_predictions,
+            labels=np.asarray(labels),
+        )

@@ -1,0 +1,352 @@
+"""Concentration inequalities used by the ease.ml/ci sample-size estimators.
+
+The paper builds every guarantee out of two bounds:
+
+* **Hoeffding's inequality** for variables with a bounded range (the
+  baseline implementation, Section 3), and
+* **Bennett's inequality** for variables with a known variance bound (the
+  Pattern 1 / Pattern 2 optimizations, Section 4), which is exponentially
+  tighter when the variance ``p`` is small relative to the tolerance.
+
+We additionally provide Bernstein's inequality (a closed-form relaxation of
+Bennett, handy for sanity checks because it admits an explicit sample-size
+formula) and McDiarmid's inequality (the extension hook the paper names for
+supporting F1/AUC metrics via bounded-differences sensitivity).
+
+Each inequality is a class exposing a uniform interface:
+
+``tail_probability(n, epsilon)``
+    An upper bound on ``Pr[ |mean - E[mean]| > epsilon ]`` (two-sided) or
+    ``Pr[ mean - E[mean] > epsilon ]`` (one-sided).
+``epsilon(n, delta)``
+    The tolerance achievable with ``n`` samples at failure probability
+    ``delta`` (the inverse of ``tail_probability`` in ``epsilon``).
+``sample_size(epsilon, delta)``
+    The minimal integer ``n`` with ``tail_probability(n, epsilon) <= delta``.
+
+Sidedness convention
+--------------------
+The paper's Figure 2 numbers follow the **one-sided** form of Hoeffding
+(``ln(1/delta)`` in the numerator) for single variables, while the
+Bennett-based numbers (Figure 5, Section 4.1) use the **two-sided** form
+(``ln(2/delta)``).  Both are supported through the ``two_sided`` flag; the
+estimator layer chooses the paper-faithful convention per rule and the
+choice is unit-tested against every published number.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "ConcentrationInequality",
+    "HoeffdingInequality",
+    "BennettInequality",
+    "BernsteinInequality",
+    "McDiarmidInequality",
+    "bennett_h",
+    "bennett_h_inverse",
+]
+
+
+def bennett_h(u: float) -> float:
+    """Bennett's ``h`` function, ``h(u) = (1 + u) ln(1 + u) - u``.
+
+    Defined for ``u > -1``; strictly convex, increasing on ``u >= 0`` with
+    ``h(0) = 0``.  For small ``u``, ``h(u) ≈ u²/2`` (recovering a
+    Hoeffding-like regime); for large ``u`` it grows like ``u ln u``, which
+    is where Bennett beats Hoeffding for low-variance variables.
+    """
+    if u <= -1.0:
+        raise InvalidParameterError(f"bennett_h requires u > -1, got {u}")
+    if u == 0.0:
+        return 0.0
+    # log1p keeps precision for small u where (1+u)ln(1+u) - u ~ u^2/2.
+    return (1.0 + u) * math.log1p(u) - u
+
+
+def bennett_h_inverse(y: float, *, tol: float = 1e-15, max_iter: int = 200) -> float:
+    """Inverse of :func:`bennett_h` on ``u >= 0``: the ``u`` with ``h(u) = y``.
+
+    Solved by Newton iteration with a bisection fallback; ``h`` has no
+    elementary inverse.  Accurate to relative tolerance ``tol``.
+    """
+    if y < 0:
+        raise InvalidParameterError(f"bennett_h_inverse requires y >= 0, got {y}")
+    if y == 0.0:
+        return 0.0
+    # Initial guess: for small y, h(u) ~ u^2/2 -> u ~ sqrt(2y); for large y,
+    # h(u) ~ u ln u -> u ~ y / log(y) (crudely).  sqrt(2y) is a safe start
+    # because h(sqrt(2y)) <= y, so Newton (convex function) converges
+    # monotonically from below.
+    u = math.sqrt(2.0 * y)
+    for _ in range(max_iter):
+        f = bennett_h(u) - y
+        df = math.log1p(u)  # h'(u) = ln(1 + u)
+        if df <= 0:
+            break
+        step = f / df
+        u_next = u - step
+        if u_next <= 0:
+            u_next = u / 2.0
+        if abs(u_next - u) <= tol * max(1.0, u):
+            return u_next
+        u = u_next
+    return u
+
+
+class ConcentrationInequality(ABC):
+    """Common interface for the inequality family.
+
+    Subclasses are immutable value objects parameterized by the structural
+    properties of the random variables (range, variance bound, bounded
+    differences) but **not** by ``n``, ``epsilon`` or ``delta`` — those are
+    method arguments, which lets the estimator layer reuse one instance
+    across a parameter sweep.
+
+    Parameters
+    ----------
+    two_sided:
+        When ``True``, bounds refer to ``|deviation| > epsilon`` and carry
+        the standard factor-of-two; when ``False`` they refer to the
+        one-sided event ``deviation > epsilon``.
+    """
+
+    def __init__(self, *, two_sided: bool = False):
+        self.two_sided = bool(two_sided)
+
+    @property
+    def _side_factor(self) -> float:
+        return 2.0 if self.two_sided else 1.0
+
+    # -- core quantity -----------------------------------------------------
+    @abstractmethod
+    def log_tail_probability(self, n: float, epsilon: float) -> float:
+        """Natural log of the tail bound, **excluding** the sidedness factor."""
+
+    # -- derived API -------------------------------------------------------
+    def tail_probability(self, n: float, epsilon: float) -> float:
+        """Upper bound on the deviation probability with ``n`` samples."""
+        check_positive(n, "n")
+        check_positive(epsilon, "epsilon")
+        return min(1.0, self._side_factor * math.exp(self.log_tail_probability(n, epsilon)))
+
+    def sample_size(self, epsilon: float, delta: float, *, exact: bool = False) -> float:
+        """Samples needed so the tail bound is at most ``delta``.
+
+        Parameters
+        ----------
+        epsilon:
+            Error tolerance (half-width of the implied confidence interval).
+        delta:
+            Failure probability budget.
+        exact:
+            When ``False`` (default) the *real-valued* solution of the bound
+            equation is returned, matching how the paper reports sample
+            sizes (e.g. "404" is ``ceil`` of 403.5 — callers round).  When
+            ``True`` the minimal integer ``n`` is returned.
+        """
+        check_positive(epsilon, "epsilon")
+        check_probability(delta, "delta")
+        n = self._sample_size_real(epsilon, delta / self._side_factor)
+        if exact:
+            return int(math.ceil(n - 1e-12))
+        return n
+
+    def epsilon(self, n: float, delta: float) -> float:
+        """The tolerance achievable with ``n`` samples at failure prob ``delta``."""
+        check_positive(n, "n")
+        check_probability(delta, "delta")
+        return self._epsilon_real(n, delta / self._side_factor)
+
+    # -- hooks ---------------------------------------------------------------
+    @abstractmethod
+    def _sample_size_real(self, epsilon: float, delta_eff: float) -> float:
+        """Real-valued n with ``exp(log_tail(n, epsilon)) = delta_eff``."""
+
+    @abstractmethod
+    def _epsilon_real(self, n: float, delta_eff: float) -> float:
+        """Epsilon with ``exp(log_tail(n, epsilon)) = delta_eff``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        side = "two-sided" if self.two_sided else "one-sided"
+        return f"{type(self).__name__}({side})"
+
+
+class HoeffdingInequality(ConcentrationInequality):
+    """Hoeffding's inequality for means of variables with range ``r``.
+
+    For i.i.d. ``X_i`` taking values in an interval of length ``r``,
+
+    .. math:: \\Pr[\\bar X - E \\bar X > \\epsilon]
+              \\le \\exp(-2 n \\epsilon^2 / r^2).
+
+    The paper's baseline single-variable estimator (Section 3.1) is the
+    one-sided inversion ``n = r^2 ln(1/delta) / (2 epsilon^2)``.
+
+    Parameters
+    ----------
+    value_range:
+        Length ``r`` of the interval containing each sample.  Accuracy
+        variables have ``r = 1``; a difference of two accuracies has
+        ``r = 2`` when measured on independent estimates.
+    """
+
+    def __init__(self, value_range: float = 1.0, *, two_sided: bool = False):
+        super().__init__(two_sided=two_sided)
+        self.value_range = check_positive(value_range, "value_range")
+
+    def log_tail_probability(self, n: float, epsilon: float) -> float:
+        r = self.value_range
+        return -2.0 * n * epsilon * epsilon / (r * r)
+
+    def _sample_size_real(self, epsilon: float, delta_eff: float) -> float:
+        r = self.value_range
+        return -(r * r) * math.log(delta_eff) / (2.0 * epsilon * epsilon)
+
+    def _epsilon_real(self, n: float, delta_eff: float) -> float:
+        r = self.value_range
+        return r * math.sqrt(-math.log(delta_eff) / (2.0 * n))
+
+
+class BennettInequality(ConcentrationInequality):
+    """Bennett's inequality for means of variables with a variance bound.
+
+    For independent ``X_i`` with ``|X_i| <= b`` and
+    ``sum_i E[X_i^2] <= n * variance_bound`` (Proposition 1 of the paper),
+
+    .. math:: \\Pr\\Big[\\Big|\\frac{\\sum_i X_i - E[X_i]}{n}\\Big| >
+              \\epsilon\\Big] \\le 2\\exp\\Big(-\\frac{n v}{b^2}
+              h\\big(\\frac{b\\epsilon}{v}\\big)\\Big),
+
+    with ``h(u) = (1+u) ln(1+u) - u`` and ``v = variance_bound``.
+
+    The key use in the paper: when the new and old model disagree on at most
+    a fraction ``p`` of predictions, the per-example difference
+    ``n_i - o_i ∈ {-1, 0, 1}`` has ``E[(n_i - o_i)^2] <= p``, so
+    ``variance_bound = p`` and ``b = 1``, giving the Section 4.1 sample size
+    ``n = ln(1/delta_eff) / (p h(epsilon/p))``.
+
+    Parameters
+    ----------
+    variance_bound:
+        Upper bound ``v`` on the per-sample second moment ``E[X_i^2]``.
+    magnitude_bound:
+        Almost-sure bound ``b`` on ``|X_i|`` (default 1, the right value for
+        correctness differences).
+    """
+
+    def __init__(
+        self,
+        variance_bound: float,
+        magnitude_bound: float = 1.0,
+        *,
+        two_sided: bool = True,
+    ):
+        super().__init__(two_sided=two_sided)
+        self.variance_bound = check_positive(variance_bound, "variance_bound")
+        self.magnitude_bound = check_positive(magnitude_bound, "magnitude_bound")
+        if self.variance_bound > self.magnitude_bound**2:
+            raise InvalidParameterError(
+                "variance_bound cannot exceed magnitude_bound**2 "
+                f"({self.variance_bound} > {self.magnitude_bound**2})"
+            )
+
+    def log_tail_probability(self, n: float, epsilon: float) -> float:
+        v, b = self.variance_bound, self.magnitude_bound
+        return -(n * v / (b * b)) * bennett_h(b * epsilon / v)
+
+    def _sample_size_real(self, epsilon: float, delta_eff: float) -> float:
+        v, b = self.variance_bound, self.magnitude_bound
+        return -math.log(delta_eff) * (b * b) / (v * bennett_h(b * epsilon / v))
+
+    def _epsilon_real(self, n: float, delta_eff: float) -> float:
+        v, b = self.variance_bound, self.magnitude_bound
+        y = -math.log(delta_eff) * (b * b) / (n * v)
+        return v * bennett_h_inverse(y) / b
+
+
+class BernsteinInequality(ConcentrationInequality):
+    """Bernstein's inequality — a closed-form relaxation of Bennett.
+
+    .. math:: \\Pr[\\bar X - E\\bar X > \\epsilon] \\le
+              \\exp\\Big(-\\frac{n\\epsilon^2}{2(v + b\\epsilon/3)}\\Big).
+
+    Always at least as loose as Bennett for the same ``(v, b)`` (it follows
+    from ``h(u) >= u^2 / (2 + 2u/3)``), but its inversions are closed-form,
+    which makes it a convenient cross-check in tests: Bennett's sample size
+    must never exceed Bernstein's.
+    """
+
+    def __init__(
+        self,
+        variance_bound: float,
+        magnitude_bound: float = 1.0,
+        *,
+        two_sided: bool = True,
+    ):
+        super().__init__(two_sided=two_sided)
+        self.variance_bound = check_positive(variance_bound, "variance_bound")
+        self.magnitude_bound = check_positive(magnitude_bound, "magnitude_bound")
+
+    def log_tail_probability(self, n: float, epsilon: float) -> float:
+        v, b = self.variance_bound, self.magnitude_bound
+        return -n * epsilon * epsilon / (2.0 * (v + b * epsilon / 3.0))
+
+    def _sample_size_real(self, epsilon: float, delta_eff: float) -> float:
+        v, b = self.variance_bound, self.magnitude_bound
+        return -math.log(delta_eff) * 2.0 * (v + b * epsilon / 3.0) / (epsilon * epsilon)
+
+    def _epsilon_real(self, n: float, delta_eff: float) -> float:
+        # Solve n eps^2 / (2(v + b eps / 3)) = log(1/delta): a quadratic in eps.
+        v, b = self.variance_bound, self.magnitude_bound
+        L = -math.log(delta_eff)
+        # n eps^2 - (2 b L / 3) eps - 2 v L = 0
+        a = float(n)
+        bb = -2.0 * b * L / 3.0
+        c = -2.0 * v * L
+        disc = bb * bb - 4.0 * a * c
+        return (-bb + math.sqrt(disc)) / (2.0 * a)
+
+
+class McDiarmidInequality(ConcentrationInequality):
+    """McDiarmid's bounded-differences inequality.
+
+    For a function ``f`` of ``n`` independent samples such that changing
+    sample ``i`` changes ``f`` by at most ``c_i = sensitivity / n``,
+
+    .. math:: \\Pr[f - E f > \\epsilon] \\le
+              \\exp\\Big(-\\frac{2\\epsilon^2}{\\sum_i c_i^2}\\Big)
+              = \\exp\\Big(-\\frac{2 n \\epsilon^2}{s^2}\\Big),
+
+    where ``s`` is the total sensitivity.  The paper names this as the
+    extension hook for metrics beyond accuracy (F1-score, AUC), whose
+    per-sample sensitivity is ``O(1/n)`` times a metric-dependent constant.
+
+    Parameters
+    ----------
+    sensitivity:
+        Total sensitivity ``s`` such that each sample changes the statistic
+        by at most ``s / n``.  For the empirical mean of ``[0, 1]`` values,
+        ``s = 1`` and McDiarmid coincides with one-sided Hoeffding.
+    """
+
+    def __init__(self, sensitivity: float = 1.0, *, two_sided: bool = False):
+        super().__init__(two_sided=two_sided)
+        self.sensitivity = check_positive(sensitivity, "sensitivity")
+
+    def log_tail_probability(self, n: float, epsilon: float) -> float:
+        s = self.sensitivity
+        return -2.0 * n * epsilon * epsilon / (s * s)
+
+    def _sample_size_real(self, epsilon: float, delta_eff: float) -> float:
+        s = self.sensitivity
+        return -(s * s) * math.log(delta_eff) / (2.0 * epsilon * epsilon)
+
+    def _epsilon_real(self, n: float, delta_eff: float) -> float:
+        s = self.sensitivity
+        return s * math.sqrt(-math.log(delta_eff) / (2.0 * n))

@@ -1,0 +1,162 @@
+"""Monte-Carlo coverage experiments for the sample-size machinery.
+
+The empirical half of Figure 4: draw many testsets of a given size from a
+known population, measure how often the estimation error exceeds the
+tolerance the bound promised, and compare the bound-predicted tolerance to
+the observed error quantiles.
+
+Two experiment shapes are provided:
+
+* :func:`coverage_experiment` — for a single Bernoulli mean (accuracy of
+  one model), validating Hoeffding / tight-binomial sample sizes;
+* :func:`paired_coverage_experiment` — for the paired difference
+  ``n - o`` with disagreement rate ``p``, validating the Bennett-based
+  Pattern 1/2 sample sizes.
+
+Both return a :class:`CoverageReport` that the test suite asserts on
+(``observed_failure_rate <= delta`` with slack for MC noise, and
+``empirical_quantile_error <= predicted_epsilon``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["CoverageReport", "coverage_experiment", "paired_coverage_experiment"]
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Result of a Monte-Carlo coverage experiment.
+
+    Attributes
+    ----------
+    n_samples:
+        Testset size used in every replicate.
+    n_replicates:
+        Number of independent testsets drawn.
+    predicted_epsilon:
+        The tolerance the bound promises at the experiment's ``delta``.
+    observed_failure_rate:
+        Fraction of replicates whose estimation error exceeded
+        ``predicted_epsilon`` — must be ``<= delta`` (up to MC noise) for
+        the bound to be *valid*.
+    empirical_quantile_error:
+        The ``1 - delta`` quantile of the absolute estimation error — the
+        figure-4 "empirical error"; the bound is *tight* when this is close
+        to ``predicted_epsilon`` from below.
+    mean_abs_error:
+        Mean absolute estimation error across replicates.
+    """
+
+    n_samples: int
+    n_replicates: int
+    predicted_epsilon: float
+    observed_failure_rate: float
+    empirical_quantile_error: float
+    mean_abs_error: float
+
+    @property
+    def bound_is_valid(self) -> bool:
+        """Whether the empirical ``1-delta`` error stayed within the bound."""
+        return self.empirical_quantile_error <= self.predicted_epsilon + 1e-12
+
+    @property
+    def slack_factor(self) -> float:
+        """How conservative the bound is (``predicted / empirical``, >= 1
+        when valid). Large slack means labels are being wasted."""
+        if self.empirical_quantile_error == 0.0:
+            return float("inf")
+        return self.predicted_epsilon / self.empirical_quantile_error
+
+
+def _make_report(
+    errors: np.ndarray, n_samples: int, predicted_epsilon: float, delta: float
+) -> CoverageReport:
+    abs_err = np.abs(errors)
+    return CoverageReport(
+        n_samples=int(n_samples),
+        n_replicates=len(errors),
+        predicted_epsilon=float(predicted_epsilon),
+        observed_failure_rate=float(np.mean(abs_err > predicted_epsilon)),
+        empirical_quantile_error=float(np.quantile(abs_err, 1.0 - delta)),
+        mean_abs_error=float(np.mean(abs_err)),
+    )
+
+
+def coverage_experiment(
+    true_accuracy: float,
+    n_samples: int,
+    predicted_epsilon: float,
+    delta: float,
+    n_replicates: int = 10_000,
+    seed=None,
+) -> CoverageReport:
+    """Validate a single-mean bound by repeated sampling.
+
+    Draws ``n_replicates`` testsets of ``n_samples`` Bernoulli(``true_accuracy``)
+    correctness indicators, estimates the accuracy on each, and reports how
+    the estimation errors compare to ``predicted_epsilon``.
+    """
+    check_fraction(true_accuracy, "true_accuracy")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    check_positive(predicted_epsilon, "predicted_epsilon")
+    check_probability(delta, "delta")
+    n_replicates = check_positive_int(n_replicates, "n_replicates")
+    rng = ensure_rng(seed)
+    correct_counts = rng.binomial(n_samples, true_accuracy, size=n_replicates)
+    errors = correct_counts / n_samples - true_accuracy
+    return _make_report(errors, n_samples, predicted_epsilon, delta)
+
+
+def paired_coverage_experiment(
+    true_gain: float,
+    disagreement_rate: float,
+    n_samples: int,
+    predicted_epsilon: float,
+    delta: float,
+    n_replicates: int = 10_000,
+    seed=None,
+) -> CoverageReport:
+    """Validate a paired-difference bound (the Bennett regime).
+
+    Population model: each example independently falls into one of three
+    buckets — "new right / old wrong" (probability ``q_plus``), "new wrong /
+    old right" (``q_minus``), "no difference" (the rest) — so the
+    per-example difference is ``+1 / -1 / 0`` with
+    ``q_plus + q_minus = disagreement_rate`` (the mass that can contribute
+    variance) and ``q_plus - q_minus = true_gain``.
+
+    Raises
+    ------
+    SimulationError
+        If ``|true_gain| > disagreement_rate`` (no valid bucket masses).
+    """
+    check_fraction(disagreement_rate, "disagreement_rate")
+    if abs(true_gain) > disagreement_rate + 1e-12:
+        raise SimulationError(
+            f"|true_gain|={abs(true_gain)} exceeds disagreement_rate={disagreement_rate}"
+        )
+    n_samples = check_positive_int(n_samples, "n_samples")
+    check_positive(predicted_epsilon, "predicted_epsilon")
+    check_probability(delta, "delta")
+    n_replicates = check_positive_int(n_replicates, "n_replicates")
+    rng = ensure_rng(seed)
+    q_plus = (disagreement_rate + true_gain) / 2.0
+    q_minus = (disagreement_rate - true_gain) / 2.0
+    probs = np.array([q_plus, q_minus, 1.0 - q_plus - q_minus])
+    counts = rng.multinomial(n_samples, probs, size=n_replicates)
+    gains = (counts[:, 0] - counts[:, 1]) / n_samples
+    errors = gains - true_gain
+    return _make_report(errors, n_samples, predicted_epsilon, delta)

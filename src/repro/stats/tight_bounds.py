@@ -1,0 +1,161 @@
+"""Tight numerical sample-size bounds via exact binomial computation.
+
+Section 4.3 of the paper sketches the final optimization: for conditions
+over ``n`` i.i.d. Bernoulli draws, compute the *exact* minimal testset size
+by working with the Binomial probability mass function directly instead of
+a concentration bound, minimizing over the worst-case unknown true mean
+``p``.  The paper leaves efficient approximations as future work; here we
+implement the exact computation (it is perfectly tractable at the testset
+sizes in play) so it can serve both as an optional estimator backend and as
+the ground truth the analytic bounds are compared against in the ablation
+benchmarks.
+
+Definitions
+-----------
+For sample size ``n`` and tolerance ``epsilon``, the *coverage failure
+probability* at true mean ``p`` is
+
+.. math:: f(n, p) = \\Pr\\big[\\, |\\hat p - p| > \\epsilon \\,\\big],
+          \\qquad \\hat p = \\text{Binomial}(n, p)/n .
+
+The tight sample size is the minimal ``n`` with
+``max_p f(n, p) <= delta``.  ``f(n, ·)`` is piecewise smooth with local
+maxima near the boundaries of the rounding grid, so the inner maximization
+scans a grid of candidate ``p`` refined around the argmax; the outer search
+is a doubling-then-bisection search, valid because ``max_p f(n, p)`` is
+(weakly) decreasing in ``n`` along the search trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.binomial import binom_cdf, binom_sf
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+__all__ = [
+    "exact_coverage_failure_probability",
+    "worst_case_failure_probability",
+    "tight_sample_size",
+    "tight_epsilon",
+]
+
+
+def exact_coverage_failure_probability(n: int, p: float, epsilon: float) -> float:
+    """Exact ``Pr[|Binomial(n,p)/n - p| > epsilon]``.
+
+    The event is ``k < n(p - epsilon)`` or ``k > n(p + epsilon)``; both
+    tails are computed with the exact binomial CDF/SF.
+    """
+    n = check_positive_int(n, "n")
+    check_positive(epsilon, "epsilon")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    lo_cut = math.ceil(n * (p - epsilon) - 1e-12) - 1  # largest k with k/n < p - eps
+    hi_cut = math.floor(n * (p + epsilon) + 1e-12) + 1  # smallest k with k/n > p + eps
+    prob = 0.0
+    if lo_cut >= 0:
+        prob += binom_cdf(min(lo_cut, n), n, p)
+    if hi_cut <= n:
+        prob += binom_sf(hi_cut - 1, n, p)
+    return min(1.0, prob)
+
+
+def worst_case_failure_probability(
+    n: int, epsilon: float, *, grid: int = 512, refine: int = 3
+) -> float:
+    """``max_p Pr[|hat p - p| > epsilon]`` over the unknown true mean.
+
+    Scans an initial uniform grid over ``[0, 1]`` and then refines around
+    the best cell ``refine`` times.  With ``grid=512`` the result is exact
+    to well below the tolerance at which it is consumed (the outer search
+    only needs to compare against ``delta``).
+    """
+    n = check_positive_int(n, "n")
+    check_positive(epsilon, "epsilon")
+    lo, hi = 0.0, 1.0
+    best_p, best_f = 0.5, 0.0
+    for _ in range(refine + 1):
+        step = (hi - lo) / grid
+        for i in range(grid + 1):
+            p = lo + i * step
+            f = exact_coverage_failure_probability(n, p, epsilon)
+            if f > best_f:
+                best_f, best_p = f, p
+        lo = max(0.0, best_p - 2 * step)
+        hi = min(1.0, best_p + 2 * step)
+    return best_f
+
+
+def tight_sample_size(
+    epsilon: float,
+    delta: float,
+    *,
+    grid: int = 256,
+    refine: int = 2,
+    n_hint: int | None = None,
+) -> int:
+    """Minimal ``n`` with worst-case coverage failure at most ``delta``.
+
+    This is the Section 4.3 "tight numerical bound" for a single Bernoulli
+    mean.  It is never larger than the two-sided Hoeffding sample size (the
+    test suite asserts this), and is typically 10–40% smaller.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Tolerance and failure probability of the guarantee.
+    grid, refine:
+        Resolution of the inner worst-case-``p`` search.
+    n_hint:
+        Optional starting point for the search (e.g. the Hoeffding size);
+        when omitted, the two-sided Hoeffding size is used as the upper
+        anchor.
+    """
+    check_positive(epsilon, "epsilon")
+    check_probability(delta, "delta")
+    if epsilon >= 1.0:
+        return 1
+    hoeffding_n = int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+    hi = max(1, n_hint or hoeffding_n)
+    # Ensure hi is feasible (it should be, Hoeffding dominates); expand if not.
+    while worst_case_failure_probability(hi, epsilon, grid=grid, refine=refine) > delta:
+        hi *= 2
+        if hi > 1 << 34:  # pragma: no cover - defensive
+            raise InvalidParameterError("tight_sample_size search diverged")
+    lo = 1
+    # Bisection: worst-case failure is monotone (weakly) decreasing in n on
+    # the scales of interest; the final verification step guards against the
+    # small non-monotonic ripples of the discrete distribution.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if worst_case_failure_probability(mid, epsilon, grid=grid, refine=refine) <= delta:
+            hi = mid
+        else:
+            lo = mid + 1
+    # Walk forward over possible ripples.
+    n = hi
+    while worst_case_failure_probability(n, epsilon, grid=grid, refine=refine) > delta:
+        n += 1  # pragma: no cover - rarely triggered
+    return n
+
+
+def tight_epsilon(
+    n: int, delta: float, *, tol: float = 1e-6, grid: int = 256, refine: int = 2
+) -> float:
+    """Smallest tolerance guaranteed by ``n`` samples at failure prob ``delta``.
+
+    Bisection on ``epsilon``; the failure probability is decreasing in
+    ``epsilon``.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(delta, "delta")
+    lo, hi = 0.0, 1.0
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if worst_case_failure_probability(n, mid, grid=grid, refine=refine) <= delta:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,28 @@
+"""Shared utilities: RNG plumbing, validation, tables, serialization."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.formatting import Table, format_count, format_float
+from repro.utils.serialization import to_jsonable, dumps, loads
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "Table",
+    "format_count",
+    "format_float",
+    "to_jsonable",
+    "dumps",
+    "loads",
+]

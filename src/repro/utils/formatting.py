@@ -1,0 +1,128 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness regenerates the paper's tables (e.g. Figure 2) as
+aligned ASCII tables on stdout.  This module provides a tiny, dependency-free
+table builder with per-column alignment and optional cell highlighting —
+used to reproduce the paper's red "impractical" flags as a ``*`` marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Table", "format_count", "format_float", "format_scientific"]
+
+
+def format_count(value: float | int) -> str:
+    """Render a sample count with thousands separators (``63,381``)."""
+    return f"{int(value):,}"
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Render a float with a fixed number of significant decimal digits."""
+    return f"{value:.{digits}f}"
+
+
+def format_scientific(value: float, digits: int = 2) -> str:
+    """Render a float in scientific notation (``1.00e-04``)."""
+    return f"{value:.{digits}e}"
+
+
+@dataclass
+class Table:
+    """An aligned, plain-text table.
+
+    Parameters
+    ----------
+    columns:
+        Column headers, in display order.
+    align:
+        Optional per-column alignment characters: ``<`` (left, default),
+        ``>`` (right) or ``^`` (center).
+    title:
+        Optional title rendered above the table.
+
+    Examples
+    --------
+    >>> t = Table(["cond", "n"], align=["<", ">"])
+    >>> t.add_row(["F1", 404])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    cond |   n
+    -----+----
+    F1   | 404
+    """
+
+    columns: Sequence[str]
+    align: Sequence[str] | None = None
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.columns = [str(c) for c in self.columns]
+        if self.align is None:
+            self.align = ["<"] * len(self.columns)
+        if len(self.align) != len(self.columns):
+            raise ValueError(
+                f"align has {len(self.align)} entries for {len(self.columns)} columns"
+            )
+        for a in self.align:
+            if a not in ("<", ">", "^"):
+                raise ValueError(f"invalid alignment {a!r}; use '<', '>' or '^'")
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(f"row has {len(row)} cells for {len(self.columns)} columns")
+        self.rows.append(row)
+
+    def add_rows(self, rows: Iterable[Iterable[object]]) -> None:
+        """Append multiple rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = self._widths()
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), sum(widths) + 3 * (len(widths) - 1)))
+        header = " | ".join(
+            f"{c:{a}{w}}" for c, a, w in zip(self.columns, self.align, widths)
+        )
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            line = " | ".join(f"{c:{a}{w}}" for c, a, w in zip(row, self.align, widths))
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    fmt: Callable[[float], str] = lambda v: f"{v:.6g}",
+) -> str:
+    """Render one or more named series against a shared x-axis as a table.
+
+    Used by figure benchmarks to print the exact data points a plot would
+    contain, which keeps the reproduction inspectable in a terminal.
+    """
+    table = Table([x_label, *series.keys()], align=[">"] * (1 + len(series)), title=name)
+    for i, x in enumerate(xs):
+        table.add_row([fmt(x), *(fmt(series[k][i]) for k in series)])
+    return table.render()

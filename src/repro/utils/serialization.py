@@ -1,0 +1,62 @@
+"""JSON round-tripping for configuration and result objects.
+
+Experiment drivers persist their outputs (sample-size tables, CI traces) as
+JSON so EXPERIMENTS.md entries can be regenerated and diffed.  This module
+converts the dataclass/numpy-rich objects used across the library into plain
+JSON-compatible structures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dumps", "loads"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable builtins.
+
+    Supported inputs: dataclasses (converted field-by-field so nested numpy
+    values are handled), enums (by value), numpy scalars and arrays, sets,
+    mappings and sequences.  Unknown objects raise ``TypeError`` rather than
+    being silently stringified.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in obj)
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dumps(obj: Any, *, indent: int | None = 2) -> str:
+    """Serialize ``obj`` (after :func:`to_jsonable`) to a JSON string."""
+    return json.dumps(to_jsonable(obj), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return json.loads(text)

@@ -1,0 +1,131 @@
+"""Argument-validation helpers used across the library.
+
+All helpers raise :class:`repro.exceptions.InvalidParameterError` (a
+``ValueError`` subclass) with a message that names the offending parameter,
+so user-facing APIs produce actionable diagnostics without each module
+re-implementing bound checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_in_range",
+    "check_type",
+]
+
+
+def _fail(name: str, value: Any, requirement: str) -> None:
+    raise InvalidParameterError(f"{name} must be {requirement}, got {value!r}")
+
+
+def check_probability(value: float, name: str = "delta", *, inclusive: bool = False) -> float:
+    """Validate that ``value`` is a probability.
+
+    Parameters
+    ----------
+    value:
+        The candidate probability.
+    name:
+        Parameter name used in the error message.
+    inclusive:
+        When ``True`` the closed interval ``[0, 1]`` is allowed; otherwise
+        the open interval ``(0, 1)`` is required (the right domain for
+        failure probabilities ``delta``, which must be neither certain nor
+        impossible).
+    """
+    value = _as_float(value, name)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            _fail(name, value, "in [0, 1]")
+    else:
+        if not 0.0 < value < 1.0:
+            _fail(name, value, "in the open interval (0, 1)")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate a quantity constrained to the closed unit interval."""
+    return check_probability(value, name, inclusive=True)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate a strictly positive, finite float."""
+    value = _as_float(value, name)
+    if not value > 0.0:
+        _fail(name, value, "strictly positive")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer (numpy integers accepted)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                _fail(name, value, "an integer")
+        except ImportError:  # pragma: no cover - numpy is a hard dependency
+            _fail(name, value, "an integer")
+    if value <= 0:
+        _fail(name, value, "a positive integer")
+    return int(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate ``low <op> value <op> high`` with configurable openness."""
+    value = _as_float(value, name)
+    lo_ok = value >= low if low_inclusive else value > low
+    hi_ok = value <= high if high_inclusive else value < high
+    if not (lo_ok and hi_ok):
+        lb = "[" if low_inclusive else "("
+        rb = "]" if high_inclusive else ")"
+        _fail(name, value, f"in {lb}{low}, {high}{rb}")
+    return value
+
+
+def check_type(value: Any, name: str, types: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, types)`` with a named error."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        _fail(name, value, f"of type {expected}")
+    return value
+
+
+def _as_float(value: Any, name: str) -> float:
+    """Coerce to float, rejecting NaN/inf and non-numeric types.
+
+    Strings are rejected even when they look numeric — silently accepting
+    ``"0.01"`` where a tolerance is expected hides configuration bugs.
+    """
+    if isinstance(value, (bool, str, bytes)):
+        _fail(name, value, "a real number")
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        _fail(name, value, "a real number")
+    if math.isnan(out) or math.isinf(out):
+        _fail(name, value, "finite")
+    return out

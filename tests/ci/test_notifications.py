@@ -1,0 +1,34 @@
+"""Tests for notification transports."""
+
+from repro.ci.notifications import ConsoleTransport, InMemoryEmailTransport
+
+
+class TestInMemoryTransport:
+    def test_records_messages_in_order(self):
+        transport = InMemoryEmailTransport()
+        transport.send("a@x.com", "s1", "b1")
+        transport.send("b@x.com", "s2", "b2")
+        assert len(transport) == 2
+        assert [m.sequence for m in transport.messages] == [0, 1]
+
+    def test_messages_for_filters_recipient(self):
+        transport = InMemoryEmailTransport()
+        transport.send("a@x.com", "s", "b")
+        transport.send("b@x.com", "s", "b")
+        transport.send("a@x.com", "s2", "b")
+        assert len(transport.messages_for("a@x.com")) == 2
+
+    def test_messages_list_is_copy(self):
+        transport = InMemoryEmailTransport()
+        transport.send("a@x.com", "s", "b")
+        transport.messages.clear()
+        assert len(transport) == 1
+
+
+class TestConsoleTransport:
+    def test_prints_subject_and_body(self, capsys):
+        ConsoleTransport().send("team@x.com", "subject line", "line1\nline2")
+        out = capsys.readouterr().out
+        assert "team@x.com" in out
+        assert "subject line" in out
+        assert "line1" in out and "line2" in out

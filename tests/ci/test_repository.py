@@ -1,0 +1,75 @@
+"""Tests for the model repository and commits."""
+
+import pytest
+
+from repro.ci.commit import Commit, CommitStatus
+from repro.ci.repository import ModelRepository
+from repro.exceptions import EngineStateError
+
+
+class Dummy:
+    def predict(self, features):  # pragma: no cover - never called here
+        return features
+
+
+class TestCommit:
+    def test_commit_id_stable(self):
+        a = Commit(sequence=0, model=Dummy(), message="m", author="a")
+        b = Commit(sequence=0, model=Dummy(), message="m", author="a")
+        assert a.commit_id == b.commit_id
+
+    def test_commit_id_varies_with_sequence(self):
+        a = Commit(sequence=0, model=Dummy(), message="m")
+        b = Commit(sequence=1, model=Dummy(), message="m")
+        assert a.commit_id != b.commit_id
+
+    def test_initial_status_pending(self):
+        assert Commit(sequence=0, model=Dummy()).status is CommitStatus.PENDING
+
+    def test_str_contains_id(self):
+        commit = Commit(sequence=0, model=Dummy())
+        assert commit.commit_id in str(commit)
+
+
+class TestRepository:
+    def test_commit_appends(self):
+        repo = ModelRepository()
+        repo.commit(Dummy(), message="first")
+        repo.commit(Dummy(), message="second")
+        assert len(repo) == 2
+        assert repo.head.message == "second"
+
+    def test_sequences_assigned(self):
+        repo = ModelRepository()
+        commits = [repo.commit(Dummy()) for _ in range(3)]
+        assert [c.sequence for c in commits] == [0, 1, 2]
+
+    def test_observer_called_per_commit(self):
+        repo = ModelRepository()
+        seen = []
+        repo.on_commit(lambda c: seen.append(c.sequence))
+        repo.commit(Dummy())
+        repo.commit(Dummy())
+        assert seen == [0, 1]
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(EngineStateError, match="no commits"):
+            _ = ModelRepository().head
+
+    def test_iteration_in_order(self):
+        repo = ModelRepository()
+        for i in range(3):
+            repo.commit(Dummy(), message=str(i))
+        assert [c.message for c in repo] == ["0", "1", "2"]
+
+    def test_indexing(self):
+        repo = ModelRepository()
+        commit = repo.commit(Dummy())
+        assert repo[0] is commit
+
+    def test_log_newest_first(self):
+        repo = ModelRepository()
+        repo.commit(Dummy(), message="old")
+        repo.commit(Dummy(), message="new")
+        lines = repo.log().splitlines()
+        assert "new" in lines[0] and "old" in lines[1]

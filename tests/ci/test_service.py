@@ -1,0 +1,132 @@
+"""Tests for the CI service (repository -> builds -> signals)."""
+
+import numpy as np
+import pytest
+
+from repro.ci.commit import CommitStatus
+from repro.ci.notifications import InMemoryEmailTransport
+from repro.ci.repository import ModelRepository
+from repro.ci.service import CIService
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+
+def make_service(adaptivity="full", steps=3):
+    script = CIScript.from_dict(
+        {
+            "condition": "n - o > 0.02 +/- 0.05",
+            "reliability": 0.99,
+            "mode": "fp-free",
+            "adaptivity": adaptivity,
+            "steps": steps,
+        }
+    )
+    from repro.core.estimators.api import SampleSizeEstimator
+
+    pool = SampleSizeEstimator().plan(
+        script.condition, delta=script.delta,
+        adaptivity=script.adaptivity, steps=script.steps,
+    ).pool_size
+    world = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.85, new_accuracy=0.85, difference=0.0),
+        n_examples=pool,
+        seed=0,
+    )
+    transport = InMemoryEmailTransport()
+    service = CIService(
+        script,
+        Testset(labels=world.labels, name="svc-test"),
+        world.old_model,
+        repository=ModelRepository("svc-repo"),
+        transport=transport,
+    )
+    return service, world, transport
+
+
+def candidate(service, world, accuracy, difference, seed):
+    return FixedPredictionModel(
+        evolve_predictions(
+            service.active_model.predictions,
+            world.labels,
+            target_accuracy=accuracy,
+            difference=difference,
+            seed=seed,
+        ),
+        name=f"cand-{seed}",
+    )
+
+
+class TestWebhookFlow:
+    def test_commit_triggers_build(self):
+        service, world, _ = make_service()
+        service.repository.commit(world.old_model, message="noop")
+        assert len(service.builds) == 1
+        assert service.builds[0].ran
+
+    def test_build_numbers_increment(self):
+        service, world, _ = make_service()
+        service.repository.commit(world.old_model)
+        service.repository.commit(world.old_model)
+        assert [b.build_number for b in service.builds] == [1, 2]
+
+    def test_status_reflects_signal(self):
+        service, world, _ = make_service()
+        good = candidate(service, world, 0.95, 0.12, seed=1)
+        commit = service.repository.commit(good, message="improvement")
+        assert commit.status is CommitStatus.PASSED
+        bad = candidate(service, world, 0.9, 0.07, seed=2)  # -5 vs new active
+        commit = service.repository.commit(bad)
+        assert commit.status is CommitStatus.FAILED
+
+    def test_active_model_tracks_promotions(self):
+        service, world, _ = make_service()
+        good = candidate(service, world, 0.95, 0.12, seed=3)
+        service.repository.commit(good)
+        assert service.active_model is good
+
+    def test_exhausted_testset_skips_builds(self):
+        service, world, _ = make_service(steps=1)
+        service.repository.commit(world.old_model)  # consumes the budget
+        commit = service.repository.commit(world.old_model)
+        assert commit.status is CommitStatus.SKIPPED
+        assert not service.builds[-1].ran
+        assert service.builds[-1].skipped_reason
+
+    def test_install_testset_resumes_builds(self):
+        service, world, _ = make_service(steps=1)
+        service.repository.commit(world.old_model)
+        fresh = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.85, new_accuracy=0.85, difference=0.0),
+            n_examples=len(world.labels),
+            seed=50,
+        )
+        service.install_testset(
+            Testset(labels=fresh.labels, name="gen2"), baseline_model=fresh.old_model
+        )
+        commit = service.repository.commit(fresh.old_model)
+        assert commit.status is not CommitStatus.SKIPPED
+
+
+class TestHiddenSignals:
+    def test_none_mode_hides_status(self):
+        service, world, transport = make_service(
+            adaptivity="none -> team@example.com"
+        )
+        good = candidate(service, world, 0.95, 0.12, seed=4)
+        commit = service.repository.commit(good)
+        assert commit.status is CommitStatus.ACCEPTED
+        # but the third party got the true signal
+        subjects = [m.subject for m in transport.messages_for("team@example.com")]
+        assert any("PASS" in s for s in subjects)
+
+    def test_summary_renders(self):
+        service, world, _ = make_service()
+        service.repository.commit(world.old_model)
+        text = service.summary()
+        assert "svc-repo" in text and "#1" in text

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.core.script.config import CIScript
+from repro.ml.datasets.emotion import SemEvalHistory, make_semeval_history
+
+# Derandomize hypothesis so the suite is bit-for-bit reproducible across
+# runs (examples are still diverse, just derived deterministically).
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for ad-hoc draws."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def semeval_history() -> SemEvalHistory:
+    """The scripted 8-model history (expensive-ish; shared per session)."""
+    return make_semeval_history()
+
+
+@pytest.fixture
+def basic_script() -> CIScript:
+    """A small, valid CI script used across engine tests."""
+    return CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": "n - o > 0.02 +/- 0.05",
+            "reliability": 0.99,
+            "mode": "fp-free",
+            "adaptivity": "full",
+            "steps": 4,
+        }
+    )

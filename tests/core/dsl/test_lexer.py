@@ -1,0 +1,114 @@
+"""Tests for the condition-DSL lexer."""
+
+import pytest
+
+from repro.core.dsl.lexer import tokenize
+from repro.core.dsl.tokens import TokenType
+from repro.exceptions import LexerError
+
+
+def types(source: str) -> list[TokenType]:
+    return [t.type for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_variables(self):
+        assert types("n o d")[:-1] == [TokenType.VARIABLE] * 3
+
+    def test_number(self):
+        token = tokenize("0.25")[0]
+        assert token.type is TokenType.NUMBER and token.value == 0.25
+
+    def test_leading_dot_number(self):
+        assert tokenize(".5")[0].value == 0.5
+
+    def test_integer_number(self):
+        assert tokenize("3")[0].value == 3.0
+
+    def test_scientific_notation(self):
+        assert tokenize("1e-3")[0].value == 0.001
+
+    def test_operators(self):
+        assert types("+ - * > <")[:-1] == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.GREATER,
+            TokenType.LESS,
+        ]
+
+    def test_parens(self):
+        assert types("( )")[:-1] == [TokenType.LPAREN, TokenType.RPAREN]
+
+    def test_eof_always_last(self):
+        assert types("")[-1] is TokenType.EOF
+
+
+class TestMultiCharTokens:
+    def test_plus_minus_is_single_token(self):
+        assert types("+/-")[:-1] == [TokenType.PLUS_MINUS]
+
+    def test_plus_alone_before_slash_dash_not_confused(self):
+        # "+ /-" (with a space) is PLUS then an error on '/'.
+        with pytest.raises(LexerError):
+            tokenize("+ /-")
+
+    def test_conjunction(self):
+        assert types("/\\")[:-1] == [TokenType.AND]
+
+    def test_full_clause(self):
+        tokens = types("n - o > 0.02 +/- 0.01")
+        assert tokens == [
+            TokenType.VARIABLE,
+            TokenType.MINUS,
+            TokenType.VARIABLE,
+            TokenType.GREATER,
+            TokenType.NUMBER,
+            TokenType.PLUS_MINUS,
+            TokenType.NUMBER,
+            TokenType.EOF,
+        ]
+
+
+class TestErrors:
+    def test_unknown_identifier(self):
+        with pytest.raises(LexerError, match="unknown identifier"):
+            tokenize("accuracy > 0.5 +/- 0.1")
+
+    def test_division_rejected_with_hint(self):
+        with pytest.raises(LexerError, match="division is unsupported"):
+            tokenize("n / o > 1 +/- 0.1")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("n > 0.5 @ 0.1")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("n > 0.5 @")
+        except LexerError as exc:
+            assert exc.position == 8
+        else:  # pragma: no cover
+            pytest.fail("expected LexerError")
+
+    def test_caret_diagnostic_rendered(self):
+        with pytest.raises(LexerError, match=r"\^"):
+            tokenize("n > 0.5 @")
+
+
+class TestWhitespace:
+    def test_whitespace_insensitive(self):
+        compact = [
+            (t.type, t.value) for t in tokenize("n-o>0.02+/-0.01")
+        ]
+        spaced = [
+            (t.type, t.value) for t in tokenize("  n - o  >  0.02  +/-  0.01 ")
+        ]
+        assert compact == spaced
+
+    def test_newlines_allowed(self):
+        assert types("n >\n 0.5 +/- 0.1")[-1] is TokenType.EOF
+
+    def test_positions_recorded(self):
+        positions = [t.position for t in tokenize("n > 0.5")][:-1]
+        assert positions == [0, 2, 4]

@@ -1,0 +1,104 @@
+"""Tests for linear canonicalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.linear import LinearExpression, linearize
+from repro.core.dsl.parser import parse_clause, parse_expression
+from repro.exceptions import SemanticError
+
+
+class TestLinearize:
+    def test_single_variable(self):
+        lin = linearize(parse_expression("n"))
+        assert lin.coefficient("n") == 1.0 and lin.constant == 0.0
+
+    def test_difference(self):
+        lin = linearize(parse_expression("n - o"))
+        assert lin.coefficient("n") == 1.0
+        assert lin.coefficient("o") == -1.0
+
+    def test_scaled_variable_left_constant(self):
+        lin = linearize(parse_expression("1.1 * o"))
+        assert lin.coefficient("o") == pytest.approx(1.1)
+
+    def test_scaled_variable_right_constant(self):
+        lin = linearize(parse_expression("o * 1.1"))
+        assert lin.coefficient("o") == pytest.approx(1.1)
+
+    def test_constant_folding(self):
+        lin = linearize(parse_expression("n + 0.1 - 0.05"))
+        assert lin.constant == pytest.approx(0.05)
+
+    def test_cancellation_drops_variable(self):
+        lin = linearize(parse_expression("n - n + d"))
+        assert lin.variables() == {"d"}
+
+    def test_distribution_over_parens(self):
+        lin = linearize(parse_expression("(n - o) * 2"))
+        assert lin.coefficient("n") == 2.0 and lin.coefficient("o") == -2.0
+
+    def test_negation(self):
+        lin = linearize(parse_expression("-(n - o)"))
+        assert lin.coefficient("n") == -1.0 and lin.coefficient("o") == 1.0
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(SemanticError, match="nonlinear"):
+            linearize(parse_expression("(n - o) * (n + o)"))
+
+    def test_clause_input_uses_lhs(self):
+        lin = linearize(parse_clause("n - o > 0.02 +/- 0.01"))
+        assert lin.variables() == {"n", "o"}
+
+    @given(
+        n=st.floats(min_value=0, max_value=1),
+        o=st.floats(min_value=0, max_value=1),
+        d=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=50)
+    def test_linearized_evaluation_matches_ast(self, n, o, d):
+        expr = parse_expression("n - 1.1 * o + 0.5 * d - 0.02")
+        assignment = {"n": n, "o": o, "d": d}
+        assert linearize(expr).evaluate(assignment) == pytest.approx(
+            expr.evaluate(assignment)
+        )
+
+
+class TestLinearExpression:
+    def test_value_range_default(self):
+        lin = LinearExpression({"n": 1.0, "o": -1.1})
+        assert lin.value_range() == pytest.approx(2.1)
+
+    def test_value_range_custom(self):
+        lin = LinearExpression({"n": 2.0})
+        assert lin.value_range({"n": 0.5}) == pytest.approx(1.0)
+
+    def test_algebra_add(self):
+        a = LinearExpression({"n": 1.0}, 0.1)
+        b = LinearExpression({"n": 0.5, "o": 1.0}, -0.1)
+        c = a + b
+        assert c.coefficient("n") == 1.5 and c.constant == pytest.approx(0.0)
+
+    def test_algebra_sub_cancels(self):
+        a = LinearExpression({"n": 1.0})
+        assert (a - a).is_constant
+
+    def test_scale(self):
+        lin = LinearExpression({"n": 1.0}, 1.0).scale(-2.0)
+        assert lin.coefficient("n") == -2.0 and lin.constant == -2.0
+
+    def test_zero_coefficients_dropped(self):
+        lin = LinearExpression({"n": 0.0, "o": 1.0})
+        assert lin.variables() == {"o"}
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            LinearExpression({"x": 1.0})
+
+    def test_to_source_canonical(self):
+        lin = LinearExpression({"n": 1.0, "o": -1.1}, 0.5)
+        assert lin.to_source() == "n - 1.1 * o + 0.5"
+
+    def test_constant_only_source(self):
+        assert LinearExpression({}, -0.5).to_source() == "-0.5"

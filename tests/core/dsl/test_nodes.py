@@ -1,0 +1,104 @@
+"""Tests for the DSL AST nodes."""
+
+import pytest
+
+from repro.core.dsl.nodes import (
+    BinaryOp,
+    Clause,
+    Constant,
+    Formula,
+    Negation,
+    Variable,
+)
+from repro.exceptions import SemanticError
+
+
+class TestVariable:
+    def test_valid_names(self):
+        for name in ("n", "o", "d"):
+            assert Variable(name).name == name
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SemanticError, match="unknown variable"):
+            Variable("x")
+
+    def test_evaluate(self):
+        assert Variable("n").evaluate({"n": 0.7}) == 0.7
+
+    def test_missing_assignment(self):
+        with pytest.raises(SemanticError, match="no value"):
+            Variable("n").evaluate({})
+
+    def test_hashable(self):
+        assert len({Variable("n"), Variable("n"), Variable("o")}) == 2
+
+
+class TestExpressions:
+    def test_binary_evaluate(self):
+        expr = BinaryOp("-", Variable("n"), Variable("o"))
+        assert expr.evaluate({"n": 0.9, "o": 0.8}) == pytest.approx(0.1)
+
+    def test_invalid_op(self):
+        with pytest.raises(SemanticError):
+            BinaryOp("/", Variable("n"), Constant(2.0))
+
+    def test_negation(self):
+        assert Negation(Variable("n")).evaluate({"n": 0.4}) == -0.4
+
+    def test_to_source_parenthesizes_products(self):
+        expr = BinaryOp("*", BinaryOp("-", Variable("n"), Variable("o")), Constant(2))
+        assert expr.to_source() == "(n - o) * 2"
+
+    def test_to_source_subtraction_grouping(self):
+        expr = BinaryOp("-", Variable("n"), BinaryOp("+", Variable("o"), Variable("d")))
+        assert expr.to_source() == "n - (o + d)"
+
+    def test_variables_aggregation(self):
+        expr = BinaryOp("+", Variable("n"), BinaryOp("*", Constant(2), Variable("d")))
+        assert expr.variables() == {"n", "d"}
+
+
+class TestClause:
+    def test_exact_evaluation(self):
+        clause = Clause(Variable("n"), ">", 0.8, 0.05)
+        assert clause.evaluate_exact({"n": 0.85})
+        assert not clause.evaluate_exact({"n": 0.75})
+
+    def test_less_comparator(self):
+        clause = Clause(Variable("d"), "<", 0.1, 0.01)
+        assert clause.evaluate_exact({"d": 0.05})
+
+    def test_bad_comparator(self):
+        with pytest.raises(SemanticError):
+            Clause(Variable("n"), ">=", 0.8, 0.05)
+
+    def test_negative_tolerance(self):
+        with pytest.raises(SemanticError):
+            Clause(Variable("n"), ">", 0.8, -0.05)
+
+
+class TestFormula:
+    def test_conjunction_semantics(self):
+        formula = Formula(
+            (
+                Clause(Variable("n"), ">", 0.8, 0.01),
+                Clause(Variable("d"), "<", 0.1, 0.01),
+            )
+        )
+        assert formula.evaluate_exact({"n": 0.9, "d": 0.05})
+        assert not formula.evaluate_exact({"n": 0.9, "d": 0.2})
+
+    def test_empty_rejected(self):
+        with pytest.raises(SemanticError, match="at least one"):
+            Formula(())
+
+    def test_iteration_order(self):
+        clauses = (
+            Clause(Variable("n"), ">", 0.8, 0.01),
+            Clause(Variable("d"), "<", 0.1, 0.01),
+        )
+        assert tuple(Formula(clauses)) == clauses
+
+    def test_str_is_source(self):
+        formula = Formula((Clause(Variable("n"), ">", 0.8, 0.01),))
+        assert str(formula) == "n > 0.8 +/- 0.01"

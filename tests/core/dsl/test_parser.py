@@ -1,0 +1,167 @@
+"""Tests for the condition-DSL parser (permissive and strict grammars)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.nodes import BinaryOp, Clause, Constant, Formula, Variable
+from repro.core.dsl.parser import parse_clause, parse_condition, parse_expression
+from repro.exceptions import SemanticError, SyntaxParseError
+
+
+class TestExpressionParsing:
+    def test_single_variable(self):
+        assert parse_expression("n") == Variable("n")
+
+    def test_difference(self):
+        assert parse_expression("n - o") == BinaryOp("-", Variable("n"), Variable("o"))
+
+    def test_left_associativity(self):
+        expr = parse_expression("n - o - d")
+        assert expr == BinaryOp(
+            "-", BinaryOp("-", Variable("n"), Variable("o")), Variable("d")
+        )
+
+    def test_multiplication_precedence(self):
+        expr = parse_expression("n - 1.1 * o")
+        assert expr == BinaryOp(
+            "-", Variable("n"), BinaryOp("*", Constant(1.1), Variable("o"))
+        )
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(n - o) * 2")
+        assert expr == BinaryOp(
+            "*", BinaryOp("-", Variable("n"), Variable("o")), Constant(2.0)
+        )
+
+    def test_unary_minus(self):
+        expr = parse_expression("-n + o")
+        assert expr.evaluate({"n": 0.3, "o": 0.5}) == pytest.approx(0.2)
+
+    def test_unmatched_paren(self):
+        with pytest.raises(SyntaxParseError):
+            parse_expression("(n - o")
+
+
+class TestClauseParsing:
+    def test_paper_clause(self):
+        clause = parse_clause("n - o > 0.02 +/- 0.01")
+        assert clause.comparator == ">"
+        assert clause.threshold == 0.02
+        assert clause.tolerance == 0.01
+
+    def test_less_than(self):
+        clause = parse_clause("d < 0.1 +/- 0.01")
+        assert clause.comparator == "<"
+
+    def test_missing_tolerance_rejected(self):
+        with pytest.raises(SyntaxParseError, match="error tolerance"):
+            parse_clause("n > 0.5")
+
+    def test_missing_comparator(self):
+        with pytest.raises(SyntaxParseError, match="comparison"):
+            parse_clause("n + o +/- 0.1")
+
+    def test_negative_threshold_permissive(self):
+        clause = parse_clause("n - o > -0.01 +/- 0.01")
+        assert clause.threshold == -0.01
+
+    def test_zero_tolerance_rejected(self):
+        with pytest.raises(SemanticError, match="tolerance"):
+            parse_clause("n > 0.5 +/- 0")
+
+    def test_constant_only_expression_rejected(self):
+        with pytest.raises(SemanticError, match="vacuous"):
+            parse_clause("0.5 > 0.4 +/- 0.01")
+
+
+class TestFormulaParsing:
+    def test_single_clause_formula(self):
+        formula = parse_condition("n > 0.8 +/- 0.05")
+        assert isinstance(formula, Formula) and len(formula) == 1
+
+    def test_paper_conjunction(self):
+        formula = parse_condition("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01")
+        assert len(formula) == 2
+        assert formula.clauses[1].variables() == {"d"}
+
+    def test_three_clauses(self):
+        source = "n > 0.5 +/- 0.1 /\\ d < 0.2 +/- 0.1 /\\ n - o > 0 +/- 0.1"
+        assert len(parse_condition(source)) == 3
+
+    def test_trailing_conjunction_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("n > 0.5 +/- 0.1 /\\")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("n > 0.5 +/- 0.1 n")
+
+    def test_variables_union(self):
+        formula = parse_condition("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01")
+        assert formula.variables() == {"n", "o", "d"}
+
+
+class TestStrictGrammar:
+    def test_paper_examples_accepted(self):
+        for source in (
+            "n > 0.8 +/- 0.05",
+            "n - o > 0.02 +/- 0.01",
+            "d < 0.1 +/- 0.01",
+            "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            "n * 2 - o > 0.01 +/- 0.01",
+        ):
+            parse_condition(source, strict=True)
+
+    def test_parentheses_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("(n - o) > 0.02 +/- 0.01", strict=True)
+
+    def test_constant_head_term_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("0.5 + n > 0.6 +/- 0.01", strict=True)
+
+    def test_constant_times_constant_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("2 * 3 > 0.5 +/- 0.01", strict=True)
+
+    def test_negative_tolerance_rejected_in_strict(self):
+        with pytest.raises(SyntaxParseError, match="strict"):
+            parse_condition("n > 0.5 +/- -0.01", strict=True)
+
+    def test_var_times_var_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_condition("n * o > 0.5 +/- 0.01", strict=True)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "n > 0.8 +/- 0.05",
+            "n - o > 0.02 +/- 0.01",
+            "n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            "n - 1.1 * o > 0.01 +/- 0.01",
+        ],
+    )
+    def test_to_source_reparses_identically(self, source):
+        formula = parse_condition(source)
+        assert parse_condition(formula.to_source()) == formula
+
+    @given(
+        threshold=st.floats(min_value=-1, max_value=1).map(lambda x: round(x, 4)),
+        tolerance=st.floats(min_value=1e-4, max_value=0.5).map(lambda x: round(x, 4)),
+        comparator=st.sampled_from([">", "<"]),
+        variable=st.sampled_from(["n", "o", "d"]),
+    )
+    @settings(max_examples=60)
+    def test_generated_clause_round_trips(
+        self, threshold, tolerance, comparator, variable
+    ):
+        clause = Clause(
+            expression=Variable(variable),
+            comparator=comparator,
+            threshold=threshold,
+            tolerance=tolerance,
+        )
+        assert parse_clause(clause.to_source()) == clause

@@ -1,0 +1,73 @@
+"""Tests for the adaptivity budget rules (§3.2–3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.exceptions import InvalidParameterError
+
+
+class TestBudgets:
+    def test_none_divides_by_steps(self):
+        assert Adaptivity.NONE.effective_delta(0.01, 10) == pytest.approx(0.001)
+
+    def test_full_divides_by_two_to_steps(self):
+        assert Adaptivity.FULL.effective_delta(0.01, 4) == pytest.approx(0.01 / 16)
+
+    def test_first_change_same_as_none(self):
+        # §3.4: the hybrid mode pays in lifetime, not in samples.
+        assert Adaptivity.FIRST_CHANGE.effective_delta(
+            0.01, 10
+        ) == Adaptivity.NONE.effective_delta(0.01, 10)
+
+    def test_single_step_all_equal_except_full(self):
+        none = Adaptivity.NONE.effective_delta(0.01, 1)
+        full = Adaptivity.FULL.effective_delta(0.01, 1)
+        assert none == pytest.approx(0.01)
+        assert full == pytest.approx(0.005)
+
+    def test_log_form_survives_huge_h(self):
+        # 2^-10000 underflows a float, but the log stays finite.
+        log_delta = Adaptivity.FULL.log_effective_delta(0.01, 10_000)
+        assert log_delta == pytest.approx(math.log(0.01) - 10_000 * math.log(2))
+        assert Adaptivity.FULL.effective_delta(0.01, 10_000) == 0.0  # underflow
+
+    def test_invalid_delta(self):
+        with pytest.raises(InvalidParameterError):
+            Adaptivity.NONE.effective_delta(0.0, 5)
+
+    def test_invalid_steps(self):
+        with pytest.raises(InvalidParameterError):
+            Adaptivity.FULL.effective_delta(0.01, 0)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("none", Adaptivity.NONE),
+            ("full", Adaptivity.FULL),
+            ("firstChange", Adaptivity.FIRST_CHANGE),
+            ("FIRSTCHANGE", Adaptivity.FIRST_CHANGE),
+            ("  full  ", Adaptivity.FULL),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Adaptivity.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown adaptivity"):
+            Adaptivity.parse("partial")
+
+
+class TestBehaviourFlags:
+    def test_signal_release(self):
+        assert Adaptivity.FULL.releases_signal_to_developer
+        assert Adaptivity.FIRST_CHANGE.releases_signal_to_developer
+        assert not Adaptivity.NONE.releases_signal_to_developer
+
+    def test_retirement_rule(self):
+        assert Adaptivity.FIRST_CHANGE.retires_testset_on_pass
+        assert not Adaptivity.FULL.retires_testset_on_pass
+        assert not Adaptivity.NONE.retires_testset_on_pass

@@ -1,0 +1,101 @@
+"""Tests for optimal tolerance allocation (§3.1 rule 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators.allocation import allocate_numeric, allocate_tolerances
+from repro.exceptions import InvalidParameterError
+
+
+class TestClosedForm:
+    def test_symmetric_terms_split_evenly(self):
+        terms = [("n", 1.0, 1.0, 0.01), ("o", 1.0, 1.0, 0.01)]
+        allocations = allocate_tolerances(terms, 0.02)
+        assert allocations[0].tolerance == pytest.approx(0.01)
+        assert allocations[1].tolerance == pytest.approx(0.01)
+
+    def test_equalization_property(self):
+        terms = [("n", 1.0, 1.0, 0.01), ("o", 1.7, 1.0, 0.003)]
+        allocations = allocate_tolerances(terms, 0.02)
+        assert allocations[0].samples == pytest.approx(allocations[1].samples)
+
+    def test_tolerances_sum_to_budget(self):
+        terms = [("n", 1.0, 1.0, 0.01), ("o", 2.0, 1.0, 0.01), ("d", 0.5, 1.0, 0.01)]
+        allocations = allocate_tolerances(terms, 0.05)
+        assert sum(a.tolerance for a in allocations) == pytest.approx(0.05)
+
+    def test_paper_f2_closed_form(self):
+        # n - o at delta/(2H) per term reproduces Figure 2's F2 column.
+        delta_term = 0.01 / (2 * 32)
+        terms = [("n", 1.0, 1.0, delta_term), ("o", 1.0, 1.0, delta_term)]
+        n = allocate_tolerances(terms, 0.1)[0].samples
+        assert math.ceil(n) == 1753
+
+    def test_bigger_coefficient_gets_more_tolerance(self):
+        terms = [("n", 1.0, 1.0, 0.01), ("o", 3.0, 1.0, 0.01)]
+        a_n, a_o = allocate_tolerances(terms, 0.04)
+        assert a_o.tolerance > a_n.tolerance
+        # With equal per-term deltas the optimum equalizes the *variable*
+        # tolerances (eps_i proportional to |c_i| exactly cancels).
+        assert a_o.variable_tolerance == pytest.approx(a_n.variable_tolerance)
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            allocate_tolerances([("n", 0.0, 1.0, 0.01)], 0.05)
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            allocate_tolerances([], 0.05)
+
+    @given(
+        c1=st.floats(min_value=0.1, max_value=5),
+        c2=st.floats(min_value=0.1, max_value=5),
+        eps=st.floats(min_value=1e-3, max_value=0.3),
+    )
+    @settings(max_examples=50)
+    def test_optimality_against_perturbations(self, c1, c2, eps):
+        """No nearby split beats the closed-form optimum."""
+        terms = [("n", c1, 1.0, 0.01), ("o", c2, 1.0, 0.01)]
+        optimal = allocate_tolerances(terms, eps)[0].samples
+
+        def cost(eps1: float) -> float:
+            eps2 = eps - eps1
+            n1 = (c1**2) * math.log(1 / 0.01) / (2 * eps1**2)
+            n2 = (c2**2) * math.log(1 / 0.01) / (2 * eps2**2)
+            return max(n1, n2)
+
+        base = allocate_tolerances(terms, eps)[0].tolerance
+        for shift in (-0.2, -0.05, 0.05, 0.2):
+            eps1 = base * (1 + shift)
+            if 0 < eps1 < eps:
+                assert optimal <= cost(eps1) * (1 + 1e-9)
+
+
+class TestNumericAllocator:
+    def test_matches_closed_form_for_hoeffding(self):
+        delta = 0.001
+        c1, c2, eps = 1.0, 1.6, 0.04
+
+        def make_cost(c):
+            return lambda e: (c**2) * math.log(1 / delta) / (2 * e**2)
+
+        tolerances, n = allocate_numeric([make_cost(c1), make_cost(c2)], eps)
+        closed = allocate_tolerances(
+            [("n", c1, 1.0, delta), ("o", c2, 1.0, delta)], eps
+        )
+        assert n == pytest.approx(closed[0].samples, rel=1e-4)
+        assert tolerances[0] == pytest.approx(closed[0].tolerance, rel=1e-3)
+
+    def test_single_term(self):
+        tolerances, n = allocate_numeric(
+            [lambda e: 1.0 / (e * e)], 0.1
+        )
+        assert tolerances[0] == pytest.approx(0.1, rel=1e-6)
+        assert n == pytest.approx(100.0, rel=1e-4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            allocate_numeric([], 0.1)

@@ -1,0 +1,243 @@
+"""Tests for the SampleSizeEstimator facade — including every paper number."""
+
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.estimators.plans import ClauseStrategy
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def baseline():
+    return SampleSizeEstimator(optimizations="none")
+
+
+@pytest.fixture
+def optimized():
+    return SampleSizeEstimator()
+
+
+class TestBaselineNumbers:
+    @pytest.mark.parametrize(
+        "reliability,eps,adaptivity,expected",
+        [
+            (0.99, 0.1, "none", 404),
+            (0.99, 0.1, "full", 1340),
+            (0.9999, 0.05, "full", 6279),
+            (0.9999, 0.01, "none", 63381),
+            (0.9999, 0.01, "full", 156956),
+        ],
+    )
+    def test_figure2_f1(self, baseline, reliability, eps, adaptivity, expected):
+        plan = baseline.plan(
+            f"n > 0.8 +/- {eps}",
+            reliability=reliability,
+            adaptivity=adaptivity,
+            steps=32,
+        )
+        assert plan.samples == expected
+
+    @pytest.mark.parametrize(
+        "reliability,eps,adaptivity,expected",
+        [
+            (0.99, 0.1, "none", 1753),
+            (0.99, 0.1, "full", 5496),
+            (0.9999, 0.01, "none", 267385),
+            (0.9999, 0.01, "full", 641684),
+        ],
+    )
+    def test_figure2_f2(self, baseline, reliability, eps, adaptivity, expected):
+        plan = baseline.plan(
+            f"n - o > 0.02 +/- {eps}",
+            reliability=reliability,
+            adaptivity=adaptivity,
+            steps=32,
+        )
+        assert plan.samples == expected
+
+    def test_first_change_matches_none(self, baseline):
+        kwargs = dict(reliability=0.999, steps=16)
+        none = baseline.plan("n > 0.8 +/- 0.05", adaptivity="none", **kwargs)
+        hybrid = baseline.plan("n > 0.8 +/- 0.05", adaptivity="firstChange", **kwargs)
+        assert none.samples == hybrid.samples
+
+    def test_section31_example_structure(self, baseline):
+        plan = baseline.plan(
+            "n - 1.1 * o > 0.01 +/- 0.01 /\\ d < 0.1 +/- 0.01",
+            delta=1e-4,
+            adaptivity="none",
+            steps=1,
+        )
+        gain_plan, d_plan = plan.clause_plans
+        # Formula split: each clause gets delta/2; terms get delta/4.
+        assert gain_plan.delta == pytest.approx(5e-5)
+        assert gain_plan.terms[0].delta == pytest.approx(2.5e-5)
+        assert d_plan.terms[0].delta == pytest.approx(5e-5)
+        # The asymmetric coefficient gets proportionally more tolerance.
+        tol = {t.variable: t.tolerance for t in gain_plan.terms}
+        assert tol["o"] == pytest.approx(1.1 * tol["n"], rel=1e-9)
+
+
+class TestPattern1:
+    CONDITION = "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01"
+
+    def test_29k_labels(self, optimized):
+        plan = optimized.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="none", steps=32
+        )
+        assert plan.samples == 29048
+
+    def test_67k_fully_adaptive(self, optimized):
+        plan = optimized.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="full", steps=32
+        )
+        assert plan.samples == 67706
+
+    def test_d_clause_is_label_free(self, optimized):
+        plan = optimized.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="none", steps=32
+        )
+        d_plan = next(
+            p for p in plan.clause_plans if p.clause.variables() == {"d"}
+        )
+        assert not d_plan.requires_labels
+        assert plan.pool_size > plan.samples  # unlabeled filter is larger
+
+    def test_strategy_assignment(self, optimized):
+        plan = optimized.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="none", steps=32
+        )
+        strategies = {
+            tuple(sorted(p.clause.variables())): p.strategy
+            for p in plan.clause_plans
+        }
+        assert strategies[("d",)] is ClauseStrategy.HOEFFDING_PER_VARIABLE
+        assert strategies[("n", "o")] is ClauseStrategy.BENNETT_PAIRED
+
+    def test_inflated_policy_is_more_conservative(self):
+        threshold = SampleSizeEstimator(variance_bound_policy="threshold")
+        inflated = SampleSizeEstimator(variance_bound_policy="inflated")
+        kwargs = dict(reliability=0.9999, adaptivity="none", steps=32)
+        assert (
+            inflated.plan(self.CONDITION, **kwargs).samples
+            > threshold.plan(self.CONDITION, **kwargs).samples
+        )
+
+    def test_optimizations_off_uses_hoeffding_everywhere(self, baseline):
+        plan = baseline.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="none", steps=32
+        )
+        assert all(
+            p.strategy is ClauseStrategy.HOEFFDING_PER_VARIABLE
+            for p in plan.clause_plans
+        )
+
+    def test_labels_per_evaluation_scaled_by_p(self, optimized):
+        plan = optimized.plan(
+            self.CONDITION, reliability=0.9999, adaptivity="none", steps=32
+        )
+        assert plan.labels_per_evaluation == pytest.approx(
+            plan.samples * 0.1, rel=0.01
+        )
+
+
+class TestPattern2:
+    def test_figure5_non_adaptive(self, optimized):
+        plan = optimized.plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.002,
+            adaptivity="none",
+            steps=7,
+            known_variance_bound=0.1,
+        )
+        assert plan.samples == 4713
+
+    def test_figure5_adaptive(self, optimized):
+        plan = optimized.plan(
+            "n - o > 0.018 +/- 0.022",
+            delta=0.002,
+            adaptivity="full",
+            steps=7,
+            known_variance_bound=0.1,
+        )
+        assert plan.samples == 5204
+
+    def test_without_bound_falls_back_to_hoeffding(self, optimized):
+        plan = optimized.plan(
+            "n - o > 0.02 +/- 0.02", delta=0.002, adaptivity="none", steps=7
+        )
+        assert plan.clause_plans[0].strategy is ClauseStrategy.HOEFFDING_PER_VARIABLE
+        assert plan.samples == 44269  # ceil of the paper's 44,268.3
+
+    def test_explicit_d_clause_wins_over_known_bound(self, optimized):
+        # Pattern 1 fires (threshold 0.05), ignoring the looser known bound.
+        plan = optimized.plan(
+            "d < 0.05 +/- 0.01 /\\ n - o > 0.02 +/- 0.02",
+            delta=0.002,
+            adaptivity="none",
+            steps=7,
+            known_variance_bound=0.5,
+        )
+        gain_plan = next(
+            p for p in plan.clause_plans if p.strategy is ClauseStrategy.BENNETT_PAIRED
+        )
+        assert gain_plan.variance_bound == pytest.approx(0.05)
+
+
+class TestExactBinomial:
+    def test_tightens_single_variable_clause(self):
+        hoeffding = SampleSizeEstimator(optimizations="none")
+        exact = SampleSizeEstimator(
+            optimizations="none", use_exact_binomial=True
+        )
+        kwargs = dict(reliability=0.99, adaptivity="none", steps=4)
+        n_h = hoeffding.plan("n > 0.8 +/- 0.05", **kwargs).samples
+        n_e = exact.plan("n > 0.8 +/- 0.05", **kwargs).samples
+        assert n_e <= n_h
+
+    def test_strategy_marked(self):
+        exact = SampleSizeEstimator(use_exact_binomial=True)
+        plan = exact.plan(
+            "n > 0.8 +/- 0.05", reliability=0.99, adaptivity="none", steps=4
+        )
+        assert plan.clause_plans[0].strategy is ClauseStrategy.EXACT_BINOMIAL
+
+
+class TestValidation:
+    def test_reliability_and_delta_mutually_exclusive(self, baseline):
+        with pytest.raises(InvalidParameterError, match="exactly one"):
+            baseline.plan("n > 0.8 +/- 0.05", reliability=0.99, delta=0.01)
+
+    def test_one_of_reliability_delta_required(self, baseline):
+        with pytest.raises(InvalidParameterError, match="exactly one"):
+            baseline.plan("n > 0.8 +/- 0.05")
+
+    def test_invalid_optimizations_flag(self):
+        with pytest.raises(InvalidParameterError):
+            SampleSizeEstimator(optimizations="sometimes")
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidParameterError):
+            SampleSizeEstimator(variance_bound_policy="hopeful")
+
+    def test_condition_type_checked(self, baseline):
+        with pytest.raises(InvalidParameterError, match="condition"):
+            baseline.plan(42, reliability=0.99)
+
+    def test_trivial_strategy_total(self, baseline):
+        total = baseline.trivial_fully_adaptive_total(
+            "n > 0.8 +/- 0.05", delta=1e-4, steps=32
+        )
+        per_step = baseline.plan(
+            "n > 0.8 +/- 0.05", delta=1e-4, adaptivity="none", steps=32
+        ).samples
+        assert total == 32 * per_step
+
+    def test_plan_describe_mentions_pattern(self, optimized):
+        plan = optimized.plan(
+            "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+            reliability=0.9999,
+            adaptivity="none",
+            steps=32,
+        )
+        assert "pattern 1" in plan.describe()

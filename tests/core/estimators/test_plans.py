@@ -1,0 +1,66 @@
+"""Tests for the SampleSizePlan / ClausePlan result objects."""
+
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.dsl.parser import parse_condition
+
+
+@pytest.fixture
+def pattern1_plan():
+    return SampleSizeEstimator().plan(
+        "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+        reliability=0.9999,
+        adaptivity="none",
+        steps=32,
+    )
+
+
+@pytest.fixture
+def baseline_plan():
+    return SampleSizeEstimator(optimizations="none").plan(
+        "n - o > 0.02 +/- 0.05", reliability=0.99, adaptivity="none", steps=4
+    )
+
+
+class TestSampleSizePlan:
+    def test_samples_counts_only_labeled_clauses(self, pattern1_plan):
+        assert pattern1_plan.samples == 29048
+        assert pattern1_plan.pool_size == 66847
+
+    def test_baseline_pool_equals_samples(self, baseline_plan):
+        assert baseline_plan.pool_size == baseline_plan.samples
+
+    def test_labels_per_evaluation(self, pattern1_plan):
+        assert pattern1_plan.labels_per_evaluation == 2905
+
+    def test_effective_delta(self, baseline_plan):
+        assert baseline_plan.effective_delta == pytest.approx(0.01 / 4)
+
+    def test_clause_plan_lookup(self, pattern1_plan):
+        clause = pattern1_plan.formula.clauses[1]
+        assert pattern1_plan.clause_plan_for(clause).clause == clause
+
+    def test_clause_plan_lookup_missing(self, pattern1_plan):
+        stray = parse_condition("n > 0.5 +/- 0.1").clauses[0]
+        with pytest.raises(KeyError):
+            pattern1_plan.clause_plan_for(stray)
+
+    def test_describe_contains_key_facts(self, pattern1_plan):
+        text = pattern1_plan.describe()
+        assert "29,048" in text
+        assert "66,847" in text
+        assert "label-free" in text
+        assert "pattern 1" in text
+
+    def test_samples_int_ceils(self, baseline_plan):
+        clause_plan = baseline_plan.clause_plans[0]
+        assert clause_plan.samples_int >= clause_plan.samples - 1
+
+    def test_variable_tolerances_keys(self, baseline_plan):
+        clause_plan = baseline_plan.clause_plans[0]
+        assert set(clause_plan.variable_tolerances()) == {"n", "o"}
+
+    def test_expression_tolerance_matches_clause(self, baseline_plan):
+        clause_plan = baseline_plan.clause_plans[0]
+        assert clause_plan.expression_tolerance == pytest.approx(0.05)

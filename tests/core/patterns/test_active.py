@@ -1,0 +1,138 @@
+"""Tests for the active-labeling session (§4.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.parser import parse_condition
+from repro.core.patterns.active import ActiveLabelingSession
+from repro.core.patterns.matcher import find_gain_clause
+from repro.exceptions import InvalidParameterError, LabelBudgetExceededError
+from repro.ml.labeling import LabelOracle
+from repro.ml.models.simulated import ModelPairSpec, evolve_predictions, simulate_model_pair
+
+
+@pytest.fixture
+def world():
+    return simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.9, new_accuracy=0.9, difference=0.0),
+        n_examples=5000,
+        seed=0,
+    )
+
+
+def make_session(world, oracle=None, mode="fp-free", max_labels=None):
+    gain = find_gain_clause(parse_condition("n - o > 0.02 +/- 0.05"))
+    oracle = oracle or LabelOracle(world.labels)
+    return (
+        ActiveLabelingSession(
+            pool_size=len(world.labels),
+            label_source=oracle,
+            gain=gain,
+            reference_predictions=world.old_model.predictions,
+            mode=mode,
+            max_labels=max_labels,
+        ),
+        oracle,
+    )
+
+
+class TestLabelAccounting:
+    def test_identical_model_needs_no_labels(self, world):
+        session, oracle = make_session(world)
+        step = session.evaluate_commit(world.old_model.predictions)
+        assert step.fresh_labels == 0
+        assert oracle.labels_served == 0
+        assert step.difference_estimate == 0.0
+
+    def test_labels_bounded_by_disagreement(self, world):
+        session, oracle = make_session(world)
+        new = evolve_predictions(
+            world.old_model.predictions,
+            world.labels,
+            target_accuracy=0.92,
+            difference=0.06,
+            seed=1,
+        )
+        step = session.evaluate_commit(new)
+        disagreement = int((new != world.old_model.predictions).sum())
+        assert step.fresh_labels == disagreement
+        assert oracle.labels_served == disagreement
+
+    def test_labels_are_reused_across_commits(self, world):
+        session, oracle = make_session(world)
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.92, difference=0.06, seed=1,
+        )
+        first = session.evaluate_commit(new)
+        again = session.evaluate_commit(new)  # same commit re-evaluated
+        assert again.fresh_labels == 0
+        assert again.cumulative_labels == first.cumulative_labels
+
+    def test_budget_enforced(self, world):
+        session, _ = make_session(world, max_labels=10)
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.91, difference=0.05, seed=2,
+        )
+        with pytest.raises(LabelBudgetExceededError):
+            session.evaluate_commit(new)
+
+
+class TestEstimates:
+    def test_gain_estimate_matches_full_relabeling(self, world):
+        session, _ = make_session(world)
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.93, difference=0.07, seed=3,
+        )
+        step = session.evaluate_commit(new)
+        full_gain = float(
+            np.mean(new == world.labels)
+            - np.mean(world.old_model.predictions == world.labels)
+        )
+        assert step.gain_estimate == pytest.approx(full_gain, abs=1e-12)
+
+    def test_pass_promotion_flow(self, world):
+        session, _ = make_session(world)
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.98, difference=0.09, seed=4,
+        )
+        step = session.evaluate_commit(new)
+        assert step.passed
+        session.promote_reference(new)
+        follow_up = session.evaluate_commit(new)
+        assert follow_up.difference_estimate == 0.0
+
+    def test_step_indices_increment(self, world):
+        session, _ = make_session(world)
+        for expected in range(3):
+            step = session.evaluate_commit(world.old_model.predictions)
+            assert step.commit_index == expected
+
+
+class TestValidation:
+    def test_wrong_length_reference(self, world):
+        gain = find_gain_clause(parse_condition("n - o > 0.02 +/- 0.05"))
+        with pytest.raises(InvalidParameterError):
+            ActiveLabelingSession(
+                pool_size=100,
+                label_source=LabelOracle(world.labels),
+                gain=gain,
+                reference_predictions=world.old_model.predictions,  # 5000 != 100
+            )
+
+    def test_wrong_length_commit(self, world):
+        session, _ = make_session(world)
+        with pytest.raises(InvalidParameterError):
+            session.evaluate_commit(world.old_model.predictions[:10])
+
+    def test_bad_label_source(self, world):
+        session, _ = make_session(world, oracle=lambda idx: np.array([0]))
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.91, difference=0.05, seed=5,
+        )
+        with pytest.raises(InvalidParameterError, match="label_source"):
+            session.evaluate_commit(new)

@@ -1,0 +1,106 @@
+"""Tests for hierarchical testing (Pattern 1 runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.parser import parse_condition
+from repro.core.logic import TernaryResult
+from repro.core.patterns.hierarchical import FilterOutcome, HierarchicalTest
+from repro.core.patterns.matcher import match_pattern1
+from repro.exceptions import TestsetSizeError
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.stats.estimation import PairedSample
+
+
+def make_test(delta=1e-4 / 32, mode="fp-free", policy="threshold") -> HierarchicalTest:
+    formula = parse_condition("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+    pattern = match_pattern1(formula)
+    assert pattern is not None
+    return HierarchicalTest(
+        pattern.difference,
+        pattern.gain,
+        delta=delta,
+        mode=mode,
+        variance_bound_policy=policy,
+    )
+
+
+def make_sample(old_acc, new_acc, diff, n, seed=0) -> PairedSample:
+    pair = simulate_model_pair(
+        ModelPairSpec(
+            old_accuracy=old_acc,
+            new_accuracy=new_acc,
+            difference=diff,
+            disagree_wrong=max(0.0, diff - abs(new_acc - old_acc)) / 2,
+        ),
+        n_examples=n,
+        seed=seed,
+    )
+    return PairedSample(
+        old_predictions=pair.old_model.predictions,
+        new_predictions=pair.new_model.predictions,
+        labels=pair.labels,
+    )
+
+
+class TestSizing:
+    def test_test_samples_match_paper_29k(self):
+        test = make_test()
+        assert test.test_samples == 29048
+
+    def test_filter_uses_unlabeled_hoeffding(self):
+        test = make_test()
+        # ln(1/(delta/2)) / (2 * 0.01^2) at delta = 1e-4/32.
+        assert test.filter_samples == 66847
+
+    def test_expected_labels_is_p_fraction(self):
+        test = make_test()
+        assert test.expected_labels == pytest.approx(0.1 * test.test_samples, abs=1)
+
+    def test_inflated_policy_larger(self):
+        assert make_test(policy="inflated").test_samples > make_test().test_samples
+
+
+class TestRuntime:
+    def test_filter_rejects_large_difference_without_labels(self):
+        test = make_test()
+        n = max(test.filter_samples, test.test_samples)
+        sample = make_sample(0.55, 0.53, 0.3, n)
+        outcome = test.run(sample)
+        assert outcome.filter_outcome is FilterOutcome.REJECTED
+        assert outcome.labels_used == 0
+        assert not outcome.passed
+
+    def test_clear_pass(self):
+        test = make_test()
+        n = max(test.filter_samples, test.test_samples)
+        sample = make_sample(0.85, 0.90, 0.06, n)
+        outcome = test.run(sample)
+        assert outcome.filter_outcome is FilterOutcome.PROCEED
+        assert outcome.gain_outcome is TernaryResult.TRUE
+        assert outcome.passed
+        assert outcome.labels_used == int(sample.disagreement_mask.sum())
+
+    def test_unknown_resolved_by_mode(self):
+        n = 70_000
+        sample = make_sample(0.85, 0.875, 0.06, n)  # gain 0.025, in (0.01, 0.03)
+        fp = make_test(mode="fp-free").run(sample)
+        fn = make_test(mode="fn-free").run(sample)
+        assert fp.gain_outcome is TernaryResult.UNKNOWN
+        assert not fp.passed and fn.passed
+
+    def test_sample_too_small_raises(self):
+        test = make_test()
+        sample = make_sample(0.9, 0.92, 0.05, 1000)
+        with pytest.raises(TestsetSizeError):
+            test.run(sample)
+
+    def test_borderline_difference_proceeds_but_d_clause_unknown(self):
+        test = make_test()
+        n = max(test.filter_samples, test.test_samples)
+        sample = make_sample(0.85, 0.91, 0.105, n)  # d-hat in (0.09, 0.11)
+        outcome = test.run(sample)
+        assert outcome.filter_outcome is FilterOutcome.PROCEED
+        assert outcome.difference_outcome is TernaryResult.UNKNOWN
+        # fp-free: unknown conjunction -> fail.
+        assert not outcome.passed

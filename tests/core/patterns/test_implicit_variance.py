@@ -1,0 +1,123 @@
+"""Tests for Pattern 2 and the coarse-to-fine accuracy test."""
+
+import pytest
+
+from repro.core.dsl.parser import parse_condition
+from repro.core.logic import TernaryResult
+from repro.core.patterns.implicit_variance import (
+    CoarseToFineAccuracyTest,
+    ImplicitVarianceProcedure,
+)
+from repro.core.patterns.matcher import (
+    find_accuracy_bound_clause,
+    find_gain_clause,
+)
+from repro.exceptions import TestsetSizeError
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.stats.estimation import PairedSample
+
+
+def make_procedure(delta=0.002, mode="fp-free") -> ImplicitVarianceProcedure:
+    gain = find_gain_clause(parse_condition("n - o > 0.02 +/- 0.02"))
+    return ImplicitVarianceProcedure(gain, delta=delta, mode=mode)
+
+
+def make_sample(old, new, diff, n, seed=0) -> PairedSample:
+    pair = simulate_model_pair(
+        ModelPairSpec(
+            old_accuracy=old, new_accuracy=new, difference=diff,
+            disagree_wrong=max(0.0, diff - abs(new - old)) / 2,
+        ),
+        n_examples=n,
+        seed=seed,
+    )
+    return PairedSample(
+        old_predictions=pair.old_model.predictions,
+        new_predictions=pair.new_model.predictions,
+        labels=pair.labels,
+    )
+
+
+class TestSixteenXClaim:
+    def test_first_testset_16x_smaller(self):
+        """§4.2: the d-estimation testset is 16x smaller than testing
+        n - o directly at tolerance D with Hoeffding (range 2)."""
+        proc = make_procedure()
+        direct = (2**2) * -__import__("math").log(proc.delta / 2) / (
+            2 * proc.gain.tolerance**2
+        )
+        assert direct / proc.difference_samples == pytest.approx(16.0, rel=0.01)
+
+    def test_difference_tolerance_doubled(self):
+        proc = make_procedure()
+        assert proc.difference_tolerance == pytest.approx(0.04)
+
+
+class TestRuntime:
+    def test_two_stage_pass(self):
+        proc = make_procedure()
+        n1 = proc.difference_samples
+        sample1 = make_sample(0.85, 0.9, 0.06, n1, seed=1)
+        p_hat = min(1.0, sample1.difference + proc.difference_tolerance)
+        n2 = proc.test_samples_for(p_hat)
+        sample2 = make_sample(0.85, 0.9, 0.06, n2, seed=2)
+        outcome = proc.run(sample1, sample2)
+        assert outcome.variance_bound == pytest.approx(p_hat)
+        assert outcome.outcome is TernaryResult.TRUE
+        assert outcome.passed
+
+    def test_stage1_too_small(self):
+        proc = make_procedure()
+        tiny = make_sample(0.85, 0.9, 0.06, 10)
+        with pytest.raises(TestsetSizeError, match="stage 1"):
+            proc.run(tiny, tiny)
+
+    def test_stage2_growth_demanded(self):
+        proc = make_procedure()
+        sample1 = make_sample(0.85, 0.9, 0.06, proc.difference_samples, seed=3)
+        small2 = make_sample(0.85, 0.9, 0.06, 100, seed=4)
+        with pytest.raises(TestsetSizeError, match="grow"):
+            proc.run(sample1, small2)
+
+    def test_larger_disagreement_needs_more_stage2(self):
+        proc = make_procedure()
+        assert proc.test_samples_for(0.3) > proc.test_samples_for(0.1)
+
+
+class TestCoarseToFine:
+    def make(self, threshold=0.95, tolerance=0.01, delta=1e-3):
+        bound = find_accuracy_bound_clause(
+            parse_condition(f"n > {threshold} +/- {tolerance}")
+        )
+        return CoarseToFineAccuracyTest(bound, delta=delta)
+
+    def test_high_lower_bound_reduces_fine_samples(self):
+        test = self.make()
+        assert test.fine_samples_for(0.95) < test.fine_samples_for(0.6)
+
+    def test_below_half_falls_back_to_hoeffding(self):
+        test = self.make()
+        hoeffding = test.fine_samples_for(0.3)
+        also = test.fine_samples_for(0.0)
+        assert hoeffding == also  # same fallback
+
+    def test_savings_at_large_threshold(self):
+        """The paper: improvement only when the bound is large (~0.9+)."""
+        test = self.make(threshold=0.95)
+        fallback = test.fine_samples_for(0.3)
+        assert test.fine_samples_for(0.93) < fallback / 3
+
+    def test_run_flow(self):
+        test = self.make(threshold=0.9, tolerance=0.02)
+        lb, required, outcome, passed = test.run(
+            coarse_accuracy=0.95,
+            fine_sample_accuracy=0.94,
+            fine_n=test.fine_samples_for(0.95 - test.coarse_tolerance),
+        )
+        assert lb == pytest.approx(0.95 - test.coarse_tolerance)
+        assert outcome is TernaryResult.TRUE and passed
+
+    def test_run_insufficient_fine_samples(self):
+        test = self.make()
+        with pytest.raises(TestsetSizeError):
+            test.run(coarse_accuracy=0.97, fine_sample_accuracy=0.97, fine_n=10)

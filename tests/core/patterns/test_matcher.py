@@ -1,0 +1,103 @@
+"""Tests for the formula pattern matcher."""
+
+import pytest
+
+from repro.core.dsl.parser import parse_condition
+from repro.core.patterns.matcher import (
+    find_accuracy_bound_clause,
+    find_difference_clause,
+    find_gain_clause,
+    match_pattern1,
+    match_pattern2,
+)
+
+
+class TestDifferenceClause:
+    def test_canonical_form(self):
+        match = find_difference_clause(parse_condition("d < 0.1 +/- 0.01"))
+        assert match is not None
+        assert match.threshold == pytest.approx(0.1)
+        assert match.tolerance == pytest.approx(0.01)
+
+    def test_constant_folded_into_threshold(self):
+        match = find_difference_clause(parse_condition("d + 0.02 < 0.1 +/- 0.01"))
+        assert match is not None
+        assert match.threshold == pytest.approx(0.08)
+
+    def test_wrong_comparator_rejected(self):
+        assert find_difference_clause(parse_condition("d > 0.1 +/- 0.01")) is None
+
+    def test_scaled_d_rejected(self):
+        assert find_difference_clause(parse_condition("2 * d < 0.1 +/- 0.01")) is None
+
+    def test_inflated_bound(self):
+        match = find_difference_clause(parse_condition("d < 0.1 +/- 0.02"))
+        assert match.inflated_variance_bound == pytest.approx(0.14)
+
+
+class TestGainClause:
+    def test_canonical_form(self):
+        match = find_gain_clause(parse_condition("n - o > 0.02 +/- 0.01"))
+        assert match is not None
+        assert match.scale == pytest.approx(1.0)
+        assert match.threshold == pytest.approx(0.02)
+
+    def test_reordered_form(self):
+        match = find_gain_clause(parse_condition("-o + n > 0.02 +/- 0.01"))
+        assert match is not None
+
+    def test_scaled_gain(self):
+        match = find_gain_clause(parse_condition("2 * n - 2 * o > 0.04 +/- 0.02"))
+        assert match is not None
+        assert match.scale == pytest.approx(2.0)
+
+    def test_asymmetric_coefficients_rejected(self):
+        assert find_gain_clause(parse_condition("n - 1.1 * o > 0.02 +/- 0.01")) is None
+
+    def test_wrong_direction_rejected(self):
+        assert find_gain_clause(parse_condition("o - n > 0.02 +/- 0.01")) is None
+
+    def test_less_than_rejected(self):
+        assert find_gain_clause(parse_condition("n - o < 0.02 +/- 0.01")) is None
+
+
+class TestAccuracyBound:
+    def test_canonical(self):
+        match = find_accuracy_bound_clause(parse_condition("n > 0.9 +/- 0.01"))
+        assert match is not None and match.threshold == pytest.approx(0.9)
+
+    def test_constant_folding(self):
+        match = find_accuracy_bound_clause(parse_condition("n - 0.05 > 0.85 +/- 0.01"))
+        assert match is not None and match.threshold == pytest.approx(0.9)
+
+    def test_o_variable_rejected(self):
+        assert find_accuracy_bound_clause(parse_condition("o > 0.9 +/- 0.01")) is None
+
+
+class TestPatterns:
+    def test_pattern1_both_orders(self):
+        a = match_pattern1(
+            parse_condition("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+        )
+        b = match_pattern1(
+            parse_condition("n - o > 0.02 +/- 0.01 /\\ d < 0.1 +/- 0.01")
+        )
+        assert a is not None and b is not None
+        assert a.difference.threshold == b.difference.threshold
+
+    def test_pattern1_with_extra_clause(self):
+        formula = parse_condition(
+            "n > 0.5 +/- 0.1 /\\ d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01"
+        )
+        assert match_pattern1(formula) is not None
+
+    def test_pattern1_requires_both(self):
+        assert match_pattern1(parse_condition("d < 0.1 +/- 0.01")) is None
+        assert match_pattern1(parse_condition("n - o > 0.02 +/- 0.01")) is None
+
+    def test_pattern2_bare_gain(self):
+        assert match_pattern2(parse_condition("n - o > 0.02 +/- 0.01")) is not None
+
+    def test_pattern2_blocked_by_d_clause(self):
+        formula = parse_condition("d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01")
+        assert match_pattern2(formula) is None

@@ -1,0 +1,162 @@
+"""Tests for the CIScript configuration object."""
+
+import pytest
+
+from repro.core.estimators.adaptivity import Adaptivity
+from repro.core.logic import Mode
+from repro.core.script.config import CIScript
+from repro.exceptions import ScriptError
+
+VALID = {
+    "script": "./test_model.py",
+    "condition": "n - o > 0.02 +/- 0.01",
+    "reliability": 0.9999,
+    "mode": "fp-free",
+    "adaptivity": "full",
+    "steps": 32,
+}
+
+
+def make(**overrides):
+    fields = dict(VALID)
+    fields.update(overrides)
+    return CIScript.from_dict(fields)
+
+
+class TestFromDict:
+    def test_valid_script(self):
+        script = make()
+        assert script.reliability == 0.9999
+        assert script.mode is Mode.FP_FREE
+        assert script.adaptivity is Adaptivity.FULL
+        assert script.steps == 32
+        assert script.delta == pytest.approx(1e-4)
+
+    def test_condition_parsed(self):
+        assert make().condition.variables() == {"n", "o"}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ScriptError, match="unknown"):
+            make(extra_field=1)
+
+    def test_missing_field_rejected(self):
+        fields = dict(VALID)
+        del fields["steps"]
+        with pytest.raises(ScriptError, match="missing"):
+            CIScript.from_dict(fields)
+
+    def test_invalid_condition(self):
+        with pytest.raises(ScriptError, match="invalid condition"):
+            make(condition="n >> 0.5")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ScriptError, match="mode"):
+            make(mode="fpfree")
+
+    def test_reliability_must_be_number(self):
+        with pytest.raises(ScriptError, match="reliability"):
+            make(reliability="0.999")
+
+    def test_reliability_bounds(self):
+        with pytest.raises(ScriptError):
+            make(reliability=1.0)
+
+    def test_steps_must_be_int(self):
+        with pytest.raises(ScriptError, match="steps"):
+            make(steps=2.5)
+
+    def test_steps_positive(self):
+        with pytest.raises(ScriptError):
+            make(steps=0)
+
+    def test_variance_bound_optional(self):
+        assert make().variance_bound is None
+        assert make(variance_bound=0.1).variance_bound == 0.1
+
+    def test_variance_bound_validated(self):
+        with pytest.raises(ScriptError):
+            make(variance_bound="ten percent")
+
+
+class TestAdaptivityParsing:
+    def test_none_requires_email(self):
+        with pytest.raises(ScriptError, match="notification"):
+            make(adaptivity="none")
+
+    def test_none_with_redirect(self):
+        script = make(adaptivity="none -> xx@abc.com")
+        assert script.adaptivity is Adaptivity.NONE
+        assert script.notification_email == "xx@abc.com"
+
+    def test_redirect_on_full_rejected(self):
+        with pytest.raises(ScriptError, match="only meaningful"):
+            make(adaptivity="full -> xx@abc.com")
+
+    def test_invalid_email_rejected(self):
+        with pytest.raises(ScriptError, match="invalid notification"):
+            make(adaptivity="none -> not-an-email")
+
+    def test_first_change(self):
+        assert make(adaptivity="firstChange").adaptivity is Adaptivity.FIRST_CHANGE
+
+    def test_unknown_adaptivity(self):
+        with pytest.raises(ScriptError):
+            make(adaptivity="sometimes")
+
+
+class TestFromYaml:
+    def test_paper_script_round_trip(self):
+        text = """
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : full
+  - steps      : 32
+"""
+        script = CIScript.from_yaml(text)
+        assert script.steps == 32
+        assert script.condition_source == "n - o > 0.02 +/- 0.01"
+
+    def test_mapping_style_ml_section(self):
+        text = """
+ml:
+  condition  : d < 0.1 +/- 0.01
+  reliability: 0.999
+  mode       : fn-free
+  adaptivity : full
+  steps      : 8
+"""
+        assert CIScript.from_yaml(text).mode is Mode.FN_FREE
+
+    def test_missing_ml_section(self):
+        with pytest.raises(ScriptError, match="no 'ml' section"):
+            CIScript.from_yaml("language: python")
+
+    def test_duplicate_ml_field(self):
+        text = "ml:\n  - steps: 1\n  - steps: 2\n"
+        with pytest.raises(ScriptError, match="duplicate"):
+            CIScript.from_yaml(text)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / ".travis.yml"
+        path.write_text(
+            "ml:\n"
+            "  - condition  : n > 0.8 +/- 0.05\n"
+            "  - reliability: 0.99\n"
+            "  - mode       : fn-free\n"
+            "  - adaptivity : full\n"
+            "  - steps      : 4\n"
+        )
+        assert CIScript.from_file(path).steps == 4
+
+
+class TestDescribe:
+    def test_describe_reparses(self):
+        script = make(adaptivity="none -> xx@abc.com", variance_bound=0.1)
+        text = script.describe()
+        reparsed = CIScript.from_yaml(text)
+        assert reparsed.notification_email == "xx@abc.com"
+        assert reparsed.variance_bound == 0.1
+        assert reparsed.condition_source == script.condition_source

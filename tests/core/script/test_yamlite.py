@@ -1,0 +1,140 @@
+"""Tests for the from-scratch YAML-subset parser."""
+
+import pytest
+
+from repro.core.script.yamlite import parse_yamlite
+from repro.exceptions import ScriptError
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("k: 3", 3),
+            ("k: 3.5", 3.5),
+            ("k: true", True),
+            ("k: no", False),
+            ("k: null", None),
+            ("k: hello", "hello"),
+            ("k: 'quoted: string'", "quoted: string"),
+            ('k: "0.5"', "0.5"),
+        ],
+    )
+    def test_scalar_kinds(self, text, expected):
+        assert parse_yamlite(text) == {"k": expected}
+
+    def test_empty_document(self):
+        assert parse_yamlite("") is None
+        assert parse_yamlite("\n  \n# comment only\n") is None
+
+
+class TestMappings:
+    def test_flat_mapping(self):
+        doc = parse_yamlite("a: 1\nb: 2")
+        assert doc == {"a": 1, "b": 2}
+
+    def test_nested_mapping(self):
+        doc = parse_yamlite("outer:\n  inner: 1\n  other: 2\ntop: 3")
+        assert doc == {"outer": {"inner": 1, "other": 2}, "top": 3}
+
+    def test_spaces_around_colon(self):
+        # The paper's files write "key : value".
+        assert parse_yamlite("script : ./test.py") == {"script": "./test.py"}
+
+    def test_value_containing_colon_no_space(self):
+        assert parse_yamlite("url: host:8080") == {"url": "host:8080"}
+
+    def test_empty_value_is_none(self):
+        assert parse_yamlite("k:") == {"k": None}
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ScriptError, match="duplicate"):
+            parse_yamlite("a: 1\na: 2")
+
+    def test_comments_stripped(self):
+        assert parse_yamlite("a: 1  # trailing\n# full line\nb: 2") == {
+            "a": 1,
+            "b": 2,
+        }
+
+    def test_hash_inside_quotes_kept(self):
+        assert parse_yamlite("a: 'x # y'") == {"a": "x # y"}
+
+
+class TestSequences:
+    def test_scalar_list(self):
+        assert parse_yamlite("- 1\n- 2\n- 3") == [1, 2, 3]
+
+    def test_list_under_key(self):
+        assert parse_yamlite("items:\n  - a\n  - b") == {"items": ["a", "b"]}
+
+    def test_paper_ml_section_shape(self):
+        text = (
+            "ml:\n"
+            "  - script     : ./test_model.py\n"
+            "  - condition  : n - o > 0.02 +/- 0.01\n"
+            "  - reliability: 0.9999\n"
+            "  - steps      : 32\n"
+        )
+        doc = parse_yamlite(text)
+        assert doc["ml"][0] == {"script": "./test_model.py"}
+        assert doc["ml"][1] == {"condition": "n - o > 0.02 +/- 0.01"}
+        assert doc["ml"][2] == {"reliability": 0.9999}
+        assert doc["ml"][3] == {"steps": 32}
+
+    def test_multi_key_list_item(self):
+        text = "jobs:\n  - name: a\n    cmd: run\n  - name: b\n    cmd: test"
+        doc = parse_yamlite(text)
+        assert doc == {
+            "jobs": [{"name": "a", "cmd": "run"}, {"name": "b", "cmd": "test"}]
+        }
+
+    def test_empty_dash_is_none(self):
+        assert parse_yamlite("-\n- 2") == [None, 2]
+
+
+class TestErrors:
+    def test_tabs_rejected(self):
+        with pytest.raises(ScriptError, match="tabs"):
+            parse_yamlite("a:\n\tb: 1")
+
+    def test_anchor_rejected(self):
+        with pytest.raises(ScriptError, match="not supported"):
+            parse_yamlite("&anchor x")
+
+    def test_document_marker_rejected(self):
+        with pytest.raises(ScriptError, match="not supported"):
+            parse_yamlite("---\na: 1")
+
+    def test_bad_over_indent(self):
+        with pytest.raises(ScriptError, match="indentation"):
+            parse_yamlite("a: 1\n    b: 2")
+
+    def test_non_mapping_line_rejected(self):
+        with pytest.raises(ScriptError, match="key: value"):
+            parse_yamlite("a: 1\njust words")
+
+
+class TestRealisticDocument:
+    def test_travis_like_file(self):
+        text = """
+language: python
+python:
+  - 3.9
+  - 3.10
+install: pip install -e .
+script: pytest
+
+ml:
+  - script     : ./test_model.py
+  - condition  : d < 0.1 +/- 0.01
+  - reliability: 0.9999
+  - mode       : fp-free
+  - adaptivity : none -> xx@abc.com
+  - steps      : 32
+"""
+        doc = parse_yamlite(text)
+        assert doc["language"] == "python"
+        assert doc["python"] == [3.9, 3.1] or doc["python"] == [3.9, 3.10]
+        assert len(doc["ml"]) == 6
+        assert doc["ml"][4] == {"adaptivity": "none -> xx@abc.com"}

@@ -1,0 +1,66 @@
+"""Tests for the new-testset alarm."""
+
+import pytest
+
+from repro.core.alarm import AlarmReason, NewTestsetAlarm
+
+
+class TestAlarm:
+    def test_initially_silent(self):
+        alarm = NewTestsetAlarm()
+        assert not alarm.fired and alarm.events == []
+
+    def test_fire_records_event(self):
+        alarm = NewTestsetAlarm()
+        event = alarm.fire(
+            AlarmReason.BUDGET_EXHAUSTED, testset_name="t", uses=32, generation=1
+        )
+        assert alarm.fired
+        assert event.reason is AlarmReason.BUDGET_EXHAUSTED
+        assert event.uses == 32
+        assert "budget" in event.message
+
+    def test_first_change_message(self):
+        alarm = NewTestsetAlarm()
+        event = alarm.fire(
+            AlarmReason.FIRST_CHANGE_PASS, testset_name="t", uses=3, generation=1
+        )
+        assert "firstChange" in event.message
+        assert "released" in event.message
+
+    def test_subscribers_notified_in_order(self):
+        alarm = NewTestsetAlarm()
+        seen = []
+        alarm.subscribe(lambda e: seen.append(("a", e.generation)))
+        alarm.subscribe(lambda e: seen.append(("b", e.generation)))
+        alarm.fire(AlarmReason.BUDGET_EXHAUSTED, testset_name="t", uses=1, generation=1)
+        assert seen == [("a", 1), ("b", 1)]
+
+    def test_subscriber_errors_propagate(self):
+        alarm = NewTestsetAlarm()
+
+        def boom(event):
+            raise RuntimeError("transport down")
+
+        alarm.subscribe(boom)
+        with pytest.raises(RuntimeError, match="transport down"):
+            alarm.fire(
+                AlarmReason.BUDGET_EXHAUSTED, testset_name="t", uses=1, generation=1
+            )
+
+    def test_multiple_events_accumulate(self):
+        alarm = NewTestsetAlarm()
+        for generation in (1, 2, 3):
+            alarm.fire(
+                AlarmReason.BUDGET_EXHAUSTED,
+                testset_name=f"t{generation}",
+                uses=4,
+                generation=generation,
+            )
+        assert [e.generation for e in alarm.events] == [1, 2, 3]
+
+    def test_events_list_is_copy(self):
+        alarm = NewTestsetAlarm()
+        alarm.fire(AlarmReason.BUDGET_EXHAUSTED, testset_name="t", uses=1, generation=1)
+        alarm.events.clear()
+        assert alarm.fired

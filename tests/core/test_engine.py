@@ -1,0 +1,208 @@
+"""Tests for the CI engine: signal routing, promotion, alarms, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CIEngine
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.exceptions import TestsetExhaustedError, TestsetSizeError
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+
+def make_script(**overrides) -> CIScript:
+    fields = {
+        "condition": "n - o > 0.02 +/- 0.05",
+        "reliability": 0.99,
+        "mode": "fp-free",
+        "adaptivity": "full",
+        "steps": 4,
+    }
+    fields.update(overrides)
+    return CIScript.from_dict(fields)
+
+
+def make_world(plan_pool: int, accuracy=0.85, seed=0):
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=accuracy, new_accuracy=accuracy, difference=0.0),
+        n_examples=plan_pool,
+        seed=seed,
+    )
+    return pair
+
+
+def pool_for(script: CIScript) -> int:
+    from repro.core.estimators.api import SampleSizeEstimator
+
+    return SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    ).pool_size
+
+
+def evolve(engine, world, accuracy, difference, seed):
+    return FixedPredictionModel(
+        evolve_predictions(
+            engine.active_model.predictions,
+            world.labels,
+            target_accuracy=accuracy,
+            difference=difference,
+            seed=seed,
+        ),
+        name=f"acc-{accuracy}",
+    )
+
+
+class TestConstruction:
+    def test_small_testset_rejected(self):
+        script = make_script()
+        world = make_world(100)
+        with pytest.raises(TestsetSizeError):
+            CIEngine(script, Testset(labels=world.labels), world.old_model)
+
+    def test_enforcement_override(self):
+        script = make_script()
+        world = make_world(100)
+        engine = CIEngine(
+            script,
+            Testset(labels=world.labels),
+            world.old_model,
+            enforce_testset_size=False,
+        )
+        assert engine.plan.samples > 100  # undersized but allowed
+
+
+class TestFullAdaptivity:
+    @pytest.fixture
+    def engine_and_world(self):
+        script = make_script(adaptivity="full")
+        pool = pool_for(script)
+        world = make_world(pool)
+        engine = CIEngine(script, Testset(labels=world.labels), world.old_model)
+        return engine, world
+
+    def test_developer_sees_signal(self, engine_and_world):
+        engine, world = engine_and_world
+        model = evolve(engine, world, 0.95, 0.12, seed=1)
+        result = engine.submit(model)
+        assert result.developer_signal is True
+        assert result.truly_passed and result.accepted and result.promoted
+
+    def test_failing_commit_not_promoted(self, engine_and_world):
+        engine, world = engine_and_world
+        model = evolve(engine, world, 0.86, 0.05, seed=2)
+        result = engine.submit(model)
+        assert result.developer_signal is False
+        assert not result.promoted
+        assert engine.active_model is not model
+
+    def test_promotion_changes_comparison_baseline(self, engine_and_world):
+        engine, world = engine_and_world
+        better = evolve(engine, world, 0.95, 0.12, seed=3)
+        engine.submit(better)
+        # The same model resubmitted now gains 0 against itself.
+        result = engine.submit(better)
+        assert not result.truly_passed
+
+    def test_budget_alarm_fires_on_last_use(self, engine_and_world):
+        engine, world = engine_and_world
+        results = []
+        for i in range(4):
+            model = evolve(engine, world, 0.85, 0.04, seed=10 + i)
+            results.append(engine.submit(model))
+        assert results[-1].alarm_event is not None
+        assert engine.manager.is_exhausted
+
+    def test_submit_after_exhaustion_raises(self, engine_and_world):
+        engine, world = engine_and_world
+        for i in range(4):
+            engine.submit(evolve(engine, world, 0.85, 0.04, seed=20 + i))
+        with pytest.raises(TestsetExhaustedError):
+            engine.submit(world.old_model)
+
+    def test_install_testset_resumes(self, engine_and_world):
+        engine, world = engine_and_world
+        for i in range(4):
+            engine.submit(evolve(engine, world, 0.85, 0.04, seed=30 + i))
+        fresh_world = make_world(len(world.labels), seed=99)
+        engine.install_testset(
+            Testset(labels=fresh_world.labels, name="gen2"),
+            baseline_model=fresh_world.old_model,
+        )
+        result = engine.submit(fresh_world.old_model)
+        assert result.testset_uses == 1
+        assert engine.manager.generation == 2
+
+
+class TestNoneAdaptivity:
+    @pytest.fixture
+    def engine_world_mail(self):
+        script = make_script(adaptivity="none -> third-party@example.com")
+        pool = pool_for(script)
+        world = make_world(pool)
+        mail = []
+        engine = CIEngine(
+            script,
+            Testset(labels=world.labels),
+            world.old_model,
+            notifier=lambda *args: mail.append(args),
+        )
+        return engine, world, mail
+
+    def test_developer_signal_withheld(self, engine_world_mail):
+        engine, world, mail = engine_world_mail
+        result = engine.submit(evolve(engine, world, 0.95, 0.12, seed=1))
+        assert result.developer_signal is None
+        assert result.truly_passed  # integration team knows
+
+    def test_all_commits_accepted(self, engine_world_mail):
+        engine, world, mail = engine_world_mail
+        failing = evolve(engine, world, 0.80, 0.07, seed=2)
+        result = engine.submit(failing)
+        assert result.accepted and not result.truly_passed
+
+    def test_third_party_receives_true_signal(self, engine_world_mail):
+        engine, world, mail = engine_world_mail
+        engine.submit(evolve(engine, world, 0.95, 0.12, seed=3))
+        recipients = [m[0] for m in mail]
+        assert "third-party@example.com" in recipients
+        assert any("PASS" in m[1] for m in mail)
+
+    def test_promotion_still_happens_on_true_pass(self, engine_world_mail):
+        engine, world, mail = engine_world_mail
+        model = evolve(engine, world, 0.95, 0.12, seed=4)
+        result = engine.submit(model)
+        assert result.promoted and engine.active_model is model
+
+
+class TestFirstChange:
+    def test_pass_retires_testset(self):
+        script = make_script(adaptivity="firstChange")
+        pool = pool_for(script)
+        world = make_world(pool)
+        engine = CIEngine(script, Testset(labels=world.labels), world.old_model)
+        # Failing commits keep the testset alive.
+        fail = evolve(engine, world, 0.86, 0.05, seed=1)
+        assert engine.submit(fail).alarm_event is None
+        # The first pass retires it immediately (§3.4).
+        good = evolve(engine, world, 0.95, 0.12, seed=2)
+        result = engine.submit(good)
+        assert result.truly_passed
+        assert result.alarm_event is not None
+        assert result.alarm_event.reason.value == "first-change-pass"
+        assert engine.manager.is_exhausted
+        with pytest.raises(TestsetExhaustedError):
+            engine.submit(good)
+
+    def test_first_change_costs_like_non_adaptive(self):
+        hybrid = make_script(adaptivity="firstChange")
+        none = make_script(adaptivity="none -> x@y.com")
+        assert pool_for(hybrid) == pool_for(none)

@@ -1,0 +1,153 @@
+"""Engine edge cases: Pattern 1 formulas end-to-end, replacement testsets,
+alarm notification routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CIEngine
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.exceptions import TestsetSizeError
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+
+def pattern1_script(**overrides):
+    fields = {
+        "condition": "d < 0.15 +/- 0.04 /\\ n - o > 0.02 +/- 0.04",
+        "reliability": 0.99,
+        "mode": "fp-free",
+        "adaptivity": "full",
+        "steps": 3,
+    }
+    fields.update(overrides)
+    return CIScript.from_dict(fields)
+
+
+@pytest.fixture
+def pattern1_engine():
+    script = pattern1_script()
+    from repro.core.estimators.api import SampleSizeEstimator
+
+    plan = SampleSizeEstimator().plan(
+        script.condition, delta=script.delta,
+        adaptivity=script.adaptivity, steps=script.steps,
+    )
+    world = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.85, new_accuracy=0.85, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=0,
+    )
+    mail = []
+    engine = CIEngine(
+        script,
+        Testset(labels=world.labels, name="p1"),
+        world.old_model,
+        notifier=lambda *args: mail.append(args),
+    )
+    return engine, world, mail
+
+
+class TestPattern1ThroughEngine:
+    def test_d_clause_vetoes_big_gain(self, pattern1_engine):
+        engine, world, _ = pattern1_engine
+        # +6 points but 23% churn (nearly the max churn compatible with
+        # that gain from 85% accuracy): the d clause vetoes the commit
+        # regardless of the improvement.
+        churner = FixedPredictionModel(
+            evolve_predictions(
+                engine.active_model.predictions, world.labels,
+                target_accuracy=0.91, difference=0.23, seed=1,
+            ),
+            name="churner",
+        )
+        result = engine.submit(churner)
+        assert not result.truly_passed
+        d_eval = next(
+            ce for ce in result.evaluation.clause_evaluations
+            if ce.clause.variables() == {"d"}
+        )
+        assert d_eval.outcome.value == "false"
+
+    def test_quiet_improvement_passes_both(self, pattern1_engine):
+        engine, world, _ = pattern1_engine
+        quiet = FixedPredictionModel(
+            evolve_predictions(
+                engine.active_model.predictions, world.labels,
+                target_accuracy=0.93, difference=0.10, seed=2,
+            ),
+            name="quiet",
+        )
+        result = engine.submit(quiet)
+        assert result.truly_passed and result.promoted
+
+    def test_plan_exposes_split_costs(self, pattern1_engine):
+        engine, _, _ = pattern1_engine
+        assert engine.plan.pool_size > engine.plan.samples
+        assert engine.plan.labels_per_evaluation < engine.plan.samples
+
+
+class TestReplacementTestsets:
+    def test_undersized_replacement_rejected(self, basic_script):
+        from repro.core.estimators.api import SampleSizeEstimator
+
+        plan = SampleSizeEstimator().plan(
+            basic_script.condition, delta=basic_script.delta,
+            adaptivity=basic_script.adaptivity, steps=basic_script.steps,
+        )
+        world = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=plan.pool_size,
+            seed=3,
+        )
+        engine = CIEngine(
+            basic_script, Testset(labels=world.labels), world.old_model
+        )
+        for i in range(basic_script.steps):
+            engine.submit(world.old_model)
+        tiny = Testset(labels=np.zeros(10, dtype=int), name="tiny")
+        with pytest.raises(TestsetSizeError, match="replacement"):
+            engine.install_testset(tiny)
+
+    def test_alarm_mail_routed_in_full_mode(self, pattern1_engine):
+        engine, world, mail = pattern1_engine
+        for i in range(3):
+            engine.submit(world.old_model)
+        assert any("new testset" in subject for _, subject, _ in mail)
+
+    def test_active_predictions_recomputed_on_install(self, basic_script):
+        from repro.core.estimators.api import SampleSizeEstimator
+
+        plan = SampleSizeEstimator().plan(
+            basic_script.condition, delta=basic_script.delta,
+            adaptivity=basic_script.adaptivity, steps=basic_script.steps,
+        )
+        world = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=plan.pool_size,
+            seed=4,
+        )
+        engine = CIEngine(
+            basic_script, Testset(labels=world.labels), world.old_model
+        )
+        for _ in range(basic_script.steps):
+            engine.submit(world.old_model)
+        fresh = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=plan.pool_size,
+            seed=5,
+        )
+        engine.install_testset(
+            Testset(labels=fresh.labels, name="g2"), baseline_model=fresh.old_model
+        )
+        # Submitting the same baseline yields zero gain on the new testset.
+        result = engine.submit(fresh.old_model)
+        estimates = result.evaluation.clause_evaluations[0].estimates
+        gain = estimates.get(
+            "n-o", estimates.get("n", 0.0) - estimates.get("o", 0.0)
+        )
+        assert gain == pytest.approx(0.0, abs=1e-12)

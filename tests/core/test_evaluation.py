@@ -1,0 +1,134 @@
+"""Tests for the condition evaluator (§3.5 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.evaluation import ConditionEvaluator
+from repro.core.logic import TernaryResult
+from repro.exceptions import TestsetSizeError
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.stats.estimation import PairedSample
+
+
+def make_sample(old, new, diff, n, seed=0) -> PairedSample:
+    pair = simulate_model_pair(
+        ModelPairSpec(
+            old_accuracy=old, new_accuracy=new, difference=diff,
+            disagree_wrong=max(0.0, diff - abs(new - old)) / 2,
+        ),
+        n_examples=n,
+        seed=seed,
+    )
+    return PairedSample(
+        old_predictions=pair.old_model.predictions,
+        new_predictions=pair.new_model.predictions,
+        labels=pair.labels,
+    )
+
+
+@pytest.fixture
+def gain_plan():
+    return SampleSizeEstimator(optimizations="none").plan(
+        "n - o > 0.02 +/- 0.05", reliability=0.99, adaptivity="none", steps=4
+    )
+
+
+class TestPerVariableEvaluation:
+    def test_clear_pass(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free")
+        sample = make_sample(0.8, 0.95, 0.16, gain_plan.pool_size)
+        result = evaluator.evaluate(sample)
+        assert result.passed and result.ternary is TernaryResult.TRUE
+
+    def test_clear_fail(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fn-free")
+        sample = make_sample(0.9, 0.75, 0.16, gain_plan.pool_size)
+        result = evaluator.evaluate(sample)
+        assert not result.passed and result.ternary is TernaryResult.FALSE
+
+    def test_unknown_split_by_mode(self, gain_plan):
+        # gain 0.04: inside (0.02 - 0.1, 0.02 + 0.1) band -> Unknown.
+        sample = make_sample(0.8, 0.84, 0.06, gain_plan.pool_size)
+        fp = ConditionEvaluator(gain_plan, "fp-free").evaluate(sample)
+        fn = ConditionEvaluator(gain_plan, "fn-free").evaluate(sample)
+        assert fp.ternary is TernaryResult.UNKNOWN
+        assert not fp.passed and fn.passed
+        assert not fp.was_determinate
+
+    def test_interval_width_equals_clause_tolerance_budget(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free")
+        sample = make_sample(0.8, 0.9, 0.12, gain_plan.pool_size)
+        result = evaluator.evaluate(sample)
+        ce = result.clause_evaluations[0]
+        # Two independent +/-eps_i intervals: total width = 2 * sum eps_i
+        # = 2 * clause tolerance.
+        assert ce.interval.width == pytest.approx(2 * 0.05, rel=1e-9)
+
+    def test_estimates_reported(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free")
+        sample = make_sample(0.8, 0.9, 0.12, gain_plan.pool_size)
+        ce = evaluator.evaluate(sample).clause_evaluations[0]
+        assert ce.estimates["n"] == pytest.approx(0.9, abs=1e-3)
+        assert ce.estimates["o"] == pytest.approx(0.8, abs=1e-3)
+
+    def test_sample_too_small(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free")
+        sample = make_sample(0.8, 0.9, 0.12, 10)
+        with pytest.raises(TestsetSizeError):
+            evaluator.evaluate(sample)
+
+    def test_enforcement_can_be_disabled(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free", enforce_sample_size=False)
+        sample = make_sample(0.8, 0.9, 0.12, 50)
+        evaluator.evaluate(sample)  # no raise
+
+
+class TestPairedEvaluation:
+    @pytest.fixture
+    def bennett_plan(self):
+        return SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.002,
+            adaptivity="none",
+            steps=7,
+            known_variance_bound=0.1,
+        )
+
+    def test_paired_interval_tighter_than_per_variable(self, bennett_plan, gain_plan):
+        sample = make_sample(0.85, 0.9, 0.07, max(bennett_plan.pool_size, gain_plan.pool_size))
+        paired = ConditionEvaluator(bennett_plan, "fp-free").evaluate(sample)
+        assert paired.clause_evaluations[0].interval.width == pytest.approx(2 * 0.02)
+
+    def test_paired_estimates_carry_d(self, bennett_plan):
+        sample = make_sample(0.85, 0.9, 0.07, bennett_plan.pool_size)
+        ce = ConditionEvaluator(bennett_plan, "fp-free").evaluate(sample).clause_evaluations[0]
+        assert "n-o" in ce.estimates and "d" in ce.estimates
+        assert ce.estimates["d"] == pytest.approx(0.07, abs=1e-3)
+
+
+class TestConjunction:
+    def test_f5_composite(self):
+        plan = SampleSizeEstimator(optimizations="none").plan(
+            "d < 0.1 +/- 0.03 /\\ n - o > 0.02 +/- 0.05",
+            reliability=0.99,
+            adaptivity="none",
+            steps=2,
+        )
+        evaluator = ConditionEvaluator(plan, "fp-free")
+        good = make_sample(0.8, 0.95, 0.16, plan.pool_size)
+        result = evaluator.evaluate(good)
+        # Gain clause passes clearly, but d = 0.16 > 0.1 + 0.03 fails.
+        assert not result.passed
+        d_eval = next(
+            ce for ce in result.clause_evaluations
+            if ce.clause.variables() == {"d"}
+        )
+        assert d_eval.outcome is TernaryResult.FALSE
+
+    def test_describe_contains_all_clauses(self, gain_plan):
+        evaluator = ConditionEvaluator(gain_plan, "fp-free")
+        sample = make_sample(0.8, 0.9, 0.12, gain_plan.pool_size)
+        text = evaluator.evaluate(sample).describe()
+        assert "PASS" in text or "FAIL" in text
+        assert "n - o" in text

@@ -1,0 +1,212 @@
+"""Tests for the extension features: metrics, order statistics, drift."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions.drift import DriftMonitor
+from repro.core.extensions.metrics import (
+    AccuracyMetric,
+    MacroF1Metric,
+    MetricCondition,
+    MetricTester,
+)
+from repro.core.extensions.order_stats import TopKCondition
+from repro.core.logic import TernaryResult
+from repro.exceptions import (
+    EngineStateError,
+    InvalidParameterError,
+    TestsetSizeError,
+)
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import simulate_accuracy_model
+from repro.utils.rng import ensure_rng
+
+
+class TestAccuracyMetricTester:
+    def test_accuracy_condition_sizing_matches_mcdiarmid(self):
+        condition = MetricCondition(AccuracyMetric(), ">", 0.8, 0.05)
+        tester = MetricTester(condition, delta=0.01)
+        # Two-sided McDiarmid at sensitivity 1: ln(2/delta)/(2 eps^2).
+        assert tester.sample_size() == 1060
+
+    def test_paired_condition_doubles_sensitivity(self):
+        single = MetricTester(
+            MetricCondition(AccuracyMetric(), ">", 0.0, 0.05), delta=0.01
+        )
+        paired = MetricTester(
+            MetricCondition(AccuracyMetric(), ">", 0.0, 0.05, paired=True),
+            delta=0.01,
+        )
+        assert paired.sample_size() == pytest.approx(4 * single.sample_size(), abs=2)
+
+    def test_evaluation_flow(self, rng):
+        model, labels = simulate_accuracy_model(0.9, 2000, exact=True, seed=0)
+        condition = MetricCondition(AccuracyMetric(), ">", 0.8, 0.05)
+        tester = MetricTester(condition, delta=0.01)
+        value, interval, outcome, passed = tester.evaluate(
+            model.predictions, labels
+        )
+        assert value == pytest.approx(0.9, abs=1e-3)
+        assert outcome is TernaryResult.TRUE and passed
+
+    def test_paired_needs_old_predictions(self):
+        condition = MetricCondition(AccuracyMetric(), ">", 0.0, 0.05, paired=True)
+        tester = MetricTester(condition, delta=0.01)
+        labels = np.zeros(tester.sample_size(), dtype=int)
+        with pytest.raises(InvalidParameterError, match="old_predictions"):
+            tester.evaluate(labels, labels)
+
+    def test_adaptivity_budget_applies(self):
+        condition = MetricCondition(AccuracyMetric(), ">", 0.8, 0.05)
+        non_adaptive = MetricTester(condition, delta=0.01, steps=8)
+        adaptive = MetricTester(condition, delta=0.01, adaptivity="full", steps=8)
+        assert adaptive.sample_size() > non_adaptive.sample_size()
+
+    def test_undersized_testset_rejected(self):
+        condition = MetricCondition(AccuracyMetric(), ">", 0.8, 0.05)
+        tester = MetricTester(condition, delta=0.01)
+        with pytest.raises(TestsetSizeError):
+            tester.evaluate(np.zeros(10, dtype=int), np.zeros(10, dtype=int))
+
+
+class TestMacroF1Metric:
+    def test_sensitivity_grows_with_skew(self):
+        balanced = MacroF1Metric(n_classes=4, min_class_fraction=0.25)
+        skewed = MacroF1Metric(n_classes=4, min_class_fraction=0.02)
+        assert skewed.sensitivity() > balanced.sensitivity()
+
+    def test_compute_on_balanced_data(self, rng):
+        labels = np.repeat(np.arange(4), 100)
+        metric = MacroF1Metric(n_classes=4, min_class_fraction=0.2)
+        assert metric.compute(labels, labels) == pytest.approx(1.0)
+
+    def test_assumption_violation_detected(self):
+        labels = np.zeros(100, dtype=int)  # class 1..3 missing entirely
+        metric = MacroF1Metric(n_classes=4, min_class_fraction=0.1)
+        with pytest.raises(InvalidParameterError, match="stratified"):
+            metric.compute(labels, labels)
+
+    def test_f1_condition_costs_more_than_accuracy(self):
+        accuracy = MetricTester(
+            MetricCondition(AccuracyMetric(), ">", 0.8, 0.02), delta=0.01
+        )
+        f1 = MetricTester(
+            MetricCondition(
+                MacroF1Metric(n_classes=4, min_class_fraction=0.1), ">", 0.8, 0.02
+            ),
+            delta=0.01,
+        )
+        assert f1.sample_size() > accuracy.sample_size()
+
+
+class TestTopK:
+    def make_history(self, accuracies, n, seed=0):
+        rng = ensure_rng(seed)
+        labels = rng.integers(0, 4, n)
+        history = []
+        for i, acc in enumerate(accuracies):
+            correct = rng.random(n) < acc
+            preds = labels.copy()
+            wrong = ~correct
+            preds[wrong] = (labels[wrong] + 1) % 4
+            history.append(preds)
+        return labels, history
+
+    def test_clear_winner_is_top_1(self):
+        condition = TopKCondition(k=1, tolerance=0.02, delta=0.01)
+        n = condition.sample_size(3)
+        labels, history = self.make_history([0.7, 0.72, 0.71], n)
+        candidate = labels.copy()  # 100% accurate
+        outcome = condition.evaluate(candidate, history, labels)
+        assert outcome.outcome is TernaryResult.TRUE and outcome.passed
+
+    def test_clear_loser_fails(self):
+        condition = TopKCondition(k=2, tolerance=0.02, delta=0.01)
+        n = condition.sample_size(3)
+        labels, history = self.make_history([0.8, 0.82, 0.85], n)
+        rng = ensure_rng(5)
+        candidate = (labels + rng.integers(1, 4, len(labels))) % 4  # ~0 accuracy
+        outcome = condition.evaluate(candidate, history, labels)
+        assert outcome.outcome is TernaryResult.FALSE and not outcome.passed
+
+    def test_near_tie_is_unknown(self):
+        condition = TopKCondition(k=1, tolerance=0.05, delta=0.01)
+        n = condition.sample_size(2)
+        labels, history = self.make_history([0.8, 0.8], n, seed=1)
+        outcome = condition.evaluate(history[0], history[1:] + [history[0]], labels)
+        assert outcome.outcome is TernaryResult.UNKNOWN
+
+    def test_k_exceeding_history_trivially_true(self):
+        condition = TopKCondition(k=5, tolerance=0.05, delta=0.01)
+        labels, history = self.make_history([0.7], 500)
+        outcome = condition.evaluate(history[0], history, labels)
+        assert outcome.passed
+
+    def test_sample_size_grows_with_history(self):
+        condition = TopKCondition(k=1, tolerance=0.05, delta=0.01)
+        assert condition.sample_size(20) > condition.sample_size(2)
+
+    def test_undersized_testset(self):
+        condition = TopKCondition(k=1, tolerance=0.01, delta=0.001)
+        labels, history = self.make_history([0.7], 100)
+        with pytest.raises(TestsetSizeError):
+            condition.evaluate(history[0], history, labels)
+
+
+class TestDriftMonitor:
+    def make_monitor(self, model, periods=4, tolerance=0.05):
+        return DriftMonitor(
+            model,
+            threshold=0.8,
+            tolerance=tolerance,
+            delta=0.01,
+            periods=periods,
+        )
+
+    def test_healthy_model_never_alarms(self):
+        model, labels = simulate_accuracy_model(0.95, 10_000, exact=True, seed=0)
+        monitor = self.make_monitor(model)
+        n = monitor.samples_per_period
+        rng = ensure_rng(1)
+        for _ in range(4):
+            idx = rng.choice(len(labels), size=n, replace=False)
+            obs = monitor.observe(idx, labels[idx])
+            assert obs.healthy
+        assert not monitor.drift_detected
+
+    def test_drifted_model_alarms(self):
+        # The "distribution" changes: new labels make the model ~50% accurate.
+        model, labels = simulate_accuracy_model(0.95, 20_000, exact=True, seed=0)
+        monitor = self.make_monitor(model)
+        n = monitor.samples_per_period
+        rng = ensure_rng(2)
+        idx = rng.choice(len(labels), size=n, replace=False)
+        drifted_labels = (labels[idx] + rng.integers(0, 2, n)) % 10
+        obs = monitor.observe(idx, drifted_labels)
+        assert not obs.healthy
+        assert monitor.drift_detected
+
+    def test_budget_enforced(self):
+        model, labels = simulate_accuracy_model(0.95, 10_000, exact=True, seed=0)
+        monitor = self.make_monitor(model, periods=1)
+        n = monitor.samples_per_period
+        monitor.observe(np.arange(n), labels[:n])
+        with pytest.raises(EngineStateError, match="budget"):
+            monitor.observe(np.arange(n), labels[:n])
+
+    def test_period_testset_too_small(self):
+        model, labels = simulate_accuracy_model(0.95, 10_000, exact=True, seed=0)
+        monitor = self.make_monitor(model)
+        with pytest.raises(TestsetSizeError):
+            monitor.observe(np.arange(5), labels[:5])
+
+    def test_trajectory_recorded(self):
+        model, labels = simulate_accuracy_model(0.9, 10_000, exact=True, seed=0)
+        monitor = self.make_monitor(model, periods=3)
+        n = monitor.samples_per_period
+        rng = ensure_rng(3)
+        for _ in range(3):
+            idx = rng.choice(len(labels), size=n, replace=False)
+            monitor.observe(idx, labels[idx])
+        assert len(monitor.trajectory()) == 3
+        assert monitor.trajectory().mean() == pytest.approx(0.9, abs=0.02)

@@ -1,0 +1,120 @@
+"""Tests for the §3.5 interval algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.logic import TernaryResult
+from repro.exceptions import InvalidParameterError
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+class TestConstruction:
+    def test_ordered_bounds(self):
+        interval = Interval(0.1, 0.2)
+        assert interval.low == 0.1 and interval.high == 0.2
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError, match="out of order"):
+            Interval(0.2, 0.1)
+
+    def test_from_estimate(self):
+        interval = Interval.from_estimate(0.5, 0.1)
+        assert interval.low == pytest.approx(0.4)
+        assert interval.high == pytest.approx(0.6)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Interval.from_estimate(0.5, -0.1)
+
+    def test_exact(self):
+        assert Interval.exact(0.3).width == 0.0
+
+
+class TestAlgebra:
+    def test_paper_addition_rule(self):
+        # [a, b] + [c, d] = [a + c, b + d]
+        assert Interval(1, 2) + Interval(3, 5) == Interval(4, 7)
+
+    def test_subtraction_flips(self):
+        assert Interval(1, 2) - Interval(0.5, 1) == Interval(0, 1.5)
+
+    def test_negation(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_scale_positive(self):
+        assert Interval(1, 2).scale(2) == Interval(2, 4)
+
+    def test_scale_negative_flips(self):
+        assert Interval(1, 2).scale(-1) == Interval(-2, -1)
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(0.5) == Interval(1.5, 2.5)
+
+    def test_intersect_overlapping(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    @given(finite, st.floats(min_value=0, max_value=5), finite,
+           st.floats(min_value=0, max_value=5))
+    @settings(max_examples=60)
+    def test_addition_width_adds(self, c1, w1, c2, w2):
+        a = Interval.from_estimate(c1, w1)
+        b = Interval.from_estimate(c2, w2)
+        assert (a + b).width == pytest.approx(a.width + b.width, abs=1e-9)
+
+    @given(finite, st.floats(min_value=0, max_value=5), finite)
+    @settings(max_examples=60)
+    def test_scale_width(self, center, tol, factor):
+        interval = Interval.from_estimate(center, tol)
+        assert interval.scale(factor).width == pytest.approx(
+            abs(factor) * interval.width, rel=1e-9, abs=1e-9
+        )
+
+
+class TestComparisons:
+    def test_greater_true(self):
+        assert Interval(0.5, 0.6).compare_greater(0.4) is TernaryResult.TRUE
+
+    def test_greater_false(self):
+        assert Interval(0.1, 0.3).compare_greater(0.4) is TernaryResult.FALSE
+
+    def test_greater_unknown_straddles(self):
+        assert Interval(0.3, 0.5).compare_greater(0.4) is TernaryResult.UNKNOWN
+
+    def test_greater_boundary_is_not_true(self):
+        # low == threshold: not strictly greater everywhere.
+        assert Interval(0.4, 0.5).compare_greater(0.4) is TernaryResult.UNKNOWN
+
+    def test_less_true(self):
+        assert Interval(0.1, 0.3).compare_less(0.4) is TernaryResult.TRUE
+
+    def test_less_false(self):
+        assert Interval(0.5, 0.6).compare_less(0.4) is TernaryResult.FALSE
+
+    def test_less_unknown(self):
+        assert Interval(0.3, 0.5).compare_less(0.4) is TernaryResult.UNKNOWN
+
+    def test_appendix_example(self):
+        # Appendix A.2: x < 0.1 +/- 0.01 with x-hat outcomes.
+        tolerance = 0.01
+        cases = [
+            (0.115, TernaryResult.FALSE),   # x-hat > 0.11
+            (0.085, TernaryResult.TRUE),    # x-hat < 0.09
+            (0.1, TernaryResult.UNKNOWN),   # straddles
+        ]
+        for estimate, expected in cases:
+            interval = Interval.from_estimate(estimate, tolerance)
+            assert interval.compare_less(0.1) is expected, estimate
+
+    def test_dispatch(self):
+        assert Interval(0.5, 0.6).compare(">", 0.4) is TernaryResult.TRUE
+        assert Interval(0.5, 0.6).compare("<", 0.4) is TernaryResult.FALSE
+
+    def test_dispatch_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            Interval(0, 1).compare(">=", 0.5)

@@ -1,0 +1,65 @@
+"""Tests for three-valued logic and mode resolution."""
+
+import pytest
+
+from repro.core.logic import Mode, TernaryResult, resolve_ternary, ternary_and
+from repro.exceptions import InvalidParameterError
+
+T, F, U = TernaryResult.TRUE, TernaryResult.FALSE, TernaryResult.UNKNOWN
+
+
+class TestTernaryAnd:
+    def test_all_true(self):
+        assert ternary_and([T, T]) is T
+
+    def test_false_dominates(self):
+        assert ternary_and([T, U, F]) is F
+
+    def test_unknown_beats_true(self):
+        assert ternary_and([T, U, T]) is U
+
+    def test_empty_is_true(self):
+        assert ternary_and([]) is T
+
+    def test_operator_form(self):
+        assert (T & U) is U
+        assert (U & F) is F
+
+    def test_non_ternary_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ternary_and([T, True])
+
+
+class TestBoolGuard:
+    def test_bool_coercion_raises(self):
+        with pytest.raises(TypeError, match="explicit mode"):
+            bool(U)
+
+    def test_if_statement_guarded(self):
+        with pytest.raises(TypeError):
+            if T:  # noqa: PLR1702 - the point is that this raises
+                pass
+
+
+class TestModeResolution:
+    def test_fp_free_maps_unknown_to_false(self):
+        assert resolve_ternary(U, Mode.FP_FREE) is False
+
+    def test_fn_free_maps_unknown_to_true(self):
+        assert resolve_ternary(U, Mode.FN_FREE) is True
+
+    def test_determinate_values_unchanged(self):
+        for mode in Mode:
+            assert resolve_ternary(T, mode) is True
+            assert resolve_ternary(F, mode) is False
+
+    def test_string_mode_accepted(self):
+        assert resolve_ternary(U, "fn-free") is True
+        assert resolve_ternary(U, "fp-free") is False
+
+    def test_mode_parse_case_insensitive(self):
+        assert Mode.parse("FP-Free") is Mode.FP_FREE
+
+    def test_mode_parse_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown mode"):
+            Mode.parse("accurate")

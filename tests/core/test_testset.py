@@ -1,0 +1,107 @@
+"""Tests for Testset and TestsetManager lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.testset import Testset, TestsetManager
+from repro.exceptions import EngineStateError, TestsetExhaustedError
+from repro.ml.models.base import FixedPredictionModel
+
+
+@pytest.fixture
+def testset():
+    return Testset(labels=np.array([0, 1, 0, 1]), name="t1")
+
+
+class TestTestset:
+    def test_default_features_are_indices(self, testset):
+        np.testing.assert_array_equal(testset.features, np.arange(4))
+
+    def test_size(self, testset):
+        assert testset.size == 4 and len(testset) == 4
+
+    def test_feature_label_mismatch(self):
+        with pytest.raises(EngineStateError, match="align"):
+            Testset(labels=np.array([0, 1]), features=np.zeros((3,)))
+
+    def test_labels_must_be_1d(self):
+        with pytest.raises(EngineStateError, match="one-dimensional"):
+            Testset(labels=np.zeros((2, 2)))
+
+    def test_predict_with(self, testset):
+        model = FixedPredictionModel(np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(
+            testset.predict_with(model), np.array([0, 1, 1, 1])
+        )
+
+    def test_predict_with_wrong_length_model(self, testset):
+        class Short:
+            def predict(self, features):
+                return np.array([1])
+
+        with pytest.raises(EngineStateError, match="predictions"):
+            testset.predict_with(Short())
+
+
+class TestManagerLifecycle:
+    def test_consume_counts(self, testset):
+        manager = TestsetManager(testset, budget=3)
+        assert manager.consume() == 1
+        assert manager.consume() == 2
+        assert manager.remaining == 1
+
+    def test_budget_spent_flag(self, testset):
+        manager = TestsetManager(testset, budget=1)
+        assert not manager.budget_spent
+        manager.consume()
+        assert manager.budget_spent
+
+    def test_consume_after_retire_raises(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        manager.retire()
+        with pytest.raises(TestsetExhaustedError):
+            manager.consume()
+
+    def test_current_after_retire_raises(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        manager.retire()
+        with pytest.raises(TestsetExhaustedError):
+            _ = manager.current
+
+    def test_retire_returns_devset(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        released = manager.retire()
+        assert released is testset
+        assert manager.released_testsets == [testset]
+
+    def test_double_retire_raises(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        manager.retire()
+        with pytest.raises(EngineStateError, match="already released"):
+            manager.retire()
+
+    def test_install_requires_retired(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        with pytest.raises(EngineStateError, match="retire"):
+            manager.install(Testset(labels=np.array([1, 0])))
+
+    def test_install_new_generation(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        manager.retire()
+        fresh = Testset(labels=np.array([1, 0]), name="t2")
+        manager.install(fresh)
+        assert manager.generation == 2
+        assert manager.current is fresh
+        assert manager.remaining == 2  # budget resets
+
+    def test_install_custom_budget(self, testset):
+        manager = TestsetManager(testset, budget=2)
+        manager.retire()
+        manager.install(Testset(labels=np.array([1, 0])), budget=7)
+        assert manager.remaining == 7
+
+    def test_is_exhausted(self, testset):
+        manager = TestsetManager(testset, budget=1)
+        assert not manager.is_exhausted
+        manager.retire()
+        assert manager.is_exhausted

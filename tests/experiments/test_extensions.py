@@ -1,0 +1,62 @@
+"""Unit tests for the E9 extension studies and the paired Figure 4."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_drift_budget,
+    run_metric_tax,
+    run_stratified_ablation,
+)
+from repro.experiments.figure4 import run_figure4_paired
+
+
+class TestStratifiedAblation:
+    def test_balanced_no_gain(self):
+        rows = run_stratified_ablation(rare_weights=(0.5,))
+        assert rows[0].improvement == pytest.approx(1.0)
+
+    def test_skew_brings_gain(self):
+        rows = run_stratified_ablation(rare_weights=(0.01,))
+        assert rows[0].improvement > 3.0
+
+    def test_monotone_in_skew(self):
+        rows = run_stratified_ablation()
+        improvements = [r.improvement for r in rows]
+        assert improvements == sorted(improvements)
+
+
+class TestMetricTax:
+    def test_f1_always_costs_more(self):
+        for row in run_metric_tax():
+            assert row.f1_samples > row.accuracy_samples
+
+    def test_tax_grows_with_skew(self):
+        rows = run_metric_tax()
+        taxes = [r.tax for r in rows]
+        assert taxes == sorted(taxes)
+
+    def test_balanced_tax_is_sensitivity_squared(self):
+        # c = 4/(K*alpha) = 4 at K=4, alpha=0.25 -> 16x samples.
+        row = run_metric_tax(min_class_fractions=(0.25,))[0]
+        assert row.tax == pytest.approx(16.0, rel=0.01)
+
+
+class TestDriftBudget:
+    def test_total_grows_per_period_logarithmic(self):
+        rows = run_drift_budget()
+        per_period = [r.samples_per_period for r in rows]
+        totals = [r.total_samples for r in rows]
+        assert per_period == sorted(per_period)  # more periods -> tighter split
+        assert totals == sorted(totals)
+        # Logarithmic: ~91x more periods, <2x per-period labels.
+        assert per_period[-1] < 2 * per_period[0]
+
+
+class TestPairedFigure4:
+    def test_bennett_valid_and_tighter(self):
+        points = run_figure4_paired(
+            sample_sizes=(3000, 10_000), n_replicates=4000, seed=1
+        )
+        for pt in points:
+            assert pt.bennett_valid
+            assert pt.bennett_epsilon < pt.hoeffding_epsilon / 2

@@ -1,0 +1,109 @@
+"""Shape tests for the figure experiments (E2–E5, E7, E8)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_allocation_ablation,
+    run_filter_false_reject,
+    run_reusable_vs_disposable,
+)
+from repro.experiments.figure3 import sweep_epsilon, sweep_variance_bound
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.practicality import (
+    run_active_labeling_effort,
+    run_budget_analysis,
+    run_cheap_mode,
+)
+
+
+class TestFigure3Shapes:
+    def test_ten_x_at_headline_point(self):
+        point = sweep_epsilon(epsilons=(0.01,))[0]
+        assert 8.0 <= point.improvement <= 12.0
+        assert point.optimized_labels == 29_048
+
+    def test_improvement_monotone_in_variance_bound(self):
+        points = sweep_variance_bound()
+        improvements = [p.improvement for p in points]
+        assert improvements == sorted(improvements, reverse=True)
+
+
+class TestFigure4Shapes:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_figure4(
+            sample_sizes=(1000, 5000), n_replicates=5000, seed=0
+        )
+
+    def test_bounds_dominate(self, points):
+        for pt in points:
+            assert pt.hoeffding_valid and pt.bennett_valid
+
+    def test_bennett_tighter(self, points):
+        for pt in points:
+            assert pt.bennett_epsilon < pt.hoeffding_epsilon
+
+
+class TestFigure5Shapes:
+    @pytest.fixture(scope="class")
+    def traces(self, semeval_history):
+        return run_figure5(semeval_history)
+
+    def test_sample_sizes(self, traces):
+        assert [t.planned_samples for t in traces] == [4713, 4713, 5204]
+
+    def test_all_leave_iteration_7_active(self, traces):
+        assert all(t.active_iteration == 7 for t in traces)
+
+    def test_fn_free_passes_superset(self, traces):
+        fp, fn, _ = traces
+        for a, b in zip(fp.signals, fn.signals):
+            assert (not a) or b
+
+    def test_seven_evaluations_each(self, traces):
+        assert all(len(t.signals) == 7 for t in traces)
+
+
+class TestFigure6Shapes:
+    def test_series(self, semeval_history):
+        evolution = run_figure6(semeval_history)
+        assert evolution.dev_monotone
+        assert evolution.best_test_iteration == 7
+        assert len(evolution.test_accuracy) == 8
+
+
+class TestPracticality:
+    def test_budget_window(self):
+        budgets = {b.team_size: b.labels_per_day for b in run_budget_analysis()}
+        assert budgets[2] == 28_800 and budgets[4] == 57_600
+
+    def test_cheap_mode_reaches_10x(self):
+        rows = run_cheap_mode()
+        assert rows[-1].reduction_vs_strict >= 8.0
+
+    def test_three_hours(self):
+        assert run_active_labeling_effort().hours_per_day == pytest.approx(
+            3.04, abs=0.01
+        )
+
+
+class TestAblationShapes:
+    def test_reusable_always_wins(self):
+        assert all(r.reusable_wins for r in run_reusable_vs_disposable())
+
+    def test_allocation_never_worse(self):
+        for row in run_allocation_ablation():
+            assert row.optimal_samples <= row.even_split_samples + 1e-9
+
+    def test_filter_false_reject_within_budget(self):
+        outcome = run_filter_false_reject(n_replicates=1000, seed=3)
+        assert outcome.observed_false_reject_rate <= outcome.delta_budget + 0.02
+
+    def test_filter_rejects_bad_commits(self):
+        # A commit truly above threshold + 2*tolerance gets rejected often.
+        outcome = run_filter_false_reject(
+            true_difference=0.14, n_replicates=500, seed=4
+        )
+        assert outcome.observed_false_reject_rate > 0.9

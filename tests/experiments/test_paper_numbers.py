@@ -1,0 +1,61 @@
+"""The reproduction scorecard: every published number, asserted exactly.
+
+This file is the contract between the library and the paper: if any of
+these fail, the reproduction has drifted.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import PAPER_FIGURE2, run_figure2
+from repro.experiments.intext import run_intext
+
+
+class TestFigure2Exact:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {(r.reliability, r.tolerance): r for r in run_figure2()}
+
+    @pytest.mark.parametrize("key", sorted(PAPER_FIGURE2))
+    def test_cell(self, rows, key):
+        row = rows[key]
+        assert (
+            row.f1_none,
+            row.f1_full,
+            row.f2_none,
+            row.f2_full,
+        ) == PAPER_FIGURE2[key]
+
+    def test_full_grid_covered(self, rows):
+        assert len(rows) == 16
+
+    def test_impractical_flags_at_one_point(self, rows):
+        # §3.6: "none of the adaptive strategies is practical up to 1
+        # accuracy point" at high reliability.
+        row = rows[(0.9999, 0.01)]
+        flags = row.impractical()
+        assert flags["f1_none"] and flags["f1_full"]
+        assert flags["f2_none"] and flags["f2_full"]
+
+    def test_practical_at_coarse_tolerance(self, rows):
+        row = rows[(0.9999, 0.1)]
+        assert not any(row.impractical().values())
+
+
+class TestInTextExact:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return run_intext()
+
+    def test_every_claim_matches(self, claims):
+        for claim in claims:
+            assert claim.matches, (
+                f"{claim.source}: paper {claim.paper_value} vs "
+                f"computed {claim.computed_value}"
+            )
+
+    def test_coverage_of_sections(self, claims):
+        sources = {c.source for c in claims}
+        assert {"§1", "§3.3", "§4.1.1", "§4.1.2", "§5.2", "Fig. 5"} <= sources
+
+    def test_at_least_thirteen_claims(self, claims):
+        assert len(claims) >= 13

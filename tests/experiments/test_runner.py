@@ -1,0 +1,53 @@
+"""Tests for the experiment runner and its CLI hook."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import run_all
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    output = tmp_path_factory.mktemp("results")
+    records = run_all(output, quick=True)
+    return output, records
+
+
+class TestRunAll:
+    def test_nine_experiments(self, artifacts):
+        _, records = artifacts
+        assert len(records) == 9
+        ids = [r.experiment_id for r in records]
+        assert ids[0] == "E1-figure2" and ids[-1] == "E9-extensions"
+
+    def test_artifacts_are_valid_json(self, artifacts):
+        output, records = artifacts
+        for record in records:
+            data = json.loads(record.path.read_text())
+            assert data  # non-empty
+
+    def test_summary_checks(self, artifacts):
+        output, _ = artifacts
+        summary = json.loads((output / "summary.json").read_text())
+        checks = summary["checks"]
+        assert checks["figure2_all_cells_exact"] is True
+        assert checks["intext_claims_matching"] == checks["intext_claims_total"]
+
+    def test_figure2_artifact_shape(self, artifacts):
+        output, _ = artifacts
+        rows = json.loads((output / "E1-figure2.json").read_text())
+        assert len(rows) == 16
+        assert {"reliability", "tolerance", "f1_none"} <= set(rows[0])
+
+
+class TestCliHook:
+    def test_experiments_command(self, tmp_path, capsys):
+        code = main(
+            ["experiments", "--output", str(tmp_path / "out"), "--quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote 9 artifacts" in out
+        assert (tmp_path / "out" / "summary.json").exists()

@@ -1,0 +1,148 @@
+"""Integration tests: the full four-step workflow across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.ci.notifications import InMemoryEmailTransport
+from repro.ci.repository import ModelRepository
+from repro.ci.service import CIService
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.ml.datasets.emotion import EMOTION_CLASSES, EmotionDatasetGenerator
+from repro.ml.models.naive_bayes import MultinomialNaiveBayes
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+from repro.ml.models.base import FixedPredictionModel
+
+
+class TestScriptToSignalPipeline:
+    """YAML text in, pass/fail signals and alarms out."""
+
+    SCRIPT = """
+ml:
+  - script     : ./test_model.py
+  - condition  : n - o > 0.02 +/- 0.04 /\\ d < 0.2 +/- 0.04
+  - reliability: 0.99
+  - mode       : fp-free
+  - adaptivity : firstChange
+  - steps      : 5
+"""
+
+    def test_first_change_lifecycle(self):
+        script = CIScript.from_yaml(self.SCRIPT)
+        from repro.core.estimators.api import SampleSizeEstimator
+
+        pool = SampleSizeEstimator().plan(
+            script.condition, delta=script.delta,
+            adaptivity=script.adaptivity, steps=script.steps,
+        ).pool_size
+        world = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=pool,
+            seed=0,
+        )
+        transport = InMemoryEmailTransport()
+        service = CIService(
+            script,
+            Testset(labels=world.labels, name="gen1"),
+            world.old_model,
+            transport=transport,
+        )
+        # Two failing attempts, then a clear pass that retires the testset.
+        for i, (acc, diff) in enumerate([(0.81, 0.05), (0.82, 0.06), (0.9, 0.12)]):
+            model = FixedPredictionModel(
+                evolve_predictions(
+                    service.active_model.predictions,
+                    world.labels,
+                    target_accuracy=acc,
+                    difference=diff,
+                    seed=i,
+                ),
+                name=f"m{i}",
+            )
+            service.repository.commit(model)
+        statuses = [b.commit.status.value for b in service.builds]
+        assert statuses == ["failed", "failed", "passed"]
+        # The pass fired the firstChange alarm and retired the testset.
+        assert service.engine.manager.is_exhausted
+        assert any("new testset" in m.subject for m in transport.messages)
+        # Old testset is now a dev set.
+        assert len(service.engine.manager.released_testsets) == 1
+
+    def test_plan_enforced_against_undersized_testset(self):
+        script = CIScript.from_yaml(self.SCRIPT)
+        world = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=50,
+            seed=0,
+        )
+        from repro.exceptions import TestsetSizeError
+
+        with pytest.raises(TestsetSizeError):
+            CIService(
+                script, Testset(labels=world.labels), world.old_model
+            )
+
+
+class TestRealModelsThroughEngine:
+    """Genuinely trained models, no simulation in the signal path."""
+
+    def test_naive_bayes_improvement_detected(self):
+        generator = EmotionDatasetGenerator(seed=1)
+        train_x, train_y = generator.sample(4000, seed=2)
+        test_x, test_y = generator.sample(6000, seed=3)
+        script = CIScript.from_dict(
+            {
+                "condition": "n - o > 0.01 +/- 0.05",
+                "reliability": 0.99,
+                "mode": "fn-free",
+                "adaptivity": "full",
+                "steps": 2,
+            }
+        )
+        weak = MultinomialNaiveBayes(len(EMOTION_CLASSES)).fit(
+            train_x[:150], train_y[:150]
+        )
+        strong = MultinomialNaiveBayes(len(EMOTION_CLASSES)).fit(train_x, train_y)
+        from repro.core.engine import CIEngine
+
+        engine = CIEngine(
+            script, Testset(labels=test_y, features=test_x), weak
+        )
+        result = engine.submit(strong)
+        weak_acc = np.mean(weak.predict(test_x) == test_y)
+        strong_acc = np.mean(strong.predict(test_x) == test_y)
+        assert strong_acc > weak_acc  # training on more data helps
+        assert result.truly_passed
+        assert engine.active_model is strong
+
+
+class TestRepositoryServiceEngineConsistency:
+    def test_every_commit_has_exactly_one_build(self):
+        script = CIScript.from_dict(
+            {
+                "condition": "n > 0.5 +/- 0.1",
+                "reliability": 0.99,
+                "mode": "fn-free",
+                "adaptivity": "full",
+                "steps": 10,
+            }
+        )
+        world = simulate_model_pair(
+            ModelPairSpec(old_accuracy=0.8, new_accuracy=0.8, difference=0.0),
+            n_examples=1000,
+            seed=0,
+        )
+        service = CIService(
+            script,
+            Testset(labels=world.labels),
+            world.old_model,
+            repository=ModelRepository(),
+        )
+        for _ in range(5):
+            service.repository.commit(world.old_model)
+        assert len(service.builds) == len(service.repository) == 5
+        assert [b.commit.sequence for b in service.builds] == list(range(5))

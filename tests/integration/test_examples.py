@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (import + main()) with stdout
+captured, asserting on a signature line so a silently broken example
+cannot pass.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "parsed script" in out
+    assert "PASS" in out and "FAIL" in out
+    assert "active model: better-regularizer" in out
+
+
+def test_semeval_workflow(capsys):
+    out = run_example("semeval_workflow", capsys)
+    assert "4,713" in out and "5,204" in out
+    assert "active model = iteration 7" in out
+
+
+def test_active_labeling_workflow(capsys):
+    out = run_example("active_labeling_workflow", capsys)
+    assert "fresh" in out
+    assert "labels are reused across commits" in out
+
+
+def test_adaptive_attack_demo(capsys):
+    out = run_example("adaptive_attack_demo", capsys)
+    assert "NO" in out  # naive sizing broken
+    assert "yes" in out  # 2^H sizing holds
+
+
+@pytest.mark.slow
+def test_real_training_pipeline(capsys):
+    out = run_example("real_training_pipeline", capsys)
+    assert "active model test accuracy" in out
+    assert "mail received by the integration team" in out
+
+
+def test_model_zoo_pattern2(capsys):
+    out = run_example("model_zoo_pattern2", capsys)
+    assert "max pairwise top-1 disagreement" in out
+    assert "TRUE (PASS)" in out and "FALSE (FAIL)" in out

@@ -1,0 +1,135 @@
+"""Statistical-guarantee integration tests.
+
+The system's core promise: with probability ``1 - delta``, the pass/fail
+signal is free of the configured error kind.  These tests verify the
+promise *empirically* by Monte Carlo over full plan->evaluate pipelines —
+the strongest end-to-end check the library has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.evaluation import ConditionEvaluator
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.stats.estimation import PairedSample
+from repro.utils.rng import spawn_rngs
+
+
+def run_replicates(plan, mode, spec, n_replicates, seed):
+    """Evaluate a plan on fresh i.i.d. worlds; return pass decisions."""
+    decisions = []
+    evaluator = ConditionEvaluator(plan, mode, enforce_sample_size=False)
+    for rng in spawn_rngs(seed, n_replicates):
+        pair = simulate_model_pair(
+            spec, n_examples=plan.pool_size, exact=False, seed=rng
+        )
+        sample = PairedSample(
+            old_predictions=pair.old_model.predictions,
+            new_predictions=pair.new_model.predictions,
+            labels=pair.labels,
+        )
+        decisions.append(evaluator.evaluate(sample).passed)
+    return np.asarray(decisions)
+
+
+class TestFpFreeGuarantee:
+    """fp-free: when the condition is truly false, (almost) never pass."""
+
+    def test_no_false_positives_below_threshold(self):
+        # True gain 0.01 < threshold 0.02: passing would be a false positive.
+        plan = SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.01,
+            adaptivity="none",
+            steps=1,
+            known_variance_bound=0.1,
+        )
+        spec = ModelPairSpec(
+            old_accuracy=0.85, new_accuracy=0.86, difference=0.08,
+            disagree_wrong=0.035,
+        )
+        decisions = run_replicates(plan, "fp-free", spec, 300, seed=0)
+        # delta = 0.01; allow Monte-Carlo slack (99.9% binomial band).
+        assert decisions.mean() <= 0.03
+
+    def test_clear_truth_still_passes(self):
+        # True gain 0.06 > threshold + tolerance: should essentially always pass.
+        plan = SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.01,
+            adaptivity="none",
+            steps=1,
+            known_variance_bound=0.1,
+        )
+        spec = ModelPairSpec(
+            old_accuracy=0.85, new_accuracy=0.91, difference=0.08,
+            disagree_wrong=0.005,
+        )
+        decisions = run_replicates(plan, "fp-free", spec, 300, seed=1)
+        assert decisions.mean() >= 0.97
+
+
+class TestFnFreeGuarantee:
+    """fn-free: when the condition is truly true, (almost) never fail."""
+
+    def test_no_false_negatives_above_threshold(self):
+        # True d = 0.05 < 0.1: failing the d-clause would be a false negative.
+        plan = SampleSizeEstimator(optimizations="none").plan(
+            "d < 0.1 +/- 0.02", delta=0.01, adaptivity="none", steps=1
+        )
+        spec = ModelPairSpec(
+            old_accuracy=0.9, new_accuracy=0.9, difference=0.05,
+            disagree_wrong=0.02,
+        )
+        decisions = run_replicates(plan, "fn-free", spec, 300, seed=2)
+        assert decisions.mean() >= 0.97
+
+    def test_clear_violation_still_fails(self):
+        # True d = 0.2 >> 0.1 + 0.02: should essentially always fail.
+        plan = SampleSizeEstimator(optimizations="none").plan(
+            "d < 0.1 +/- 0.02", delta=0.01, adaptivity="none", steps=1
+        )
+        spec = ModelPairSpec(
+            old_accuracy=0.75, new_accuracy=0.75, difference=0.2,
+            disagree_wrong=0.1,
+        )
+        decisions = run_replicates(plan, "fn-free", spec, 300, seed=3)
+        assert decisions.mean() <= 0.03
+
+
+class TestUnionBoundAcrossSteps:
+    """The delta/H budget keeps the *whole trajectory* valid."""
+
+    def test_h_step_trajectory_error_rate(self):
+        steps = 8
+        plan = SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.05,
+            adaptivity="none",
+            steps=steps,
+            known_variance_bound=0.1,
+        )
+        evaluator = ConditionEvaluator(plan, "fp-free", enforce_sample_size=False)
+        spec = ModelPairSpec(
+            old_accuracy=0.85, new_accuracy=0.86, difference=0.08,
+            disagree_wrong=0.035,
+        )  # truly below the bar everywhere
+        bad_trajectories = 0
+        n_trajectories = 60
+        for rng in spawn_rngs(17, n_trajectories):
+            any_false_positive = False
+            for _ in range(steps):
+                pair = simulate_model_pair(
+                    spec, n_examples=plan.pool_size, exact=False, seed=rng
+                )
+                sample = PairedSample(
+                    old_predictions=pair.old_model.predictions,
+                    new_predictions=pair.new_model.predictions,
+                    labels=pair.labels,
+                )
+                if evaluator.evaluate(sample).passed:
+                    any_false_positive = True
+            bad_trajectories += any_false_positive
+        # delta = 0.05 for the whole trajectory; generous MC slack.
+        assert bad_trajectories / n_trajectories <= 0.15

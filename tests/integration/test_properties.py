@@ -1,0 +1,185 @@
+"""Property-based tests on system-level invariants (hypothesis-driven).
+
+These are the invariants DESIGN.md commits to; they must hold for *any*
+valid input, not just the paper's parameter points.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.nodes import Clause, Formula, Variable
+from repro.core.dsl.parser import parse_condition
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.evaluation import ConditionEvaluator
+from repro.core.logic import TernaryResult
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.stats.estimation import PairedSample
+
+# -- strategies ---------------------------------------------------------------
+
+variables = st.sampled_from(["n", "o", "d"])
+tolerances = st.floats(min_value=0.005, max_value=0.3).map(lambda x: round(x, 4))
+thresholds = st.floats(min_value=0.0, max_value=1.0).map(lambda x: round(x, 4))
+comparators = st.sampled_from([">", "<"])
+deltas = st.floats(min_value=1e-6, max_value=0.2)
+steps = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def clauses(draw):
+    return Clause(
+        expression=Variable(draw(variables)),
+        comparator=draw(comparators),
+        threshold=draw(thresholds),
+        tolerance=draw(tolerances),
+    )
+
+
+@st.composite
+def formulas(draw):
+    n_clauses = draw(st.integers(min_value=1, max_value=3))
+    return Formula(tuple(draw(clauses()) for _ in range(n_clauses)))
+
+
+# -- estimator invariants ------------------------------------------------------
+
+
+class TestEstimatorInvariants:
+    @given(formula=formulas(), delta=deltas, h=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_adaptivity_ordering(self, formula, delta, h):
+        """full >= firstChange == none, for every formula and budget."""
+        estimator = SampleSizeEstimator(optimizations="none")
+        none = estimator.plan(formula, delta=delta, adaptivity="none", steps=h)
+        full = estimator.plan(formula, delta=delta, adaptivity="full", steps=h)
+        hybrid = estimator.plan(
+            formula, delta=delta, adaptivity="firstChange", steps=h
+        )
+        assert full.samples >= none.samples
+        assert hybrid.samples == none.samples
+
+    @given(formula=formulas(), delta=deltas, h=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_optimizations_never_hurt_label_cost(self, formula, delta, h):
+        baseline = SampleSizeEstimator(optimizations="none").plan(
+            formula, delta=delta, adaptivity="none", steps=h
+        )
+        optimized = SampleSizeEstimator().plan(
+            formula, delta=delta, adaptivity="none", steps=h
+        )
+        assert optimized.samples <= baseline.samples
+
+    @given(clause=clauses(), delta=deltas)
+    @settings(max_examples=40, deadline=None)
+    def test_samples_decrease_with_delta(self, clause, delta):
+        estimator = SampleSizeEstimator(optimizations="none")
+        formula = Formula((clause,))
+        tight = estimator.plan(formula, delta=delta / 10, adaptivity="none", steps=1)
+        loose = estimator.plan(formula, delta=delta, adaptivity="none", steps=1)
+        assert tight.samples >= loose.samples
+
+    @given(clause=clauses(), h=steps)
+    @settings(max_examples=40, deadline=None)
+    def test_samples_increase_with_steps(self, clause, h):
+        estimator = SampleSizeEstimator(optimizations="none")
+        formula = Formula((clause,))
+        short = estimator.plan(formula, delta=0.01, adaptivity="none", steps=1)
+        long = estimator.plan(formula, delta=0.01, adaptivity="none", steps=h)
+        assert long.samples >= short.samples
+
+    @given(formula=formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_clause_tolerances_respected(self, formula):
+        """Each clause's term tolerances sum to its declared tolerance."""
+        plan = SampleSizeEstimator(optimizations="none").plan(
+            formula, delta=0.01, adaptivity="none", steps=2
+        )
+        for clause_plan in plan.clause_plans:
+            assert clause_plan.expression_tolerance == pytest.approx(
+                clause_plan.clause.tolerance, rel=1e-9
+            )
+
+
+class TestDslRoundTrip:
+    @given(formula=formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_source_round_trip(self, formula):
+        assert parse_condition(formula.to_source()) == formula
+
+
+class TestEvaluationInvariants:
+    @given(
+        gain=st.floats(min_value=-0.04, max_value=0.04),
+        diff=st.floats(min_value=0.05, max_value=0.12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fp_free_pass_implies_fn_free_pass(self, gain, diff, seed):
+        """fp-free is strictly more conservative than fn-free."""
+        assume(abs(gain) <= diff)
+        plan = SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.01,
+            adaptivity="none",
+            steps=1,
+            known_variance_bound=0.15,
+        )
+        pair = simulate_model_pair(
+            ModelPairSpec(
+                old_accuracy=0.8,
+                new_accuracy=min(1.0, 0.8 + gain),
+                difference=diff,
+                disagree_wrong=max(0.0, (diff - abs(gain)) / 2),
+            ),
+            n_examples=plan.pool_size,
+            seed=seed,
+        )
+        sample = PairedSample(
+            old_predictions=pair.old_model.predictions,
+            new_predictions=pair.new_model.predictions,
+            labels=pair.labels,
+        )
+        fp = ConditionEvaluator(plan, "fp-free").evaluate(sample)
+        fn = ConditionEvaluator(plan, "fn-free").evaluate(sample)
+        assert (not fp.passed) or fn.passed
+        # And the ternary values agree (modes only differ on Unknown).
+        assert fp.ternary == fn.ternary
+
+    @given(
+        margin=st.floats(min_value=0.045, max_value=0.1),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_clear_margin_is_determinate(self, margin, seed):
+        """A gain exceeding threshold + tolerance by a clear margin always
+        evaluates to a determinate True (exact-count world)."""
+        plan = SampleSizeEstimator().plan(
+            "n - o > 0.02 +/- 0.02",
+            delta=0.01,
+            adaptivity="none",
+            steps=1,
+            known_variance_bound=0.25,
+        )
+        gain = 0.04 + margin
+        pair = simulate_model_pair(
+            ModelPairSpec(
+                old_accuracy=0.75,
+                new_accuracy=0.75 + gain,
+                difference=gain + 0.02,
+                disagree_wrong=0.01,
+            ),
+            n_examples=plan.pool_size,
+            exact=True,
+            seed=seed,
+        )
+        sample = PairedSample(
+            old_predictions=pair.old_model.predictions,
+            new_predictions=pair.new_model.predictions,
+            labels=pair.labels,
+        )
+        result = ConditionEvaluator(plan, "fp-free").evaluate(sample)
+        assert result.ternary is TernaryResult.TRUE

@@ -1,0 +1,164 @@
+"""Tests for the dataset generators (synthetic, MNIST-like, emotion, zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.ml.datasets.emotion import (
+    EMOTION_CLASSES,
+    EmotionDatasetGenerator,
+    make_semeval_history,
+)
+from repro.ml.datasets.mnist_like import InfiniteDigitStream
+from repro.ml.datasets.model_zoo import ImageNetZoo
+from repro.ml.datasets.synthetic import make_blobs_classification
+from repro.ml.models.linear import SoftmaxRegression
+
+
+class TestBlobs:
+    def test_shapes(self):
+        X, y = make_blobs_classification(100, n_classes=3, n_features=5, seed=0)
+        assert X.shape == (100, 5) and y.shape == (100,)
+
+    def test_labels_in_range(self):
+        _, y = make_blobs_classification(200, n_classes=4, seed=0)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_separation_improves_learnability(self):
+        def accuracy(separation):
+            X, y = make_blobs_classification(
+                800, n_classes=3, separation=separation, seed=1
+            )
+            model = SoftmaxRegression(n_classes=3, n_epochs=80, seed=0).fit(
+                X[:500], y[:500]
+            )
+            return float(np.mean(model.predict(X[500:]) == y[500:]))
+
+        assert accuracy(4.0) > accuracy(0.5)
+
+    def test_deterministic(self):
+        a = make_blobs_classification(50, seed=3)[0]
+        b = make_blobs_classification(50, seed=3)[0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInfiniteDigits:
+    def test_unbounded_sampling(self):
+        stream = InfiniteDigitStream(seed=0)
+        X1, y1 = stream.sample(500, seed=1)
+        X2, y2 = stream.sample(700, seed=2)
+        assert X1.shape == (500, stream.n_features)
+        assert X2.shape == (700, stream.n_features)
+
+    def test_learnable_to_high_accuracy(self):
+        stream = InfiniteDigitStream(noise=0.3, seed=0)
+        X, y = stream.sample(3000, seed=1)
+        model = SoftmaxRegression(n_classes=10, n_epochs=150, seed=0).fit(
+            X[:2000], y[:2000]
+        )
+        accuracy = np.mean(model.predict(X[2000:]) == y[2000:])
+        assert accuracy > 0.9  # the "GoogLeNet at ~98%" regime is reachable
+
+    def test_noise_hurts(self):
+        def accuracy(noise):
+            stream = InfiniteDigitStream(noise=noise, seed=0)
+            X, y = stream.sample(2000, seed=1)
+            model = SoftmaxRegression(n_classes=10, n_epochs=80, seed=0).fit(
+                X[:1500], y[:1500]
+            )
+            return float(np.mean(model.predict(X[1500:]) == y[1500:]))
+
+        assert accuracy(0.2) > accuracy(2.0)
+
+    def test_draws_differ_across_seeds(self):
+        stream = InfiniteDigitStream(seed=0)
+        X1, _ = stream.sample(10, seed=1)
+        X2, _ = stream.sample(10, seed=2)
+        assert not np.allclose(X1, X2)
+
+
+class TestEmotionGenerator:
+    def test_count_features(self):
+        generator = EmotionDatasetGenerator(seed=0)
+        X, y = generator.sample(300, seed=1)
+        assert X.shape == (300, generator.vocabulary_size)
+        assert X.dtype == np.int64 and (X >= 0).all()
+
+    def test_class_priors_respected(self):
+        generator = EmotionDatasetGenerator(seed=0)
+        _, y = generator.sample(20_000, seed=1)
+        others_rate = float(np.mean(y == 0))
+        assert others_rate == pytest.approx(0.5, abs=0.02)
+
+    def test_bad_priors_rejected(self):
+        with pytest.raises(SimulationError):
+            EmotionDatasetGenerator(class_priors=(0.5, 0.5, 0.1, 0.1))
+
+    def test_classes_are_separable(self):
+        from repro.ml.models.naive_bayes import MultinomialNaiveBayes
+
+        generator = EmotionDatasetGenerator(seed=0)
+        X, y = generator.sample(3000, seed=1)
+        model = MultinomialNaiveBayes(n_classes=len(EMOTION_CLASSES)).fit(
+            X[:2000], y[:2000]
+        )
+        assert np.mean(model.predict(X[2000:]) == y[2000:]) > 0.7
+
+
+class TestSemEvalHistory:
+    def test_testset_size_matches_paper(self, semeval_history):
+        assert semeval_history.testset_size == 5509
+
+    def test_eight_iterations(self, semeval_history):
+        assert len(semeval_history) == 8
+
+    def test_accuracy_trajectory_realized(self, semeval_history):
+        for model, iteration in zip(
+            semeval_history.models, semeval_history.iterations
+        ):
+            measured = float(np.mean(model.predictions == semeval_history.labels))
+            assert measured == pytest.approx(iteration.test_accuracy, abs=2e-4)
+
+    def test_pairwise_difference_bounded(self, semeval_history):
+        assert semeval_history.max_pairwise_difference() <= 0.1
+
+    def test_dev_accuracy_monotone(self, semeval_history):
+        dev = [it.dev_accuracy for it in semeval_history.iterations]
+        assert dev == sorted(dev)
+
+    def test_test_accuracy_peaks_second_to_last(self, semeval_history):
+        test = [it.test_accuracy for it in semeval_history.iterations]
+        assert int(np.argmax(test)) == len(test) - 2
+
+    def test_infeasible_trajectory_rejected(self):
+        with pytest.raises(SimulationError):
+            make_semeval_history(
+                test_accuracies=(0.5, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9),
+                dev_accuracies=(0.5,) * 8,
+            )
+
+
+class TestImageNetZoo:
+    @pytest.fixture(scope="class")
+    def zoo(self):
+        return ImageNetZoo(n_examples=8000, seed=0)
+
+    def test_five_members(self, zoo):
+        assert len(zoo) == 5
+
+    def test_accuracies_near_historical(self, zoo):
+        assert zoo.accuracy_of("AlexNet") == pytest.approx(0.57, abs=2e-3)
+        assert zoo.accuracy_of("ResNet") == pytest.approx(0.76, abs=2e-3)
+
+    def test_paper_disagreement_envelope(self, zoo):
+        # "only produce up to 25% different answers for top-1"
+        assert zoo.max_pairwise_disagreement() <= 0.25
+
+    def test_disagreement_symmetric(self, zoo):
+        assert zoo.disagreement("VGG", "ResNet") == zoo.disagreement(
+            "ResNet", "VGG"
+        )
+
+    def test_unknown_member(self, zoo):
+        with pytest.raises(KeyError):
+            zoo.accuracy_of("Transformer")

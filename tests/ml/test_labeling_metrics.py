@@ -1,0 +1,99 @@
+"""Tests for labeling cost models, oracles and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, LabelBudgetExceededError
+from repro.ml.labeling import LabelingCostModel, LabelOracle
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    disagreement,
+    disagreement_matrix,
+    f1_scores,
+    macro_f1,
+)
+
+
+class TestCostModel:
+    def test_paper_30_to_60k_window(self):
+        # §2.3: 2-4 engineers, 8h, 2 s/label.
+        assert LabelingCostModel(2.0, team_size=2).labels_per_day() == 28_800
+        assert LabelingCostModel(2.0, team_size=4).labels_per_day() == 57_600
+
+    def test_active_labeling_3_hours(self):
+        # §4.1.2: 2,188 labels at 5 s/label ~ 3 hours.
+        effort = LabelingCostModel(5.0).effort(2188)
+        assert effort.person_hours == pytest.approx(3.04, abs=0.01)
+
+    def test_team_days_parallelism(self):
+        effort = LabelingCostModel(2.0, team_size=4).effort(57_600)
+        assert effort.team_days == pytest.approx(1.0)
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(LabelBudgetExceededError):
+            LabelingCostModel().effort(-1)
+
+
+class TestOracle:
+    def test_serves_true_labels(self):
+        labels = np.array([3, 1, 4, 1, 5])
+        oracle = LabelOracle(labels)
+        np.testing.assert_array_equal(oracle(np.array([0, 2])), [3, 4])
+
+    def test_metering(self):
+        oracle = LabelOracle(np.arange(10))
+        oracle(np.array([1, 2]))
+        oracle(np.array([3]))
+        assert oracle.labels_served == 3
+        assert oracle.request_sizes == [2, 1]
+
+    def test_budget_enforced(self):
+        oracle = LabelOracle(np.arange(10), budget=2)
+        oracle(np.array([0, 1]))
+        with pytest.raises(LabelBudgetExceededError):
+            oracle(np.array([2]))
+
+    def test_effort_accounting(self):
+        oracle = LabelOracle(
+            np.arange(100), cost_model=LabelingCostModel(seconds_per_label=10)
+        )
+        oracle(np.arange(36))
+        assert oracle.total_effort().person_hours == pytest.approx(0.1)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 4])) == pytest.approx(2 / 3)
+
+    def test_disagreement(self):
+        assert disagreement(np.array([1, 1, 1]), np.array([1, 2, 3])) == pytest.approx(2 / 3)
+
+    def test_disagreement_matrix_symmetric_zero_diag(self):
+        preds = [np.array([1, 2]), np.array([1, 1]), np.array([2, 2])]
+        matrix = disagreement_matrix(preds)
+        assert matrix[0, 0] == 0.0
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 1] == pytest.approx(0.5)
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 1
+
+    def test_f1_perfect(self):
+        preds = np.array([0, 1, 2])
+        np.testing.assert_allclose(f1_scores(preds, preds), [1.0, 1.0, 1.0])
+
+    def test_f1_absent_class_zero(self):
+        scores = f1_scores(np.array([0, 0]), np.array([0, 0]), n_classes=2)
+        assert scores[1] == 0.0
+
+    def test_macro_f1_averages(self):
+        preds = np.array([0, 1, 1, 0])
+        labels = np.array([0, 1, 0, 0])
+        per_class = f1_scores(preds, labels)
+        assert macro_f1(preds, labels) == pytest.approx(per_class.mean())
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            accuracy(np.array([1]), np.array([1, 2]))

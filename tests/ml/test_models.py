@@ -1,0 +1,147 @@
+"""Tests for the trained-model implementations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.ml.datasets.synthetic import make_blobs_classification
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.knn import KNearestNeighbors
+from repro.ml.models.linear import SoftmaxRegression
+from repro.ml.models.majority import MajorityClassModel
+from repro.ml.models.naive_bayes import MultinomialNaiveBayes
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    X, y = make_blobs_classification(
+        1200, n_classes=3, n_features=8, separation=3.0, seed=0
+    )
+    return X[:800], y[:800], X[800:], y[800:]
+
+
+class TestFixedPredictionModel:
+    def test_gathers_by_index(self):
+        model = FixedPredictionModel(np.array([5, 6, 7]))
+        np.testing.assert_array_equal(model.predict(np.array([2, 0])), [7, 5])
+
+    def test_rejects_2d_predictions(self):
+        with pytest.raises(InvalidParameterError):
+            FixedPredictionModel(np.zeros((2, 2)))
+
+    def test_rejects_float_indices(self):
+        model = FixedPredictionModel(np.array([1, 2]))
+        with pytest.raises(InvalidParameterError, match="integer"):
+            model.predict(np.array([0.5]))
+
+    def test_len_and_repr(self):
+        model = FixedPredictionModel(np.array([1, 2, 3]), name="m")
+        assert len(model) == 3 and "m" in repr(model)
+
+
+class TestSoftmaxRegression:
+    def test_learns_separable_blobs(self, blobs):
+        train_x, train_y, test_x, test_y = blobs
+        model = SoftmaxRegression(n_classes=3, n_epochs=150, seed=0).fit(
+            train_x, train_y
+        )
+        accuracy = np.mean(model.predict(test_x) == test_y)
+        assert accuracy > 0.9
+
+    def test_loss_decreases(self, blobs):
+        train_x, train_y, _, _ = blobs
+        model = SoftmaxRegression(n_classes=3, n_epochs=60, seed=0).fit(
+            train_x, train_y
+        )
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_probabilities_normalized(self, blobs):
+        train_x, train_y, test_x, _ = blobs
+        model = SoftmaxRegression(n_classes=3, n_epochs=30, seed=0).fit(
+            train_x, train_y
+        )
+        probs = model.predict_proba(test_x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(InvalidParameterError, match="not fitted"):
+            SoftmaxRegression(n_classes=2).predict(np.zeros((1, 3)))
+
+    def test_label_range_checked(self):
+        with pytest.raises(InvalidParameterError, match="labels"):
+            SoftmaxRegression(n_classes=2).fit(np.zeros((2, 2)), np.array([0, 5]))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            SoftmaxRegression(n_classes=2).fit(np.zeros((3, 2)), np.array([0, 1]))
+
+
+class TestNaiveBayes:
+    def test_separates_count_data(self, rng):
+        # Two classes with disjoint dominant tokens.
+        n = 400
+        labels = rng.integers(0, 2, n)
+        counts = np.zeros((n, 6), dtype=int)
+        for i, label in enumerate(labels):
+            block = slice(0, 3) if label == 0 else slice(3, 6)
+            counts[i, block] = rng.poisson(5, 3)
+            counts[i, :] += rng.poisson(0.3, 6)
+        model = MultinomialNaiveBayes(n_classes=2).fit(counts[:300], labels[:300])
+        accuracy = np.mean(model.predict(counts[300:]) == labels[300:])
+        assert accuracy > 0.95
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError, match="non-negative"):
+            MultinomialNaiveBayes(n_classes=2).fit(
+                np.array([[-1.0, 2.0]]), np.array([0])
+            )
+
+    def test_unseen_class_smoothed(self):
+        # Class 1 absent from training: prior smoothed, not -inf.
+        model = MultinomialNaiveBayes(n_classes=2).fit(
+            np.array([[1.0, 0.0], [2.0, 1.0]]), np.array([0, 0])
+        )
+        scores = model.predict_log_proba(np.array([[1.0, 1.0]]))
+        assert np.isfinite(scores).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(InvalidParameterError, match="not fitted"):
+            MultinomialNaiveBayes(n_classes=2).predict(np.zeros((1, 2)))
+
+
+class TestKNN:
+    def test_classifies_blobs(self, blobs):
+        train_x, train_y, test_x, test_y = blobs
+        model = KNearestNeighbors(k=7).fit(train_x, train_y)
+        assert np.mean(model.predict(test_x) == test_y) > 0.9
+
+    def test_k_larger_than_train_rejected(self):
+        with pytest.raises(InvalidParameterError, match="exceeds"):
+            KNearestNeighbors(k=10).fit(np.zeros((3, 2)), np.array([0, 1, 0]))
+
+    def test_chunking_matches_single_pass(self, blobs):
+        train_x, train_y, test_x, _ = blobs
+        small = KNearestNeighbors(k=5, chunk_size=16).fit(train_x, train_y)
+        big = KNearestNeighbors(k=5, chunk_size=4096).fit(train_x, train_y)
+        np.testing.assert_array_equal(
+            small.predict(test_x[:100]), big.predict(test_x[:100])
+        )
+
+    def test_memorizes_training_points(self, blobs):
+        train_x, train_y, _, _ = blobs
+        model = KNearestNeighbors(k=1).fit(train_x, train_y)
+        np.testing.assert_array_equal(model.predict(train_x[:50]), train_y[:50])
+
+
+class TestMajority:
+    def test_predicts_mode(self):
+        model = MajorityClassModel().fit(np.zeros((5, 1)), np.array([1, 1, 1, 0, 2]))
+        np.testing.assert_array_equal(model.predict(np.zeros((3, 1))), [1, 1, 1])
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MajorityClassModel().fit(np.zeros((0, 1)), np.array([]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MajorityClassModel().predict(np.zeros((1, 1)))

@@ -1,0 +1,173 @@
+"""Tests for the calibrated model-pair simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_accuracy_model,
+    simulate_model_pair,
+)
+
+
+class TestSpecSolver:
+    def test_basic_solution(self):
+        buckets = ModelPairSpec(0.8, 0.85, 0.1, disagree_wrong=0.02).solve()
+        assert buckets.old_accuracy == pytest.approx(0.8)
+        assert buckets.new_accuracy == pytest.approx(0.85)
+        assert buckets.difference == pytest.approx(0.1)
+        assert buckets.as_array().sum() == pytest.approx(1.0)
+
+    def test_gain_exceeding_difference_infeasible(self):
+        with pytest.raises(SimulationError, match="cannot exceed"):
+            ModelPairSpec(0.8, 0.95, 0.1).solve()
+
+    def test_disagree_wrong_exceeding_difference(self):
+        with pytest.raises(SimulationError):
+            ModelPairSpec(0.8, 0.8, 0.1, disagree_wrong=0.2).solve()
+
+    def test_perfect_models_zero_difference(self):
+        buckets = ModelPairSpec(1.0, 1.0, 0.0).solve()
+        assert buckets.agree_correct == pytest.approx(1.0)
+
+    def test_negative_bucket_detected(self):
+        # old accuracy too low to supply old-only-correct mass.
+        with pytest.raises(SimulationError, match="infeasible"):
+            ModelPairSpec(0.05, 0.0, 0.5).solve()
+
+    @given(
+        o=st.floats(min_value=0.3, max_value=0.95),
+        gain=st.floats(min_value=-0.05, max_value=0.05),
+        d=st.floats(min_value=0.06, max_value=0.3),
+    )
+    @settings(max_examples=60)
+    def test_feasible_region_always_solves(self, o, gain, d):
+        from hypothesis import assume
+
+        n = min(1.0, o + gain)
+        gain = n - o
+        # Feasibility with disagree_wrong=0 needs enough wrong mass on both
+        # sides: q_nm <= 1 - o and q_om <= 1 - n, i.e. d <= 2(1 - max) - |gain|.
+        assume(d <= 2 * (1 - max(o, n)) - abs(gain) - 1e-6)
+        buckets = ModelPairSpec(o, n, d).solve()
+        assert buckets.as_array().min() >= -1e-12
+
+
+class TestMaterialization:
+    def test_exact_mode_hits_targets(self):
+        spec = ModelPairSpec(0.82, 0.85, 0.08, disagree_wrong=0.02)
+        pair = simulate_model_pair(spec, n_examples=5000, exact=True, seed=0)
+        old_acc = np.mean(pair.old_model.predictions == pair.labels)
+        new_acc = np.mean(pair.new_model.predictions == pair.labels)
+        diff = np.mean(pair.old_model.predictions != pair.new_model.predictions)
+        assert old_acc == pytest.approx(0.82, abs=2e-4)
+        assert new_acc == pytest.approx(0.85, abs=2e-4)
+        assert diff == pytest.approx(0.08, abs=2e-4)
+
+    def test_iid_mode_close_to_targets(self):
+        spec = ModelPairSpec(0.82, 0.85, 0.08, disagree_wrong=0.02)
+        pair = simulate_model_pair(spec, n_examples=50_000, exact=False, seed=1)
+        assert np.mean(pair.old_model.predictions == pair.labels) == pytest.approx(
+            0.82, abs=0.01
+        )
+
+    def test_disagree_wrong_needs_three_classes(self):
+        spec = ModelPairSpec(0.6, 0.6, 0.2, disagree_wrong=0.1)
+        with pytest.raises(SimulationError, match="3 classes"):
+            simulate_model_pair(spec, n_examples=1000, n_classes=2, seed=0)
+
+    def test_binary_world_works_without_disagree_wrong(self):
+        spec = ModelPairSpec(0.7, 0.75, 0.1)
+        pair = simulate_model_pair(spec, n_examples=2000, n_classes=2, seed=0)
+        assert set(np.unique(pair.labels)) <= {0, 1}
+
+    def test_deterministic_given_seed(self):
+        spec = ModelPairSpec(0.8, 0.82, 0.05)
+        a = simulate_model_pair(spec, 1000, seed=7)
+        b = simulate_model_pair(spec, 1000, seed=7)
+        np.testing.assert_array_equal(
+            a.new_model.predictions, b.new_model.predictions
+        )
+
+    def test_disagreement_structure(self):
+        # Disagreeing predictions really differ; agreeing ones really match.
+        spec = ModelPairSpec(0.8, 0.83, 0.1, disagree_wrong=0.03)
+        pair = simulate_model_pair(spec, 5000, seed=3)
+        old, new = pair.old_model.predictions, pair.new_model.predictions
+        disagree = old != new
+        assert disagree.mean() == pytest.approx(0.1, abs=2e-4)
+        # On disagree-wrong examples, neither matches the label.
+        both_wrong = disagree & (old != pair.labels) & (new != pair.labels)
+        assert both_wrong.mean() == pytest.approx(0.03, abs=2e-3)
+
+
+class TestAccuracyModel:
+    def test_exact_accuracy(self):
+        model, labels = simulate_accuracy_model(0.98, 5000, exact=True, seed=0)
+        assert np.mean(model.predictions == labels) == pytest.approx(0.98, abs=1e-4)
+
+    def test_iid_accuracy(self):
+        model, labels = simulate_accuracy_model(0.9, 100_000, seed=1)
+        assert np.mean(model.predictions == labels) == pytest.approx(0.9, abs=0.01)
+
+    def test_wrong_predictions_differ_from_labels(self):
+        model, labels = simulate_accuracy_model(0.5, 1000, seed=2)
+        wrong = model.predictions != labels
+        assert wrong.any()
+
+
+class TestEvolvePredictions:
+    @pytest.fixture
+    def world(self):
+        return simulate_model_pair(
+            ModelPairSpec(0.85, 0.85, 0.0), n_examples=10_000, seed=0
+        )
+
+    def test_hits_accuracy_and_difference(self, world):
+        new = evolve_predictions(
+            world.old_model.predictions,
+            world.labels,
+            target_accuracy=0.88,
+            difference=0.07,
+            seed=1,
+        )
+        assert np.mean(new == world.labels) == pytest.approx(0.88, abs=2e-4)
+        assert np.mean(new != world.old_model.predictions) == pytest.approx(
+            0.07, abs=2e-4
+        )
+
+    def test_regression_supported(self, world):
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.80, difference=0.08, seed=2,
+        )
+        assert np.mean(new == world.labels) == pytest.approx(0.80, abs=2e-4)
+
+    def test_move_exceeding_budget_rejected(self, world):
+        with pytest.raises(SimulationError, match="exceeds"):
+            evolve_predictions(
+                world.old_model.predictions, world.labels,
+                target_accuracy=0.95, difference=0.05, seed=3,
+            )
+
+    def test_infeasible_churn_rejected(self, world):
+        # 50% churn from 85% accuracy cannot keep accuracy at 85%.
+        with pytest.raises(SimulationError, match="infeasible"):
+            evolve_predictions(
+                world.old_model.predictions, world.labels,
+                target_accuracy=0.85, difference=0.5, seed=4,
+            )
+
+    def test_binary_world_evolution(self):
+        world = simulate_model_pair(
+            ModelPairSpec(0.8, 0.8, 0.0), n_examples=5000, n_classes=2, seed=5
+        )
+        new = evolve_predictions(
+            world.old_model.predictions, world.labels,
+            target_accuracy=0.84, difference=0.06, n_classes=2, seed=6,
+        )
+        assert np.mean(new == world.labels) == pytest.approx(0.84, abs=1e-3)

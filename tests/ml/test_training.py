@@ -1,0 +1,55 @@
+"""Tests for the incremental-training helper."""
+
+import numpy as np
+import pytest
+
+from repro.ml.datasets.synthetic import make_blobs_classification
+from repro.ml.metrics import accuracy
+from repro.ml.training import train_incremental_history
+
+
+@pytest.fixture(scope="module")
+def history_and_data():
+    X, y = make_blobs_classification(
+        3000, n_classes=3, n_features=10, separation=2.0, noise=1.2, seed=0
+    )
+    history = train_incremental_history(
+        X[:2000], y[:2000],
+        n_classes=3,
+        train_sizes=(100, 500, 2000),
+        n_epochs=80,
+        seed=0,
+    )
+    return history, X[2000:], y[2000:]
+
+
+class TestIncrementalHistory:
+    def test_one_iteration_per_size(self, history_and_data):
+        history, _, _ = history_and_data
+        assert [it.index for it in history] == [1, 2, 3]
+        assert [it.train_size for it in history] == [100, 500, 2000]
+
+    def test_more_data_generally_helps(self, history_and_data):
+        history, test_x, test_y = history_and_data
+        accs = [accuracy(it.model.predict(test_x), test_y) for it in history]
+        assert accs[-1] > accs[0]
+
+    def test_train_accuracy_recorded(self, history_and_data):
+        history, _, _ = history_and_data
+        for it in history:
+            assert 0.0 <= it.train_accuracy <= 1.0
+
+    def test_sizes_clamped_to_data(self):
+        X, y = make_blobs_classification(200, n_classes=2, seed=1)
+        history = train_incremental_history(
+            X, y, n_classes=2, train_sizes=(500,), n_epochs=10
+        )
+        assert history[0].train_size == 200
+
+    def test_consecutive_models_highly_correlated(self, history_and_data):
+        """The Pattern 2 regime: successive iterations agree on most
+        predictions even as accuracy improves."""
+        history, test_x, _ = history_and_data
+        a = history[1].model.predict(test_x)
+        b = history[2].model.predict(test_x)
+        assert np.mean(a != b) < 0.35

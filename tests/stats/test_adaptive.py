@@ -1,0 +1,94 @@
+"""Tests for the Ladder mechanism and the adaptive attacker."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.stats.adaptive import AdaptiveAttacker, Ladder, ThresholdAttacker
+
+
+class TestLadder:
+    def test_first_submission_sets_best(self):
+        ladder = Ladder(step_size=0.01)
+        assert ladder.submit(0.5) == pytest.approx(0.5)
+
+    def test_small_improvement_not_released(self):
+        ladder = Ladder(step_size=0.01)
+        ladder.submit(0.5)
+        assert ladder.submit(0.505) == pytest.approx(0.5)
+
+    def test_large_improvement_released_rounded(self):
+        ladder = Ladder(step_size=0.01)
+        ladder.submit(0.5)
+        assert ladder.submit(0.523) == pytest.approx(0.52)
+
+    def test_history_records_every_submission(self):
+        ladder = Ladder(step_size=0.05)
+        for score in (0.4, 0.41, 0.5):
+            ladder.submit(score)
+        assert len(ladder.history) == 3
+
+    def test_best_monotone(self):
+        ladder = Ladder(step_size=0.02)
+        rng = np.random.default_rng(0)
+        history = [ladder.submit(s) for s in rng.random(50)]
+        assert all(b >= a for a, b in zip(history, history[1:]))
+
+
+class TestThresholdAttacker:
+    def test_initial_accuracy_near_base(self):
+        attacker = ThresholdAttacker(n_testset=20_000, base_accuracy=0.5, seed=0)
+        assert attacker.empirical_accuracy == pytest.approx(0.5, abs=0.02)
+
+    def test_invalid_base_accuracy(self):
+        with pytest.raises(SimulationError):
+            ThresholdAttacker(n_testset=100, base_accuracy=1.0)
+
+    def test_proposal_size(self):
+        attacker = ThresholdAttacker(
+            n_testset=1000, block_fraction=0.05, seed=0
+        )
+        indices, candidate = attacker.propose()
+        assert len(indices) == 50 and len(candidate) == 50
+
+    def test_rejected_proposal_leaves_state(self):
+        attacker = ThresholdAttacker(n_testset=1000, seed=0)
+        before = attacker.correct.copy()
+        indices, candidate = attacker.propose()
+        attacker.apply(indices, candidate, accept=False)
+        np.testing.assert_array_equal(attacker.correct, before)
+
+
+class TestAdaptiveAttack:
+    def test_attack_overfits_small_testset(self):
+        attacker = ThresholdAttacker(n_testset=500, base_accuracy=0.5, seed=1)
+        trace = AdaptiveAttacker(attacker).run(100)
+        # True accuracy never moves; empirical ratchets upward.
+        assert trace.true_scores[-1] == 0.5
+        assert trace.final_overfit_gap > 0.05
+
+    def test_empirical_ratchet_is_monotone(self):
+        attacker = ThresholdAttacker(n_testset=500, base_accuracy=0.5, seed=2)
+        trace = AdaptiveAttacker(attacker).run(50)
+        scores = trace.empirical_scores
+        assert all(b >= a - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_bigger_testset_resists_better(self):
+        small_gap = AdaptiveAttacker(
+            ThresholdAttacker(n_testset=400, seed=3)
+        ).run(64).final_overfit_gap
+        large_gap = AdaptiveAttacker(
+            ThresholdAttacker(n_testset=40_000, seed=3)
+        ).run(64).final_overfit_gap
+        assert large_gap < small_gap
+
+    def test_trace_counts_queries(self):
+        attacker = ThresholdAttacker(n_testset=200, seed=0)
+        trace = AdaptiveAttacker(attacker).run(17)
+        assert trace.queries == 17
+        assert len(trace.empirical_scores) == 17
+
+    def test_max_gap_at_least_final_gap(self):
+        attacker = ThresholdAttacker(n_testset=300, seed=5)
+        trace = AdaptiveAttacker(attacker).run(40)
+        assert trace.max_overfit_gap >= trace.final_overfit_gap - 1e-12

@@ -1,0 +1,149 @@
+"""Tests for the from-scratch binomial machinery (cross-checked vs scipy)."""
+
+import math
+
+import pytest
+import scipy.stats as st_scipy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.binomial import (
+    binom_cdf,
+    binom_logpmf,
+    binom_pmf,
+    binom_sf,
+    binomial_tail_inversion_lower,
+    binomial_tail_inversion_upper,
+    clopper_pearson_interval,
+)
+
+
+class TestPmf:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_matches_scipy(self, n, p, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        ours = binom_pmf(k, n, p)
+        theirs = float(st_scipy.binom.pmf(k, n, p))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-300)
+
+    def test_degenerate_p_zero(self):
+        assert binom_pmf(0, 10, 0.0) == 1.0
+        assert binom_pmf(1, 10, 0.0) == 0.0
+
+    def test_degenerate_p_one(self):
+        assert binom_pmf(10, 10, 1.0) == 1.0
+        assert binom_pmf(9, 10, 1.0) == 0.0
+
+    def test_logpmf_impossible_is_neg_inf(self):
+        assert binom_logpmf(3, 10, 0.0) == -math.inf
+
+    def test_k_out_of_range_raises(self):
+        with pytest.raises(InvalidParameterError):
+            binom_pmf(11, 10, 0.5)
+
+    def test_negative_k_raises(self):
+        with pytest.raises(InvalidParameterError):
+            binom_pmf(-1, 10, 0.5)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(binom_pmf(k, 40, 0.37) for k in range(41))
+        assert total == pytest.approx(1.0, rel=1e-12)
+
+
+class TestCdfSf:
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_cdf_matches_scipy(self, n, p, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        assert binom_cdf(k, n, p) == pytest.approx(
+            float(st_scipy.binom.cdf(k, n, p)), rel=1e-9, abs=1e-12
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_cdf_plus_sf_is_one(self, n, p, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        assert binom_cdf(k, n, p) + binom_sf(k, n, p) == pytest.approx(1.0, abs=1e-10)
+
+    def test_cdf_full_support(self):
+        assert binom_cdf(10, 10, 0.3) == 1.0
+
+    def test_sf_at_n(self):
+        assert binom_sf(10, 10, 0.3) == 0.0
+
+    def test_large_n_stability(self):
+        # 100k trials: stays finite, monotone, matches scipy closely.
+        ours = binom_cdf(49_800, 100_000, 0.5)
+        theirs = float(st_scipy.binom.cdf(49_800, 100_000, 0.5))
+        assert ours == pytest.approx(theirs, rel=1e-6)
+
+
+class TestTailInversion:
+    def test_upper_bound_covers_k_over_n(self):
+        upper = binomial_tail_inversion_upper(80, 100, 0.05)
+        assert upper > 0.8
+
+    def test_lower_bound_below_k_over_n(self):
+        lower = binomial_tail_inversion_lower(80, 100, 0.05)
+        assert lower < 0.8
+
+    def test_upper_at_k_equals_n(self):
+        assert binomial_tail_inversion_upper(100, 100, 0.05) == 1.0
+
+    def test_lower_at_k_zero(self):
+        assert binomial_tail_inversion_lower(0, 100, 0.05) == 0.0
+
+    def test_upper_bound_definition(self):
+        # cdf(k; n, upper) ~= delta at the returned bound.
+        k, n, delta = 42, 200, 0.01
+        upper = binomial_tail_inversion_upper(k, n, delta)
+        assert binom_cdf(k, n, upper) == pytest.approx(delta, rel=1e-5)
+
+    def test_lower_bound_definition(self):
+        k, n, delta = 42, 200, 0.01
+        lower = binomial_tail_inversion_lower(k, n, delta)
+        assert binom_sf(k - 1, n, lower) == pytest.approx(delta, rel=1e-5)
+
+    def test_tighter_delta_widens_bounds(self):
+        loose = binomial_tail_inversion_upper(50, 100, 0.1)
+        tight = binomial_tail_inversion_upper(50, 100, 0.001)
+        assert tight > loose
+
+
+class TestClopperPearson:
+    def test_matches_scipy_interval(self):
+        lower, upper = clopper_pearson_interval(98, 100, 0.05)
+        theirs = st_scipy.binomtest(98, 100).proportion_ci(0.95, method="exact")
+        assert lower == pytest.approx(theirs.low, abs=1e-9)
+        assert upper == pytest.approx(theirs.high, abs=1e-9)
+
+    def test_contains_mle(self):
+        lower, upper = clopper_pearson_interval(30, 100, 0.05)
+        assert lower < 0.3 < upper
+
+    def test_extreme_counts(self):
+        lo0, hi0 = clopper_pearson_interval(0, 50, 0.05)
+        assert lo0 == 0.0 and hi0 > 0.0
+        lo1, hi1 = clopper_pearson_interval(50, 50, 0.05)
+        assert hi1 == 1.0 and lo1 < 1.0
+
+    @given(st.integers(min_value=1, max_value=200), st.data())
+    @settings(max_examples=40)
+    def test_interval_ordering(self, n, data):
+        k = data.draw(st.integers(min_value=0, max_value=n))
+        lower, upper = clopper_pearson_interval(k, n, 0.1)
+        assert 0.0 <= lower <= k / n <= upper <= 1.0

@@ -1,0 +1,105 @@
+"""Tests for repro.stats.estimation (variable estimators, PairedSample)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.estimation import (
+    PairedSample,
+    estimate_accuracy,
+    estimate_accuracy_gain,
+    estimate_difference,
+)
+
+
+@pytest.fixture
+def sample() -> PairedSample:
+    labels = np.array([0, 1, 2, 0, 1, 2, 0, 1])
+    old = np.array([0, 1, 2, 0, 0, 0, 0, 1])  # 6 correct
+    new = np.array([0, 1, 2, 0, 1, 0, 1, 1])  # 6 correct, differs on 2
+    return PairedSample(old_predictions=old, new_predictions=new, labels=labels)
+
+
+class TestFunctions:
+    def test_accuracy(self):
+        assert estimate_accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_difference_no_labels_needed(self):
+        assert estimate_difference(np.array([1, 1]), np.array([1, 2])) == 0.5
+
+    def test_gain_matches_accuracy_difference(self, rng):
+        labels = rng.integers(0, 3, 500)
+        old = rng.integers(0, 3, 500)
+        new = rng.integers(0, 3, 500)
+        gain = estimate_accuracy_gain(old, new, labels)
+        assert gain == pytest.approx(
+            estimate_accuracy(new, labels) - estimate_accuracy(old, labels)
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError, match="mismatch"):
+            estimate_accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            estimate_accuracy(np.array([]), np.array([]))
+
+
+class TestPairedSample:
+    def test_basic_stats(self, sample):
+        assert sample.old_accuracy == pytest.approx(6 / 8)
+        assert sample.new_accuracy == pytest.approx(6 / 8)
+        assert sample.difference == pytest.approx(2 / 8)
+        assert sample.accuracy_gain == pytest.approx(0.0)
+
+    def test_len(self, sample):
+        assert len(sample) == 8
+
+    def test_disagreement_mask(self, sample):
+        np.testing.assert_array_equal(
+            sample.disagreement_indices(), np.array([4, 6])
+        )
+
+    def test_unlabeled_difference_ok(self):
+        s = PairedSample(
+            old_predictions=np.array([0, 1]), new_predictions=np.array([1, 1])
+        )
+        assert s.difference == 0.5
+        assert not s.has_labels
+
+    def test_unlabeled_accuracy_raises(self):
+        s = PairedSample(
+            old_predictions=np.array([0, 1]), new_predictions=np.array([1, 1])
+        )
+        with pytest.raises(InvalidParameterError, match="unlabeled"):
+            _ = s.new_accuracy
+
+    def test_with_labels(self):
+        s = PairedSample(
+            old_predictions=np.array([0, 1]), new_predictions=np.array([1, 1])
+        ).with_labels(np.array([1, 1]))
+        assert s.new_accuracy == 1.0
+
+    def test_subsample(self, sample):
+        sub = sample.subsample(np.array([0, 4]))
+        assert len(sub) == 2
+        assert sub.difference == 0.5
+
+    def test_gain_only_from_disagreements(self, sample):
+        # Zeroing out agreement labels cannot change the paired gain.
+        disagree = sample.disagreement_mask
+        labels2 = sample.labels.copy()
+        labels2[~disagree] = 99  # nonsense labels on agreements
+        s2 = PairedSample(
+            old_predictions=sample.old_predictions,
+            new_predictions=sample.new_predictions,
+            labels=labels2,
+        )
+        assert s2.accuracy_gain == pytest.approx(sample.accuracy_gain)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(InvalidParameterError):
+            PairedSample(
+                old_predictions=np.array([1, 2]),
+                new_predictions=np.array([1]),
+            )

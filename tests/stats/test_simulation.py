@@ -1,0 +1,83 @@
+"""Tests for the Monte-Carlo coverage harness."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.stats.inequalities import BennettInequality, HoeffdingInequality
+from repro.stats.simulation import coverage_experiment, paired_coverage_experiment
+
+
+class TestCoverageExperiment:
+    def test_hoeffding_bound_is_valid(self):
+        ineq = HoeffdingInequality(two_sided=True)
+        n, delta = 2000, 0.01
+        report = coverage_experiment(
+            true_accuracy=0.9,
+            n_samples=n,
+            predicted_epsilon=ineq.epsilon(n, delta),
+            delta=delta,
+            n_replicates=20_000,
+            seed=0,
+        )
+        assert report.bound_is_valid
+        assert report.observed_failure_rate <= delta
+
+    def test_report_fields_consistent(self):
+        report = coverage_experiment(0.8, 500, 0.05, 0.01, 1000, seed=1)
+        assert report.n_samples == 500
+        assert report.n_replicates == 1000
+        assert report.mean_abs_error <= report.empirical_quantile_error
+
+    def test_slack_factor_above_one_for_valid_bound(self):
+        ineq = HoeffdingInequality(two_sided=True)
+        report = coverage_experiment(
+            0.9, 1000, ineq.epsilon(1000, 0.01), 0.01, 5000, seed=2
+        )
+        assert report.slack_factor >= 1.0
+
+    def test_tiny_epsilon_fails_coverage(self):
+        report = coverage_experiment(0.5, 100, 1e-4, 0.01, 2000, seed=3)
+        assert not report.bound_is_valid
+        assert report.observed_failure_rate > 0.5
+
+    def test_deterministic_given_seed(self):
+        a = coverage_experiment(0.7, 200, 0.05, 0.05, 500, seed=4)
+        b = coverage_experiment(0.7, 200, 0.05, 0.05, 500, seed=4)
+        assert a == b
+
+
+class TestPairedCoverage:
+    def test_bennett_bound_is_valid_in_its_regime(self):
+        p, delta = 0.1, 0.01
+        bennett = BennettInequality(variance_bound=p, two_sided=True)
+        n = int(bennett.sample_size(0.02, delta)) + 1
+        report = paired_coverage_experiment(
+            true_gain=0.01,
+            disagreement_rate=p,
+            n_samples=n,
+            predicted_epsilon=0.02,
+            delta=delta,
+            n_replicates=20_000,
+            seed=5,
+        )
+        assert report.bound_is_valid
+        assert report.observed_failure_rate <= delta
+
+    def test_gain_exceeding_disagreement_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            paired_coverage_experiment(0.2, 0.1, 100, 0.01, 0.01, 100)
+
+    def test_low_variance_concentrates_harder(self):
+        common = dict(
+            true_gain=0.0, n_samples=2000, predicted_epsilon=0.02,
+            delta=0.01, n_replicates=10_000, seed=6,
+        )
+        low = paired_coverage_experiment(disagreement_rate=0.05, **common)
+        high = paired_coverage_experiment(disagreement_rate=0.5, **common)
+        assert low.empirical_quantile_error < high.empirical_quantile_error
+
+    def test_zero_disagreement_zero_error(self):
+        report = paired_coverage_experiment(
+            0.0, 0.0, 100, 0.01, 0.01, 500, seed=7
+        )
+        assert report.empirical_quantile_error == 0.0

@@ -1,0 +1,120 @@
+"""Tests for stratified accuracy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.stratified import (
+    StratumSpec,
+    plan_stratified,
+    stratified_estimate,
+)
+from repro.utils.rng import ensure_rng
+
+SKEWED = [StratumSpec("common", 0.9), StratumSpec("rare", 0.1)]
+BALANCED = [StratumSpec("a", 0.5), StratumSpec("b", 0.5)]
+
+
+class TestPlanning:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(InvalidParameterError, match="sum to 1"):
+            plan_stratified([StratumSpec("a", 0.5)], 100, 0.01)
+
+    def test_budget_fully_allocated(self):
+        plan = plan_stratified(SKEWED, 1000, 0.01)
+        assert plan.total_samples == 1000
+
+    def test_optimized_oversamples_rare_strata(self):
+        optimized = plan_stratified(SKEWED, 10_000, 0.01, allocation="optimized")
+        proportional = plan_stratified(SKEWED, 10_000, 0.01, allocation="proportional")
+        # rare stratum (index 1) gets more than its proportional share.
+        assert optimized.samples[1] > proportional.samples[1]
+
+    def test_optimized_combined_tolerance_never_worse(self):
+        for strata in (SKEWED, BALANCED, [StratumSpec("x", 0.98), StratumSpec("y", 0.02)]):
+            optimized = plan_stratified(strata, 5000, 0.01, allocation="optimized")
+            proportional = plan_stratified(strata, 5000, 0.01, allocation="proportional")
+            assert optimized.combined_tolerance <= proportional.combined_tolerance + 1e-12
+
+    def test_balanced_allocations_agree(self):
+        optimized = plan_stratified(BALANCED, 1000, 0.01, allocation="optimized")
+        proportional = plan_stratified(BALANCED, 1000, 0.01, allocation="proportional")
+        assert optimized.samples == proportional.samples
+
+    def test_invalid_allocation_name(self):
+        with pytest.raises(InvalidParameterError):
+            plan_stratified(BALANCED, 100, 0.01, allocation="magic")
+
+
+class TestEstimation:
+    def test_weighted_combination(self):
+        plan = plan_stratified(SKEWED, 2000, 0.01)
+        samples = [
+            np.ones(plan.samples[0]),            # common stratum: 100% correct
+            np.zeros(plan.samples[1]),           # rare stratum: 0% correct
+        ]
+        estimate, interval = stratified_estimate(plan, samples)
+        assert estimate == pytest.approx(0.9)
+        assert interval.contains(0.9)
+        assert interval.width == pytest.approx(2 * plan.combined_tolerance)
+
+    def test_undersized_stratum_rejected(self):
+        plan = plan_stratified(SKEWED, 2000, 0.01)
+        with pytest.raises(InvalidParameterError, match="rare"):
+            stratified_estimate(plan, [np.ones(plan.samples[0]), np.ones(1)])
+
+    def test_wrong_stratum_count(self):
+        plan = plan_stratified(SKEWED, 2000, 0.01)
+        with pytest.raises(InvalidParameterError, match="expected 2"):
+            stratified_estimate(plan, [np.ones(plan.samples[0])])
+
+    def test_coverage_monte_carlo(self):
+        """The combined interval covers the true weighted accuracy."""
+        plan = plan_stratified(SKEWED, 3000, 0.05)
+        true = {"common": 0.92, "rare": 0.55}
+        true_weighted = 0.9 * 0.92 + 0.1 * 0.55
+        rng = ensure_rng(0)
+        misses = 0
+        trials = 400
+        for _ in range(trials):
+            samples = [
+                rng.random(n) < true[spec.name]
+                for spec, n in zip(plan.strata, plan.samples)
+            ]
+            _, interval = stratified_estimate(plan, samples)
+            misses += not interval.contains(true_weighted)
+        assert misses / trials <= 0.05 + 0.03  # delta plus MC slack
+
+
+class TestTargetWeights:
+    def test_macro_target_big_win_on_skew(self):
+        """Macro-averaged targets over skewed populations are where
+        stratification matters (the paper's F1 remark)."""
+        strata = [StratumSpec("common", 0.99), StratumSpec("rare", 0.01)]
+        macro = (0.5, 0.5)
+        proportional = plan_stratified(
+            strata, 10_000, 0.01, allocation="proportional", target_weights=macro
+        )
+        optimized = plan_stratified(
+            strata, 10_000, 0.01, allocation="optimized", target_weights=macro
+        )
+        assert (
+            proportional.combined_tolerance / optimized.combined_tolerance > 3.0
+        )
+
+    def test_target_weights_validated(self):
+        with pytest.raises(InvalidParameterError, match="target_weights"):
+            plan_stratified(
+                SKEWED, 100, 0.01, target_weights=(0.5, 0.2, 0.3)
+            )
+        with pytest.raises(InvalidParameterError, match="sum to 1"):
+            plan_stratified(SKEWED, 100, 0.01, target_weights=(0.9, 0.2))
+
+    def test_estimate_uses_target_weights(self):
+        strata = [StratumSpec("common", 0.9), StratumSpec("rare", 0.1)]
+        plan = plan_stratified(
+            strata, 2000, 0.01, target_weights=(0.5, 0.5)
+        )
+        samples = [np.ones(plan.samples[0]), np.zeros(plan.samples[1])]
+        estimate, _ = stratified_estimate(plan, samples)
+        assert estimate == pytest.approx(0.5)

@@ -1,0 +1,95 @@
+"""Tests for the §4.3 exact-binomial sample-size machinery."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.tight_bounds import (
+    exact_coverage_failure_probability,
+    tight_epsilon,
+    tight_sample_size,
+    worst_case_failure_probability,
+)
+
+
+class TestExactCoverage:
+    def test_zero_when_tolerance_covers_everything(self):
+        assert exact_coverage_failure_probability(10, 0.5, 1.0) == 0.0
+
+    def test_symmetric_at_half(self):
+        a = exact_coverage_failure_probability(100, 0.5, 0.07)
+        assert 0.0 < a < 1.0
+
+    def test_monotone_in_epsilon(self):
+        wide = exact_coverage_failure_probability(200, 0.3, 0.1)
+        narrow = exact_coverage_failure_probability(200, 0.3, 0.02)
+        assert narrow > wide
+
+    def test_monotone_in_n(self):
+        small = exact_coverage_failure_probability(50, 0.4, 0.05)
+        large = exact_coverage_failure_probability(5000, 0.4, 0.05)
+        assert large < small
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(InvalidParameterError):
+            exact_coverage_failure_probability(10, 1.5, 0.1)
+
+    def test_matches_direct_enumeration(self):
+        # Brute-force check on a tiny case.
+        import scipy.stats as st
+
+        n, p, eps = 30, 0.37, 0.1
+        direct = sum(
+            st.binom.pmf(k, n, p)
+            for k in range(n + 1)
+            if abs(k / n - p) > eps
+        )
+        ours = exact_coverage_failure_probability(n, p, eps)
+        assert ours == pytest.approx(float(direct), abs=1e-10)
+
+
+class TestWorstCase:
+    def test_worst_case_at_least_midpoint(self):
+        mid = exact_coverage_failure_probability(150, 0.5, 0.05)
+        worst = worst_case_failure_probability(150, 0.05)
+        assert worst >= mid - 1e-12
+
+    def test_bounded_by_one(self):
+        assert worst_case_failure_probability(5, 0.01) <= 1.0
+
+
+class TestTightSampleSize:
+    def test_never_exceeds_two_sided_hoeffding(self):
+        for eps, delta in [(0.1, 0.01), (0.05, 0.001), (0.05, 0.05)]:
+            hoeffding = math.ceil(math.log(2 / delta) / (2 * eps * eps))
+            assert tight_sample_size(eps, delta) <= hoeffding
+
+    def test_actual_coverage_holds(self):
+        eps, delta = 0.08, 0.01
+        n = tight_sample_size(eps, delta)
+        assert worst_case_failure_probability(n, eps) <= delta
+
+    def test_minimality(self):
+        eps, delta = 0.08, 0.01
+        n = tight_sample_size(eps, delta)
+        assert worst_case_failure_probability(n - 1, eps) > delta
+
+    def test_huge_epsilon_trivial(self):
+        assert tight_sample_size(1.0, 0.01) == 1
+
+    def test_known_value_regression(self):
+        # Pinned: the exact size for (0.05, 0.01) is ~37% below Hoeffding's
+        # 1060.  Guards against regressions in the search.
+        assert tight_sample_size(0.05, 0.01) == 670
+
+
+class TestTightEpsilon:
+    def test_inverse_of_sample_size(self):
+        eps, delta = 0.07, 0.01
+        n = tight_sample_size(eps, delta)
+        achieved = tight_epsilon(n, delta)
+        assert achieved <= eps + 1e-3
+
+    def test_decreasing_in_n(self):
+        assert tight_epsilon(4000, 0.01) < tight_epsilon(400, 0.01)

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlanCommand:
+    def test_basic_plan(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--condition", "n > 0.8 +/- 0.05",
+                "--reliability", "0.9999",
+                "--adaptivity", "full",
+                "--steps", "32",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6,279" in out
+
+    def test_pattern2_plan(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--condition", "n - o > 0.02 +/- 0.02",
+                "--reliability", "0.998",
+                "--steps", "7",
+                "--variance-bound", "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4,713" in out
+        assert "pattern 2" in out
+
+    def test_baseline_flag_disables_optimizations(self, capsys):
+        args = [
+            "plan",
+            "--condition", "d < 0.1 +/- 0.01 /\\ n - o > 0.02 +/- 0.01",
+            "--reliability", "0.9999",
+            "--steps", "32",
+        ]
+        main(args)
+        optimized = capsys.readouterr().out
+        main(args + ["--baseline"])
+        baseline = capsys.readouterr().out
+        assert "bennett" in optimized and "bennett" not in baseline
+
+    def test_delta_instead_of_reliability(self, capsys):
+        code = main(
+            ["plan", "--condition", "n > 0.8 +/- 0.05", "--delta", "0.0001"]
+        )
+        assert code == 0
+
+    def test_invalid_condition_exits_2(self, capsys):
+        code = main(
+            ["plan", "--condition", "n >> 0.8", "--reliability", "0.99"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_reliability_and_delta_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "plan",
+                    "--condition", "n > 0.8 +/- 0.05",
+                    "--reliability", "0.99",
+                    "--delta", "0.01",
+                ]
+            )
+
+
+class TestValidateCommand:
+    def test_valid_script(self, tmp_path, capsys):
+        path = tmp_path / ".travis.yml"
+        path.write_text(
+            "ml:\n"
+            "  - condition  : n - o > 0.02 +/- 0.02\n"
+            "  - reliability: 0.998\n"
+            "  - mode       : fp-free\n"
+            "  - adaptivity : full\n"
+            "  - steps      : 7\n"
+        )
+        code = main(["validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "script is valid" in out
+
+    def test_invalid_script_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.yml"
+        path.write_text("ml:\n  - condition: n >> 0.5\n")
+        code = main(["validate", str(path)])
+        assert code == 2
+
+    def test_missing_file_exits_2(self, capsys):
+        code = main(["validate", "/nonexistent/file.yml"])
+        assert code == 2
+
+
+class TestFigure2Command:
+    def test_prints_table(self, capsys):
+        code = main(["figure2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "404" in out and "156,956*" in out

@@ -1,0 +1,84 @@
+"""Tests for repro.utils.formatting."""
+
+import pytest
+
+from repro.utils.formatting import (
+    Table,
+    format_count,
+    format_float,
+    format_scientific,
+    render_series,
+)
+
+
+class TestFormatters:
+    def test_format_count_thousands(self):
+        assert format_count(63381) == "63,381"
+
+    def test_format_count_truncates_float(self):
+        assert format_count(404.9) == "404"
+
+    def test_format_float_digits(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_format_scientific(self):
+        assert format_scientific(0.0001) == "1.00e-04"
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2])
+        out = t.render()
+        assert "a" in out and "1" in out and "|" in out
+
+    def test_right_alignment(self):
+        t = Table(["col"], align=[">"])
+        t.add_row([1])
+        t.add_row([1000])
+        lines = t.render().splitlines()
+        assert lines[-2].endswith("   1")
+        assert lines[-1].endswith("1000")
+
+    def test_title_renders_above(self):
+        t = Table(["x"], title="My Table")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row([1])
+
+    def test_align_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            Table(["a", "b"], align=[">"])
+
+    def test_invalid_align_char_raises(self):
+        with pytest.raises(ValueError, match="alignment"):
+            Table(["a"], align=["x"])
+
+    def test_add_rows_bulk(self):
+        t = Table(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_empty_table_renders_header_only(self):
+        t = Table(["only"])
+        out = t.render()
+        assert "only" in out
+        assert len(out.splitlines()) == 2  # header + rule
+
+
+class TestRenderSeries:
+    def test_series_alignment(self):
+        out = render_series("title", [1, 2], {"y": [10, 20]}, x_label="x")
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert "x" in lines[2] and "y" in lines[2]
+        assert "10" in out and "20" in out

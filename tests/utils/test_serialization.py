@@ -1,0 +1,60 @@
+"""Tests for repro.utils.serialization."""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dumps, loads, to_jsonable
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclass
+class Point:
+    x: float
+    arr: np.ndarray
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(v) == v
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_ndarray_to_list(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_enum_by_value(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_dataclass_with_numpy_field(self):
+        out = to_jsonable(Point(x=1.0, arr=np.array([3.0])))
+        assert out == {"x": 1.0, "arr": [3.0]}
+
+    def test_nested_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_set_sorted(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        original = {"a": [1, 2], "b": {"c": 0.5}}
+        assert loads(dumps(original)) == original
+
+    def test_dumps_dataclass(self):
+        text = dumps(Point(x=2.0, arr=np.arange(2)))
+        assert loads(text) == {"arr": [0, 1], "x": 2.0}

@@ -1,0 +1,122 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckProbability:
+    def test_interior_value_passes(self):
+        assert check_probability(0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_open_interval_rejects_boundary(self, bad):
+        with pytest.raises(InvalidParameterError):
+            check_probability(bad)
+
+    @pytest.mark.parametrize("ok", [0.0, 1.0, 0.3])
+    def test_inclusive_accepts_boundary(self, ok):
+        assert check_probability(ok, inclusive=True) == ok
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError, match="finite"):
+            check_probability(math.nan)
+
+    def test_inf_rejected(self):
+        with pytest.raises(InvalidParameterError, match="finite"):
+            check_probability(math.inf, inclusive=True)
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_probability(True)
+
+    def test_name_appears_in_message(self):
+        with pytest.raises(InvalidParameterError, match="myparam"):
+            check_probability(2.0, "myparam")
+
+
+class TestCheckFraction:
+    def test_boundaries_allowed(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_outside_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_fraction(1.5, "f")
+
+
+class TestCheckPositive:
+    def test_positive_passes(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            check_positive(bad, "x")
+
+    def test_string_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive("3", "x")  # strings are not numbers here
+
+
+class TestCheckPositiveInt:
+    def test_int_passes(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_numpy_integer_coerced(self):
+        out = check_positive_int(np.int32(5), "n")
+        assert out == 5 and isinstance(out, int)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(bad, "n")
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(True, "n")
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(2.0, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_default(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range(0.0, "x", 0.0, 1.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range(1.0, "x", 0.0, 1.0, high_inclusive=False)
+
+    def test_bracket_rendering(self):
+        with pytest.raises(InvalidParameterError, match=r"\(0, 1\]"):
+            check_in_range(0.0, "x", 0, 1, low_inclusive=False)
+
+
+class TestCheckType:
+    def test_match_passes(self):
+        assert check_type("s", "x", str) == "s"
+
+    def test_tuple_of_types(self):
+        assert check_type(3, "x", (int, float)) == 3
+
+    def test_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError, match="of type int"):
+            check_type("s", "x", int)

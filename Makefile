@@ -1,0 +1,24 @@
+# One-command entry points for the pipeline.
+#
+#   make verify        - tier-1 test run (what CI gates on)
+#   make verify-fast   - tier-1 without the slow end-to-end examples
+#   make bench-perf    - scalar-vs-batch perf kernels benchmark
+#                        (writes BENCH_perf_kernels.json)
+#   make bench         - full pytest-benchmark suite over the paper artifacts
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: verify verify-fast bench bench-perf
+
+verify:
+	$(PYTHON) -m pytest -x -q
+
+verify-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+bench-perf:
+	$(PYTHON) benchmarks/bench_perf_kernels.py
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks -s

@@ -11,6 +11,14 @@ a :class:`~repro.ci.repository.ModelRepository`, and for every commit:
 
 The integration team interacts with the service to install fresh testsets
 when alarms fire; the development team only sees commit statuses.
+
+Planning cost under commit traffic: constructing a service (or rebuilding
+one per repository/webhook worker) triggers a :class:`SampleSizePlan`
+computation in the engine.  Plans are served from the process-wide plan
+cache (:mod:`repro.stats.cache`), so every service after the first that
+watches the same condition/reliability spec gets its plan in microseconds;
+:meth:`CIService.planning_cache_info` exposes the hit statistics for
+operational dashboards.
 """
 
 from __future__ import annotations
@@ -107,6 +115,18 @@ class CIService:
     def active_model(self) -> Any:
         """The currently deployed model (last truly passing commit)."""
         return self.engine.active_model
+
+    @property
+    def plan(self):
+        """The engine's :class:`~repro.core.estimators.plans.SampleSizePlan`."""
+        return self.engine.plan
+
+    @staticmethod
+    def planning_cache_info():
+        """Hit/miss statistics of the shared plan cache (operations view)."""
+        from repro.core.estimators.api import SampleSizeEstimator
+
+        return SampleSizeEstimator.plan_cache_info()
 
     # -- the webhook ---------------------------------------------------------------
     def _on_commit(self, commit: Commit) -> None:

@@ -41,11 +41,18 @@ from repro.core.patterns.matcher import (
     match_pattern1,
 )
 from repro.exceptions import InfeasibleConditionError, InvalidParameterError
+from repro.stats.cache import CacheInfo, LRUCache, register_cache
 from repro.stats.inequalities import BennettInequality
 from repro.stats.tight_bounds import tight_sample_size
 from repro.utils.validation import check_positive_int, check_probability
 
 __all__ = ["SampleSizeEstimator"]
+
+# Process-wide plan cache shared by every estimator instance: plans are
+# frozen dataclasses, so handing the same object to every caller is safe.
+# Keys include the normalized formula source *and* the estimator
+# configuration, so differently-configured estimators never collide.
+_PLAN_CACHE = register_cache("estimators.plan_cache", LRUCache(maxsize=512))
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,13 @@ class SampleSizeEstimator:
         Size single-variable clauses by §4.3 exact binomial inversion
         instead of Hoeffding (never larger; 10–40% smaller typically).
         Off by default because the paper's headline tables use Hoeffding.
+    use_plan_cache:
+        Serve repeated :meth:`plan` calls from a process-wide LRU cache
+        keyed on the normalized condition source, the reliability spec and
+        the estimator configuration (on by default).  A CI service
+        re-planning the same condition on every commit therefore pays the
+        planning cost once; see :meth:`plan_cache_info` /
+        :meth:`clear_plan_cache`.
 
     Examples
     --------
@@ -98,6 +112,7 @@ class SampleSizeEstimator:
         optimizations: str = "auto",
         variance_bound_policy: str = "threshold",
         use_exact_binomial: bool = False,
+        use_plan_cache: bool = True,
     ):
         if optimizations not in ("auto", "none"):
             raise InvalidParameterError(
@@ -111,6 +126,30 @@ class SampleSizeEstimator:
         self.optimizations = optimizations
         self.variance_bound_policy = variance_bound_policy
         self.use_exact_binomial = bool(use_exact_binomial)
+        self.use_plan_cache = bool(use_plan_cache)
+
+    # -- plan cache --------------------------------------------------------------
+    def _config_key(self) -> tuple:
+        return (
+            self.optimizations,
+            self.variance_bound_policy,
+            self.use_exact_binomial,
+        )
+
+    @staticmethod
+    def plan_cache_info() -> CacheInfo:
+        """Hit/miss statistics of the shared plan cache."""
+        return _PLAN_CACHE.info()
+
+    @staticmethod
+    def clear_plan_cache() -> None:
+        """Invalidate the shared plan cache (all estimator instances).
+
+        Also reachable through
+        :func:`repro.stats.cache.clear_all_caches`, which additionally
+        drops the memoized tight bounds underneath the plans.
+        """
+        _PLAN_CACHE.clear()
 
     # -- public API ----------------------------------------------------------
     def plan(
@@ -152,6 +191,22 @@ class SampleSizeEstimator:
         if known_variance_bound is not None:
             check_probability(known_variance_bound, "known_variance_bound")
 
+        # The cache key normalizes the condition through the parsed
+        # formula's canonical source, so textual variants of the same
+        # condition ("n>0.8+/-0.05" vs "n > 0.8 +/- 0.05") share an entry.
+        cache_key = (
+            formula.to_source(),
+            spec.delta,
+            spec.adaptivity,
+            spec.steps,
+            known_variance_bound,
+            self._config_key(),
+        )
+        if self.use_plan_cache:
+            cached = _PLAN_CACHE.get(cache_key)
+            if cached is not None:
+                return cached
+
         notes: list[str] = []
         strategies = self._choose_strategies(formula, known_variance_bound, notes)
         k = len(formula)
@@ -160,7 +215,7 @@ class SampleSizeEstimator:
             self._plan_clause(clause, strategies[i], log_delta_clause)
             for i, clause in enumerate(formula)
         )
-        return SampleSizePlan(
+        plan = SampleSizePlan(
             formula=formula,
             delta=spec.delta,
             adaptivity=spec.adaptivity,
@@ -168,10 +223,15 @@ class SampleSizeEstimator:
             clause_plans=clause_plans,
             notes=tuple(notes),
         )
+        if self.use_plan_cache:
+            _PLAN_CACHE.put(cache_key, plan)
+        return plan
 
     def baseline_plan(self, condition: str | Formula, **kwargs) -> SampleSizePlan:
         """:meth:`plan` with all optimizations disabled (§3 baseline)."""
-        baseline = SampleSizeEstimator(optimizations="none")
+        baseline = SampleSizeEstimator(
+            optimizations="none", use_plan_cache=self.use_plan_cache
+        )
         return baseline.plan(condition, **kwargs)
 
     def trivial_fully_adaptive_total(

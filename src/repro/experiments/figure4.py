@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.stats.inequalities import BennettInequality, HoeffdingInequality
-from repro.stats.simulation import coverage_experiment
+from repro.stats.simulation import coverage_experiment_grid
 
 __all__ = ["Figure4Point", "run_figure4"]
 
@@ -78,27 +78,29 @@ def run_figure4(
     validity is void.
     """
     hoeffding = HoeffdingInequality(value_range=1.0, two_sided=True)
+    h_epsilons = [hoeffding.epsilon(n, delta) for n in sample_sizes]
+    # The empirical quantile error only depends on (n, delta), so one
+    # Monte-Carlo sweep — all replicates of all sizes drawn as a single
+    # RNG batch — serves every variance-bound column.
+    reports = coverage_experiment_grid(
+        true_accuracy=true_accuracy,
+        sample_sizes=sample_sizes,
+        predicted_epsilons=h_epsilons,
+        delta=delta,
+        n_replicates=n_replicates,
+        seed=seed,
+    )
     points: list[Figure4Point] = []
     for p in variance_bounds:
         bennett = BennettInequality(variance_bound=p, two_sided=True)
         for i, n in enumerate(sample_sizes):
-            h_eps = hoeffding.epsilon(n, delta)
-            b_eps = bennett.epsilon(n, delta)
-            report = coverage_experiment(
-                true_accuracy=true_accuracy,
-                n_samples=n,
-                predicted_epsilon=b_eps,
-                delta=delta,
-                n_replicates=n_replicates,
-                seed=seed + i,
-            )
             points.append(
                 Figure4Point(
                     n_samples=n,
                     variance_bound=p,
-                    hoeffding_epsilon=h_eps,
-                    bennett_epsilon=b_eps,
-                    empirical_error=report.empirical_quantile_error,
+                    hoeffding_epsilon=h_epsilons[i],
+                    bennett_epsilon=bennett.epsilon(n, delta),
+                    empirical_error=reports[i].empirical_quantile_error,
                 )
             )
     return points

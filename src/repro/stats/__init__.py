@@ -24,6 +24,17 @@ from repro.stats.binomial import (
     binomial_tail_inversion_upper,
     binomial_tail_inversion_lower,
 )
+from repro.stats.batch import (
+    binom_cdf_vec,
+    binom_logpmf_vec,
+    binom_pmf_vec,
+    binom_sf_vec,
+    binomial_tail_inversion_lower_vec,
+    binomial_tail_inversion_upper_vec,
+    clopper_pearson_interval_vec,
+    exact_coverage_failure_probability_vec,
+)
+from repro.stats.cache import all_cache_info, clear_all_caches
 from repro.stats.tight_bounds import (
     exact_coverage_failure_probability,
     tight_sample_size,
@@ -36,7 +47,11 @@ from repro.stats.estimation import (
     estimate_accuracy_gain,
 )
 from repro.stats.adaptive import Ladder, AdaptiveAttacker, ThresholdAttacker
-from repro.stats.simulation import CoverageReport, coverage_experiment
+from repro.stats.simulation import (
+    CoverageReport,
+    coverage_experiment,
+    coverage_experiment_grid,
+)
 
 __all__ = [
     "ConcentrationInequality",
@@ -52,6 +67,16 @@ __all__ = [
     "clopper_pearson_interval",
     "binomial_tail_inversion_upper",
     "binomial_tail_inversion_lower",
+    "binom_logpmf_vec",
+    "binom_pmf_vec",
+    "binom_cdf_vec",
+    "binom_sf_vec",
+    "clopper_pearson_interval_vec",
+    "binomial_tail_inversion_upper_vec",
+    "binomial_tail_inversion_lower_vec",
+    "exact_coverage_failure_probability_vec",
+    "all_cache_info",
+    "clear_all_caches",
     "exact_coverage_failure_probability",
     "tight_sample_size",
     "tight_epsilon",
@@ -64,4 +89,5 @@ __all__ = [
     "ThresholdAttacker",
     "CoverageReport",
     "coverage_experiment",
+    "coverage_experiment_grid",
 ]

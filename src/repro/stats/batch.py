@@ -1,0 +1,436 @@
+"""Vectorized batch counterparts of the exact binomial machinery.
+
+:mod:`repro.stats.binomial` keeps a scalar interface — one ``(k, n, p)``
+triple at a time, full float64 precision via ``math.lgamma``.  The
+planning hot path, however, is intrinsically batched: the §4.3 tight
+bound scans hundreds of candidate means ``p`` per refinement pass, for a
+dozen bisection probes over ``n``, per clause, per plan.  This module
+provides NumPy-native kernels for exactly those shapes:
+
+* :func:`binom_logpmf_vec` / :func:`binom_pmf_vec` /
+  :func:`binom_cdf_vec` / :func:`binom_sf_vec` — broadcasting versions of
+  the scalar functions, sharing one process-wide log-factorial table (an
+  ``lgamma`` table built with ``math.lgamma`` so the log-pmf values are
+  bit-identical to the scalar path);
+* :func:`exact_coverage_failure_probability_vec` — the tight-bound inner
+  loop, evaluating ``Pr[|Binomial(n,p)/n - p| > eps]`` for an entire grid
+  of ``p`` in one shot.  Each tail is summed over a window of
+  ``O(sqrt(n))`` terms around its cutoff (the probability mass outside
+  the window is below ~1.5e-14, far under the 1e-10 agreement the tests
+  enforce; see ``_WINDOW_SIGMAS``), so a full grid scan costs one small
+  matrix of ``exp`` calls instead of thousands of Python-level loops;
+* vectorized exact-confidence counterparts:
+  :func:`binomial_tail_inversion_upper_vec` /
+  :func:`binomial_tail_inversion_lower_vec` /
+  :func:`clopper_pearson_interval_vec` (element-wise bisections run in
+  lockstep across the whole batch).
+
+Every kernel is cross-checked against the scalar implementation in
+``tests/stats/test_batch.py`` (agreement to ``<= 1e-10`` including the
+``p in {0, 1}`` and ``k in {0, n}`` boundaries).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.cache import register_cache
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "log_factorial_table",
+    "binom_logpmf_vec",
+    "binom_pmf_vec",
+    "binom_cdf_vec",
+    "binom_sf_vec",
+    "exact_coverage_failure_probability_vec",
+    "binomial_tail_inversion_upper_vec",
+    "binomial_tail_inversion_lower_vec",
+    "clopper_pearson_interval_vec",
+]
+
+# How many rows x columns a pmf work matrix may hold before we chunk.
+_MAX_MATRIX_CELLS = 4_000_000
+
+# Tail windows reach 8 standard deviations past the mean plus slack; by
+# Bernstein the binomial mass beyond that is < 1.5e-14 for every n (the
+# exponent tends to -(8 sigma)^2 / 2 sigma^2 = -32 from below), invisible
+# at the 1e-10 tolerance the batch kernels promise.
+_WINDOW_SIGMAS = 8.0
+_WINDOW_SLACK = 40
+
+# Log-pmf value planted in the padding cells outside [0, n]; exp() of it is
+# exactly 0.0, so padded window positions never contribute to a tail sum.
+_LOG_ZERO = -1e30
+
+
+# ---------------------------------------------------------------------------
+# Shared log-factorial table
+# ---------------------------------------------------------------------------
+
+_TABLE_LOCK = threading.Lock()
+_LOG_FACTORIAL = np.zeros(1, dtype=np.float64)  # entry m holds lgamma(m + 1)
+
+
+def log_factorial_table(limit: int) -> np.ndarray:
+    """``lgamma(m + 1)`` for ``m = 0 .. limit`` as one shared array.
+
+    Grown geometrically and never shrunk (except via
+    :func:`repro.stats.cache.clear_all_caches`, which resets it).  Entries
+    are produced by ``math.lgamma`` so that batch log-pmf values match the
+    scalar implementation bit for bit.
+    """
+    global _LOG_FACTORIAL
+    limit = check_positive_int(limit + 1, "limit") - 1  # allow limit = 0
+    table = _LOG_FACTORIAL
+    if len(table) <= limit:
+        with _TABLE_LOCK:
+            table = _LOG_FACTORIAL
+            if len(table) <= limit:
+                new_size = max(limit + 1, 2 * len(table))
+                grown = np.empty(new_size, dtype=np.float64)
+                grown[: len(table)] = table
+                for m in range(len(table), new_size):
+                    grown[m] = math.lgamma(m + 1.0)
+                _LOG_FACTORIAL = table = grown
+    return table
+
+
+class _TableResetProxy:
+    """Adapter letting the registry clear the log-factorial table."""
+
+    maxsize = 1
+
+    def clear(self) -> None:
+        global _LOG_FACTORIAL
+        with _TABLE_LOCK:
+            _LOG_FACTORIAL = np.zeros(1, dtype=np.float64)
+            _LOG_COMB_CACHE.clear()
+
+    def info(self):  # pragma: no cover - trivial
+        from repro.stats.cache import CacheInfo
+
+        return CacheInfo(hits=0, misses=0, maxsize=1, currsize=len(_LOG_FACTORIAL))
+
+
+register_cache("stats.batch.log_factorial_table", _TableResetProxy())  # type: ignore[arg-type]
+
+
+_LOG_COMB_CACHE: OrderedDict[int, np.ndarray] = OrderedDict()
+_LOG_COMB_CACHE_SIZE = 16
+
+
+def _log_comb_row(n: int) -> np.ndarray:
+    """``log C(n, k)`` for ``k = 0 .. n`` (cached for the last few ``n``)."""
+    with _TABLE_LOCK:
+        row = _LOG_COMB_CACHE.get(n)
+        if row is not None:
+            _LOG_COMB_CACHE.move_to_end(n)
+            return row
+    table = log_factorial_table(n)
+    row = table[n] - table[: n + 1] - table[n::-1]
+    with _TABLE_LOCK:
+        _LOG_COMB_CACHE[n] = row
+        while len(_LOG_COMB_CACHE) > _LOG_COMB_CACHE_SIZE:
+            _LOG_COMB_CACHE.popitem(last=False)
+    return row
+
+
+# ---------------------------------------------------------------------------
+# Validation / broadcasting helpers
+# ---------------------------------------------------------------------------
+
+def _broadcast_knp(k, n, p) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+    k = np.asarray(k)
+    n = np.asarray(n)
+    p = np.asarray(p, dtype=np.float64)
+    if not np.issubdtype(k.dtype, np.integer):
+        kf = np.asarray(k, dtype=np.float64)
+        if not np.all(kf == np.floor(kf)):
+            raise InvalidParameterError("k must contain integers")
+        k = kf.astype(np.int64)
+    if not np.issubdtype(n.dtype, np.integer):
+        nf = np.asarray(n, dtype=np.float64)
+        if not np.all(nf == np.floor(nf)):
+            raise InvalidParameterError("n must contain integers")
+        n = nf.astype(np.int64)
+    k, n, p = np.broadcast_arrays(k, n, p)
+    shape = k.shape
+    k = np.atleast_1d(k).astype(np.int64).ravel()
+    n = np.atleast_1d(n).astype(np.int64).ravel()
+    p = np.atleast_1d(p).ravel()
+    if np.any(n < 1):
+        raise InvalidParameterError("n must contain positive integers")
+    if np.any((k < 0) | (k > n)):
+        raise InvalidParameterError("k must satisfy 0 <= k <= n")
+    if np.any((p < 0.0) | (p > 1.0)) or not np.all(np.isfinite(p)):
+        raise InvalidParameterError("p must lie in [0, 1]")
+    return k, n, p, shape
+
+
+def _restore(values: np.ndarray, shape: tuple):
+    values = values.reshape(shape)
+    if shape == ():
+        return float(values)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Elementwise pmf
+# ---------------------------------------------------------------------------
+
+def binom_logpmf_vec(k, n, p):
+    """Vectorized ``log Pr[Binomial(n, p) = k]`` (broadcasts its arguments).
+
+    Matches :func:`repro.stats.binomial.binom_logpmf` bit for bit on the
+    interior and returns ``-inf`` for impossible boundary outcomes.
+    """
+    k, n, p, shape = _broadcast_knp(k, n, p)
+    table = log_factorial_table(int(n.max()) if n.size else 0)
+    out = np.full(k.shape, -np.inf, dtype=np.float64)
+    interior = (p > 0.0) & (p < 1.0)
+    if np.any(interior):
+        ki, ni, pi = k[interior], n[interior], p[interior]
+        log_comb = table[ni] - table[ki] - table[ni - ki]
+        out[interior] = log_comb + ki * np.log(pi) + (ni - ki) * np.log1p(-pi)
+    out[(p == 0.0) & (k == 0)] = 0.0
+    out[(p == 1.0) & (k == n)] = 0.0
+    return _restore(out, shape)
+
+
+def binom_pmf_vec(k, n, p):
+    """Vectorized ``Pr[Binomial(n, p) = k]``."""
+    lp = np.asarray(binom_logpmf_vec(k, n, p))
+    out = np.where(np.isneginf(lp), 0.0, np.exp(lp))
+    return _restore(out, np.shape(lp))
+
+
+# ---------------------------------------------------------------------------
+# CDF / SF over batches
+# ---------------------------------------------------------------------------
+
+def _tail_sums_fixed_n(n: int, k: np.ndarray, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lower (``sum_{0..k}``) and upper (``sum_{k+1..n}``) pmf sums.
+
+    ``p`` must be interior (0 < p < 1).  Each tail is summed directly over
+    its own terms (not via ``1 - other``), preserving relative precision
+    for tiny tails; rows are chunked so the work matrix stays small.
+    """
+    log_comb = _log_comb_row(n)
+    lower = np.empty(p.shape, dtype=np.float64)
+    upper = np.empty(p.shape, dtype=np.float64)
+    chunk = max(1, _MAX_MATRIX_CELLS // (n + 1))
+    ks = np.arange(n + 1, dtype=np.float64)
+    for start in range(0, len(p), chunk):
+        sl = slice(start, start + chunk)
+        pc, kc = p[sl], k[sl]
+        logpmf = (
+            log_comb[None, :]
+            + ks[None, :] * np.log(pc)[:, None]
+            + (n - ks)[None, :] * np.log1p(-pc)[:, None]
+        )
+        pmf = np.exp(logpmf)
+        prefix = np.cumsum(pmf, axis=1)
+        suffix = np.cumsum(pmf[:, ::-1], axis=1)[:, ::-1]
+        rows = np.arange(len(pc))
+        lower[sl] = prefix[rows, kc]
+        upper[sl] = np.where(kc < n, suffix[rows, np.minimum(kc + 1, n)], 0.0)
+    return lower, upper
+
+
+def binom_cdf_vec(k, n, p):
+    """Vectorized ``Pr[Binomial(n, p) <= k]`` (broadcasts its arguments).
+
+    Mirrors the scalar branch selection: the smaller tail is summed
+    directly and the larger obtained by complement, keeping agreement with
+    :func:`repro.stats.binomial.binom_cdf` to ``<= 1e-10``.  Designed for
+    the moderate ``n`` of planning workloads (work is chunked at a few
+    million pmf terms per slab).
+    """
+    k, n, p, shape = _broadcast_knp(k, n, p)
+    out = np.empty(k.shape, dtype=np.float64)
+    out[p == 0.0] = 1.0
+    out[p == 1.0] = np.where(k[p == 1.0] == n[p == 1.0], 1.0, 0.0)
+    interior = (p > 0.0) & (p < 1.0)
+    for nv in np.unique(n[interior]) if np.any(interior) else ():
+        sel = interior & (n == nv)
+        ki, pi = k[sel], p[sel]
+        lower, upper = _tail_sums_fixed_n(int(nv), ki, pi)
+        mean = nv * pi
+        vals = np.where(ki >= mean, np.maximum(0.0, 1.0 - upper), np.minimum(1.0, lower))
+        vals = np.where(ki == nv, 1.0, vals)
+        out[sel] = vals
+    return _restore(np.clip(out, 0.0, 1.0), shape)
+
+
+def binom_sf_vec(k, n, p):
+    """Vectorized survival function ``Pr[Binomial(n, p) > k]``."""
+    k, n, p, shape = _broadcast_knp(k, n, p)
+    out = np.empty(k.shape, dtype=np.float64)
+    out[p == 0.0] = 0.0
+    out[p == 1.0] = np.where(k[p == 1.0] == n[p == 1.0], 0.0, 1.0)
+    interior = (p > 0.0) & (p < 1.0)
+    for nv in np.unique(n[interior]) if np.any(interior) else ():
+        sel = interior & (n == nv)
+        ki, pi = k[sel], p[sel]
+        lower, upper = _tail_sums_fixed_n(int(nv), ki, pi)
+        mean = nv * pi
+        vals = np.where(ki + 1 <= mean, np.maximum(0.0, 1.0 - lower), np.minimum(1.0, upper))
+        vals = np.where(ki == nv, 0.0, vals)
+        out[sel] = vals
+    return _restore(np.clip(out, 0.0, 1.0), shape)
+
+
+# ---------------------------------------------------------------------------
+# The tight-bound inner loop
+# ---------------------------------------------------------------------------
+
+def exact_coverage_failure_probability_vec(n: int, p_grid, epsilon: float) -> np.ndarray:
+    """Exact ``Pr[|Binomial(n, p)/n - p| > epsilon]`` for a vector of ``p``.
+
+    The batch counterpart of
+    :func:`repro.stats.tight_bounds.exact_coverage_failure_probability`,
+    evaluating an entire worst-case-``p`` grid in one shot.  Cutoffs use
+    the same guarded arithmetic as the scalar code.
+
+    Each tail is summed over a window of terms adjacent to its cutoff.
+    The window is sized so it reaches at least ``_WINDOW_SIGMAS`` standard
+    deviations (plus slack) past the mean on the tail's side, where the
+    remaining binomial mass is below ~1.5e-14 by Bernstein — far under
+    the 1e-10 agreement the tests enforce.  The per-term log-pmf
+    separates as
+    ``log C(n,k) + k*logit(p) + n*log(1-p)``, so one shared
+    ``log C(n, .)`` row, a sliding-window gather, and one rank-1 update
+    produce the whole ``(grid, window)`` matrix with no per-element Python
+    work; positions outside ``[0, n]`` hit padding cells whose ``exp`` is
+    exactly zero.
+    """
+    n = check_positive_int(n, "n")
+    check_positive(epsilon, "epsilon")
+    p = np.atleast_1d(np.asarray(p_grid, dtype=np.float64))
+    if np.any((p < 0.0) | (p > 1.0)) or not np.all(np.isfinite(p)):
+        raise InvalidParameterError("p_grid must lie in [0, 1]")
+    out = np.zeros(p.shape, dtype=np.float64)
+    interior = (p > 0.0) & (p < 1.0)
+    if not np.any(interior):
+        return out
+    pi = p[interior]
+    # Identical cutoff arithmetic to the scalar implementation.
+    lo_cut = (np.ceil(n * (pi - epsilon) - 1e-12) - 1).astype(np.int64)
+    hi_cut = (np.floor(n * (pi + epsilon) + 1e-12) + 1).astype(np.int64)
+    logp = np.log(pi)
+    log1mp = np.log1p(-pi)
+    logit = logp - log1mp
+
+    # Window length: the cut sits ~ epsilon*n draws from the mean already,
+    # so the window only needs to cover the remaining distance out to
+    # 11 sigma + slack (and never more than the full support).
+    sigma_max = math.sqrt(n * float(np.max(pi * (1.0 - pi))))
+    depth = int(math.ceil(_WINDOW_SIGMAS * sigma_max)) + _WINDOW_SLACK
+    length = int(min(n + 1, max(_WINDOW_SLACK, depth - math.floor(epsilon * n) + 2)))
+
+    # Pad generously: lower windows can start near -(epsilon*n + length),
+    # upper windows can end near n + epsilon*n + length.
+    pad = length + int(math.ceil(epsilon * n)) + 2
+    log_comb = _log_comb_row(n)
+    padded = np.full(n + 1 + 2 * pad, _LOG_ZERO)
+    padded[pad : pad + n + 1] = log_comb
+    windows = np.lib.stride_tricks.sliding_window_view(padded, length)
+
+    # Row layout: the lower tails (windows ending at lo_cut), then the
+    # upper tails (windows starting at hi_cut).
+    starts = np.concatenate([lo_cut - (length - 1), hi_cut])
+    logit2 = np.concatenate([logit, logit])
+    const = logit2 * starts + n * np.concatenate([log1mp, log1mp])
+    # The pad is sized so every start index lands inside `windows`.
+    work = windows[starts + pad]  # fresh (rows, length) copy — safe to mutate
+    work += logit2[:, None] * np.arange(length)[None, :]
+    work += const[:, None]
+    np.exp(work, out=work)
+    sums = work @ np.ones(length)  # BLAS row sums
+    m = len(pi)
+    out[interior] = np.minimum(1.0, sums[:m] + sums[m:])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized exact confidence machinery
+# ---------------------------------------------------------------------------
+
+def _bisect_vec(k, n, delta, predicate_hi, lo, hi, tol):
+    """Lockstep bisection: keep ``lo`` where the predicate holds at mid."""
+    # Brackets have width <= 1, so ceil(log2(1/tol)) iterations suffice.
+    iterations = max(1, int(math.ceil(math.log2(max(2.0, 1.0 / tol)))))
+    for _ in range(iterations):
+        if not np.any(hi - lo > tol):
+            break
+        mid = (lo + hi) / 2.0
+        keep = predicate_hi(k, n, mid, delta)
+        lo = np.where(keep, mid, lo)
+        hi = np.where(keep, hi, mid)
+    return lo, hi
+
+
+def binomial_tail_inversion_upper_vec(k, n, delta, *, tol: float = 1e-12):
+    """Vectorized Langford upper bound ``max {p : Pr[Bin(n,p) <= k] >= delta}``.
+
+    Broadcasts ``(k, n, delta)``; agrees with the scalar
+    :func:`repro.stats.binomial.binomial_tail_inversion_upper` to the
+    bisection tolerance.
+    """
+    delta_arr = np.asarray(delta, dtype=np.float64)
+    if np.any((delta_arr <= 0.0) | (delta_arr >= 1.0)):
+        raise InvalidParameterError("delta must lie in (0, 1)")
+    k, n, delta_b, shape = _broadcast_knp(k, n, delta_arr)
+    lo = k / n
+    hi = np.ones_like(lo)
+    at_mle = np.asarray(binom_cdf_vec(k, n, lo))
+    lo = np.where(np.atleast_1d(at_mle).ravel() < delta_b, 0.0, lo)
+
+    def keep(kk, nn, mid, dd):
+        return np.atleast_1d(np.asarray(binom_cdf_vec(kk, nn, mid))).ravel() >= dd
+
+    lo, hi = _bisect_vec(k, n, delta_b, keep, lo, hi, tol)
+    out = np.where(k == n, 1.0, lo)
+    return _restore(out, shape)
+
+
+def binomial_tail_inversion_lower_vec(k, n, delta, *, tol: float = 1e-12):
+    """Vectorized lower bound ``min {p : Pr[Bin(n,p) >= k] >= delta}``."""
+    delta_arr = np.asarray(delta, dtype=np.float64)
+    if np.any((delta_arr <= 0.0) | (delta_arr >= 1.0)):
+        raise InvalidParameterError("delta must lie in (0, 1)")
+    k, n, delta_b, shape = _broadcast_knp(k, n, delta_arr)
+    zero = k == 0
+    ks = np.maximum(k, 1)  # bisection operand for the non-degenerate rows
+    lo = np.zeros(k.shape, dtype=np.float64)
+    hi = k / n
+    at_mle = np.atleast_1d(np.asarray(binom_sf_vec(ks - 1, n, np.where(zero, 0.5, hi)))).ravel()
+    hi = np.where((~zero) & (at_mle < delta_b), 1.0, hi)
+
+    def keep_lo(kk, nn, mid, dd):
+        # Mirrored roles: lo advances exactly when the SF predicate fails
+        # at mid (hi shrinks onto the smallest p where it still holds).
+        return np.atleast_1d(np.asarray(binom_sf_vec(kk - 1, nn, mid))).ravel() < dd
+
+    lo, hi = _bisect_vec(ks, n, delta_b, keep_lo, lo, hi, tol)
+    out = np.where(zero, 0.0, hi)
+    return _restore(out, shape)
+
+
+def clopper_pearson_interval_vec(k, n, delta, *, tol: float = 1e-12):
+    """Vectorized exact two-sided Clopper–Pearson interval.
+
+    Returns ``(lower, upper)`` arrays; each side inverts its binomial tail
+    at level ``delta / 2`` exactly like the scalar
+    :func:`repro.stats.binomial.clopper_pearson_interval`.
+    """
+    delta_arr = np.asarray(delta, dtype=np.float64)
+    lower = binomial_tail_inversion_lower_vec(k, n, delta_arr / 2.0, tol=tol)
+    upper = binomial_tail_inversion_upper_vec(k, n, delta_arr / 2.0, tol=tol)
+    return lower, upper

@@ -14,10 +14,17 @@ module provides the required machinery:
   smallest true mean consistent with an observation at confidence
   ``1 - delta``.
 
-Everything here is vectorization-friendly but deliberately scalar in
-interface: the call sites (sample-size search loops) evaluate one
-``(n, k, p)`` triple at a time, and the scalar code path keeps full float64
-precision via ``math.lgamma``.
+This module is deliberately scalar: one ``(n, k, p)`` triple at a time,
+full float64 precision via ``math.lgamma``, no array dependencies — it is
+the *reference implementation* the batched machinery is checked against.
+The planning hot path (the §4.3 worst-case-``p`` grid scans in
+:mod:`repro.stats.tight_bounds`) runs on the NumPy kernels in
+:mod:`repro.stats.batch` instead, which share one process-wide
+log-factorial table (built with the same ``math.lgamma``), evaluate whole
+grids per call, and agree with these functions to ``<= 1e-10`` (enforced
+by ``tests/stats/test_batch.py``).  Results of the expensive searches are
+memoized through :mod:`repro.stats.cache`; see
+:func:`repro.stats.cache.clear_all_caches` for invalidation.
 """
 
 from __future__ import annotations

@@ -5,10 +5,14 @@ known population, measure how often the estimation error exceeds the
 tolerance the bound promised, and compare the bound-predicted tolerance to
 the observed error quantiles.
 
-Two experiment shapes are provided:
+Three experiment shapes are provided:
 
 * :func:`coverage_experiment` — for a single Bernoulli mean (accuracy of
   one model), validating Hoeffding / tight-binomial sample sizes;
+* :func:`coverage_experiment_grid` — the same experiment over a whole
+  grid of testset sizes, drawing **every replicate of every configuration
+  as one RNG batch** (a single ``rng.binomial`` call over an
+  ``(configs, replicates)`` matrix) — the shape the figure-4 sweeps use;
 * :func:`paired_coverage_experiment` — for the paired difference
   ``n - o`` with disagreement rate ``p``, validating the Bennett-based
   Pattern 1/2 sample sizes.
@@ -33,7 +37,12 @@ from repro.utils.validation import (
     check_probability,
 )
 
-__all__ = ["CoverageReport", "coverage_experiment", "paired_coverage_experiment"]
+__all__ = [
+    "CoverageReport",
+    "coverage_experiment",
+    "coverage_experiment_grid",
+    "paired_coverage_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,49 @@ def coverage_experiment(
     correct_counts = rng.binomial(n_samples, true_accuracy, size=n_replicates)
     errors = correct_counts / n_samples - true_accuracy
     return _make_report(errors, n_samples, predicted_epsilon, delta)
+
+
+def coverage_experiment_grid(
+    true_accuracy: float,
+    sample_sizes,
+    predicted_epsilons,
+    delta: float,
+    n_replicates: int = 10_000,
+    seed=None,
+) -> list[CoverageReport]:
+    """Run :func:`coverage_experiment` for a grid of sizes in one RNG batch.
+
+    ``sample_sizes`` and ``predicted_epsilons`` must have equal length;
+    entry ``i`` of the result validates ``predicted_epsilons[i]`` at
+    ``sample_sizes[i]``.  All ``len(sample_sizes) * n_replicates``
+    correct-count draws come from a single vectorized ``rng.binomial``
+    call, so a figure-4-style sweep costs one pass through the generator
+    instead of one RNG stream per configuration.
+    """
+    check_fraction(true_accuracy, "true_accuracy")
+    check_probability(delta, "delta")
+    n_replicates = check_positive_int(n_replicates, "n_replicates")
+    sizes_raw = np.asarray(sample_sizes)
+    if not np.issubdtype(sizes_raw.dtype, np.integer):
+        if not np.all(sizes_raw == np.floor(sizes_raw)):
+            raise SimulationError("sample_sizes must contain integers")
+    sizes = sizes_raw.astype(np.int64)
+    epsilons = np.asarray(predicted_epsilons, dtype=np.float64)
+    if sizes.ndim != 1 or sizes.shape != epsilons.shape:
+        raise SimulationError(
+            "sample_sizes and predicted_epsilons must be equal-length 1-D sequences"
+        )
+    if np.any(sizes < 1):
+        raise SimulationError("sample_sizes must be positive")
+    if np.any(epsilons <= 0.0):
+        raise SimulationError("predicted_epsilons must be positive")
+    rng = ensure_rng(seed)
+    counts = rng.binomial(sizes[:, None], true_accuracy, size=(len(sizes), n_replicates))
+    errors = counts / sizes[:, None] - true_accuracy
+    return [
+        _make_report(errors[i], int(sizes[i]), float(epsilons[i]), delta)
+        for i in range(len(sizes))
+    ]
 
 
 def paired_coverage_experiment(

@@ -24,14 +24,43 @@ maxima near the boundaries of the rounding grid, so the inner maximization
 scans a grid of candidate ``p`` refined around the argmax; the outer search
 is a doubling-then-bisection search, valid because ``max_p f(n, p)`` is
 (weakly) decreasing in ``n`` along the search trajectory.
+
+Backends and caching
+--------------------
+Every entry point accepts ``backend="batch"`` (default) or
+``backend="scalar"``:
+
+* ``"batch"`` runs the grid scans through the NumPy kernels in
+  :mod:`repro.stats.batch` — the whole worst-case-``p`` grid is evaluated
+  as one windowed pmf matrix, and bisection probes short-circuit as soon
+  as any grid point already exceeds ``delta`` (sound: the scan only ever
+  *adds* candidate maxima, so crossing the threshold early settles the
+  comparison the probe asked for).  The grid trajectory (grid points,
+  refinement windows, argmax tie-breaks) is identical to the scalar path,
+  so both backends return the same sample sizes; the benchmark suite
+  enforces a >= 20x speedup at paper-scale parameters.
+* ``"scalar"`` is the original pure-Python loop over
+  :func:`repro.stats.binomial.binom_cdf`, kept verbatim as the reference
+  implementation the batch kernels are cross-checked (and benchmarked)
+  against.
+
+Results of :func:`tight_sample_size`, :func:`tight_epsilon` and the batch
+worst-case scans are memoized process-wide through
+:mod:`repro.stats.cache` — a CI service re-planning the same condition on
+every commit hits the cache instead of re-running the search.  Use
+:func:`repro.stats.cache.clear_all_caches` for cold-start benchmarks.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
+from repro.stats.batch import exact_coverage_failure_probability_vec
 from repro.stats.binomial import binom_cdf, binom_sf
+from repro.stats.cache import memoize
 from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 __all__ = [
@@ -41,12 +70,24 @@ __all__ = [
     "tight_epsilon",
 ]
 
+_BACKENDS = ("batch", "scalar")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise InvalidParameterError(
+            f"backend must be one of {_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
 
 def exact_coverage_failure_probability(n: int, p: float, epsilon: float) -> float:
     """Exact ``Pr[|Binomial(n,p)/n - p| > epsilon]``.
 
     The event is ``k < n(p - epsilon)`` or ``k > n(p + epsilon)``; both
-    tails are computed with the exact binomial CDF/SF.
+    tails are computed with the exact binomial CDF/SF.  (This is the
+    scalar reference; the planning loops use
+    :func:`repro.stats.batch.exact_coverage_failure_probability_vec`.)
     """
     n = check_positive_int(n, "n")
     check_positive(epsilon, "epsilon")
@@ -62,18 +103,12 @@ def exact_coverage_failure_probability(n: int, p: float, epsilon: float) -> floa
     return min(1.0, prob)
 
 
-def worst_case_failure_probability(
-    n: int, epsilon: float, *, grid: int = 512, refine: int = 3
-) -> float:
-    """``max_p Pr[|hat p - p| > epsilon]`` over the unknown true mean.
+# ---------------------------------------------------------------------------
+# Worst-case scans
+# ---------------------------------------------------------------------------
 
-    Scans an initial uniform grid over ``[0, 1]`` and then refines around
-    the best cell ``refine`` times.  With ``grid=512`` the result is exact
-    to well below the tolerance at which it is consumed (the outer search
-    only needs to compare against ``delta``).
-    """
-    n = check_positive_int(n, "n")
-    check_positive(epsilon, "epsilon")
+def _scan_scalar(n: int, epsilon: float, grid: int, refine: int) -> tuple[float, float]:
+    """The original pure-Python grid scan (reference implementation)."""
     lo, hi = 0.0, 1.0
     best_p, best_f = 0.5, 0.0
     for _ in range(refine + 1):
@@ -85,7 +120,112 @@ def worst_case_failure_probability(
                 best_f, best_p = f, p
         lo = max(0.0, best_p - 2 * step)
         hi = min(1.0, best_p + 2 * step)
-    return best_f
+    return best_f, best_p
+
+
+def _scan_batch(
+    n: int,
+    epsilon: float,
+    grid: int,
+    refine: int,
+    stop_above: float | None = None,
+) -> tuple[float, float]:
+    """Vectorized grid scan walking the *same* trajectory as the scalar one.
+
+    Grid points are generated with the identical floating-point arithmetic
+    (``lo + i * step``) and the running argmax uses the same
+    first-strict-improvement tie-break, so refinement windows — and hence
+    results — track the scalar scan.  When ``stop_above`` is given the
+    scan returns as soon as the running maximum exceeds it (refinement
+    only ever raises the maximum, so the caller's threshold comparison is
+    already decided).
+    """
+    lo, hi = 0.0, 1.0
+    best_p, best_f = 0.5, 0.0
+    for _ in range(refine + 1):
+        step = (hi - lo) / grid
+        p = lo + np.arange(grid + 1) * step
+        f = exact_coverage_failure_probability_vec(n, p, epsilon)
+        i = int(np.argmax(f))
+        if f[i] > best_f:
+            best_f, best_p = float(f[i]), float(p[i])
+        if stop_above is not None and best_f > stop_above:
+            return best_f, best_p
+        lo = max(0.0, best_p - 2 * step)
+        hi = min(1.0, best_p + 2 * step)
+    return best_f, best_p
+
+
+@memoize("stats.tight_bounds.worst_case", maxsize=8192)
+def _worst_case_cached(
+    n: int, epsilon: float, grid: int, refine: int
+) -> tuple[float, float]:
+    return _scan_batch(n, epsilon, grid, refine)
+
+
+def worst_case_failure_probability(
+    n: int, epsilon: float, *, grid: int = 512, refine: int = 3, backend: str = "batch"
+) -> float:
+    """``max_p Pr[|hat p - p| > epsilon]`` over the unknown true mean.
+
+    Scans an initial uniform grid over ``[0, 1]`` and then refines around
+    the best cell ``refine`` times.  With ``grid=512`` the result is exact
+    to well below the tolerance at which it is consumed (the outer search
+    only needs to compare against ``delta``).  The batch backend is
+    memoized per ``(n, epsilon, grid, refine)``.
+    """
+    n = check_positive_int(n, "n")
+    check_positive(epsilon, "epsilon")
+    if _check_backend(backend) == "scalar":
+        return _scan_scalar(n, epsilon, grid, refine)[0]
+    return _worst_case_cached(n, epsilon, grid, refine)[0]
+
+
+@memoize("stats.tight_bounds.exceeds_delta", maxsize=16384)
+def _exceeds_delta_batch(
+    n: int, epsilon: float, delta: float, grid: int, refine: int
+) -> bool:
+    """Does ``max_p f(n, p)`` exceed ``delta``?  (Early-exit batch scan.)"""
+    best_f, _ = _scan_batch(n, epsilon, grid, refine, stop_above=delta)
+    return best_f > delta
+
+
+# ---------------------------------------------------------------------------
+# Outer searches
+# ---------------------------------------------------------------------------
+
+@memoize("stats.tight_bounds.tight_sample_size", maxsize=4096)
+def _tight_sample_size_cached(
+    epsilon: float, delta: float, grid: int, refine: int, backend: str, hint: int
+) -> int:
+    if backend == "scalar":
+        def exceeds(n: int) -> bool:
+            return _scan_scalar(n, epsilon, grid, refine)[0] > delta
+    else:
+        def exceeds(n: int) -> bool:
+            return _exceeds_delta_batch(n, epsilon, delta, grid, refine)
+
+    hi = hint
+    # Ensure hi is feasible (it should be, Hoeffding dominates); expand if not.
+    while exceeds(hi):
+        hi *= 2
+        if hi > 1 << 34:  # pragma: no cover - defensive
+            raise InvalidParameterError("tight_sample_size search diverged")
+    lo = 1
+    # Bisection: worst-case failure is monotone (weakly) decreasing in n on
+    # the scales of interest; the final verification step guards against the
+    # small non-monotonic ripples of the discrete distribution.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if not exceeds(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    # Walk forward over possible ripples.
+    n = hi
+    while exceeds(n):
+        n += 1  # pragma: no cover - rarely triggered
+    return n
 
 
 def tight_sample_size(
@@ -95,6 +235,7 @@ def tight_sample_size(
     grid: int = 256,
     refine: int = 2,
     n_hint: int | None = None,
+    backend: str = "batch",
 ) -> int:
     """Minimal ``n`` with worst-case coverage failure at most ``delta``.
 
@@ -111,51 +252,65 @@ def tight_sample_size(
     n_hint:
         Optional starting point for the search (e.g. the Hoeffding size);
         when omitted, the two-sided Hoeffding size is used as the upper
-        anchor.
+        anchor.  The hint only seeds the search — the returned minimum is
+        independent of it, so cached results ignore it.
+    backend:
+        ``"batch"`` (vectorized, memoized; the default) or ``"scalar"``
+        (the pure-Python reference).  Both return the same ``n``.
     """
     check_positive(epsilon, "epsilon")
     check_probability(delta, "delta")
+    _check_backend(backend)
     if epsilon >= 1.0:
         return 1
     hoeffding_n = int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
-    hi = max(1, n_hint or hoeffding_n)
-    # Ensure hi is feasible (it should be, Hoeffding dominates); expand if not.
-    while worst_case_failure_probability(hi, epsilon, grid=grid, refine=refine) > delta:
-        hi *= 2
-        if hi > 1 << 34:  # pragma: no cover - defensive
-            raise InvalidParameterError("tight_sample_size search diverged")
-    lo = 1
-    # Bisection: worst-case failure is monotone (weakly) decreasing in n on
-    # the scales of interest; the final verification step guards against the
-    # small non-monotonic ripples of the discrete distribution.
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if worst_case_failure_probability(mid, epsilon, grid=grid, refine=refine) <= delta:
-            hi = mid
-        else:
-            lo = mid + 1
-    # Walk forward over possible ripples.
-    n = hi
-    while worst_case_failure_probability(n, epsilon, grid=grid, refine=refine) > delta:
-        n += 1  # pragma: no cover - rarely triggered
-    return n
+    hint = max(1, n_hint or hoeffding_n)
+    if n_hint is None or n_hint == hoeffding_n:
+        # The common, hint-free call: one shared cache entry.
+        return _tight_sample_size_cached(
+            epsilon, delta, grid, refine, backend, max(1, hoeffding_n)
+        )
+    # A custom hint changes the probe trajectory but not the answer; bypass
+    # the memo (still benefiting from the per-probe caches) so the cache
+    # never depends on hints.
+    return _tight_sample_size_cached.__wrapped__(
+        epsilon, delta, grid, refine, backend, hint
+    )
 
 
-def tight_epsilon(
-    n: int, delta: float, *, tol: float = 1e-6, grid: int = 256, refine: int = 2
+@memoize("stats.tight_bounds.tight_epsilon", maxsize=4096)
+def _tight_epsilon_cached(
+    n: int, delta: float, tol: float, grid: int, refine: int, backend: str
 ) -> float:
-    """Smallest tolerance guaranteed by ``n`` samples at failure prob ``delta``.
-
-    Bisection on ``epsilon``; the failure probability is decreasing in
-    ``epsilon``.
-    """
-    n = check_positive_int(n, "n")
-    check_probability(delta, "delta")
     lo, hi = 0.0, 1.0
     while hi - lo > tol:
         mid = (lo + hi) / 2.0
-        if worst_case_failure_probability(n, mid, grid=grid, refine=refine) <= delta:
+        if backend == "scalar":
+            exceeds = _scan_scalar(n, mid, grid, refine)[0] > delta
+        else:
+            exceeds = _exceeds_delta_batch(n, mid, delta, grid, refine)
+        if not exceeds:
             hi = mid
         else:
             lo = mid
     return hi
+
+
+def tight_epsilon(
+    n: int,
+    delta: float,
+    *,
+    tol: float = 1e-6,
+    grid: int = 256,
+    refine: int = 2,
+    backend: str = "batch",
+) -> float:
+    """Smallest tolerance guaranteed by ``n`` samples at failure prob ``delta``.
+
+    Bisection on ``epsilon``; the failure probability is decreasing in
+    ``epsilon``.  Memoized per ``(n, delta, tol, grid, refine, backend)``.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(delta, "delta")
+    _check_backend(backend)
+    return _tight_epsilon_cached(n, delta, tol, grid, refine, backend)

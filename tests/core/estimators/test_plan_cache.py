@@ -1,0 +1,81 @@
+"""The process-wide plan cache: identity, keying, and invalidation."""
+
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.stats.cache import clear_all_caches
+
+CONDITION = "n - o > 0.02 +/- 0.01 /\\ n > 0.8 +/- 0.05"
+SPEC = {"reliability": 0.999, "adaptivity": "full", "steps": 16}
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_all_caches()
+    yield
+    clear_all_caches()
+
+
+class TestPlanCache:
+    def test_cached_plan_identical_to_cold(self):
+        estimator = SampleSizeEstimator()
+        cold = estimator.plan(CONDITION, **SPEC)
+        warm = estimator.plan(CONDITION, **SPEC)
+        assert warm == cold
+        assert warm is cold  # served from cache, not recomputed
+
+    def test_cached_matches_uncached_estimator(self):
+        cached = SampleSizeEstimator().plan(CONDITION, **SPEC)
+        uncached = SampleSizeEstimator(use_plan_cache=False).plan(CONDITION, **SPEC)
+        assert cached == uncached
+
+    def test_textual_variants_share_an_entry(self):
+        estimator = SampleSizeEstimator()
+        a = estimator.plan("n > 0.8 +/- 0.05", **SPEC)
+        b = estimator.plan("n>0.8+/-0.05", **SPEC)
+        assert a is b
+
+    def test_cache_shared_across_instances(self):
+        a = SampleSizeEstimator().plan(CONDITION, **SPEC)
+        b = SampleSizeEstimator().plan(CONDITION, **SPEC)
+        assert a is b
+
+    def test_reliability_and_delta_spellings_share_an_entry(self):
+        estimator = SampleSizeEstimator()
+        a = estimator.plan("n > 0.8 +/- 0.05", reliability=0.999)
+        b = estimator.plan("n > 0.8 +/- 0.05", delta=1.0 - 0.999)
+        assert a is b
+
+    def test_different_specs_get_different_plans(self):
+        estimator = SampleSizeEstimator()
+        a = estimator.plan(CONDITION, **SPEC)
+        b = estimator.plan(CONDITION, reliability=0.999, adaptivity="none", steps=16)
+        assert a is not b and a.samples != b.samples
+
+    def test_estimator_config_in_key(self):
+        auto = SampleSizeEstimator().plan(CONDITION, **SPEC)
+        none = SampleSizeEstimator(optimizations="none").plan(CONDITION, **SPEC)
+        assert auto is not none
+        assert none.samples >= auto.samples
+
+    def test_disabled_cache_recomputes(self):
+        estimator = SampleSizeEstimator(use_plan_cache=False)
+        a = estimator.plan(CONDITION, **SPEC)
+        b = estimator.plan(CONDITION, **SPEC)
+        assert a == b and a is not b
+
+    def test_clear_plan_cache(self):
+        estimator = SampleSizeEstimator()
+        a = estimator.plan(CONDITION, **SPEC)
+        SampleSizeEstimator.clear_plan_cache()
+        b = estimator.plan(CONDITION, **SPEC)
+        assert a == b and a is not b
+
+    def test_cache_info_counts(self):
+        estimator = SampleSizeEstimator()
+        base = estimator.plan_cache_info()
+        estimator.plan(CONDITION, **SPEC)
+        estimator.plan(CONDITION, **SPEC)
+        info = estimator.plan_cache_info()
+        assert info.hits == base.hits + 1
+        assert info.misses == base.misses + 1

@@ -1,0 +1,198 @@
+"""Batch kernels agree with the scalar binomial machinery to <= 1e-10."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.batch import (
+    binom_cdf_vec,
+    binom_logpmf_vec,
+    binom_pmf_vec,
+    binom_sf_vec,
+    binomial_tail_inversion_lower_vec,
+    binomial_tail_inversion_upper_vec,
+    clopper_pearson_interval_vec,
+    exact_coverage_failure_probability_vec,
+    log_factorial_table,
+)
+from repro.stats.binomial import (
+    binom_cdf,
+    binom_logpmf,
+    binom_sf,
+    binomial_tail_inversion_lower,
+    binomial_tail_inversion_upper,
+    clopper_pearson_interval,
+)
+from repro.stats.cache import all_cache_info, clear_all_caches
+from repro.stats.tight_bounds import (
+    exact_coverage_failure_probability,
+    tight_epsilon,
+    tight_sample_size,
+    worst_case_failure_probability,
+)
+
+TOL = 1e-10
+
+# Boundary-heavy probability strategy: interior values plus the exact
+# endpoints the scalar code special-cases.
+probabilities = st.one_of(
+    st.sampled_from([0.0, 1.0]),
+    st.floats(min_value=1e-9, max_value=1.0 - 1e-9),
+)
+
+
+def _random_knp(data, m=12, max_n=2000):
+    ns = data.draw(
+        st.lists(st.integers(min_value=1, max_value=max_n), min_size=m, max_size=m)
+    )
+    ks = [data.draw(st.integers(min_value=0, max_value=n)) for n in ns]
+    ps = data.draw(st.lists(probabilities, min_size=m, max_size=m))
+    # Force the k in {0, n} boundaries into every batch.
+    ks[0], ks[1] = 0, ns[1]
+    return np.array(ks), np.array(ns), np.array(ps)
+
+
+class TestElementwiseAgreement:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_logpmf(self, data):
+        k, n, p = _random_knp(data)
+        vec = binom_logpmf_vec(k, n, p)
+        scalar = np.array(
+            [binom_logpmf(int(ki), int(ni), float(pi)) for ki, ni, pi in zip(k, n, p)]
+        )
+        finite = np.isfinite(scalar)
+        assert np.array_equal(np.isfinite(vec), finite)
+        assert np.max(np.abs(vec[finite] - scalar[finite]), initial=0.0) <= TOL
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_cdf_sf(self, data):
+        k, n, p = _random_knp(data)
+        cdf = binom_cdf_vec(k, n, p)
+        sf = binom_sf_vec(k, n, p)
+        for i in range(len(k)):
+            ki, ni, pi = int(k[i]), int(n[i]), float(p[i])
+            assert cdf[i] == pytest.approx(binom_cdf(ki, ni, pi), abs=TOL)
+            assert sf[i] == pytest.approx(binom_sf(ki, ni, pi), abs=TOL)
+            assert cdf[i] + sf[i] == pytest.approx(1.0, abs=1e-9)
+
+    def test_scalar_inputs_return_floats(self):
+        assert binom_cdf_vec(3, 10, 0.5) == pytest.approx(binom_cdf(3, 10, 0.5), abs=TOL)
+        assert isinstance(binom_pmf_vec(3, 10, 0.5), float)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(InvalidParameterError):
+            binom_cdf_vec([1], [0], [0.5])
+        with pytest.raises(InvalidParameterError):
+            binom_cdf_vec([5], [4], [0.5])
+        with pytest.raises(InvalidParameterError):
+            binom_cdf_vec([1], [4], [1.5])
+
+
+class TestCoverageKernel:
+    @given(
+        st.integers(min_value=1, max_value=3000),
+        st.floats(min_value=0.005, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_on_grid(self, n, epsilon):
+        grid = np.linspace(0.0, 1.0, 101)
+        vec = exact_coverage_failure_probability_vec(n, grid, epsilon)
+        scalar = np.array(
+            [exact_coverage_failure_probability(n, float(p), epsilon) for p in grid]
+        )
+        assert np.max(np.abs(vec - scalar)) <= TOL
+
+    def test_boundary_points_are_zero(self):
+        vec = exact_coverage_failure_probability_vec(50, [0.0, 1.0], 0.1)
+        assert vec[0] == 0.0 and vec[1] == 0.0
+
+
+class TestConfidenceAgreement:
+    @given(st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_tail_inversions(self, data):
+        k, n, _ = _random_knp(data, m=6, max_n=400)
+        delta = data.draw(st.floats(min_value=1e-6, max_value=0.4))
+        upper = binomial_tail_inversion_upper_vec(k, n, delta)
+        lower = binomial_tail_inversion_lower_vec(k, n, delta)
+        for i in range(len(k)):
+            ki, ni = int(k[i]), int(n[i])
+            assert upper[i] == pytest.approx(
+                binomial_tail_inversion_upper(ki, ni, delta), abs=1e-9
+            )
+            assert lower[i] == pytest.approx(
+                binomial_tail_inversion_lower(ki, ni, delta), abs=1e-9
+            )
+
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_clopper_pearson(self, data):
+        k, n, _ = _random_knp(data, m=4, max_n=300)
+        delta = data.draw(st.floats(min_value=1e-5, max_value=0.2))
+        lo, hi = clopper_pearson_interval_vec(k, n, delta)
+        for i in range(len(k)):
+            slo, shi = clopper_pearson_interval(int(k[i]), int(n[i]), delta)
+            assert lo[i] == pytest.approx(slo, abs=1e-9)
+            assert hi[i] == pytest.approx(shi, abs=1e-9)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize(
+        "epsilon,delta",
+        [(0.05, 1e-3), (0.1, 1e-2), (0.2, 1e-4), (0.15, 1e-3)],
+    )
+    def test_tight_sample_size_backends_equal(self, epsilon, delta):
+        clear_all_caches()
+        batch = tight_sample_size(epsilon, delta, backend="batch")
+        scalar = tight_sample_size(epsilon, delta, backend="scalar")
+        assert batch == scalar
+
+    @pytest.mark.parametrize("n,epsilon", [(170, 0.1), (1090, 0.05), (37, 0.2)])
+    def test_worst_case_backends_close(self, n, epsilon):
+        clear_all_caches()
+        batch = worst_case_failure_probability(n, epsilon, backend="batch")
+        scalar = worst_case_failure_probability(n, epsilon, backend="scalar")
+        assert batch == pytest.approx(scalar, abs=TOL)
+
+    def test_tight_epsilon_backends_equal(self):
+        clear_all_caches()
+        batch = tight_epsilon(500, 1e-3, backend="batch")
+        scalar = tight_epsilon(500, 1e-3, backend="scalar")
+        assert batch == pytest.approx(scalar, abs=1e-9)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tight_sample_size(0.1, 1e-3, backend="numpy")
+
+
+class TestCaching:
+    def test_memoized_tight_sample_size_hits(self):
+        clear_all_caches()
+        first = tight_sample_size(0.1, 1e-2)
+        before = all_cache_info()["stats.tight_bounds.tight_sample_size"]
+        second = tight_sample_size(0.1, 1e-2)
+        after = all_cache_info()["stats.tight_bounds.tight_sample_size"]
+        assert first == second
+        assert after.hits == before.hits + 1
+
+    def test_hint_does_not_pollute_cache(self):
+        clear_all_caches()
+        hinted = tight_sample_size(0.1, 1e-2, n_hint=123)
+        unhinted = tight_sample_size(0.1, 1e-2)
+        assert hinted == unhinted
+
+    def test_clear_all_caches_resets(self):
+        tight_sample_size(0.1, 1e-2)
+        clear_all_caches()
+        info = all_cache_info()["stats.tight_bounds.tight_sample_size"]
+        assert info.currsize == 0 and info.hits == 0
+
+    def test_log_factorial_table_prefix_consistent(self):
+        clear_all_caches()
+        small = log_factorial_table(10).copy()
+        large = log_factorial_table(1000)
+        assert np.array_equal(small[:11], large[:11])

@@ -1,15 +1,18 @@
 # One-command entry points for the pipeline.
 #
-#   make verify        - tier-1 test run (what CI gates on)
-#   make verify-fast   - tier-1 without the slow end-to-end examples
-#   make bench-perf    - scalar-vs-batch perf kernels benchmark
-#                        (writes BENCH_perf_kernels.json)
-#   make bench         - full pytest-benchmark suite over the paper artifacts
+#   make verify           - tier-1 test run (what CI gates on)
+#   make verify-fast      - tier-1 without the slow end-to-end examples
+#   make bench-perf       - scalar-vs-batch perf kernels benchmark
+#                           (writes BENCH_perf_kernels.json)
+#   make bench-throughput - batched commit-evaluation + epsilon planning
+#                           benchmark (writes BENCH_commit_throughput.json)
+#   make bench            - full pytest-benchmark suite over the paper
+#                           artifacts, plus the perf benchmarks above
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast bench bench-perf
+.PHONY: verify verify-fast bench bench-perf bench-throughput
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -20,5 +23,8 @@ verify-fast:
 bench-perf:
 	$(PYTHON) benchmarks/bench_perf_kernels.py
 
-bench:
+bench-throughput:
+	$(PYTHON) benchmarks/bench_commit_throughput.py
+
+bench: bench-perf bench-throughput
 	$(PYTHON) -m pytest -q benchmarks -s

@@ -4,14 +4,22 @@ Stands in for the "GitHub repository" of Figure 1: developers commit
 models (plus messages), the CI service observes new commits and runs
 builds.  Observers are registered callables — the CI service subscribes
 itself, mirroring a webhook.
+
+Two webhook shapes exist: the classic per-commit observer and, for
+subscribers that can evaluate a whole push at once (the batched CI
+service), an optional batch companion registered alongside it via
+:meth:`ModelRepository.on_commit`.  :meth:`ModelRepository.commit_many`
+delivers each push exactly once per subscriber — through the batch
+companion when one was registered, otherwise commit by commit — so plain
+per-commit subscribers never miss commits that arrive via a push.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.ci.commit import Commit
-from repro.exceptions import EngineStateError
+from repro.exceptions import EngineStateError, InvalidParameterError
 
 __all__ = ["ModelRepository"]
 
@@ -28,7 +36,9 @@ class ModelRepository:
     def __init__(self, name: str = "ml-repo"):
         self.name = name
         self._commits: list[Commit] = []
-        self._observers: list[Callable[[Commit], None]] = []
+        self._observers: list[
+            tuple[Callable[[Commit], None], Callable[[list[Commit]], None] | None]
+        ] = []
 
     # -- committing -----------------------------------------------------------
     def commit(self, model: Any, message: str = "", author: str = "developer") -> Commit:
@@ -40,13 +50,61 @@ class ModelRepository:
             author=author,
         )
         self._commits.append(commit)
-        for observer in self._observers:
+        for observer, _ in self._observers:
             observer(commit)
         return commit
 
-    def on_commit(self, observer: Callable[[Commit], None]) -> None:
-        """Register a callable invoked for every future commit."""
-        self._observers.append(observer)
+    def commit_many(
+        self,
+        models: Sequence[Any],
+        messages: Sequence[str] | None = None,
+        author: str = "developer",
+    ) -> list[Commit]:
+        """Append a push of model versions, notifying each subscriber once.
+
+        Subscribers that registered a batch companion receive the whole
+        commit list in one call (a batch-aware CI service evaluates the
+        push through its vectorized pipeline); every other subscriber's
+        per-commit observer fires for each commit in order, exactly as if
+        the models had been committed one at a time.
+        """
+        if messages is not None and len(messages) != len(models):
+            raise InvalidParameterError(
+                f"got {len(messages)} messages for {len(models)} models"
+            )
+        commits = []
+        for i, model in enumerate(models):
+            commits.append(
+                Commit(
+                    sequence=len(self._commits),
+                    model=model,
+                    message=messages[i] if messages is not None else "",
+                    author=author,
+                )
+            )
+            self._commits.append(commits[-1])
+        for observer, batch_observer in self._observers:
+            if batch_observer is not None:
+                batch_observer(list(commits))
+            else:
+                for commit in commits:
+                    observer(commit)
+        return commits
+
+    def on_commit(
+        self,
+        observer: Callable[[Commit], None],
+        *,
+        batch_observer: Callable[[list[Commit]], None] | None = None,
+    ) -> None:
+        """Register a callable invoked for every future commit.
+
+        ``batch_observer``, when given, replaces the per-commit calls for
+        pushes delivered through :meth:`commit_many`: the subscriber gets
+        the whole push in one call instead of one call per commit (never
+        both).
+        """
+        self._observers.append((observer, batch_observer))
 
     # -- history ---------------------------------------------------------------
     def __len__(self) -> int:

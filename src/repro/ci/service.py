@@ -19,12 +19,22 @@ cache (:mod:`repro.stats.cache`), so every service after the first that
 watches the same condition/reliability spec gets its plan in microseconds;
 :meth:`CIService.planning_cache_info` exposes the hit statistics for
 operational dashboards.
+
+Evaluation cost under commit traffic: :meth:`CIService.process_batch` is
+the high-throughput ingest path.  A whole push of commits is drained
+through :meth:`CIEngine.submit_many`, which predicts each model once and
+evaluates the condition for the entire queue with one vectorized batch
+evaluation per comparison baseline — while producing build records,
+commit statuses, promotions and alarms element-wise identical to the
+per-commit webhook.  Commits that arrive after the testset's statistical
+budget is exhausted are recorded as skipped builds, exactly as the
+sequential webhook would record them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.ci.commit import Commit, CommitStatus
 from repro.ci.notifications import NotificationTransport
@@ -102,7 +112,7 @@ class CIService:
             script, testset, baseline_model, notifier=notifier, **engine_kwargs
         )
         self.repository = repository if repository is not None else ModelRepository()
-        self.repository.on_commit(self._on_commit)
+        self.repository.on_commit(self._on_commit, batch_observer=self._on_commit_batch)
         self._builds: list[BuildRecord] = []
 
     # -- inspection --------------------------------------------------------------
@@ -148,6 +158,52 @@ class CIService:
         self._builds.append(
             BuildRecord(build_number=build_number, commit=commit, result=result)
         )
+
+    def _on_commit_batch(self, commits: list[Commit]) -> None:
+        before = self.engine.commits_evaluated
+        skipped_reason: str | None = None
+        try:
+            results = self.engine.submit_many([commit.model for commit in commits])
+        except TestsetExhaustedError as exc:
+            # The engine keeps every result it produced before the budget
+            # ran out; the commits after the exhaustion become skipped
+            # builds with the same reason the sequential webhook reports.
+            results = self.engine.results[before:]
+            skipped_reason = str(exc)
+        for commit, result in zip(commits, results):
+            commit.status = self._status_for(result)
+            self._builds.append(
+                BuildRecord(
+                    build_number=len(self._builds) + 1, commit=commit, result=result
+                )
+            )
+        for commit in commits[len(results):]:
+            commit.status = CommitStatus.SKIPPED
+            self._builds.append(
+                BuildRecord(
+                    build_number=len(self._builds) + 1,
+                    commit=commit,
+                    result=None,
+                    skipped_reason=skipped_reason,
+                )
+            )
+
+    # -- the batched ingest path ---------------------------------------------------
+    def process_batch(
+        self,
+        models: Sequence[Any],
+        messages: Sequence[str] | None = None,
+        author: str = "developer",
+    ) -> list[BuildRecord]:
+        """Commit and evaluate a whole queue of models in one batched pass.
+
+        The models are committed to the repository as one push and drained
+        through :meth:`CIEngine.submit_many`; statuses, build records,
+        promotions and alarms are element-wise identical to committing the
+        models one at a time.  Returns the build records of this push.
+        """
+        commits = self.repository.commit_many(models, messages=messages, author=author)
+        return self._builds[len(self._builds) - len(commits):]
 
     @staticmethod
     def _status_for(result: CommitResult) -> CommitStatus:

@@ -29,7 +29,9 @@ compared against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.core.alarm import AlarmEvent, AlarmReason, NewTestsetAlarm
 from repro.core.estimators.adaptivity import Adaptivity
@@ -39,7 +41,7 @@ from repro.core.evaluation import ConditionEvaluator, EvaluationResult
 from repro.core.script.config import CIScript
 from repro.core.testset import Testset, TestsetManager
 from repro.exceptions import TestsetSizeError
-from repro.stats.estimation import PairedSample
+from repro.stats.estimation import PairedSample, PairedSampleBatch
 
 __all__ = ["CommitResult", "CIEngine"]
 
@@ -203,6 +205,110 @@ class CIEngine:
         )
         self._results.append(result)
         return result
+
+    def submit_many(self, models: Sequence[Any]) -> list[CommitResult]:
+        """Drain a queue of commits through batched evaluations.
+
+        Element-wise identical to calling :meth:`submit` once per model,
+        in order — same signals, promotions, alarms and budget consumption
+        (the test suite asserts this under all three adaptivity modes) —
+        but each model is predicted once and the condition is evaluated
+        for the whole queue with one vectorized
+        :meth:`~repro.core.evaluation.ConditionEvaluator.evaluate_batch`
+        per comparison baseline.  When a commit truly passes it becomes
+        the new active model, so the models after it are re-batched
+        against the newly promoted baseline, exactly like the sequential
+        active-model chain.
+
+        Unlike the sequential loop, predictions are computed eagerly for
+        every commit that can still be evaluated (at most the remaining
+        statistical budget): if a model's ``predict`` raises, the error
+        surfaces before *any* commit in the queue has been evaluated,
+        whereas the loop would have processed the commits ahead of the
+        broken model first.
+
+        Raises
+        ------
+        TestsetExhaustedError
+            When the testset's budget runs out (or a ``firstChange`` pass
+            retires it) before the queue is drained — mirroring the
+            sequential loop, which raises on the submit after the
+            retirement.  Results for the commits evaluated before the
+            exhaustion are preserved in :attr:`results`.
+        """
+        models = list(models)
+        results: list[CommitResult] = []
+        if not models:
+            return results
+        testset = self.manager.current  # raises when already exhausted
+        # Commits beyond the remaining budget can never be evaluated (the
+        # queue raises when it reaches them), so their models are not
+        # worth predicting.
+        evaluable = min(len(models), self.manager.remaining)
+        predictions = [testset.predict_with(model) for model in models[:evaluable]]
+        matrix = np.stack(predictions)
+        adaptivity = self.script.adaptivity
+        releases_signal = adaptivity.releases_signal_to_developer
+        accepts_all = adaptivity is Adaptivity.NONE
+        retires_on_pass = adaptivity.retires_testset_on_pass
+        notifies = accepts_all and self.notifier is not None
+        manager = self.manager
+        log = self._results
+        start = 0
+        while start < evaluable:
+            testset = manager.current  # raises once retired mid-queue
+            batch = PairedSampleBatch(
+                old_predictions=self._active_predictions,
+                new_prediction_matrix=matrix[start:],
+                labels=testset.labels,
+            )
+            evaluations = self.evaluator.evaluate_batch(batch)
+            rebatched = False
+            for offset, evaluation in enumerate(evaluations):
+                index = start + offset
+                if offset:
+                    # A retirement mid-batch (budget spent) invalidates the
+                    # rest of the queue, exactly like the sequential loop.
+                    testset = manager.current
+                uses = manager.consume()
+                truly_passed = evaluation.passed
+                developer_signal = truly_passed if releases_signal else None
+                accepted = True if accepts_all else truly_passed
+                promoted = False
+                if truly_passed:
+                    self.active_model = models[index]
+                    self._active_predictions = predictions[index]
+                    promoted = True
+                if (truly_passed and retires_on_pass) or manager.budget_spent:
+                    alarm_event = self._maybe_alarm(truly_passed, uses, testset)
+                else:
+                    alarm_event = None
+                if notifies:
+                    self._notify_third_party(truly_passed)
+                result = CommitResult(
+                    commit_index=len(log),
+                    evaluation=evaluation,
+                    truly_passed=truly_passed,
+                    developer_signal=developer_signal,
+                    accepted=accepted,
+                    promoted=promoted,
+                    testset_uses=uses,
+                    alarm_event=alarm_event,
+                )
+                log.append(result)
+                results.append(result)
+                if promoted and index + 1 < evaluable:
+                    start = index + 1
+                    rebatched = True
+                    break
+            if not rebatched:
+                break
+        if len(results) < len(models):
+            # The budget (or a firstChange pass) retired the testset with
+            # commits still queued: raise exactly like the sequential
+            # loop's next submit would.
+            self.manager.current
+        return results
 
     def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:
         """Install a fresh testset after an alarm (new generation).

@@ -15,12 +15,29 @@ predictions of the (old, new) models on the testset, the evaluator:
 For ``BENNETT_PAIRED`` clauses the expression is estimated directly from
 the paired per-example differences (tighter than combining two independent
 accuracy intervals); the interval is ``estimate ± clause.tolerance``.
+
+Two evaluation paths share these semantics:
+
+* :meth:`ConditionEvaluator.evaluate` — the scalar reference: one
+  :class:`~repro.stats.estimation.PairedSample`, clause machinery walked
+  in Python.  Kept deliberately simple; it is the ground truth the batch
+  path is asserted against.
+* :meth:`ConditionEvaluator.evaluate_batch` — the vectorized path: a
+  :class:`~repro.stats.estimation.PairedSampleBatch` of ``B`` candidates
+  is widened through the plan's tolerances with array interval algebra
+  (identical FP operations applied element-wise, so results are
+  bit-identical to the scalar path).  The per-candidate
+  :class:`ClauseEvaluation` diagnostics are materialized lazily — the
+  ternary signals come straight out of the arrays, and the object graph
+  is only built for results somebody actually inspects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
+
+import numpy as np
 
 from repro.core.dsl.linear import linearize
 from repro.core.dsl.nodes import Clause
@@ -28,7 +45,7 @@ from repro.core.estimators.plans import ClausePlan, ClauseStrategy, SampleSizePl
 from repro.core.intervals import Interval
 from repro.core.logic import Mode, TernaryResult, resolve_ternary, ternary_and
 from repro.exceptions import InvalidParameterError, TestsetSizeError
-from repro.stats.estimation import PairedSample
+from repro.stats.estimation import PairedSample, PairedSampleBatch
 
 __all__ = ["ClauseEvaluation", "EvaluationResult", "ConditionEvaluator"]
 
@@ -55,7 +72,6 @@ class ClauseEvaluation:
     estimates: Mapping[str, float]
 
 
-@dataclass(frozen=True)
 class EvaluationResult:
     """Full evaluation of a formula against one commit.
 
@@ -68,13 +84,89 @@ class EvaluationResult:
     mode:
         The mode used for the resolution.
     clause_evaluations:
-        Per-clause detail, in formula order.
+        Per-clause detail, in formula order.  For results produced by the
+        batched path this tuple is materialized on first access — the
+        signal fields above are always eager.
     """
 
-    ternary: TernaryResult
-    passed: bool
-    mode: Mode
-    clause_evaluations: tuple[ClauseEvaluation, ...]
+    __slots__ = ("ternary", "passed", "mode", "_clause_evaluations", "_builder")
+
+    def __init__(
+        self,
+        ternary: TernaryResult,
+        passed: bool,
+        mode: Mode,
+        clause_evaluations: tuple[ClauseEvaluation, ...],
+    ):
+        self.ternary = ternary
+        self.passed = passed
+        self.mode = mode
+        self._clause_evaluations = tuple(clause_evaluations)
+        self._builder = None
+
+    @classmethod
+    def deferred(
+        cls,
+        ternary: TernaryResult,
+        passed: bool,
+        mode: Mode,
+        builder: Callable[[], tuple[ClauseEvaluation, ...]],
+    ) -> "EvaluationResult":
+        """A result whose clause diagnostics are built on first access."""
+        result = cls.__new__(cls)
+        result.ternary = ternary
+        result.passed = passed
+        result.mode = mode
+        result._clause_evaluations = None
+        result._builder = builder
+        return result
+
+    @property
+    def clause_evaluations(self) -> tuple[ClauseEvaluation, ...]:
+        """Per-clause detail, materializing a deferred result if needed."""
+        if self._clause_evaluations is None:
+            self._clause_evaluations = self._builder()
+            self._builder = None
+        return self._clause_evaluations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EvaluationResult):
+            return NotImplemented
+        return (
+            self.ternary is other.ternary
+            and self.passed == other.passed
+            and self.mode is other.mode
+            and self.clause_evaluations == other.clause_evaluations
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ternary, self.passed, self.mode, self.clause_evaluations))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvaluationResult(ternary={self.ternary!r}, passed={self.passed!r}, "
+            f"mode={self.mode!r}, clause_evaluations={self.clause_evaluations!r})"
+        )
+
+    def __jsonable__(self) -> dict:
+        """Field-by-field view for :func:`repro.utils.serialization.to_jsonable`.
+
+        Matches the dict the dataclass-based implementation produced.
+        """
+        return {
+            "ternary": self.ternary,
+            "passed": self.passed,
+            "mode": self.mode,
+            "clause_evaluations": self.clause_evaluations,
+        }
+
+    def __getstate__(self):
+        # Materialize before pickling: builder closures do not serialize.
+        return (self.ternary, self.passed, self.mode, self.clause_evaluations)
+
+    def __setstate__(self, state) -> None:
+        self.ternary, self.passed, self.mode, self._clause_evaluations = state
+        self._builder = None
 
     @property
     def was_determinate(self) -> bool:
@@ -94,6 +186,33 @@ class EvaluationResult:
                 f"-> {ce.outcome.value}  [{ests}]"
             )
         return "\n".join(lines)
+
+
+# Ternary outcomes as small ints so the Kleene conjunction over a batch is
+# one ``min`` reduction: False < Unknown < True.
+_FALSE, _UNKNOWN, _TRUE = 0, 1, 2
+_CODE_TO_TERNARY = (TernaryResult.FALSE, TernaryResult.UNKNOWN, TernaryResult.TRUE)
+
+# Canonical variable order of the batched interval accumulation — the
+# superset iteration of the scalar path's sorted() clause walk, so terms
+# land in the same order (absent variables contribute an exact 0.0).
+_VARIABLE_ORDER = ("d", "n", "o")
+
+
+@dataclass(frozen=True)
+class _ClauseStatic:
+    """Per-clause constants hoisted out of the batched hot loop."""
+
+    clause: Clause
+    is_paired: bool
+    constant: float
+    scale: float  # BENNETT_PAIRED: the gain coefficient
+    coefficients: Mapping[str, float]
+    tolerances: Mapping[str, float]
+    comparator: str
+    threshold: float
+    tolerance: float
+    variables: tuple[str, ...]
 
 
 class ConditionEvaluator:
@@ -121,15 +240,19 @@ class ConditionEvaluator:
         self.plan = plan
         self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
         self.enforce_sample_size = bool(enforce_sample_size)
+        self._batch_static: list[_ClauseStatic] | None = None
 
-    def evaluate(self, sample: PairedSample) -> EvaluationResult:
-        """Evaluate the formula on one testset's paired predictions."""
-        if self.enforce_sample_size and len(sample) < self.plan.pool_size:
+    def _check_size(self, size: int) -> None:
+        if self.enforce_sample_size and size < self.plan.pool_size:
             raise TestsetSizeError(
-                f"testset has {len(sample)} examples but the plan requires "
+                f"testset has {size} examples but the plan requires "
                 f"{self.plan.pool_size}; the ({self.plan.delta:g})-guarantee "
                 "would not hold"
             )
+
+    def evaluate(self, sample: PairedSample) -> EvaluationResult:
+        """Evaluate the formula on one testset's paired predictions."""
+        self._check_size(len(sample))
         evaluations = tuple(
             self._evaluate_clause(clause_plan, sample)
             for clause_plan in self.plan.clause_plans
@@ -140,6 +263,185 @@ class ConditionEvaluator:
             passed=resolve_ternary(ternary, self.mode),
             mode=self.mode,
             clause_evaluations=evaluations,
+        )
+
+    # -- the batched path -------------------------------------------------------
+    def _clause_static(self) -> list[_ClauseStatic]:
+        if self._batch_static is None:
+            static = []
+            for clause_plan in self.plan.clause_plans:
+                clause = clause_plan.clause
+                lin = linearize(clause)
+                paired = clause_plan.strategy is ClauseStrategy.BENNETT_PAIRED
+                tolerances = {} if paired else dict(clause_plan.variable_tolerances())
+                variables = () if paired else tuple(sorted(lin.variables()))
+                if not paired:
+                    missing = [v for v in variables if v not in tolerances]
+                    if missing:  # pragma: no cover - plans always allocate
+                        raise InvalidParameterError(
+                            f"plan has no tolerance for variable {missing[0]!r}"
+                        )
+                static.append(
+                    _ClauseStatic(
+                        clause=clause,
+                        is_paired=paired,
+                        constant=lin.constant,
+                        scale=lin.coefficient("n"),
+                        coefficients=dict(lin.coefficients),
+                        tolerances=tolerances,
+                        comparator=clause.comparator,
+                        threshold=clause.threshold,
+                        tolerance=clause.tolerance,
+                        variables=variables,
+                    )
+                )
+            self._batch_static = static
+        return self._batch_static
+
+    def evaluate_batch(self, batch: PairedSampleBatch) -> tuple[EvaluationResult, ...]:
+        """Evaluate the formula for every candidate in one batch.
+
+        Element ``i`` of the returned tuple equals
+        ``self.evaluate(batch.sample(i))`` — same ternary, same signal,
+        same clause diagnostics (asserted in the test suite).  All
+        per-variable clauses are widened together through one ``(k, B)``
+        interval-matrix accumulation (the floating-point operations applied
+        to each element match the scalar walk term for term, with absent
+        variables contributing an exact zero); the per-candidate
+        :class:`ClauseEvaluation` tuples are materialized lazily.
+        """
+        self._check_size(len(batch))
+        size = batch.batch_size
+        if size == 0:
+            return ()
+        static = self._clause_static()
+        hoeffding = [(i, s) for i, s in enumerate(static) if not s.is_paired]
+        paired = [(i, s) for i, s in enumerate(static) if s.is_paired]
+
+        estimates: dict[str, np.ndarray] = {}
+        needed = {v for _, s in hoeffding for v in s.variables}
+        for variable in needed:
+            estimates[variable] = np.asarray(
+                self._estimate_variable_batch(variable, batch), dtype=np.float64
+            )
+
+        columns: dict[int, tuple] = {}  # clause position -> (lows, highs, codes)
+        codes: np.ndarray | None = None
+
+        if hoeffding:
+            k = len(hoeffding)
+            lows = np.empty((k, size), dtype=np.float64)
+            lows[:] = np.array([s.constant for _, s in hoeffding])[:, None]
+            highs = lows.copy()
+            for variable in _VARIABLE_ORDER:
+                coeff = np.array(
+                    [s.coefficients.get(variable, 0.0) for _, s in hoeffding]
+                )
+                if not np.any(coeff):
+                    continue
+                tol = np.array(
+                    [s.tolerances.get(variable, 0.0) for _, s in hoeffding]
+                )
+                values = estimates[variable][None, :]
+                # Mirrors Interval.from_estimate(...).scale(coefficient)
+                # element-wise; rows whose clause lacks the variable add
+                # an exact 0.0, leaving their accumulation value-identical
+                # to the scalar walk that skips the variable.
+                scaled_low = (values - tol[:, None]) * coeff[:, None]
+                scaled_high = (values + tol[:, None]) * coeff[:, None]
+                lows += np.minimum(scaled_low, scaled_high)
+                highs += np.maximum(scaled_low, scaled_high)
+            thresholds = np.array([s.threshold for _, s in hoeffding])[:, None]
+            greater = np.array([s.comparator == ">" for _, s in hoeffding])[:, None]
+            matrix_codes = np.where(
+                greater,
+                np.where(
+                    lows > thresholds,
+                    _TRUE,
+                    np.where(highs <= thresholds, _FALSE, _UNKNOWN),
+                ),
+                np.where(
+                    highs < thresholds,
+                    _TRUE,
+                    np.where(lows >= thresholds, _FALSE, _UNKNOWN),
+                ),
+            ).astype(np.int8)
+            codes = matrix_codes.min(axis=0)
+            for row, (position, _) in enumerate(hoeffding):
+                columns[position] = (lows[row], highs[row], matrix_codes[row])
+
+        for position, s in paired:
+            gains = batch.accuracy_gains()
+            centre = s.scale * gains + s.constant
+            lo = centre - s.tolerance
+            hi = centre + s.tolerance
+            if s.comparator == ">":
+                col = np.where(
+                    lo > s.threshold,
+                    _TRUE,
+                    np.where(hi <= s.threshold, _FALSE, _UNKNOWN),
+                ).astype(np.int8)
+            else:
+                col = np.where(
+                    hi < s.threshold,
+                    _TRUE,
+                    np.where(lo >= s.threshold, _FALSE, _UNKNOWN),
+                ).astype(np.int8)
+            codes = col if codes is None else np.minimum(codes, col)
+            columns[position] = (lo, hi, col)
+
+        if codes is None:  # pragma: no cover - formulas always have clauses
+            codes = np.full(size, _TRUE, dtype=np.int8)
+        fn_free = self.mode is Mode.FN_FREE
+        passed = (codes == _TRUE) | ((codes == _UNKNOWN) & fn_free)
+
+        mode = self.mode
+        code_list = codes.tolist()
+        passed_list = passed.tolist()
+        ordered = [(s, columns[i]) for i, s in enumerate(static)]
+        estimate_lists = {name: arr.tolist() for name, arr in estimates.items()}
+        paired_estimates = (
+            (batch.accuracy_gains().tolist(), batch.differences().tolist())
+            if paired
+            else None
+        )
+
+        def make_builder(index: int) -> Callable[[], tuple[ClauseEvaluation, ...]]:
+            def build() -> tuple[ClauseEvaluation, ...]:
+                evaluations = []
+                for s, (low_col, high_col, code_col) in ordered:
+                    if s.is_paired:
+                        gains_list, diff_list = paired_estimates
+                        clause_estimates = {
+                            "n-o": gains_list[index],
+                            "d": diff_list[index],
+                        }
+                    else:
+                        clause_estimates = {
+                            v: estimate_lists[v][index] for v in s.variables
+                        }
+                    evaluations.append(
+                        ClauseEvaluation(
+                            clause=s.clause,
+                            interval=Interval(
+                                float(low_col[index]), float(high_col[index])
+                            ),
+                            outcome=_CODE_TO_TERNARY[int(code_col[index])],
+                            estimates=clause_estimates,
+                        )
+                    )
+                return tuple(evaluations)
+
+            return build
+
+        return tuple(
+            EvaluationResult.deferred(
+                _CODE_TO_TERNARY[code_list[i]],
+                passed_list[i],
+                mode,
+                make_builder(i),
+            )
+            for i in range(size)
         )
 
     # -- clause machinery ------------------------------------------------------
@@ -203,4 +505,14 @@ class ConditionEvaluator:
             return sample.old_accuracy
         if variable == "d":
             return sample.difference
+        raise InvalidParameterError(f"unknown variable {variable!r}")
+
+    @staticmethod
+    def _estimate_variable_batch(variable: str, batch: PairedSampleBatch) -> np.ndarray:
+        if variable == "n":
+            return batch.new_accuracies()
+        if variable == "o":
+            return np.full(batch.batch_size, batch.old_accuracy, dtype=np.float64)
+        if variable == "d":
+            return batch.differences()
         raise InvalidParameterError(f"unknown variable {variable!r}")

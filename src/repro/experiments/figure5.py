@@ -99,8 +99,43 @@ class QueryTrace:
     developer_saw_signals: bool
 
 
-def run_query(history: SemEvalHistory, config: QueryConfig) -> QueryTrace:
-    """Replay the full history under one query configuration."""
+class _SharedPredictionModel:
+    """A model wrapper serving predictions computed once for the testset.
+
+    The three Figure 5 queries replay the *same* eight models over the
+    *same* labeled pool, so each model's predictions are computed a single
+    time and the arrays are shared across the queries (the engine never
+    mutates prediction arrays).
+    """
+
+    def __init__(self, model, predictions):
+        self.wrapped = model
+        self._predictions = predictions
+        self.name = getattr(model, "name", repr(model))
+
+    def predict(self, features):
+        return self._predictions
+
+
+def _share_predictions(history: SemEvalHistory) -> list[_SharedPredictionModel]:
+    testset = Testset(labels=history.labels, name="semeval-2019-task3")
+    return [
+        _SharedPredictionModel(model, testset.predict_with(model))
+        for model in history.models
+    ]
+
+
+def run_query(
+    history: SemEvalHistory,
+    config: QueryConfig,
+    models: list[_SharedPredictionModel] | None = None,
+) -> QueryTrace:
+    """Replay the full history under one query configuration.
+
+    ``models`` may carry pre-computed predictions (see :func:`run_figure5`,
+    which predicts each history model once and shares the arrays across
+    all three queries); when omitted they are computed here.
+    """
     adaptivity = config.adaptivity
     if adaptivity == "none":
         adaptivity = "none -> integration-team@example.com"
@@ -115,16 +150,18 @@ def run_query(history: SemEvalHistory, config: QueryConfig) -> QueryTrace:
             "variance_bound": history.volatile_fraction,
         }
     )
+    if models is None:
+        models = _share_predictions(history)
     transport = InMemoryEmailTransport()
     engine = CIEngine(
         script,
         Testset(labels=history.labels, name="semeval-2019-task3"),
-        history.models[0],
+        models[0],
         notifier=transport.send,
     )
     signals: list[bool] = []
     active = 1
-    for k, model in enumerate(history.models[1:], start=2):
+    for k, model in enumerate(models[1:], start=2):
         result = engine.submit(model)
         signals.append(result.truly_passed)
         if result.promoted:
@@ -139,7 +176,13 @@ def run_query(history: SemEvalHistory, config: QueryConfig) -> QueryTrace:
 
 
 def run_figure5(history: SemEvalHistory | None = None) -> list[QueryTrace]:
-    """Replay all three queries (constructing the default history if needed)."""
+    """Replay all three queries, predicting each history model only once.
+
+    Every query sees the same eight models on the same testset, so the
+    prediction arrays are computed a single time and shared across the
+    three engine replays instead of re-running ``predict_with`` per query.
+    """
     if history is None:
         history = make_semeval_history()
-    return [run_query(history, config) for config in SEMEVAL_QUERIES]
+    models = _share_predictions(history)
+    return [run_query(history, config, models) for config in SEMEVAL_QUERIES]

@@ -32,16 +32,20 @@ from repro.stats.batch import (
     binomial_tail_inversion_lower_vec,
     binomial_tail_inversion_upper_vec,
     clopper_pearson_interval_vec,
+    exact_coverage_failure_probability_pairs,
     exact_coverage_failure_probability_vec,
 )
 from repro.stats.cache import all_cache_info, clear_all_caches
 from repro.stats.tight_bounds import (
     exact_coverage_failure_probability,
+    exceeds_delta_many,
     tight_sample_size,
     tight_epsilon,
+    tight_epsilon_many,
 )
 from repro.stats.estimation import (
     PairedSample,
+    PairedSampleBatch,
     estimate_accuracy,
     estimate_difference,
     estimate_accuracy_gain,
@@ -75,12 +79,16 @@ __all__ = [
     "binomial_tail_inversion_upper_vec",
     "binomial_tail_inversion_lower_vec",
     "exact_coverage_failure_probability_vec",
+    "exact_coverage_failure_probability_pairs",
     "all_cache_info",
     "clear_all_caches",
     "exact_coverage_failure_probability",
     "tight_sample_size",
     "tight_epsilon",
+    "tight_epsilon_many",
+    "exceeds_delta_many",
     "PairedSample",
+    "PairedSampleBatch",
     "estimate_accuracy",
     "estimate_difference",
     "estimate_accuracy_gain",

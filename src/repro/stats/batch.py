@@ -19,6 +19,12 @@ provides NumPy-native kernels for exactly those shapes:
   the window is below ~1.5e-14, far under the 1e-10 agreement the tests
   enforce; see ``_WINDOW_SIGMAS``), so a full grid scan costs one small
   matrix of ``exp`` calls instead of thousands of Python-level loops;
+* :func:`exact_coverage_failure_probability_pairs` — the heterogeneous
+  counterpart: element-wise ``(n, p, epsilon)`` triples, so a *vector of
+  probes with different testset sizes* — the epsilon-side planning
+  workload — evaluates in a single kernel dispatch.  The per-``n`` padded
+  log-binomial rows are concatenated into one array and every tail window
+  gathers from it, whatever its ``n``;
 * vectorized exact-confidence counterparts:
   :func:`binomial_tail_inversion_upper_vec` /
   :func:`binomial_tail_inversion_lower_vec` /
@@ -49,6 +55,7 @@ __all__ = [
     "binom_cdf_vec",
     "binom_sf_vec",
     "exact_coverage_failure_probability_vec",
+    "exact_coverage_failure_probability_pairs",
     "binomial_tail_inversion_upper_vec",
     "binomial_tail_inversion_lower_vec",
     "clopper_pearson_interval_vec",
@@ -122,7 +129,7 @@ register_cache("stats.batch.log_factorial_table", _TableResetProxy())  # type: i
 
 
 _LOG_COMB_CACHE: OrderedDict[int, np.ndarray] = OrderedDict()
-_LOG_COMB_CACHE_SIZE = 16
+_LOG_COMB_CACHE_SIZE = 48
 
 
 def _log_comb_row(n: int) -> np.ndarray:
@@ -354,6 +361,193 @@ def exact_coverage_failure_probability_vec(n: int, p_grid, epsilon: float) -> np
     np.exp(work, out=work)
     sums = work @ np.ones(length)  # BLAS row sums
     m = len(pi)
+    out[interior] = np.minimum(1.0, sums[:m] + sums[m:])
+    return out
+
+
+_PAIRS_LAYOUT_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_PAIRS_LAYOUT_CACHE_SIZE = 8
+
+
+class _PairsLayoutProxy:
+    """Adapter letting the registry clear the pairs-kernel layout cache."""
+
+    maxsize = _PAIRS_LAYOUT_CACHE_SIZE
+
+    def clear(self) -> None:
+        with _TABLE_LOCK:
+            _PAIRS_LAYOUT_CACHE.clear()
+
+    def info(self):  # pragma: no cover - trivial
+        from repro.stats.cache import CacheInfo
+
+        return CacheInfo(
+            hits=0,
+            misses=0,
+            maxsize=self.maxsize,
+            currsize=len(_PAIRS_LAYOUT_CACHE),
+        )
+
+
+register_cache("stats.batch.pairs_layout", _PairsLayoutProxy())  # type: ignore[arg-type]
+
+
+def _pairs_layout(unique_ns: tuple, pad: int) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated padded log-comb segments for a set of ``n`` (cached)."""
+    key = (unique_ns, pad)
+    with _TABLE_LOCK:
+        entry = _PAIRS_LAYOUT_CACHE.get(key)
+        if entry is not None:
+            _PAIRS_LAYOUT_CACHE.move_to_end(key)
+            return entry
+    ns_arr = np.asarray(unique_ns, dtype=np.int64)
+    seg_sizes = ns_arr + 1 + 2 * pad
+    seg_offsets = np.concatenate([[0], np.cumsum(seg_sizes)[:-1]])
+    seg_bases = seg_offsets + pad
+    concat = np.full(int(seg_sizes.sum()), _LOG_ZERO)
+    for g, nv in enumerate(unique_ns):
+        base = int(seg_bases[g])
+        concat[base : base + nv + 1] = _log_comb_row(nv)
+    concat.flags.writeable = False
+    with _TABLE_LOCK:
+        _PAIRS_LAYOUT_CACHE[key] = (concat, seg_bases)
+        while len(_PAIRS_LAYOUT_CACHE) > _PAIRS_LAYOUT_CACHE_SIZE:
+            _PAIRS_LAYOUT_CACHE.popitem(last=False)
+    return concat, seg_bases
+
+
+def exact_coverage_failure_probability_pairs(
+    ns,
+    p_values,
+    epsilons,
+    *,
+    window_sigmas: float | None = None,
+    window_slack: int | None = None,
+) -> np.ndarray:
+    """Element-wise exact ``Pr[|Binomial(n_i, p_i)/n_i - p_i| > eps_i]``.
+
+    The heterogeneous counterpart of
+    :func:`exact_coverage_failure_probability_vec`: every element carries
+    its own ``(n, p, epsilon)`` triple, so a whole vector of planning
+    probes — e.g. one bisection midpoint per testset size — costs one
+    kernel dispatch regardless of how many distinct ``n`` appear.
+
+    The padded ``log C(n, .)`` rows of every distinct ``n`` are laid out
+    in one concatenated array; each element's two tail windows gather from
+    its segment at a shared window width (the maximum needed by any
+    element — extra positions either fall on padding cells whose ``exp``
+    is exactly zero or pick up real-but-negligible terms deeper in the
+    tail, which only *improves* accuracy).  Default precision matches the
+    vec kernel: windows reach at least ``_WINDOW_SIGMAS`` standard
+    deviations past the mean, bounding the omitted mass below ~1.5e-14.
+
+    ``window_sigmas`` / ``window_slack`` trade accuracy for speed: the
+    omitted tail mass is below ``~exp(-window_sigmas**2 / 2)``, and the
+    truncation only ever *under*-estimates the failure probability — a
+    one-sided error the epsilon-side probe machinery relies on (a
+    truncated-window exceedance certificate is sound for the full-window
+    value).
+    """
+    ns = np.atleast_1d(np.asarray(ns))
+    p = np.atleast_1d(np.asarray(p_values, dtype=np.float64))
+    eps = np.atleast_1d(np.asarray(epsilons, dtype=np.float64))
+    sigmas = _WINDOW_SIGMAS if window_sigmas is None else float(window_sigmas)
+    slack = _WINDOW_SLACK if window_slack is None else int(window_slack)
+    if sigmas <= 0 or slack < 1:
+        raise InvalidParameterError("window_sigmas and window_slack must be positive")
+    ns, p, eps = np.broadcast_arrays(ns, p, eps)
+    ns = ns.astype(np.int64)
+    if ns.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if np.any(ns < 1):
+        raise InvalidParameterError("n must contain positive integers")
+    if np.any(eps <= 0.0) or not np.all(np.isfinite(eps)):
+        raise InvalidParameterError("epsilon must contain positive finite values")
+    if np.any((p < 0.0) | (p > 1.0)) or not np.all(np.isfinite(p)):
+        raise InvalidParameterError("p must lie in [0, 1]")
+    out = np.zeros(p.shape, dtype=np.float64)
+    interior = (p > 0.0) & (p < 1.0)
+    if not np.any(interior):
+        return out
+    ni, pi, ei = ns[interior], p[interior], eps[interior]
+
+    # Identical cutoff arithmetic to the scalar implementation.
+    nf = ni.astype(np.float64)
+    lo_cut = (np.ceil(nf * (pi - ei) - 1e-12) - 1).astype(np.int64)
+    hi_cut = (np.floor(nf * (pi + ei) + 1e-12) + 1).astype(np.int64)
+    logp = np.log(pi)
+    log1mp = np.log1p(-pi)
+    logit = logp - log1mp
+
+    # Per-element natural window depth; the shared width is the maximum.
+    sigma = np.sqrt(nf * pi * (1.0 - pi))
+    depth = np.ceil(sigmas * sigma).astype(np.int64) + slack
+    natural = np.minimum(
+        ni + 1,
+        np.maximum(slack, depth - np.floor(ei * nf).astype(np.int64) + 2),
+    )
+    length = int(natural.max())
+
+    # One concatenated array of padded log-comb segments, one per unique n.
+    # The pad covers the deepest window any element can ask for; it is
+    # quantized upward to a power of two so that the many dispatches of a
+    # planning sweep (same ns, slightly different windows) share one
+    # cached layout instead of rebuilding the concatenation every call.
+    unique_ns, inv = np.unique(ni, return_inverse=True)
+    eps_max = np.zeros(len(unique_ns))
+    np.maximum.at(eps_max, inv, ei)
+    pad_needed = int(length + np.ceil(eps_max * unique_ns).max() + 4)
+    pad = 1 << (pad_needed - 1).bit_length()
+    concat, seg_bases = _pairs_layout(tuple(unique_ns.tolist()), pad)
+    base_index = seg_bases[inv]
+
+    # Row layout mirrors the vec kernel: lower tails, then upper tails.
+    # A lower-tail window *ends* at lo_cut, an upper-tail window *starts*
+    # at hi_cut, so both anchor at their cutoff and extend away from the
+    # distribution's bulk only as far as their width.
+    m = len(pi)
+    logit2 = np.concatenate([logit, logit])
+    n2 = np.concatenate([nf, nf])
+    log1mp2 = np.concatenate([log1mp, log1mp])
+    base2 = np.concatenate([base_index, base_index])
+    lo_end = lo_cut  # k of the last cell of each lower window
+    hi_start = hi_cut  # k of the first cell of each upper window
+
+    # Bucket rows by their natural window length: rows far from p = 1/2
+    # need far smaller windows than the global maximum, and the work
+    # matrix cost is rows x width.  Shrinking a window drops only its
+    # deepest-in-the-tail terms, so every bucket keeps the element's
+    # accuracy guarantee.
+    natural2 = np.concatenate([natural, natural])
+    sums = np.empty(2 * m, dtype=np.float64)
+    widths = [length]
+    while widths[-1] > 2 * slack:
+        widths.append(max(2 * slack, widths[-1] // 2))
+    previous = 0
+    for width in sorted(widths):
+        in_bucket = np.flatnonzero((natural2 > previous) & (natural2 <= width))
+        previous = width
+        if not len(in_bucket):
+            continue
+        lower_rows = in_bucket < m
+        # k-space position of each window's first cell.
+        first_k = np.where(
+            lower_rows, lo_end[in_bucket % m] - (width - 1), hi_start[in_bucket % m]
+        )
+        bucket_starts = base2[in_bucket] + first_k
+        windows = np.lib.stride_tricks.sliding_window_view(concat, width)
+        offsets_in_window = np.arange(width, dtype=np.float64)
+        ones = np.ones(width)
+        bucket_logit = logit2[in_bucket]
+        bucket_const = bucket_logit * first_k + n2[in_bucket] * log1mp2[in_bucket]
+        chunk = max(1, _MAX_MATRIX_CELLS // width)
+        for begin in range(0, len(in_bucket), chunk):
+            sl = slice(begin, begin + chunk)
+            work = windows[bucket_starts[sl]]  # fresh copy — safe to mutate
+            work += bucket_logit[sl, None] * offsets_in_window[None, :]
+            work += bucket_const[sl, None]
+            np.exp(work, out=work)
+            sums[in_bucket[sl]] = work @ ones
     out[interior] = np.minimum(1.0, sums[:m] + sums[m:])
     return out
 

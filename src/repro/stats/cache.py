@@ -23,6 +23,27 @@ estimator configuration), so entries never go stale under normal use; the
 only reasons to clear are benchmarking cold paths and reclaiming memory.
 ``clear_all_caches()`` is the single entry point; individual caches can be
 cleared through ``all_caches()[name].clear()``.
+
+Registry contents
+-----------------
+Every memoized layer registers here (asserted complete in
+``tests/stats/test_cache_registry.py``):
+
+* ``estimators.plan_cache`` — the process-wide :class:`SampleSizePlan`
+  cache shared by every estimator instance;
+* ``stats.batch.log_factorial_table`` — the shared ``lgamma`` table (and
+  the per-``n`` log-binomial rows derived from it);
+* ``stats.batch.pairs_layout`` — concatenated padded log-binomial
+  segments reused across the heterogeneous multi-``(n, p, eps)`` kernel
+  dispatches of a planning sweep;
+* ``stats.tight_bounds.worst_case`` / ``exceeds_delta`` /
+  ``tight_sample_size`` / ``tight_epsilon`` — the memoized §4.3 scans and
+  searches;
+* ``stats.tight_bounds.tight_epsilon_many`` — whole batched epsilon
+  sweeps, keyed on the full testset-size vector;
+* ``stats.tight_bounds.epsilon_anchors`` — recent ``(n, epsilon)``
+  results per reliability spec, used to warm-start the bisection bracket
+  of nearby testset sizes.
 """
 
 from __future__ import annotations

@@ -13,6 +13,20 @@ engine:
 
 All inputs are numpy arrays of shape ``(m,)``; predictions may be any dtype
 supporting ``==`` comparison (integers for class ids, strings for labels).
+
+Two evaluation granularities are provided:
+
+* :class:`PairedSample` — one (old, new) pair.  Correctness masks and the
+  four point estimates are computed lazily and cached, so a clause walk
+  that touches ``n``, ``o``, ``d`` and ``n - o`` runs each comparison over
+  the testset exactly once per sample.
+* :class:`PairedSampleBatch` — ``B`` candidate models against *one*
+  baseline, holding a ``(B, m)`` prediction matrix.  Correctness masks are
+  computed in single broadcast comparisons and the per-candidate estimates
+  come out of one NumPy reduction each — the statistical core of the
+  batched commit-evaluation pipeline.  Because every estimate is a mean of
+  integer-valued indicators (partial sums stay exact in float64), the
+  batched estimates are bit-identical to the scalar ones.
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ from repro.exceptions import InvalidParameterError
 
 __all__ = [
     "PairedSample",
+    "PairedSampleBatch",
     "estimate_accuracy",
     "estimate_difference",
     "estimate_accuracy_gain",
@@ -113,6 +128,19 @@ class PairedSample:
         object.__setattr__(self, "new_predictions", arrays["new"])
         if self.labels is not None:
             object.__setattr__(self, "labels", arrays["labels"])
+        # Lazy per-sample cache for correctness masks and point estimates.
+        # A clause walk touches the same estimate through several clauses;
+        # without the cache every property access re-runs an O(m)
+        # comparison over the testset.
+        object.__setattr__(self, "_cache", {})
+
+    def _cached(self, key: str, compute):
+        cache = self._cache
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = compute()
+            return value
 
     def __len__(self) -> int:
         return len(self.old_predictions)
@@ -129,35 +157,64 @@ class PairedSample:
             )
         return self.labels
 
+    def _old_correct(self) -> np.ndarray:
+        return self._cached(
+            "old_correct", lambda: self.old_predictions == self._require_labels()
+        )
+
+    def _new_correct(self) -> np.ndarray:
+        return self._cached(
+            "new_correct", lambda: self.new_predictions == self._require_labels()
+        )
+
     @property
     def old_accuracy(self) -> float:
-        """Point estimate of ``o``."""
-        return estimate_accuracy(self.old_predictions, self._require_labels())
+        """Point estimate of ``o`` (cached after the first access)."""
+        return self._cached(
+            "old_accuracy", lambda: float(np.mean(self._old_correct()))
+        )
 
     @property
     def new_accuracy(self) -> float:
-        """Point estimate of ``n``."""
-        return estimate_accuracy(self.new_predictions, self._require_labels())
+        """Point estimate of ``n`` (cached after the first access)."""
+        return self._cached(
+            "new_accuracy", lambda: float(np.mean(self._new_correct()))
+        )
 
     @property
     def difference(self) -> float:
-        """Point estimate of ``d`` — never needs labels."""
-        return estimate_difference(self.old_predictions, self.new_predictions)
+        """Point estimate of ``d`` — never needs labels (cached)."""
+        return self._cached(
+            "difference", lambda: float(np.mean(self.disagreement_mask))
+        )
 
     @property
     def accuracy_gain(self) -> float:
-        """Paired point estimate of ``n - o``."""
-        return estimate_accuracy_gain(
-            self.old_predictions, self.new_predictions, self._require_labels()
-        )
+        """Paired point estimate of ``n - o`` (cached)."""
+
+        def compute() -> float:
+            diff = self._new_correct().astype(np.int8) - self._old_correct().astype(
+                np.int8
+            )
+            return float(np.mean(diff))
+
+        return self._cached("accuracy_gain", compute)
 
     @property
     def disagreement_mask(self) -> np.ndarray:
         """Boolean mask of examples where the two models disagree.
 
         Active labeling (Section 4.1.2) labels exactly these examples.
+        The mask is computed once, cached, and marked read-only (mutating
+        it would silently corrupt the cached ``d`` estimates).
         """
-        return np.asarray(self.old_predictions != self.new_predictions)
+
+        def compute() -> np.ndarray:
+            mask = np.asarray(self.old_predictions != self.new_predictions)
+            mask.flags.writeable = False
+            return mask
+
+        return self._cached("disagreement", compute)
 
     def disagreement_indices(self) -> np.ndarray:
         """Indices of disagreeing examples, ascending."""
@@ -178,4 +235,144 @@ class PairedSample:
             old_predictions=self.old_predictions,
             new_predictions=self.new_predictions,
             labels=np.asarray(labels),
+        )
+
+
+@dataclass(frozen=True)
+class PairedSampleBatch:
+    """Predictions of ``B`` candidate models against one baseline.
+
+    The batched counterpart of :class:`PairedSample`: one ``(B, m)``
+    prediction matrix, one baseline prediction vector, one (optional)
+    label vector.  Correctness masks are computed once in broadcast
+    comparisons; every per-candidate estimate is a single ``axis=1``
+    reduction.  All estimates are means of integer-valued indicators, so
+    they agree bit-for-bit with the corresponding :class:`PairedSample`
+    property on each row.
+
+    Parameters
+    ----------
+    old_predictions:
+        Baseline predictions, shape ``(m,)``.
+    new_prediction_matrix:
+        Candidate predictions, shape ``(B, m)`` — one row per candidate.
+    labels:
+        Ground-truth labels, or ``None`` for an unlabeled pool.
+    """
+
+    old_predictions: np.ndarray
+    new_prediction_matrix: np.ndarray
+    labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        old = np.asarray(self.old_predictions)
+        matrix = np.asarray(self.new_prediction_matrix)
+        if old.ndim != 1:
+            raise InvalidParameterError(
+                f"old_predictions must be 1-D, got shape {old.shape}"
+            )
+        if matrix.ndim != 2:
+            raise InvalidParameterError(
+                f"new_prediction_matrix must be 2-D (B, m), got shape {matrix.shape}"
+            )
+        if matrix.shape[1] != len(old):
+            raise InvalidParameterError(
+                f"prediction matrix has {matrix.shape[1]} columns but the "
+                f"baseline has {len(old)} predictions"
+            )
+        if len(old) == 0:
+            raise InvalidParameterError("empty arrays: need at least one test example")
+        object.__setattr__(self, "old_predictions", old)
+        object.__setattr__(self, "new_prediction_matrix", matrix)
+        if self.labels is not None:
+            labels = np.asarray(self.labels)
+            if labels.shape != old.shape:
+                raise InvalidParameterError(
+                    f"labels have shape {labels.shape} but predictions have "
+                    f"shape {old.shape}"
+                )
+            object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_cache", {})
+
+    def _cached(self, key: str, compute):
+        cache = self._cache
+        try:
+            return cache[key]
+        except KeyError:
+            value = cache[key] = compute()
+            return value
+
+    def __len__(self) -> int:
+        """Testset size ``m`` (matching :class:`PairedSample` semantics)."""
+        return len(self.old_predictions)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of candidate models ``B``."""
+        return len(self.new_prediction_matrix)
+
+    @property
+    def has_labels(self) -> bool:
+        """Whether ground truth is attached."""
+        return self.labels is not None
+
+    def _require_labels(self) -> np.ndarray:
+        if self.labels is None:
+            raise InvalidParameterError(
+                "this PairedSampleBatch is unlabeled; accuracy statistics "
+                "need labels"
+            )
+        return self.labels
+
+    def _old_correct(self) -> np.ndarray:
+        return self._cached(
+            "old_correct", lambda: self.old_predictions == self._require_labels()
+        )
+
+    def _new_correct(self) -> np.ndarray:
+        """``(B, m)`` correctness mask — one broadcast comparison."""
+        return self._cached(
+            "new_correct",
+            lambda: self.new_prediction_matrix == self._require_labels()[None, :],
+        )
+
+    @property
+    def old_accuracy(self) -> float:
+        """Point estimate of ``o`` (shared by every candidate)."""
+        return self._cached(
+            "old_accuracy", lambda: float(np.mean(self._old_correct()))
+        )
+
+    def new_accuracies(self) -> np.ndarray:
+        """Point estimates of ``n``, shape ``(B,)`` — one reduction."""
+        return self._cached(
+            "new_accuracies", lambda: np.mean(self._new_correct(), axis=1)
+        )
+
+    def differences(self) -> np.ndarray:
+        """Point estimates of ``d``, shape ``(B,)`` — label-free."""
+        return self._cached(
+            "differences",
+            lambda: np.mean(
+                self.new_prediction_matrix != self.old_predictions[None, :], axis=1
+            ),
+        )
+
+    def accuracy_gains(self) -> np.ndarray:
+        """Paired point estimates of ``n - o``, shape ``(B,)``."""
+
+        def compute() -> np.ndarray:
+            diff = self._new_correct().astype(np.int8) - self._old_correct().astype(
+                np.int8
+            )[None, :]
+            return np.mean(diff, axis=1)
+
+        return self._cached("accuracy_gains", compute)
+
+    def sample(self, index: int) -> PairedSample:
+        """Row ``index`` as a :class:`PairedSample` (shares the arrays)."""
+        return PairedSample(
+            old_predictions=self.old_predictions,
+            new_predictions=self.new_prediction_matrix[index],
+            labels=self.labels,
         )

@@ -22,12 +22,15 @@ def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-serializable builtins.
 
     Supported inputs: dataclasses (converted field-by-field so nested numpy
-    values are handled), enums (by value), numpy scalars and arrays, sets,
-    mappings and sequences.  Unknown objects raise ``TypeError`` rather than
-    being silently stringified.
+    values are handled), objects exposing a ``__jsonable__()`` hook (e.g.
+    lazily-materialized evaluation results), enums (by value), numpy
+    scalars and arrays, sets, mappings and sequences.  Unknown objects
+    raise ``TypeError`` rather than being silently stringified.
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
+    if hasattr(obj, "__jsonable__"):
+        return to_jsonable(obj.__jsonable__())
     if isinstance(obj, enum.Enum):
         return to_jsonable(obj.value)
     if isinstance(obj, (np.bool_,)):

@@ -113,6 +113,82 @@ class TestWebhookFlow:
         assert commit.status is not CommitStatus.SKIPPED
 
 
+class TestProcessBatch:
+    def _models(self, service, world, count=5, promote_at=(1,)):
+        out = []
+        current = service.active_model.predictions
+        for i in range(count):
+            target = 0.95 if i in promote_at else 0.90
+            predictions = evolve_predictions(
+                current, world.labels,
+                target_accuracy=target, difference=0.12, seed=200 + i,
+            )
+            out.append(FixedPredictionModel(predictions, name=f"batch-{i}"))
+            if i in promote_at:
+                current = predictions
+        return out
+
+    def test_batch_matches_sequential_webhook(self):
+        sequential, world, _ = make_service(steps=6)
+        batched, _, _ = make_service(steps=6)
+        models = self._models(sequential, world)
+        for model in models:
+            sequential.repository.commit(model)
+        records = batched.process_batch(models)
+        assert len(records) == len(models)
+        assert len(batched.builds) == len(sequential.builds)
+        for a, b in zip(sequential.builds, batched.builds):
+            assert a.build_number == b.build_number
+            assert a.commit.status is b.commit.status
+            assert (a.result is None) == (b.result is None)
+            if a.result is not None:
+                assert a.result == b.result
+        assert getattr(sequential.active_model, "name", None) == getattr(
+            batched.active_model, "name", None
+        )
+
+    def test_exhaustion_mid_batch_skips_remaining(self):
+        sequential, world, _ = make_service(steps=2)
+        batched, _, _ = make_service(steps=2)
+        models = self._models(sequential, world, count=4, promote_at=())
+        for model in models:
+            sequential.repository.commit(model)
+        batched.process_batch(models)
+        seq_status = [b.commit.status for b in sequential.builds]
+        bat_status = [b.commit.status for b in batched.builds]
+        assert seq_status == bat_status
+        assert bat_status[-1] is CommitStatus.SKIPPED
+        assert [b.skipped_reason for b in sequential.builds] == [
+            b.skipped_reason for b in batched.builds
+        ]
+
+    def test_batch_records_returned_in_order(self):
+        service, world, _ = make_service(steps=6)
+        models = self._models(service, world, count=3, promote_at=())
+        records = service.process_batch(models, messages=["a", "b", "c"])
+        assert [r.commit.message for r in records] == ["a", "b", "c"]
+        assert [r.build_number for r in records] == [1, 2, 3]
+
+    def test_commit_many_without_batch_observer_falls_back(self):
+        repo = ModelRepository("plain")
+        seen = []
+        repo.on_commit(seen.append)
+        commits = repo.commit_many([object(), object()])
+        assert seen == commits
+
+    def test_plain_subscribers_still_hear_batched_pushes(self):
+        # an audit logger subscribed per-commit must see every commit of
+        # a push even though the service consumes it through the batch
+        # webhook (and the service must not double-process)
+        service, world, _ = make_service(steps=6)
+        audit = []
+        service.repository.on_commit(audit.append)
+        models = self._models(service, world, count=3, promote_at=())
+        records = service.process_batch(models)
+        assert [c.model for c in audit] == models
+        assert len(records) == 3 and len(service.builds) == 3
+
+
 class TestHiddenSignals:
     def test_none_mode_hides_status(self):
         service, world, transport = make_service(

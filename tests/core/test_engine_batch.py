@@ -1,0 +1,165 @@
+"""submit_many is element-wise identical to a loop of submit calls."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CIEngine
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.exceptions import TestsetExhaustedError
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+CONDITION = "d < 0.25 +/- 0.1 /\\ n - o > 0.05 +/- 0.1"
+
+
+def make_script(adaptivity, mode="fp-free", steps=6):
+    return CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": CONDITION,
+            "reliability": 0.999,
+            "mode": mode,
+            "adaptivity": adaptivity,
+            "steps": steps,
+        }
+    )
+
+
+def make_world(script, commits=8, promote_at=(2, 5), seed=0):
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.80, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=seed,
+    )
+    labels = pair.labels
+    models, current = [], pair.old_model.predictions
+    for i in range(commits):
+        target = 0.88 if i in promote_at else 0.81
+        predictions = evolve_predictions(
+            current, labels, target_accuracy=target, difference=0.12, seed=100 + i
+        )
+        models.append(FixedPredictionModel(predictions, name=f"m{i}"))
+        if i in promote_at:
+            current = predictions
+    return labels, pair.old_model, models
+
+
+def run_both(script, labels, baseline, models):
+    """Sequential loop and submit_many on twin engines; return everything."""
+    mail_seq, mail_batch = [], []
+    sequential = CIEngine(
+        script,
+        Testset(labels=labels),
+        baseline,
+        notifier=lambda *args: mail_seq.append(args),
+    )
+    batched = CIEngine(
+        script,
+        Testset(labels=labels),
+        baseline,
+        notifier=lambda *args: mail_batch.append(args),
+    )
+    seq_results, seq_error = [], None
+    for model in models:
+        try:
+            seq_results.append(sequential.submit(model))
+        except TestsetExhaustedError as exc:
+            seq_error = str(exc)
+            break
+    batch_error = None
+    try:
+        batch_results = batched.submit_many(models)
+    except TestsetExhaustedError as exc:
+        batch_error = str(exc)
+        batch_results = batched.results
+    return (
+        sequential,
+        batched,
+        seq_results,
+        batch_results,
+        seq_error,
+        batch_error,
+        mail_seq,
+        mail_batch,
+    )
+
+
+@pytest.mark.parametrize(
+    "adaptivity", ["full", "none -> third-party@example.com", "firstChange"]
+)
+@pytest.mark.parametrize("mode", ["fp-free", "fn-free"])
+def test_submit_many_matches_sequential(adaptivity, mode):
+    script = make_script(adaptivity, mode=mode)
+    labels, baseline, models = make_world(script)
+    (seq, bat, seq_results, batch_results, seq_error, batch_error,
+     mail_seq, mail_batch) = run_both(script, labels, baseline, models)
+
+    assert seq_error == batch_error
+    assert len(seq_results) == len(batch_results)
+    for a, b in zip(seq_results, batch_results):
+        assert a == b  # covers evaluation, signals, alarms, uses, indices
+    assert mail_seq == mail_batch
+    assert seq.manager.uses == bat.manager.uses
+    assert seq.manager.generation == bat.manager.generation
+    assert seq.manager.is_exhausted == bat.manager.is_exhausted
+    # active-model chain: both engines end on the same promoted commit
+    assert getattr(seq.active_model, "name", None) == getattr(
+        bat.active_model, "name", None
+    )
+    assert np.array_equal(seq._active_predictions, bat._active_predictions)
+
+
+def test_promotion_rebatches_against_new_baseline():
+    script = make_script("full", mode="fn-free", steps=8)
+    labels, baseline, models = make_world(script, promote_at=(1, 4))
+    _, bat, seq_results, batch_results, *_ = run_both(
+        script, labels, baseline, models
+    )
+    promotions = [r.promoted for r in batch_results]
+    assert any(promotions)
+    # commits after a promotion are compared against the promoted model
+    assert [r.promoted for r in seq_results] == promotions
+
+
+def test_budget_exhaustion_mid_queue_preserves_results_and_raises():
+    script = make_script("full", steps=4)
+    labels, baseline, models = make_world(script)
+    engine = CIEngine(script, Testset(labels=labels), baseline)
+    with pytest.raises(TestsetExhaustedError):
+        engine.submit_many(models)
+    assert engine.commits_evaluated == 4  # budget consumed before the raise
+    assert engine.results[-1].alarm_event is not None
+
+
+def test_empty_queue_is_a_no_op():
+    script = make_script("full")
+    labels, baseline, _ = make_world(script)
+    engine = CIEngine(script, Testset(labels=labels), baseline)
+    assert engine.submit_many([]) == []
+    assert engine.manager.uses == 0
+
+
+def test_submit_many_interleaves_with_submit():
+    script = make_script("full", steps=6)
+    labels, baseline, models = make_world(script, commits=6, promote_at=(1,))
+    sequential = CIEngine(script, Testset(labels=labels), baseline)
+    mixed = CIEngine(script, Testset(labels=labels), baseline)
+    seq_results = [sequential.submit(m) for m in models]
+    mixed_results = [mixed.submit(models[0])]
+    mixed_results += mixed.submit_many(models[1:4])
+    mixed_results.append(mixed.submit(models[4]))
+    mixed_results += mixed.submit_many(models[5:])
+    assert seq_results == mixed_results

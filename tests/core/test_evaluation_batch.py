@@ -1,0 +1,98 @@
+"""The batched evaluator is element-wise identical to the scalar reference."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.evaluation import ConditionEvaluator, EvaluationResult
+from repro.core.logic import Mode, TernaryResult
+from repro.exceptions import TestsetSizeError
+from repro.stats.estimation import PairedSampleBatch
+
+
+def make_batch(m, size=12, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, size=m)
+    old = labels.copy()
+    old[rng.random(m) < 0.2] += 1
+    old %= 3
+    matrix = np.tile(labels, (size, 1))
+    for i in range(size):
+        wrong = rng.random(m) < rng.uniform(0.05, 0.4)
+        matrix[i, wrong] = (matrix[i, wrong] + 1 + (i % 2)) % 3
+    return PairedSampleBatch(
+        old_predictions=old, new_prediction_matrix=matrix, labels=labels
+    )
+
+
+PLANS = [
+    # baseline multi-variable Hoeffding clauses
+    ("n > 0.6 +/- 0.1 /\\ d < 0.4 +/- 0.1 /\\ n - o > -0.2 +/- 0.15", {}),
+    # pattern 2: Bennett on the paired gain
+    ("n - o > 0.02 +/- 0.1", {"known_variance_bound": 0.4}),
+    # pattern 1: hierarchical d-clause plus Bennett gain clause
+    ("d < 0.45 +/- 0.1 /\\ n - o > 0.0 +/- 0.12", {}),
+]
+
+
+@pytest.mark.parametrize("condition,extra", PLANS)
+@pytest.mark.parametrize("mode", ["fp-free", "fn-free"])
+def test_batch_equals_scalar(condition, extra, mode):
+    plan = SampleSizeEstimator().plan(condition, delta=1e-2, steps=2, **extra)
+    evaluator = ConditionEvaluator(plan, mode, enforce_sample_size=False)
+    batch = make_batch(m=400)
+    batched = evaluator.evaluate_batch(batch)
+    assert len(batched) == batch.batch_size
+    for i, result in enumerate(batched):
+        reference = evaluator.evaluate(batch.sample(i))
+        assert result.ternary is reference.ternary
+        assert result.passed == reference.passed
+        assert result == reference  # materializes the lazy diagnostics
+        assert result.describe() == reference.describe()
+
+
+def test_batch_respects_sample_size_enforcement():
+    plan = SampleSizeEstimator().plan("n > 0.8 +/- 0.02", delta=1e-3, steps=1)
+    evaluator = ConditionEvaluator(plan, "fp-free")
+    with pytest.raises(TestsetSizeError):
+        evaluator.evaluate_batch(make_batch(m=50))
+
+
+def test_empty_batch():
+    plan = SampleSizeEstimator().plan("n > 0.5 +/- 0.2", delta=1e-2, steps=1)
+    evaluator = ConditionEvaluator(plan, "fp-free", enforce_sample_size=False)
+    batch = make_batch(m=30, size=0)
+    assert evaluator.evaluate_batch(batch) == ()
+
+
+def test_deferred_result_pickles_after_materialization_contract():
+    plan = SampleSizeEstimator().plan("n > 0.5 +/- 0.2", delta=1e-2, steps=1)
+    evaluator = ConditionEvaluator(plan, "fp-free", enforce_sample_size=False)
+    result = evaluator.evaluate_batch(make_batch(m=60, size=3))[0]
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    assert clone.clause_evaluations == result.clause_evaluations
+
+
+def test_results_serialize_like_the_old_dataclass():
+    from repro.utils.serialization import to_jsonable
+
+    plan = SampleSizeEstimator().plan("n > 0.5 +/- 0.2", delta=1e-2, steps=1)
+    evaluator = ConditionEvaluator(plan, "fp-free", enforce_sample_size=False)
+    batch = make_batch(m=60, size=2)
+    deferred = to_jsonable(evaluator.evaluate_batch(batch)[0])
+    eager = to_jsonable(evaluator.evaluate(batch.sample(0)))
+    assert deferred == eager
+    assert set(deferred) == {"ternary", "passed", "mode", "clause_evaluations"}
+
+
+def test_eager_constructor_still_works():
+    result = EvaluationResult(
+        ternary=TernaryResult.TRUE,
+        passed=True,
+        mode=Mode.FP_FREE,
+        clause_evaluations=(),
+    )
+    assert result.was_determinate and result.clause_evaluations == ()

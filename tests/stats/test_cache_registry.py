@@ -1,0 +1,50 @@
+"""Every process-wide cache self-registers so clear_all_caches covers it."""
+
+import numpy as np
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.stats.cache import all_cache_info, all_caches, clear_all_caches
+from repro.stats.tight_bounds import tight_epsilon, tight_epsilon_many
+
+# The full set of registered caches; a new memoized layer must add itself
+# here (and thereby to the clear_all_caches() contract) to land.
+EXPECTED_CACHES = {
+    "estimators.plan_cache",
+    "stats.batch.log_factorial_table",
+    "stats.batch.pairs_layout",
+    "stats.tight_bounds.worst_case",
+    "stats.tight_bounds.exceeds_delta",
+    "stats.tight_bounds.tight_sample_size",
+    "stats.tight_bounds.tight_epsilon",
+    "stats.tight_bounds.tight_epsilon_many",
+    "stats.tight_bounds.epsilon_anchors",
+}
+
+
+def test_registry_is_complete():
+    assert EXPECTED_CACHES == set(all_caches())
+
+
+def test_clear_all_caches_reaches_every_registry_entry():
+    # Warm every layer the batched-evaluation stack touches.
+    SampleSizeEstimator().plan("n > 0.7 +/- 0.1", delta=1e-2, steps=2)
+    tight_epsilon(120, 1e-2, tol=1e-5)
+    tight_epsilon_many(np.array([90, 160]), 1e-2, tol=1e-5)
+    warmed = {
+        name
+        for name, info in all_cache_info().items()
+        if info.currsize > 0
+    }
+    assert "estimators.plan_cache" in warmed
+    assert "stats.tight_bounds.tight_epsilon_many" in warmed
+    assert "stats.tight_bounds.epsilon_anchors" in warmed
+    clear_all_caches()
+    for name, info in all_cache_info().items():
+        assert info.currsize <= 1, f"cache {name!r} not cleared"
+
+
+def test_cleared_caches_recompute_identically():
+    eps_warm = tight_epsilon_many(np.array([110, 330]), 1e-2, tol=1e-5)
+    clear_all_caches()
+    eps_cold = tight_epsilon_many(np.array([110, 330]), 1e-2, tol=1e-5)
+    assert np.array_equal(eps_warm, eps_cold)

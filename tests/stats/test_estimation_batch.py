@@ -1,0 +1,103 @@
+"""PairedSampleBatch agrees bit-for-bit with per-row PairedSample."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.estimation import PairedSample, PairedSampleBatch
+
+
+def make_batch(size=5, m=200, labeled=True, seed=0):
+    rng = np.random.default_rng(seed)
+    old = rng.integers(0, 4, size=m)
+    matrix = rng.integers(0, 4, size=(size, m))
+    labels = rng.integers(0, 4, size=m) if labeled else None
+    return PairedSampleBatch(
+        old_predictions=old, new_prediction_matrix=matrix, labels=labels
+    )
+
+
+class TestBatchAgreement:
+    def test_estimates_match_per_row_samples_exactly(self):
+        batch = make_batch()
+        gains = batch.accuracy_gains()
+        diffs = batch.differences()
+        accs = batch.new_accuracies()
+        for i in range(batch.batch_size):
+            sample = batch.sample(i)
+            assert gains[i] == sample.accuracy_gain
+            assert diffs[i] == sample.difference
+            assert accs[i] == sample.new_accuracy
+            assert batch.old_accuracy == sample.old_accuracy
+
+    def test_single_candidate_batch(self):
+        batch = make_batch(size=1)
+        sample = batch.sample(0)
+        assert batch.accuracy_gains()[0] == sample.accuracy_gain
+
+    def test_differences_need_no_labels(self):
+        batch = make_batch(labeled=False)
+        assert len(batch.differences()) == batch.batch_size
+        with pytest.raises(InvalidParameterError):
+            batch.new_accuracies()
+
+    def test_row_view_batches_share_memory(self):
+        # the engine re-batches after promotions via matrix row views
+        batch = make_batch(size=6)
+        tail = PairedSampleBatch(
+            old_predictions=batch.old_predictions,
+            new_prediction_matrix=batch.new_prediction_matrix[2:],
+            labels=batch.labels,
+        )
+        assert tail.batch_size == 4
+        assert np.array_equal(tail.accuracy_gains(), batch.accuracy_gains()[2:])
+        assert tail.new_prediction_matrix.base is not None  # no copy
+
+    def test_disagreement_mask_is_read_only(self):
+        batch = make_batch(size=2)
+        sample = batch.sample(0)
+        mask = sample.disagreement_mask
+        with pytest.raises(ValueError):
+            mask[0] = True
+
+    def test_shapes_validated(self):
+        with pytest.raises(InvalidParameterError):
+            PairedSampleBatch(
+                old_predictions=np.arange(5),
+                new_prediction_matrix=np.zeros((2, 4), dtype=int),
+            )
+        with pytest.raises(InvalidParameterError):
+            PairedSampleBatch(
+                old_predictions=np.arange(5),
+                new_prediction_matrix=np.zeros(5, dtype=int),
+            )
+        with pytest.raises(InvalidParameterError):
+            PairedSampleBatch(
+                old_predictions=np.zeros(0, dtype=int),
+                new_prediction_matrix=np.zeros((2, 0), dtype=int),
+            )
+
+
+class TestPairedSampleCaching:
+    def test_estimates_cached_per_instance(self):
+        rng = np.random.default_rng(1)
+        sample = PairedSample(
+            old_predictions=rng.integers(0, 3, 100),
+            new_predictions=rng.integers(0, 3, 100),
+            labels=rng.integers(0, 3, 100),
+        )
+        first = sample.accuracy_gain
+        assert sample._cache["accuracy_gain"] == first
+        assert sample.accuracy_gain == first
+        mask = sample.disagreement_mask
+        assert sample.disagreement_mask is mask  # same cached array
+
+    def test_cached_values_match_fresh_instance(self):
+        rng = np.random.default_rng(2)
+        old = rng.integers(0, 3, 50)
+        new = rng.integers(0, 3, 50)
+        labels = rng.integers(0, 3, 50)
+        a = PairedSample(old, new, labels)
+        warm = (a.accuracy_gain, a.difference, a.new_accuracy, a.old_accuracy)
+        b = PairedSample(old, new, labels)
+        assert warm == (b.accuracy_gain, b.difference, b.new_accuracy, b.old_accuracy)

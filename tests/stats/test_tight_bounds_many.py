@@ -1,0 +1,179 @@
+"""Multi-n probe API, the batched epsilon planner, and anchor warm-starts.
+
+A note on tolerances: the grid-scan trajectory's exceedance probe is not
+perfectly monotone in epsilon (refinement windows move with the coarse
+argmax), so the bisection's fixed point is a narrow *band* rather than a
+single value — two bisections with different brackets can legitimately
+return values more than ``tol`` apart while both being correct.  The
+well-defined contract, asserted here, is the scalar bisection's bracket
+certificate: the returned epsilon does not exceed ``delta`` under the
+trajectory probe, while ``tol`` below it does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.batch import exact_coverage_failure_probability_pairs
+from repro.stats.cache import all_caches, clear_all_caches
+from repro.stats.tight_bounds import (
+    _scan_scalar,
+    exact_coverage_failure_probability,
+    exceeds_delta_many,
+    tight_epsilon,
+    tight_epsilon_many,
+)
+
+DELTA = 1e-2
+TOL = 1e-5
+
+
+class TestPairsKernel:
+    def test_matches_scalar_on_random_triples(self):
+        rng = np.random.default_rng(0)
+        ns = rng.integers(1, 1500, size=60)
+        ps = rng.random(60)
+        ps[:3] = [0.0, 1.0, 0.5]
+        eps = rng.uniform(0.01, 0.5, size=60)
+        got = exact_coverage_failure_probability_pairs(ns, ps, eps)
+        want = np.array(
+            [
+                exact_coverage_failure_probability(int(n), float(p), float(e))
+                for n, p, e in zip(ns, ps, eps)
+            ]
+        )
+        assert np.max(np.abs(got - want)) <= 1e-10
+
+    def test_trimmed_windows_only_underestimate_the_exact_value(self):
+        rng = np.random.default_rng(1)
+        ns = rng.integers(50, 2000, size=40)
+        ps = rng.uniform(0.2, 0.8, size=40)
+        eps = rng.uniform(0.01, 0.2, size=40)
+        exact = np.array(
+            [
+                exact_coverage_failure_probability(int(n), float(p), float(e))
+                for n, p, e in zip(ns, ps, eps)
+            ]
+        )
+        trimmed = exact_coverage_failure_probability_pairs(
+            ns, ps, eps, window_sigmas=5.0, window_slack=16
+        )
+        # windowed tail sums can only omit mass, never invent it — the
+        # property that makes trimmed-window exceedance certificates sound
+        assert np.all(trimmed <= exact + 1e-12)
+        assert np.max(exact - trimmed) <= 1e-5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            exact_coverage_failure_probability_pairs([0], [0.5], [0.1])
+        with pytest.raises(InvalidParameterError):
+            exact_coverage_failure_probability_pairs([10], [1.5], [0.1])
+        with pytest.raises(InvalidParameterError):
+            exact_coverage_failure_probability_pairs([10], [0.5], [0.0])
+
+
+class TestExceedsDeltaMany:
+    def test_matches_scalar_scan_booleans(self):
+        ns = np.array([60, 150, 400, 150])
+        eps = np.array([0.05, 0.08, 0.2, 0.11])
+        got = exceeds_delta_many(ns, eps, DELTA)
+        want = np.array(
+            [
+                _scan_scalar(int(n), float(e), 256, 2)[0] > DELTA
+                for n, e in zip(ns, eps)
+            ]
+        )
+        assert np.array_equal(got, want)
+
+    def test_empty_probe_vector(self):
+        assert exceeds_delta_many([], [], DELTA).shape == (0,)
+
+    def test_monotone_in_epsilon_per_probe(self):
+        ns = np.array([200, 200, 200])
+        eps = np.array([0.02, 0.1, 0.4])
+        got = exceeds_delta_many(ns, eps, DELTA)
+        assert got[0] and not got[2]
+
+
+class TestTightEpsilonMany:
+    def test_bracket_certificate_per_size(self):
+        ns = np.array([80, 150, 310, 640, 950])
+        clear_all_caches()
+        eps = tight_epsilon_many(ns, DELTA, tol=TOL)
+        assert not exceeds_delta_many(ns, eps, DELTA).any()
+        assert exceeds_delta_many(ns, eps - TOL, DELTA).all()
+
+    def test_close_to_per_call_reference(self):
+        ns = np.array([80, 150, 310, 640])
+        clear_all_caches()
+        many = tight_epsilon_many(ns, DELTA, tol=TOL)
+        for n, e in zip(ns, many):
+            clear_all_caches()
+            reference = tight_epsilon(int(n), DELTA, tol=TOL)
+            # same crossing band; see the module docstring
+            assert abs(reference - e) <= max(5 * TOL, 0.01 * reference)
+
+    def test_agrees_with_scalar_backend_probe_certificate(self):
+        clear_all_caches()
+        ns = np.array([60, 120])
+        eps = tight_epsilon_many(ns, DELTA, tol=TOL)
+        for n, e in zip(ns, eps):
+            assert _scan_scalar(int(n), float(e), 256, 2)[0] <= DELTA
+            assert _scan_scalar(int(n), float(e) - TOL, 256, 2)[0] > DELTA
+
+    def test_decreasing_in_n(self):
+        ns = np.array([50, 200, 800])
+        eps = tight_epsilon_many(ns, DELTA, tol=TOL)
+        assert eps[0] > eps[1] > eps[2]
+
+    def test_duplicates_and_order_preserved(self):
+        ns = np.array([300, 100, 300, 100])
+        eps = tight_epsilon_many(ns, DELTA, tol=TOL)
+        assert eps[0] == eps[2] and eps[1] == eps[3]
+        assert eps[1] > eps[0]
+
+    def test_memoized(self):
+        clear_all_caches()
+        ns = np.array([90, 220])
+        first = tight_epsilon_many(ns, DELTA, tol=TOL)
+        info_before = all_caches()["stats.tight_bounds.tight_epsilon_many"].info()
+        second = tight_epsilon_many(ns, DELTA, tol=TOL)
+        info_after = all_caches()["stats.tight_bounds.tight_epsilon_many"].info()
+        assert np.array_equal(first, second)
+        assert info_after.hits == info_before.hits + 1
+        second[0] = 0.0  # the returned array is a private copy
+        assert tight_epsilon_many(ns, DELTA, tol=TOL)[0] == first[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            tight_epsilon_many([0, 10], DELTA)
+        with pytest.raises(InvalidParameterError):
+            tight_epsilon_many([10], 0.0)
+        assert tight_epsilon_many([], DELTA).shape == (0,)
+
+
+class TestAnchorWarmStart:
+    def test_neighbor_warm_start_stays_in_the_crossing_band(self):
+        clear_all_caches()
+        cold = tight_epsilon(500, DELTA, tol=TOL)
+        clear_all_caches()
+        tight_epsilon(450, DELTA, tol=TOL)  # plants the neighbor anchor
+        warm = tight_epsilon(500, DELTA, tol=TOL)
+        assert _scan_scalar(500, warm, 256, 2)[0] <= DELTA
+        assert _scan_scalar(500, warm - TOL, 256, 2)[0] > DELTA
+        assert abs(warm - cold) <= max(5 * TOL, 0.01 * cold)
+
+    def test_same_n_never_warm_starts_itself(self):
+        clear_all_caches()
+        batch = tight_epsilon(140, DELTA, tol=TOL, backend="batch")
+        scalar = tight_epsilon(140, DELTA, tol=TOL, backend="scalar")
+        # backend cross-check stays an independent cold computation
+        assert batch == pytest.approx(scalar, abs=1e-9)
+
+    def test_many_call_plants_anchors_for_per_call(self):
+        clear_all_caches()
+        tight_epsilon_many(np.array([200, 260]), DELTA, tol=TOL)
+        anchors = all_caches()["stats.tight_bounds.epsilon_anchors"]
+        assert len(anchors) >= 1
+        warm = tight_epsilon(230, DELTA, tol=TOL)
+        assert _scan_scalar(230, warm, 256, 2)[0] <= DELTA

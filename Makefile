@@ -1,7 +1,8 @@
 # One-command entry points for the pipeline.
 #
-#   make verify           - tier-1 test run (what CI gates on)
+#   make verify           - tier-1 test run + doc doctests (what CI gates on)
 #   make verify-fast      - tier-1 without the slow end-to-end examples
+#   make docs             - doctests over README.md and docs/*.md code blocks
 #   make bench-perf       - scalar-vs-batch perf kernels benchmark
 #                           (writes BENCH_perf_kernels.json)
 #   make bench-throughput - batched commit-evaluation + epsilon planning
@@ -12,13 +13,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast bench bench-perf bench-throughput
+.PHONY: verify verify-fast docs bench bench-perf bench-throughput
 
 verify:
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs
 
 verify-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+docs:
+	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs
 
 bench-perf:
 	$(PYTHON) benchmarks/bench_perf_kernels.py

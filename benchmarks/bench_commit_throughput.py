@@ -1,6 +1,6 @@
 """Perf benchmark: batched commit evaluation and epsilon-side planning.
 
-Times the two hot paths the batched-evaluation PR optimizes —
+Times the hot paths the batched-evaluation and testset-pool PRs optimize —
 
 1. **Commit throughput**: a 64-commit queue drained through
    ``CIEngine.submit_many`` (one prediction per model, one vectorized
@@ -8,6 +8,16 @@ Times the two hot paths the batched-evaluation PR optimizes —
    materialization) versus the sequential ``submit`` loop.  The batched
    results must be element-wise identical to the sequential engine —
    signals, promotions, alarms, budget — and the speedup must be >= 10x.
+1b. **Sustained multi-generation throughput**: a 128-commit queue with a
+   per-generation budget of 32, so draining it crosses >= 3 testset
+   rotations.  The pool-aware ``submit_many`` (rotate on
+   exhaustion, re-batch the remainder on the fresh generation) is timed
+   against the caller-side idiom it replaces — a sequential ``submit``
+   loop that catches ``TestsetExhaustedError`` and hand-rolls
+   ``install_testset``.  Results must stay element-wise identical and the
+   batched path must hold >= 8x across the rotations (each rotation
+   forces a re-prediction + re-batch of the in-flight remainder, so some
+   of the single-generation win is genuinely spent).
 2. **Epsilon planning**: ``tight_epsilon_many`` over 32 testset sizes
    versus per-call ``tight_epsilon`` with cold caches per call (the
    fully-independent-workers convention of ``bench_perf_kernels``).  Each
@@ -43,7 +53,8 @@ import numpy as np
 from repro.core.engine import CIEngine
 from repro.core.estimators.api import SampleSizeEstimator
 from repro.core.script.config import CIScript
-from repro.core.testset import Testset
+from repro.core.testset import Testset, TestsetPool
+from repro.exceptions import TestsetExhaustedError
 from repro.ml.models.base import FixedPredictionModel
 from repro.ml.models.simulated import (
     ModelPairSpec,
@@ -79,6 +90,10 @@ SCRIPT_FIELDS = {
     "steps": BATCH,
 }
 
+MULTI_BATCH = 128  # sustained scenario: a longer queue spanning the pool
+GENERATION_STEPS = 32  # per-generation budget: 128 commits -> 3 rotations
+GENERATIONS = MULTI_BATCH // GENERATION_STEPS
+
 EPSILON_SIZES = np.unique(np.linspace(1000, 10000, 32).astype(int))
 EPSILON_DELTA = 1e-3
 EPSILON_TOL = 1e-6
@@ -103,9 +118,9 @@ class _CachedPredictionModel:
         return self._predictions
 
 
-def build_world():
-    """A 64-commit queue with a genuine improvement inside."""
-    script = CIScript.from_dict(SCRIPT_FIELDS)
+def build_world(batch=BATCH, steps=None):
+    """A `batch`-commit queue with a genuine improvement inside."""
+    script = CIScript.from_dict({**SCRIPT_FIELDS, "steps": steps or batch})
     plan = SampleSizeEstimator().plan(
         script.condition,
         delta=script.delta,
@@ -120,7 +135,7 @@ def build_world():
     )
     labels = pair.labels
     models, current = [], pair.old_model.predictions
-    for i in range(BATCH):
+    for i in range(batch):
         target = 0.90 if i == 30 else 0.82
         predictions = evolve_predictions(
             current, labels, target_accuracy=target, difference=0.12, seed=100 + i
@@ -181,6 +196,76 @@ def bench_commit_throughput() -> dict:
     }
 
 
+def build_generations(labels, count, seed=23):
+    """`count` equally-sized testset generations; gen-0 is the real world."""
+    rng = np.random.default_rng(seed)
+    testsets = [Testset(labels=labels, name="gen-0")]
+    for g in range(1, count):
+        testsets.append(
+            Testset(labels=rng.integers(0, 2, size=len(labels)), name=f"gen-{g}")
+        )
+    return testsets
+
+
+def bench_multi_generation_throughput() -> dict:
+    script, labels, baseline, models = build_world(
+        batch=MULTI_BATCH, steps=GENERATION_STEPS
+    )
+    testsets = build_generations(labels, GENERATIONS)
+
+    def run_sequential():
+        """The caller-side idiom the pool replaces: catch, install, retry."""
+        engine = CIEngine(script, testsets[0], baseline)
+        results, next_generation = [], 1
+        for model in models:
+            while True:
+                try:
+                    results.append(engine.submit(model))
+                    break
+                except TestsetExhaustedError:
+                    engine.install_testset(testsets[next_generation])
+                    next_generation += 1
+        return engine, results
+
+    def run_batched():
+        engine = CIEngine(
+            script, testsets[0], baseline, testset_pool=TestsetPool(testsets[1:])
+        )
+        return engine, engine.submit_many(models)
+
+    run_sequential()
+    run_batched()
+    sequential_times, batched_times = [], []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        _, sequential_results = run_sequential()
+        sequential_times.append(time.perf_counter() - t0)
+    for _ in range(15):
+        t0 = time.perf_counter()
+        engine, batched_results = run_batched()
+        batched_times.append(time.perf_counter() - t0)
+    t_seq = statistics.median(sequential_times)
+    t_batch = statistics.median(batched_times)
+
+    identical = len(sequential_results) == len(batched_results) and all(
+        a == b for a, b in zip(sequential_results, batched_results)
+    )
+    return {
+        "condition": CONDITION,
+        "batch_size": MULTI_BATCH,
+        "generation_budget": GENERATION_STEPS,
+        "generations_served": int(engine.manager.generation),
+        "rotations": len(engine.rotations),
+        "pool_size": int(len(labels)),
+        "sequential_seconds": t_seq,
+        "batched_seconds": t_batch,
+        "sequential_commits_per_sec": MULTI_BATCH / t_seq,
+        "batched_commits_per_sec": MULTI_BATCH / t_batch,
+        "speedup": t_seq / t_batch,
+        "results_identical": identical,
+    }
+
+
 def bench_tight_epsilon_many() -> dict:
     sizes = EPSILON_SIZES
     clear_all_caches()
@@ -235,9 +320,11 @@ def bench_tight_epsilon_many() -> dict:
 
 def main() -> dict:
     throughput = bench_commit_throughput()
+    multi_generation = bench_multi_generation_throughput()
     epsilon = bench_tight_epsilon_many()
     results = {
         "commit_throughput": throughput,
+        "multi_generation_throughput": multi_generation,
         "tight_epsilon_many": epsilon,
     }
 
@@ -247,6 +334,17 @@ def main() -> dict:
     assert throughput["speedup"] >= 10.0, (
         f"batched commit throughput {throughput['speedup']:.1f}x is below "
         "the required 10x"
+    )
+    assert multi_generation["results_identical"], (
+        "pool-aware submit_many diverged from the manual rotate-and-resubmit loop"
+    )
+    assert multi_generation["rotations"] >= 3, (
+        f"sustained scenario only crossed {multi_generation['rotations']} "
+        "rotations; the benchmark requires >= 3"
+    )
+    assert multi_generation["speedup"] >= 8.0, (
+        f"multi-generation batched throughput {multi_generation['speedup']:.1f}x "
+        "is below the required 8x"
     )
     assert epsilon["bracket_contract_upper_ok"] and epsilon["bracket_contract_lower_ok"], (
         "tight_epsilon_many broke the scalar bisection's bracket contract"
@@ -263,6 +361,12 @@ def main() -> dict:
         f"commits/sec: sequential {throughput['sequential_commits_per_sec']:,.0f}, "
         f"batched {throughput['batched_commits_per_sec']:,.0f} "
         f"({throughput['speedup']:.1f}x)"
+    )
+    print(
+        f"sustained across {multi_generation['rotations']} rotations: "
+        f"sequential {multi_generation['sequential_commits_per_sec']:,.0f}, "
+        f"pooled batched {multi_generation['batched_commits_per_sec']:,.0f} "
+        f"commits/sec ({multi_generation['speedup']:.1f}x)"
     )
     print(
         f"tight_epsilon over {len(EPSILON_SIZES)} sizes: per-call "

@@ -1,11 +1,20 @@
-"""Active labeling (§4.1.2): amortizing labels across daily commits.
+"""Active labeling (§4.1.2) and the testset-pool labeling lifecycle.
 
-A month of daily commits is tested against ``n - o > 0.02 +/- 0.01`` with
-the disagreement capped at 10%.  The Bennett-sized pool needs ~29K
-*potential* labels, but each commit only requires labels where it
-disagrees with the deployed model — and labels bought once are reused —
-so the labeling team's daily bill stays near ``p * N`` and decays as the
-pool's labeled fraction grows.
+Act 1 — amortizing labels across daily commits: a month of daily commits
+is tested against ``n - o > 0.02 +/- 0.01`` with the disagreement capped
+at 10%.  The Bennett-sized pool needs ~29K *potential* labels, but each
+commit only requires labels where it disagrees with the deployed model —
+and labels bought once are reused — so the labeling team's daily bill
+stays near ``p * N`` and decays as the pool's labeled fraction grows.
+
+Act 2 — keeping the engine fed: every testset generation retires after
+``H`` evaluations, and the old workflow was reactive — run until
+``TestsetExhaustedError``, then scramble for labels while commits queue.
+With a :class:`~repro.core.testset.TestsetPool` the lifecycle inverts:
+the engine rotates to the next pre-labeled generation by itself, and the
+pool's *low-watermark callback* tells the labeling team to label the
+next set while the current one still has runway — the hard stop becomes
+scheduled, amortized labeling work.
 
 Run:  python examples/active_labeling_workflow.py
 """
@@ -13,10 +22,14 @@ Run:  python examples/active_labeling_workflow.py
 import numpy as np
 
 from repro.core.dsl.parser import parse_condition
+from repro.core.engine import CIEngine
 from repro.core.estimators.api import SampleSizeEstimator
 from repro.core.patterns.active import ActiveLabelingSession
 from repro.core.patterns.matcher import find_gain_clause
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetPool
 from repro.ml.labeling import LabelingCostModel, LabelOracle
+from repro.ml.models.base import FixedPredictionModel
 from repro.ml.models.simulated import ModelPairSpec, evolve_predictions, simulate_model_pair
 from repro.utils.formatting import Table
 from repro.utils.rng import ensure_rng
@@ -99,6 +112,80 @@ def main() -> None:
     print(
         f"pool labeled so far: {session.labeled_fraction:.1%} "
         "(labels are reused across commits)"
+    )
+    print()
+    lifecycle_demo()
+
+
+def lifecycle_demo() -> None:
+    """Act 2: the pool's low-watermark callback drives labeling lead time."""
+    script = CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": CONDITION,
+            "reliability": 0.999,
+            "mode": "fp-free",
+            "adaptivity": "none -> third-party@example.com",
+            "steps": 8,  # each testset generation serves 8 commits
+        }
+    )
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    world = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.88, new_accuracy=0.88, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=5,
+    )
+    rng = ensure_rng(29)
+
+    def label_fresh_testset(name: str) -> Testset:
+        # Stands in for the labeling team producing the next generation
+        # (in production: an ActiveLabelingSession over fresh pool data).
+        return Testset(labels=rng.integers(0, 2, size=plan.pool_size), name=name)
+
+    # Two generations labeled ahead; the low-watermark callback keeps one
+    # generation of lead time from then on, instead of the old workflow's
+    # "catch TestsetExhaustedError, then scramble".
+    pool = TestsetPool([label_fresh_testset("ahead-1")], low_watermark=1)
+
+    def on_low_watermark(event) -> None:
+        print(f"  !! {event.message}")
+        pool.add(label_fresh_testset(f"fresh-{pool.popped}"))
+        print(f"     labeling team delivered a new generation "
+              f"({pool.pending} pending again)")
+
+    pool.on_low_watermark(on_low_watermark)
+    engine = CIEngine(
+        script,
+        Testset(labels=world.labels, name="initial"),
+        world.old_model,
+        testset_pool=pool,
+    )
+
+    print("a quarter of commits through a generation-spanning pool:")
+    commits = [
+        FixedPredictionModel(
+            evolve_predictions(
+                world.old_model.predictions,
+                world.labels,
+                target_accuracy=float(np.clip(0.88 + 0.001 * i, 0.85, 0.92)),
+                difference=0.06,
+                seed=300 + i,
+            ),
+            name=f"day-{i}",
+        )
+        for i in range(20)
+    ]
+    results = engine.submit_many(commits)  # spans generations, no exception
+    generations = sorted({r.generation for r in results})
+    print(
+        f"{len(results)} commits served by generations {generations} "
+        f"({len(engine.rotations)} rotations, zero skipped builds)"
     )
 
 

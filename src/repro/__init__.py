@@ -29,7 +29,13 @@ from repro.core.evaluation import ConditionEvaluator, EvaluationResult
 from repro.core.intervals import Interval
 from repro.core.logic import Mode, TernaryResult, resolve_ternary
 from repro.core.script import CIScript
-from repro.core.testset import Testset, TestsetManager
+from repro.core.testset import (
+    GenerationRotationEvent,
+    PoolLowWatermarkEvent,
+    Testset,
+    TestsetManager,
+    TestsetPool,
+)
 from repro.core.alarm import AlarmEvent, AlarmReason, NewTestsetAlarm
 from repro.core.engine import CIEngine, CommitResult
 from repro.stats.estimation import PairedSample
@@ -69,6 +75,9 @@ __all__ = [
     "CIScript",
     "Testset",
     "TestsetManager",
+    "TestsetPool",
+    "PoolLowWatermarkEvent",
+    "GenerationRotationEvent",
     "AlarmEvent",
     "AlarmReason",
     "NewTestsetAlarm",

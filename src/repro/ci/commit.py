@@ -37,6 +37,11 @@ class Commit:
         Developer identifier.
     status:
         Current pipeline status, updated by the CI service.
+    generation:
+        1-based testset generation that served this commit's build, set
+        by the CI service once the build ran (``None`` while pending or
+        skipped).  Under a testset pool this annotates repository history
+        with which released dev set each signal came from.
     """
 
     sequence: int
@@ -44,6 +49,7 @@ class Commit:
     message: str = ""
     author: str = "developer"
     status: CommitStatus = field(default=CommitStatus.PENDING)
+    generation: int | None = field(default=None)
 
     @property
     def commit_id(self) -> str:

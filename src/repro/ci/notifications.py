@@ -1,11 +1,15 @@
-"""Notification transports for CI signals and testset alarms.
+"""Notification transports for CI signals and testset lifecycle events.
 
-Two delivery paths exist in the paper's workflow:
+Three delivery paths flow through one transport:
 
 * under ``adaptivity: none`` the true pass/fail signal is mailed to a
   third-party address the developer cannot read (§2.2);
 * the *new testset alarm* notifies the integration team when the testset's
-  statistical budget is spent (§2.3).
+  statistical budget is spent (§2.3);
+* a pool-aware engine sends *generation rotation* notices
+  ("[ease.ml/ci] testset generation rotated") when it installs the next
+  :class:`~repro.core.testset.TestsetPool` generation over a retired one —
+  operational visibility for rotations that no longer block commits.
 
 Production systems would plug in SMTP or a chat webhook; the experiments
 use :class:`InMemoryEmailTransport` (assertable) and examples use

@@ -12,6 +12,12 @@ service), an optional batch companion registered alongside it via
 delivers each push exactly once per subscriber — through the batch
 companion when one was registered, otherwise commit by commit — so plain
 per-commit subscribers never miss commits that arrive via a push.
+
+Commits carry the CI outcome back into the history: the service records a
+status on every commit and, once a build ran, the testset generation that
+served it (see :attr:`repro.ci.commit.Commit.generation`) — under a
+pool-aware service a push may span several generations, and the
+repository log is where that audit trail lives.
 """
 
 from __future__ import annotations

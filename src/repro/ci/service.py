@@ -29,6 +29,15 @@ commit statuses, promotions and alarms element-wise identical to the
 per-commit webhook.  Commits that arrive after the testset's statistical
 budget is exhausted are recorded as skipped builds, exactly as the
 sequential webhook would record them.
+
+Testset lifecycle under commit traffic:
+:meth:`CIService.install_testset_pool` attaches a
+:class:`~repro.core.testset.TestsetPool` of pre-labeled generations, after
+which builds flow across generations without skipping — the engine
+rotates on exhaustion (and on the retirement alarms that cause it),
+rotation notices go out through the transport, and every build record and
+commit is annotated with the generation that served it.  Skipped builds
+then occur only when the pool is truly dry.
 """
 
 from __future__ import annotations
@@ -41,8 +50,8 @@ from repro.ci.notifications import NotificationTransport
 from repro.ci.repository import ModelRepository
 from repro.core.engine import CIEngine, CommitResult
 from repro.core.script.config import CIScript
-from repro.core.testset import Testset
-from repro.exceptions import TestsetExhaustedError
+from repro.core.testset import Testset, TestsetPool
+from repro.exceptions import TestsetExhaustedError, TestsetSizeError
 
 __all__ = ["BuildRecord", "CIService"]
 
@@ -68,6 +77,13 @@ class BuildRecord:
     commit: Commit
     result: CommitResult | None
     skipped_reason: str | None = None
+
+    @property
+    def generation(self) -> int | None:
+        """1-based testset generation that served the build's evaluation
+        (``None`` for skipped builds) — the audit trail that tells the
+        integration team which released dev set a signal came from."""
+        return self.result.generation if self.result is not None else None
 
     @property
     def ran(self) -> bool:
@@ -143,7 +159,10 @@ class CIService:
         build_number = len(self._builds) + 1
         try:
             result = self.engine.submit(commit.model)
-        except TestsetExhaustedError as exc:
+        except (TestsetExhaustedError, TestsetSizeError) as exc:
+            # Exhausted (no replacement at all) or unable to rotate (the
+            # pool's next generation is undersized): either way the build
+            # is recorded as skipped rather than lost.
             commit.status = CommitStatus.SKIPPED
             self._builds.append(
                 BuildRecord(
@@ -155,6 +174,7 @@ class CIService:
             )
             return
         commit.status = self._status_for(result)
+        commit.generation = result.generation
         self._builds.append(
             BuildRecord(build_number=build_number, commit=commit, result=result)
         )
@@ -164,14 +184,16 @@ class CIService:
         skipped_reason: str | None = None
         try:
             results = self.engine.submit_many([commit.model for commit in commits])
-        except TestsetExhaustedError as exc:
+        except (TestsetExhaustedError, TestsetSizeError) as exc:
             # The engine keeps every result it produced before the budget
-            # ran out; the commits after the exhaustion become skipped
-            # builds with the same reason the sequential webhook reports.
+            # ran out (or the rotation failed); the commits after become
+            # skipped builds with the same reason the sequential webhook
+            # reports — engine.results and service.builds stay in sync.
             results = self.engine.results[before:]
             skipped_reason = str(exc)
         for commit, result in zip(commits, results):
             commit.status = self._status_for(result)
+            commit.generation = result.generation
             self._builds.append(
                 BuildRecord(
                     build_number=len(self._builds) + 1, commit=commit, result=result
@@ -215,6 +237,16 @@ class CIService:
     def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:
         """Install a fresh testset after an alarm (delegates to the engine)."""
         self.engine.install_testset(testset, baseline_model)
+
+    def install_testset_pool(self, pool: TestsetPool) -> None:
+        """Attach a pool of pre-labeled testset generations to the engine.
+
+        From then on builds rotate across generations instead of skipping
+        on exhaustion; register a low-watermark callback on the pool to
+        drive "label a new set now" workflows, and read each build's
+        :attr:`BuildRecord.generation` for the serving audit trail.
+        """
+        self.engine.install_testset_pool(pool)
 
     def summary(self) -> str:
         """A per-build summary table for logs and examples."""

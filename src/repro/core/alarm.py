@@ -11,6 +11,14 @@ current testset can no longer support the next committed model:
 Alarm events carry enough context for the integration team to act (which
 testset, after how many uses, why), and observers — e.g. an email
 transport — can subscribe to be notified.
+
+With a :class:`~repro.core.testset.TestsetPool` attached to the engine
+the alarm's meaning shifts from "commits are blocked" to "one generation
+of runway was consumed": retirement still fires the alarm exactly as
+above, but the next submit rotates to the pool's next generation instead
+of raising, and a :class:`~repro.core.testset.GenerationRotationEvent`
+follows through the notification channel.  The pool's low-watermark
+callback (not this alarm) is then the "label a new set now" signal.
 """
 
 from __future__ import annotations

@@ -24,6 +24,25 @@ Signal routing per adaptivity mode (§2.2, §3.2–3.4):
 In every mode the engine maintains the *active* model — the last commit
 that truly passed — as the "old model" ``o`` that subsequent commits are
 compared against.
+
+Serving shape: :meth:`CIEngine.submit` is the per-commit webhook path;
+:meth:`CIEngine.submit_many` is the batched path that predicts each model
+once and evaluates the whole queue with one vectorized
+:meth:`~repro.core.evaluation.ConditionEvaluator.evaluate_batch` per
+comparison baseline, re-batching after every promotion — element-wise
+identical to the sequential loop.
+
+Testset lifecycle: by default the engine serves one generation at a time
+and raises :class:`~repro.exceptions.TestsetExhaustedError` once its
+budget is spent.  Attaching a :class:`~repro.core.testset.TestsetPool`
+(:meth:`CIEngine.install_testset_pool`, or the ``testset_pool`` keyword)
+switches the engine to *pool-aware* mode: on exhaustion — and on the
+retirement alarms that cause it — ``submit`` / ``submit_many`` rotate to
+the pool's next generation automatically (re-planning through the cached
+:class:`SampleSizeEstimator` plans and re-batching the in-flight
+remainder), emit a :class:`~repro.core.testset.GenerationRotationEvent`
+through the notification channel, and keep draining.  The exhaustion
+error then surfaces only when the pool is truly dry.
 """
 
 from __future__ import annotations
@@ -39,8 +58,13 @@ from repro.core.estimators.api import SampleSizeEstimator
 from repro.core.estimators.plans import SampleSizePlan
 from repro.core.evaluation import ConditionEvaluator, EvaluationResult
 from repro.core.script.config import CIScript
-from repro.core.testset import Testset, TestsetManager
-from repro.exceptions import TestsetSizeError
+from repro.core.testset import (
+    GenerationRotationEvent,
+    Testset,
+    TestsetManager,
+    TestsetPool,
+)
+from repro.exceptions import EngineStateError, TestsetSizeError
 from repro.stats.estimation import PairedSample, PairedSampleBatch
 
 __all__ = ["CommitResult", "CIEngine"]
@@ -68,6 +92,9 @@ class CommitResult:
         Whether this commit became the new active (old) model.
     testset_uses:
         Budget consumed on the current testset after this commit.
+    generation:
+        1-based testset generation that served this commit's evaluation
+        (the audit trail pool-aware build records surface).
     alarm_event:
         The alarm fired by this commit, if any.
     """
@@ -79,6 +106,7 @@ class CommitResult:
     accepted: bool
     promoted: bool
     testset_uses: int
+    generation: int
     alarm_event: AlarmEvent | None
 
 
@@ -106,34 +134,46 @@ class CIEngine:
         (on by default; Figure 5's adaptive query is an example of a
         deliberate override, where the paper accepts a slightly larger
         tolerance instead).
+    testset_pool:
+        Optional :class:`TestsetPool` of pre-labeled generations.  When
+        given, the engine rotates to the pool's next generation instead of
+        raising on exhaustion; ``testset`` may then be ``None``, in which
+        case the first generation is popped from the pool.
     """
 
     def __init__(
         self,
         script: CIScript,
-        testset: Testset,
+        testset: Testset | None,
         baseline_model: Any,
         *,
         estimator: SampleSizeEstimator | None = None,
         notifier: Callable[[str, str, str], None] | None = None,
         enforce_testset_size: bool = True,
+        testset_pool: TestsetPool | None = None,
     ):
         self.script = script
         self.estimator = estimator or SampleSizeEstimator()
-        self.plan: SampleSizePlan = self.estimator.plan(
-            script.condition,
-            delta=script.delta,
-            adaptivity=script.adaptivity,
-            steps=script.steps,
-            known_variance_bound=script.variance_bound,
-        )
-        if enforce_testset_size and testset.size < self.plan.pool_size:
-            raise TestsetSizeError(
-                f"testset {testset.name!r} has {testset.size} examples but the "
-                f"plan requires {self.plan.pool_size}; collect more labels or "
-                "relax the condition"
-            )
-        self.manager = TestsetManager(testset, budget=script.steps)
+        self.plan: SampleSizePlan = self._compute_plan()
+        self._pool: TestsetPool | None = None
+        self._rotations: list[GenerationRotationEvent] = []
+        budget = script.steps
+        if testset is None:
+            if testset_pool is None or testset_pool.is_empty:
+                raise EngineStateError(
+                    "construct the engine with an initial testset or a "
+                    "non-empty testset_pool"
+                )
+            # Validate the generation before pop() consumes it (and before
+            # a low-watermark "label now" callback fires for nothing).
+            candidate = testset_pool.pending_testsets[0]
+            self._check_initial_size(candidate, enforce_testset_size)
+            self._set_pool_default_budget(testset_pool)
+            testset, pool_budget = testset_pool.pop()
+            budget = pool_budget or testset_pool.default_budget or budget
+        else:
+            self._check_initial_size(testset, enforce_testset_size)
+        self.manager = TestsetManager(testset, budget=budget)
         self.alarm = NewTestsetAlarm()
         self.notifier = notifier
         self.evaluator = ConditionEvaluator(
@@ -142,6 +182,8 @@ class CIEngine:
         self.active_model = baseline_model
         self._active_predictions = self.manager.current.predict_with(baseline_model)
         self._results: list[CommitResult] = []
+        if testset_pool is not None:
+            self.install_testset_pool(testset_pool)
 
     # -- inspection -------------------------------------------------------------
     @property
@@ -154,6 +196,16 @@ class CIEngine:
         """Total commits evaluated over the engine lifetime."""
         return len(self._results)
 
+    @property
+    def pool(self) -> TestsetPool | None:
+        """The attached testset pool, if the engine is pool-aware."""
+        return self._pool
+
+    @property
+    def rotations(self) -> list[GenerationRotationEvent]:
+        """All pool rotations performed so far, in order."""
+        return list(self._rotations)
+
     # -- the four-step workflow ---------------------------------------------------
     def submit(self, model: Any) -> CommitResult:
         """Step 3 of the workflow: a developer commits a model.
@@ -165,9 +217,11 @@ class CIEngine:
         ------
         TestsetExhaustedError
             When the current testset's budget is spent and no fresh
-            testset has been installed.
+            testset has been installed — in pool-aware mode only when the
+            pool is dry too (otherwise the engine rotates and evaluates).
         """
-        testset = self.manager.current  # raises when exhausted
+        testset = self._ensure_active_testset()  # rotates, or raises when dry
+        generation = self.manager.generation
         uses = self.manager.consume()
 
         new_predictions = testset.predict_with(model)
@@ -201,6 +255,7 @@ class CIEngine:
             accepted=accepted,
             promoted=promoted,
             testset_uses=uses,
+            generation=generation,
             alarm_event=alarm_event,
         )
         self._results.append(result)
@@ -221,29 +276,61 @@ class CIEngine:
         active-model chain.
 
         Unlike the sequential loop, predictions are computed eagerly for
-        every commit that can still be evaluated (at most the remaining
-        statistical budget): if a model's ``predict`` raises, the error
-        surfaces before *any* commit in the queue has been evaluated,
-        whereas the loop would have processed the commits ahead of the
-        broken model first.
+        every commit that can still be evaluated on the current generation
+        (at most its remaining statistical budget): if such a model's
+        ``predict`` raises, the error surfaces before *any* commit of that
+        generation's segment has been evaluated, whereas the loop would
+        have processed the commits ahead of the broken model first.
+
+        In pool-aware mode (:meth:`install_testset_pool`) the queue spans
+        generations: when the active testset retires mid-queue — budget
+        spent, or a ``firstChange`` pass — the engine rotates to the
+        pool's next generation and re-batches the in-flight remainder
+        against it (active-model predictions and the remaining models are
+        re-predicted on the new testset), element-wise identical to a
+        manual install/rotate/resubmit loop.
 
         Raises
         ------
         TestsetExhaustedError
             When the testset's budget runs out (or a ``firstChange`` pass
-            retires it) before the queue is drained — mirroring the
-            sequential loop, which raises on the submit after the
-            retirement.  Results for the commits evaluated before the
-            exhaustion are preserved in :attr:`results`.
+            retires it) before the queue is drained and no pool generation
+            is left to rotate to — mirroring the sequential loop, which
+            raises on the submit after the retirement.  Results for the
+            commits evaluated before the exhaustion are preserved in
+            :attr:`results`.
         """
         models = list(models)
         results: list[CommitResult] = []
         if not models:
             return results
-        testset = self.manager.current  # raises when already exhausted
-        # Commits beyond the remaining budget can never be evaluated (the
-        # queue raises when it reaches them), so their models are not
-        # worth predicting.
+        while True:
+            # Rotates to the next pool generation when the active testset
+            # has retired; raises only when no testset is available.
+            testset = self._ensure_active_testset()
+            results.extend(self._drain_generation(models[len(results):], testset))
+            if len(results) == len(models):
+                return results
+            if self._pool is None or self._pool.is_empty:
+                # The budget (or a firstChange pass) retired the testset
+                # with commits still queued and nothing to rotate to:
+                # raise exactly like the sequential loop's next submit.
+                _ = self.manager.current
+                raise EngineStateError(
+                    "generation drained early without the testset retiring"
+                )
+
+    def _drain_generation(
+        self, models: list[Any], testset: Testset
+    ) -> list[CommitResult]:
+        """Evaluate queued models on the current generation until it retires.
+
+        Returns the results produced on this generation — possibly fewer
+        than ``len(models)`` when the testset retires mid-queue; the
+        caller (:meth:`submit_many`) decides whether to rotate or raise.
+        """
+        # Commits beyond the remaining budget can never be evaluated on
+        # this generation, so their models are not worth predicting yet.
         evaluable = min(len(models), self.manager.remaining)
         predictions = [testset.predict_with(model) for model in models[:evaluable]]
         matrix = np.stack(predictions)
@@ -253,10 +340,11 @@ class CIEngine:
         retires_on_pass = adaptivity.retires_testset_on_pass
         notifies = accepts_all and self.notifier is not None
         manager = self.manager
+        generation = manager.generation
         log = self._results
+        results: list[CommitResult] = []
         start = 0
-        while start < evaluable:
-            testset = manager.current  # raises once retired mid-queue
+        while start < evaluable and not manager.is_exhausted:
             batch = PairedSampleBatch(
                 old_predictions=self._active_predictions,
                 new_prediction_matrix=matrix[start:],
@@ -266,10 +354,6 @@ class CIEngine:
             rebatched = False
             for offset, evaluation in enumerate(evaluations):
                 index = start + offset
-                if offset:
-                    # A retirement mid-batch (budget spent) invalidates the
-                    # rest of the queue, exactly like the sequential loop.
-                    testset = manager.current
                 uses = manager.consume()
                 truly_passed = evaluation.passed
                 developer_signal = truly_passed if releases_signal else None
@@ -293,40 +377,165 @@ class CIEngine:
                     accepted=accepted,
                     promoted=promoted,
                     testset_uses=uses,
+                    generation=generation,
                     alarm_event=alarm_event,
                 )
                 log.append(result)
                 results.append(result)
                 if promoted and index + 1 < evaluable:
+                    # A retirement on this pass (firstChange) ends the
+                    # generation's segment; otherwise re-batch the rest of
+                    # the queue against the newly promoted baseline.
                     start = index + 1
                     rebatched = True
                     break
             if not rebatched:
                 break
-        if len(results) < len(models):
-            # The budget (or a firstChange pass) retired the testset with
-            # commits still queued: raise exactly like the sequential
-            # loop's next submit would.
-            self.manager.current
         return results
 
-    def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:
+    def install_testset(
+        self,
+        testset: Testset,
+        baseline_model: Any | None = None,
+        *,
+        budget: int | None = None,
+    ) -> None:
         """Install a fresh testset after an alarm (new generation).
 
         The active model's predictions are recomputed on the new testset;
         passing ``baseline_model`` also resets the active model.
+        ``budget`` overrides the script's per-generation evaluation budget
+        (pool entries with explicit budgets pass it through here).
+
+        The size check runs *before* the manager installs the replacement,
+        so an undersized testset leaves the engine in its released state
+        (recoverable with a properly sized install) instead of active on
+        a set that cannot honour the plan.
         """
-        self.manager.install(testset)
-        if baseline_model is not None:
-            self.active_model = baseline_model
-        if self.manager.current.size < self.plan.pool_size and self.evaluator.enforce_sample_size:
+        if testset.size < self.plan.pool_size and self.evaluator.enforce_sample_size:
             raise TestsetSizeError(
-                f"replacement testset has {self.manager.current.size} examples "
+                f"replacement testset has {testset.size} examples "
                 f"but the plan requires {self.plan.pool_size}"
             )
+        self.manager.install(testset, budget=budget)
+        if baseline_model is not None:
+            self.active_model = baseline_model
         self._active_predictions = self.manager.current.predict_with(self.active_model)
 
+    def install_testset_pool(self, pool: TestsetPool) -> None:
+        """Attach a pool of pre-labeled generations (pool-aware mode).
+
+        The pool's :attr:`~repro.core.testset.TestsetPool.default_budget`
+        is filled in from the script's ``H``/adaptivity accounting
+        (:meth:`~repro.core.estimators.adaptivity.Adaptivity.evaluations_per_testset`)
+        when the pool does not carry one.  If the engine's current
+        testset is already exhausted, the first rotation happens
+        immediately.
+        """
+        self._set_pool_default_budget(pool)
+        self._pool = pool
+        if self.manager.is_exhausted and not pool.is_empty:
+            self._rotate_from_pool()
+
     # -- internals ------------------------------------------------------------
+    def _compute_plan(self) -> SampleSizePlan:
+        """The script's plan, served from the process-wide plan cache."""
+        return self.estimator.plan(
+            self.script.condition,
+            delta=self.script.delta,
+            adaptivity=self.script.adaptivity,
+            steps=self.script.steps,
+            known_variance_bound=self.script.variance_bound,
+        )
+
+    def _check_initial_size(self, testset: Testset, enforce: bool) -> None:
+        if enforce and testset.size < self.plan.pool_size:
+            raise TestsetSizeError(
+                f"testset {testset.name!r} has {testset.size} examples but the "
+                f"plan requires {self.plan.pool_size}; collect more labels or "
+                "relax the condition"
+            )
+
+    def _set_pool_default_budget(self, pool: TestsetPool) -> None:
+        if pool.default_budget is None:
+            pool.default_budget = self.script.adaptivity.evaluations_per_testset(
+                self.script.steps
+            )
+
+    def _ensure_active_testset(self) -> Testset:
+        """The active testset, rotating from the pool when retired.
+
+        Raises :class:`TestsetExhaustedError` only when no replacement is
+        available — no pool attached, or the pool is dry — and
+        :class:`TestsetSizeError` when the pool's next generation is too
+        small for the plan (the entry is left in the pool).
+        """
+        if (
+            self.manager.is_exhausted
+            and self._pool is not None
+            and not self._pool.is_empty
+        ):
+            self._rotate_from_pool()
+        return self.manager.current  # raises when truly dry
+
+    def _rotate_from_pool(self) -> GenerationRotationEvent:
+        """Install the pool's next generation over the retired one.
+
+        Re-plans through the process-wide plan cache (each generation
+        restarts the ``H``-step reliability accounting with the same
+        condition/spec, so the cached plan comes back in microseconds),
+        installs the popped testset with its budget, and emits a
+        :class:`GenerationRotationEvent` through the notification channel.
+        """
+        assert self._pool is not None and not self._pool.is_empty
+        retired_name = self.manager.released_testsets[-1].name
+        # Validate the generation before pop() consumes it: an undersized
+        # set must fail without being popped (no phantom low-watermark
+        # "label now" callback, no lost audit trail), leaving the engine
+        # in its recoverable released state.
+        candidate = self._pool.pending_testsets[0]
+        if candidate.size < self.plan.pool_size and self.evaluator.enforce_sample_size:
+            raise TestsetSizeError(
+                f"next pool generation {candidate.name!r} has "
+                f"{candidate.size} examples but the plan requires "
+                f"{self.plan.pool_size}; replace it before commits can rotate"
+            )
+        testset, budget = self._pool.pop()
+        plan = self._compute_plan()
+        if plan is not self.plan:
+            # The cache normally hands back the very plan object this
+            # engine already evaluates with (same condition/spec/config);
+            # only a genuinely different plan warrants a fresh evaluator
+            # (and the loss of its memoized per-clause batch kernel).
+            self.plan = plan
+            self.evaluator = ConditionEvaluator(
+                plan,
+                self.script.mode,
+                enforce_sample_size=self.evaluator.enforce_sample_size,
+            )
+        from_generation = self.manager.generation
+        self.install_testset(testset, budget=budget)
+        event = GenerationRotationEvent(
+            retired_testset_name=retired_name,
+            installed_testset_name=testset.name,
+            from_generation=from_generation,
+            to_generation=self.manager.generation,
+            pending_generations=self._pool.pending,
+            message=(
+                f"[ease.ml/ci] testset rotated: generation {from_generation} "
+                f"({retired_name!r}) retired, generation "
+                f"{self.manager.generation} ({testset.name!r}) installed; "
+                f"{self._pool.pending} generation(s) left in the pool."
+            ),
+        )
+        self._rotations.append(event)
+        if self.notifier is not None:
+            self.notifier(
+                self.script.notification_email or "integration-team",
+                "[ease.ml/ci] testset generation rotated",
+                event.message,
+            )
+        return event
     def _maybe_alarm(
         self, truly_passed: bool, uses: int, testset: Testset
     ) -> AlarmEvent | None:

@@ -74,6 +74,22 @@ class Adaptivity(enum.Enum):
             return math.log(delta) - steps * math.log(2.0)
         return math.log(delta) - math.log(steps)
 
+    def evaluations_per_testset(self, steps: int) -> int:
+        """How many evaluations one testset generation is budgeted for.
+
+        The (epsilon, delta) accounting of §3.2–3.4 always budgets a
+        testset for the full ``H`` evaluations — the union bound is taken
+        over ``H`` whichever mode is active — so every mode returns
+        ``steps``.  The distinction lives in how the budget is *spent*:
+        ``none`` and ``full`` serve exactly ``H`` evaluations before the
+        alarm fires, while ``firstChange`` may retire the set early (on
+        its first pass), making ``H`` a worst case rather than a
+        guarantee of service.  Pool-aware engines use this to derive the
+        per-generation budget a :class:`~repro.core.testset.TestsetPool`
+        entry defaults to.
+        """
+        return check_positive_int(steps, "steps")
+
     @property
     def releases_signal_to_developer(self) -> bool:
         """Whether the developer observes the pass/fail bit."""

@@ -215,6 +215,26 @@ class _ClauseStatic:
     variables: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class _BatchKernel:
+    """The formula's batched interval accumulation, prepacked as arrays.
+
+    Everything here depends only on the plan (clause splits, coefficient
+    columns, tolerance columns, comparator masks), so it is computed once
+    per evaluator and reused across every :meth:`evaluate_batch` call — a
+    pool-aware engine re-batching a long queue at each generation rotation
+    pays the packing cost once, not once per rotation segment.
+    """
+
+    hoeffding: tuple[tuple[int, _ClauseStatic], ...]
+    paired: tuple[tuple[int, _ClauseStatic], ...]
+    needed: tuple[str, ...]
+    constants: np.ndarray  # (k, 1) linearized clause constants
+    terms: tuple[tuple[str, np.ndarray, np.ndarray], ...]  # (coeff, tol) columns
+    thresholds: np.ndarray  # (k, 1)
+    greater: np.ndarray  # (k, 1) comparator mask
+
+
 class ConditionEvaluator:
     """Evaluates a plan's formula against paired model predictions.
 
@@ -241,6 +261,7 @@ class ConditionEvaluator:
         self.mode = Mode.parse(mode) if isinstance(mode, str) else mode
         self.enforce_sample_size = bool(enforce_sample_size)
         self._batch_static: list[_ClauseStatic] | None = None
+        self._kernel: _BatchKernel | None = None
 
     def _check_size(self, size: int) -> None:
         if self.enforce_sample_size and size < self.plan.pool_size:
@@ -298,6 +319,39 @@ class ConditionEvaluator:
             self._batch_static = static
         return self._batch_static
 
+    def _batch_kernel(self) -> _BatchKernel:
+        if self._kernel is None:
+            static = self._clause_static()
+            hoeffding = tuple(
+                (i, s) for i, s in enumerate(static) if not s.is_paired
+            )
+            paired = tuple((i, s) for i, s in enumerate(static) if s.is_paired)
+            needed = tuple({v for _, s in hoeffding for v in s.variables})
+            constants = np.array([s.constant for _, s in hoeffding])[:, None]
+            terms = []
+            for variable in _VARIABLE_ORDER:
+                coeff = np.array(
+                    [s.coefficients.get(variable, 0.0) for _, s in hoeffding]
+                )
+                if not np.any(coeff):
+                    continue
+                tol = np.array(
+                    [s.tolerances.get(variable, 0.0) for _, s in hoeffding]
+                )
+                terms.append((variable, coeff[:, None], tol[:, None]))
+            thresholds = np.array([s.threshold for _, s in hoeffding])[:, None]
+            greater = np.array([s.comparator == ">" for _, s in hoeffding])[:, None]
+            self._kernel = _BatchKernel(
+                hoeffding=hoeffding,
+                paired=paired,
+                needed=needed,
+                constants=constants,
+                terms=tuple(terms),
+                thresholds=thresholds,
+                greater=greater,
+            )
+        return self._kernel
+
     def evaluate_batch(self, batch: PairedSampleBatch) -> tuple[EvaluationResult, ...]:
         """Evaluate the formula for every candidate in one batch.
 
@@ -315,12 +369,12 @@ class ConditionEvaluator:
         if size == 0:
             return ()
         static = self._clause_static()
-        hoeffding = [(i, s) for i, s in enumerate(static) if not s.is_paired]
-        paired = [(i, s) for i, s in enumerate(static) if s.is_paired]
+        kernel = self._batch_kernel()
+        hoeffding = kernel.hoeffding
+        paired = kernel.paired
 
         estimates: dict[str, np.ndarray] = {}
-        needed = {v for _, s in hoeffding for v in s.variables}
-        for variable in needed:
+        for variable in kernel.needed:
             estimates[variable] = np.asarray(
                 self._estimate_variable_batch(variable, batch), dtype=np.float64
             )
@@ -331,28 +385,20 @@ class ConditionEvaluator:
         if hoeffding:
             k = len(hoeffding)
             lows = np.empty((k, size), dtype=np.float64)
-            lows[:] = np.array([s.constant for _, s in hoeffding])[:, None]
+            lows[:] = kernel.constants
             highs = lows.copy()
-            for variable in _VARIABLE_ORDER:
-                coeff = np.array(
-                    [s.coefficients.get(variable, 0.0) for _, s in hoeffding]
-                )
-                if not np.any(coeff):
-                    continue
-                tol = np.array(
-                    [s.tolerances.get(variable, 0.0) for _, s in hoeffding]
-                )
+            for variable, coeff, tol in kernel.terms:
                 values = estimates[variable][None, :]
                 # Mirrors Interval.from_estimate(...).scale(coefficient)
                 # element-wise; rows whose clause lacks the variable add
                 # an exact 0.0, leaving their accumulation value-identical
                 # to the scalar walk that skips the variable.
-                scaled_low = (values - tol[:, None]) * coeff[:, None]
-                scaled_high = (values + tol[:, None]) * coeff[:, None]
+                scaled_low = (values - tol) * coeff
+                scaled_high = (values + tol) * coeff
                 lows += np.minimum(scaled_low, scaled_high)
                 highs += np.maximum(scaled_low, scaled_high)
-            thresholds = np.array([s.threshold for _, s in hoeffding])[:, None]
-            greater = np.array([s.comparator == ">" for _, s in hoeffding])[:, None]
+            thresholds = kernel.thresholds
+            greater = kernel.greater
             matrix_codes = np.where(
                 greater,
                 np.where(

@@ -34,6 +34,15 @@ provides NumPy-native kernels for exactly those shapes:
 Every kernel is cross-checked against the scalar implementation in
 ``tests/stats/test_batch.py`` (agreement to ``<= 1e-10`` including the
 ``p in {0, 1}`` and ``k in {0, n}`` boundaries).
+
+These are the *planning-side* kernels (sizing testsets, sweeping
+epsilons); the *serving-side* batching — evaluating many committed models
+against one baseline — lives in
+:class:`repro.stats.estimation.PairedSampleBatch` and
+:meth:`repro.core.evaluation.ConditionEvaluator.evaluate_batch`.  The
+process-wide state this module keeps (the log-factorial table, the
+pairs-kernel segment layout) self-registers in :mod:`repro.stats.cache`,
+so :func:`repro.stats.cache.clear_all_caches` covers it.
 """
 
 from __future__ import annotations

@@ -49,6 +49,16 @@ worst-case scans are memoized process-wide through
 :mod:`repro.stats.cache` — a CI service re-planning the same condition on
 every commit hits the cache instead of re-running the search.  Use
 :func:`repro.stats.cache.clear_all_caches` for cold-start benchmarks.
+
+A correctness caveat for the epsilon side: the worst-case grid scan is
+*not perfectly monotone in epsilon* (the refinement windows travel with
+the coarse argmax), so the epsilon-side bisections have a narrow band of
+fixed points rather than a single float.  Contracts are therefore stated
+as *probe certificates* — the returned epsilon is certified not-exceeding
+``delta`` under the worst-case probe while ``tol`` below it is certified
+exceeding — never as float equality between code paths; see
+:func:`tight_epsilon` (where the caveat bites the warm-start path) and
+:func:`tight_epsilon_many`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,186 @@
+"""Pool-aware CIService: builds span generations, annotated and notified."""
+
+import numpy as np
+import pytest
+
+from repro.ci.commit import CommitStatus
+from repro.ci.notifications import InMemoryEmailTransport
+from repro.ci.service import CIService
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetPool
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+CONDITION = "d < 0.25 +/- 0.1 /\\ n - o > 0.05 +/- 0.1"
+
+
+def make_script(adaptivity="full", steps=4):
+    return CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": CONDITION,
+            "reliability": 0.999,
+            "mode": "fp-free",
+            "adaptivity": adaptivity,
+            "steps": steps,
+        }
+    )
+
+
+def make_world(script, commits=10, generations=3, seed=0):
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.80, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=seed,
+    )
+    labels = pair.labels
+    models, current = [], pair.old_model.predictions
+    for i in range(commits):
+        target = 0.88 if i == 2 else 0.81
+        predictions = evolve_predictions(
+            current, labels, target_accuracy=target, difference=0.12, seed=100 + i
+        )
+        models.append(FixedPredictionModel(predictions, name=f"m{i}"))
+        if i == 2:
+            current = predictions
+    rng = np.random.default_rng(seed + 1)
+    testsets = [Testset(labels=labels, name="gen-0")]
+    for g in range(1, generations):
+        testsets.append(
+            Testset(labels=rng.integers(0, 2, size=plan.pool_size), name=f"gen-{g}")
+        )
+    return testsets, pair.old_model, models
+
+
+def make_service(script, testsets, baseline, transport=None):
+    service = CIService(script, testsets[0], baseline, transport=transport)
+    service.install_testset_pool(TestsetPool(testsets[1:]))
+    return service
+
+
+def test_process_batch_spans_generations_without_skipping():
+    script = make_script()
+    testsets, baseline, models = make_world(script)
+    service = make_service(script, testsets, baseline)
+    builds = service.process_batch(models)
+
+    assert len(builds) == 10
+    assert all(build.ran for build in builds)  # nothing skipped
+    assert [build.generation for build in builds] == [1] * 4 + [2] * 4 + [3] * 2
+    assert [build.commit.generation for build in builds] == [
+        build.generation for build in builds
+    ]
+    assert all(
+        build.commit.status is not CommitStatus.SKIPPED for build in builds
+    )
+    assert len(service.engine.rotations) == 2
+
+
+def test_per_commit_webhook_rotates_too():
+    script = make_script()
+    testsets, baseline, models = make_world(script, commits=6)
+    service = make_service(script, testsets, baseline)
+    for model in models:
+        service.repository.commit(model)
+    builds = service.builds
+    assert [build.generation for build in builds] == [1, 1, 1, 1, 2, 2]
+    assert all(build.ran for build in builds)
+
+
+def test_pool_and_manual_rotation_produce_identical_statuses():
+    script = make_script()
+    testsets, baseline, models = make_world(script)
+
+    manual = CIService(script, testsets[0], baseline)
+    statuses_manual = []
+    next_generation = 1
+    for model in models:
+        commit = manual.repository.commit(model)
+        while commit.status is CommitStatus.SKIPPED:
+            manual.install_testset(testsets[next_generation])
+            next_generation += 1
+            commit = manual.repository.commit(model)
+        statuses_manual.append(commit.status)
+
+    pooled = make_service(script, testsets, baseline)
+    builds = pooled.process_batch(models)
+    assert [build.commit.status for build in builds] == statuses_manual
+
+
+def test_dry_pool_skips_builds_with_reason():
+    script = make_script()
+    testsets, baseline, models = make_world(script, commits=10, generations=2)
+    service = make_service(script, testsets, baseline)
+    builds = service.process_batch(models)
+    assert len(builds) == 10
+    ran = [build for build in builds if build.ran]
+    skipped = [build for build in builds if not build.ran]
+    assert len(ran) == 8 and len(skipped) == 2
+    assert all(build.generation is None for build in skipped)
+    assert all("released" in build.skipped_reason for build in skipped)
+    assert all(
+        build.commit.status is CommitStatus.SKIPPED for build in skipped
+    )
+
+
+def test_undersized_pool_generation_skips_instead_of_desyncing():
+    script = make_script()
+    testsets, baseline, models = make_world(script, commits=6, generations=1)
+    service = CIService(script, testsets[0], baseline)
+    runt = Testset(labels=np.zeros(4, dtype=int), name="runt")
+    service.install_testset_pool(TestsetPool([runt]))
+    builds = service.process_batch(models)
+    # every commit has a build record: 4 evaluated, 2 skipped with the
+    # rotation failure as the reason — builds never desync from results
+    assert len(builds) == 6
+    assert [build.ran for build in builds] == [True] * 4 + [False] * 2
+    assert all("runt" in build.skipped_reason for build in builds if not build.ran)
+    assert len(service.builds) == len(service.engine.results) + 2
+
+
+def test_rotation_notices_flow_through_transport():
+    script = make_script()
+    testsets, baseline, models = make_world(script)
+    transport = InMemoryEmailTransport()
+    service = make_service(script, testsets, baseline, transport=transport)
+    service.process_batch(models)
+    rotation_mail = [
+        m for m in transport.messages if "generation rotated" in m.subject
+    ]
+    assert len(rotation_mail) == 2
+    assert "generation 2" in rotation_mail[0].body
+    assert "generation 3" in rotation_mail[1].body
+
+
+def test_alarm_mail_still_precedes_rotation_mail():
+    """Retirement alarm (budget spent) then rotation, in delivery order."""
+    script = make_script()
+    testsets, baseline, models = make_world(script, commits=5)
+    transport = InMemoryEmailTransport()
+    service = make_service(script, testsets, baseline, transport=transport)
+    service.process_batch(models)
+    subjects = [m.subject for m in transport.messages]
+    alarm_index = subjects.index("[ease.ml/ci] new testset required")
+    rotation_index = subjects.index("[ease.ml/ci] testset generation rotated")
+    assert alarm_index < rotation_index
+
+
+def test_summary_renders_for_pooled_builds():
+    script = make_script()
+    testsets, baseline, models = make_world(script, commits=6)
+    service = make_service(script, testsets, baseline)
+    service.process_batch(models)
+    text = service.summary()
+    assert text.count("#") >= 6

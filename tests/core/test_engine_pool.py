@@ -1,0 +1,316 @@
+"""Pool-aware engine: generation-spanning submits match manual rotation.
+
+The acceptance contract of the testset-pool subsystem: an engine with a
+:class:`TestsetPool` attached produces commit results *element-wise
+identical* to an engine whose caller hand-rolls the rotate-and-resubmit
+loop (catch ``TestsetExhaustedError`` -> ``install_testset`` -> retry),
+under all three adaptivity modes — while never surfacing the error until
+the pool is truly dry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CIEngine
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetPool
+from repro.exceptions import EngineStateError, TestsetExhaustedError
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+
+CONDITION = "d < 0.25 +/- 0.1 /\\ n - o > 0.05 +/- 0.1"
+
+
+def make_script(adaptivity, mode="fp-free", steps=4):
+    return CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": CONDITION,
+            "reliability": 0.999,
+            "mode": mode,
+            "adaptivity": adaptivity,
+            "steps": steps,
+        }
+    )
+
+
+def make_world(script, commits=10, promote_at=(2, 6), generations=3, seed=0):
+    """Commit queue plus `generations` equally-sized testsets."""
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.80, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=seed,
+    )
+    labels = pair.labels
+    models, current = [], pair.old_model.predictions
+    for i in range(commits):
+        target = 0.88 if i in promote_at else 0.81
+        predictions = evolve_predictions(
+            current, labels, target_accuracy=target, difference=0.12, seed=100 + i
+        )
+        models.append(FixedPredictionModel(predictions, name=f"m{i}"))
+        if i in promote_at:
+            current = predictions
+    rng = np.random.default_rng(seed + 1)
+    testsets = [Testset(labels=labels, name="gen-0")]
+    for g in range(1, generations):
+        testsets.append(
+            Testset(
+                labels=rng.integers(0, 2, size=plan.pool_size),
+                name=f"gen-{g}",
+            )
+        )
+    return testsets, pair.old_model, models
+
+
+def manual_rotation_loop(script, testsets, baseline, models):
+    """The caller-side idiom the pool replaces: catch, install, resubmit."""
+    engine = CIEngine(script, testsets[0], baseline)
+    next_generation = 1
+    results, error = [], None
+    for model in models:
+        while True:
+            try:
+                results.append(engine.submit(model))
+                break
+            except TestsetExhaustedError as exc:
+                if next_generation >= len(testsets):
+                    error = str(exc)
+                    break
+            engine.install_testset(testsets[next_generation])
+            next_generation += 1
+        if error is not None:
+            break
+    return engine, results, error
+
+
+def pooled_engine(script, testsets, baseline):
+    return CIEngine(
+        script,
+        testsets[0],
+        baseline,
+        testset_pool=TestsetPool(testsets[1:]),
+    )
+
+
+@pytest.mark.parametrize(
+    "adaptivity", ["full", "none -> third-party@example.com", "firstChange"]
+)
+def test_submit_many_spans_generations_identically(adaptivity):
+    script = make_script(adaptivity)
+    testsets, baseline, models = make_world(script)
+    manual, manual_results, manual_error = manual_rotation_loop(
+        script, testsets, baseline, models
+    )
+    assert manual_error is None  # 3 generations x 4 steps cover 10 commits
+
+    pooled = pooled_engine(script, testsets, baseline)
+    pooled_results = pooled.submit_many(models)
+
+    assert len(pooled_results) == len(manual_results) == len(models)
+    for a, b in zip(manual_results, pooled_results):
+        assert a == b  # evaluation, signals, uses, generation, alarms
+    assert [r.generation for r in pooled_results] == [
+        r.generation for r in manual_results
+    ]
+    assert manual.manager.generation == pooled.manager.generation
+    assert manual.manager.uses == pooled.manager.uses
+    assert np.array_equal(manual._active_predictions, pooled._active_predictions)
+    assert getattr(manual.active_model, "name", None) == getattr(
+        pooled.active_model, "name", None
+    )
+
+
+@pytest.mark.parametrize(
+    "adaptivity", ["full", "none -> third-party@example.com", "firstChange"]
+)
+def test_sequential_submit_rotates_identically(adaptivity):
+    script = make_script(adaptivity)
+    testsets, baseline, models = make_world(script)
+    _, manual_results, _ = manual_rotation_loop(script, testsets, baseline, models)
+
+    pooled = pooled_engine(script, testsets, baseline)
+    pooled_results = [pooled.submit(model) for model in models]
+    assert pooled_results == manual_results
+
+
+def test_rotation_mid_submit_many_rebatches_remainder():
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=10)
+    pooled = pooled_engine(script, testsets, baseline)
+    results = pooled.submit_many(models)
+
+    assert len(results) == 10
+    assert [r.generation for r in results] == [1] * 4 + [2] * 4 + [3] * 2
+    assert [r.testset_uses for r in results] == [1, 2, 3, 4] * 2 + [1, 2]
+    # two mid-queue rotations happened, both budget-driven
+    assert len(pooled.rotations) == 2
+    assert [e.from_generation for e in pooled.rotations] == [1, 2]
+    assert [e.to_generation for e in pooled.rotations] == [2, 3]
+    # the budget-exhaustion alarms still fired on the retiring commits
+    alarmed = [r.commit_index for r in results if r.alarm_event is not None]
+    assert alarmed[:2] == [3, 7]
+
+
+def test_alarm_triggered_rotation_under_full_adaptivity():
+    """The alarm fires on retirement and the next submit rotates silently."""
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=6)
+    mails = []
+    pooled = CIEngine(
+        script,
+        testsets[0],
+        baseline,
+        testset_pool=TestsetPool(testsets[1:]),
+        notifier=lambda *args: mails.append(args),
+    )
+    for model in models[:4]:
+        pooled.submit(model)
+    assert pooled.manager.is_exhausted  # alarm fired, generation retired
+    assert pooled.alarm.fired
+    assert pooled.rotations == []
+
+    result = pooled.submit(models[4])  # no error: rotation happens here
+    assert result.generation == 2
+    assert result.testset_uses == 1
+    assert len(pooled.rotations) == 1
+    rotation_mails = [m for m in mails if "rotated" in m[1]]
+    assert len(rotation_mails) == 1
+    assert "generation 2" in rotation_mails[0][2]
+
+
+def test_first_change_pass_rotates_on_next_submit():
+    # fn-free resolves UNKNOWN to pass, so every commit passes — and under
+    # firstChange every pass retires its generation immediately.
+    script = make_script("firstChange", mode="fn-free", steps=4)
+    testsets, baseline, models = make_world(script, commits=3)
+    pooled = pooled_engine(script, testsets, baseline)
+    results = pooled.submit_many(models)
+
+    assert [r.truly_passed for r in results] == [True, True, True]
+    assert [r.generation for r in results] == [1, 2, 3]
+    assert [r.testset_uses for r in results] == [1, 1, 1]
+    assert all(r.alarm_event is not None for r in results)  # first-change
+    assert len(pooled.rotations) == 2
+    _, manual_results, manual_error = manual_rotation_loop(
+        script, testsets, baseline, models
+    )
+    assert manual_error is None
+    assert results == manual_results
+
+
+def test_empty_pool_still_raises_when_truly_dry():
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=10, generations=2)
+    pooled = pooled_engine(script, testsets, baseline)
+    with pytest.raises(TestsetExhaustedError):
+        pooled.submit_many(models)
+    # both generations were fully served before the error surfaced
+    assert pooled.commits_evaluated == 8
+    assert [r.generation for r in pooled.results] == [1] * 4 + [2] * 4
+    assert pooled.pool.is_empty
+    with pytest.raises(TestsetExhaustedError):
+        pooled.submit(models[8])
+
+
+def test_refilling_the_pool_revives_a_dry_engine():
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=10, generations=3)
+    pooled = pooled_engine(script, testsets[:2], baseline)
+    with pytest.raises(TestsetExhaustedError):
+        pooled.submit_many(models)
+    pooled.pool.add(testsets[2])
+    remainder = pooled.submit_many(models[pooled.commits_evaluated:])
+    assert len(remainder) == 2
+    assert all(r.generation == 3 for r in remainder)
+
+
+def test_mixed_submit_and_submit_many_match_manual(adaptivity="full"):
+    script = make_script(adaptivity)
+    testsets, baseline, models = make_world(script)
+    _, manual_results, _ = manual_rotation_loop(script, testsets, baseline, models)
+    pooled = pooled_engine(script, testsets, baseline)
+    mixed = [pooled.submit(models[0])]
+    mixed += pooled.submit_many(models[1:7])
+    mixed.append(pooled.submit(models[7]))
+    mixed += pooled.submit_many(models[8:])
+    assert mixed == manual_results
+
+
+def test_engine_can_start_from_the_pool_alone():
+    script = make_script("full")
+    testsets, baseline, models = make_world(script, commits=3)
+    engine = CIEngine(
+        script, None, baseline, testset_pool=TestsetPool(testsets)
+    )
+    assert engine.manager.current.name == "gen-0"
+    results = engine.submit_many(models)
+    assert [r.generation for r in results] == [1, 1, 1]
+    with pytest.raises(EngineStateError):
+        CIEngine(script, None, baseline)
+
+
+def test_undersized_pool_generation_fails_without_corrupting_state():
+    from repro.exceptions import TestsetSizeError
+
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=6, generations=2)
+    runt = Testset(labels=np.zeros(4, dtype=int), name="runt")
+
+    # constructor: the undersized first generation is rejected before the
+    # pool pop consumes it
+    pool = TestsetPool([runt] + testsets)
+    with pytest.raises(TestsetSizeError):
+        CIEngine(script, None, baseline, testset_pool=pool)
+    assert pool.pending == 3 and pool.popped == 0
+
+    # rotation: the size check fires before the pop consumes the entry,
+    # so the pool keeps its audit trail and the engine stays in its
+    # recoverable released state; a sized install revives it
+    engine = CIEngine(
+        script, testsets[0], baseline, testset_pool=TestsetPool([runt])
+    )
+    with pytest.raises(TestsetSizeError):
+        engine.submit_many(models)
+    assert engine.commits_evaluated == 4
+    assert engine.pool.pending == 1 and engine.pool.popped == 0
+    assert engine.rotations == []
+    assert engine.manager.is_exhausted  # recoverable, not wedged
+    engine.install_testset(testsets[1])
+    assert engine.submit(models[4]).generation == 2
+
+
+def test_pool_default_budget_filled_from_adaptivity_accounting():
+    script = make_script("full", steps=4)
+    testsets, baseline, _ = make_world(script, commits=1)
+    pool = TestsetPool(testsets[1:])
+    assert pool.default_budget is None
+    CIEngine(script, testsets[0], baseline, testset_pool=pool)
+    assert pool.default_budget == script.adaptivity.evaluations_per_testset(
+        script.steps
+    ) == 4
+    assert pool.remaining_evaluations() == 2 * 4
+
+
+def test_low_watermark_fires_during_engine_rotation():
+    script = make_script("full", steps=4)
+    testsets, baseline, models = make_world(script, commits=10)
+    pool = TestsetPool(testsets[1:], low_watermark=1)
+    events = []
+    pool.on_low_watermark(events.append)
+    engine = CIEngine(script, testsets[0], baseline, testset_pool=pool)
+    engine.submit_many(models)
+    # two rotations: 2 -> 1 pending (at watermark), 1 -> 0 pending (below)
+    assert [e.pending_generations for e in events] == [1, 0]

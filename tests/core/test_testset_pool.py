@@ -1,0 +1,155 @@
+"""TestsetPool: ordering, budgets, watermark callbacks, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.testset import PoolLowWatermarkEvent, Testset, TestsetPool
+from repro.exceptions import EngineStateError, TestsetExhaustedError
+
+
+def make_testsets(count, size=8):
+    return [
+        Testset(labels=np.arange(size) % 2, name=f"gen-{i}") for i in range(count)
+    ]
+
+
+def test_pop_is_fifo_and_counts():
+    testsets = make_testsets(3)
+    pool = TestsetPool(testsets)
+    assert pool.pending == len(pool) == 3
+    assert pool.pending_testsets == testsets
+    popped = [pool.pop()[0] for _ in range(3)]
+    assert popped == testsets
+    assert pool.pending == 0
+    assert pool.popped == 3
+    assert pool.is_empty
+
+
+def test_pop_on_dry_pool_raises():
+    pool = TestsetPool()
+    with pytest.raises(TestsetExhaustedError):
+        pool.pop()
+
+
+def test_budgets_align_with_testsets():
+    testsets = make_testsets(2)
+    pool = TestsetPool(testsets, budgets=[5, None], default_budget=9)
+    assert pool.remaining_evaluations() == 5 + 9
+    assert pool.pop() == (testsets[0], 5)
+    assert pool.pop() == (testsets[1], None)  # engine falls back to default
+    with pytest.raises(EngineStateError):
+        TestsetPool(testsets, budgets=[5])
+
+
+def test_remaining_evaluations_without_default_counts_explicit_only():
+    pool = TestsetPool(make_testsets(2), budgets=[4, None])
+    assert pool.remaining_evaluations() == 4
+    pool.default_budget = 6
+    assert pool.remaining_evaluations() == 10
+
+
+def test_add_appends_at_the_back():
+    testsets = make_testsets(2)
+    pool = TestsetPool([testsets[0]])
+    pool.add(testsets[1], budget=3)
+    assert pool.pop()[0] is testsets[0]
+    assert pool.pop() == (testsets[1], 3)
+
+
+def test_low_watermark_fires_on_crossing_pop():
+    pool = TestsetPool(make_testsets(3), default_budget=4, low_watermark=1)
+    events = []
+    pool.on_low_watermark(events.append)
+    pool.pop()  # 2 pending: above watermark, no event
+    assert events == []
+    pool.pop()  # 1 pending: at watermark
+    pool.pop()  # 0 pending: below watermark
+    assert len(events) == 2
+    assert isinstance(events[0], PoolLowWatermarkEvent)
+    assert events[0].pending_generations == 1
+    assert events[0].remaining_evaluations == 4
+    assert events[0].popped_testset_name == "gen-1"
+    assert "Label a new testset" in events[0].message
+    assert events[1].pending_generations == 0
+
+
+def test_low_watermark_zero_fires_only_when_dry():
+    pool = TestsetPool(make_testsets(2), low_watermark=0)
+    events = []
+    pool.on_low_watermark(events.append)
+    pool.pop()
+    assert events == []
+    pool.pop()
+    assert [e.pending_generations for e in events] == [0]
+
+
+def test_callback_refilling_keeps_pool_in_steady_state():
+    pool = TestsetPool(make_testsets(1), low_watermark=1)
+    labeled = []
+
+    def label_new_set(event):
+        fresh = Testset(labels=np.zeros(8), name=f"fresh-{len(labeled)}")
+        labeled.append(fresh)
+        pool.add(fresh)
+
+    pool.on_low_watermark(label_new_set)
+    for _ in range(4):
+        pool.pop()
+    assert pool.pending == 1  # every pop below the watermark labeled one more
+    assert len(labeled) == 4
+
+
+def test_negative_watermark_rejected():
+    with pytest.raises(EngineStateError):
+        TestsetPool(low_watermark=-1)
+
+
+def test_invalid_budgets_rejected_at_construction():
+    from repro.exceptions import InvalidParameterError
+
+    testsets = make_testsets(2)
+    for bad in (0, -5):
+        with pytest.raises(InvalidParameterError):
+            TestsetPool(testsets, budgets=[4, bad])
+        with pytest.raises(InvalidParameterError):
+            TestsetPool(testsets[:1]).add(testsets[1], budget=bad)
+
+
+def test_manager_install_rejects_zero_budget():
+    from repro.core.testset import TestsetManager
+    from repro.exceptions import InvalidParameterError
+
+    testsets = make_testsets(2)
+    manager = TestsetManager(testsets[0], budget=2)
+    manager.consume(), manager.consume()
+    manager.retire()
+    with pytest.raises(InvalidParameterError):
+        manager.install(testsets[1], budget=0)  # not a silent fallback
+    manager.install(testsets[1])  # None still means "inherit"
+    assert manager.remaining == 2
+
+
+def test_pickle_round_trip_preserves_state_but_not_callbacks():
+    testsets = make_testsets(3)
+    pool = TestsetPool(testsets, budgets=[3, None, 7], default_budget=5,
+                       low_watermark=2)
+    pool.on_low_watermark(lambda event: None)  # unpicklable wiring
+    pool.pop()
+
+    clone = pickle.loads(pickle.dumps(pool))
+    assert clone.pending == 2
+    assert clone.popped == 1
+    assert clone.default_budget == 5
+    assert clone.low_watermark == 2
+    assert clone.remaining_evaluations() == 5 + 7
+    assert [t.name for t in clone.pending_testsets] == ["gen-1", "gen-2"]
+    np.testing.assert_array_equal(
+        clone.pending_testsets[0].labels, testsets[1].labels
+    )
+    # callbacks are runtime wiring and do not survive; popping must not
+    # try to invoke a stale one
+    next_name = clone.pop()[0].name
+    assert next_name == "gen-1"
+    assert clone._callbacks == []

@@ -43,6 +43,10 @@ def test_active_labeling_workflow(capsys):
     out = run_example("active_labeling_workflow", capsys)
     assert "fresh" in out
     assert "labels are reused across commits" in out
+    # act 2: the pool lifecycle replaces catching TestsetExhaustedError
+    assert "Label a new testset now" in out
+    assert "zero skipped builds" in out
+    assert "generations [1, 2, 3]" in out
 
 
 def test_adaptive_attack_demo(capsys):

@@ -2,6 +2,10 @@
 #
 #   make verify           - tier-1 test run + doc doctests (what CI gates on)
 #   make verify-fast      - tier-1 without the slow end-to-end examples
+#   make ci               - what .github/workflows/ci.yml runs: verify +
+#                           --quick benchmark smoke runs + BENCH_*.json
+#                           schema validation
+#   make bench-smoke      - the --quick benchmark runs + schema check alone
 #   make docs             - doctests over README.md and docs/*.md code blocks
 #   make bench-perf       - scalar-vs-batch perf kernels benchmark
 #                           (writes BENCH_perf_kernels.json)
@@ -13,7 +17,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast docs bench bench-perf bench-throughput
+.PHONY: verify verify-fast ci bench-smoke docs bench bench-perf bench-throughput
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +25,13 @@ verify:
 
 verify-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+ci: verify bench-smoke
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_perf_kernels.py --quick
+	$(PYTHON) benchmarks/bench_commit_throughput.py --quick
+	$(PYTHON) benchmarks/check_bench_schema.py
 
 docs:
 	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs

@@ -39,10 +39,18 @@ the measured ratio is recorded in the JSON for the trajectory.
 Run via ``make bench-throughput`` or directly:
 
     PYTHONPATH=src python benchmarks/bench_commit_throughput.py
+
+``--quick`` (what ``make ci`` runs) is the smoke mode: smaller queues and
+sweeps, fewer timing repeats, the correctness assertions kept
+(element-wise identity, >= 3 rotations, bracket certificates) and the
+speedup gates skipped — hosted CI runners are too noisy to enforce
+throughput ratios, but the JSON artifact must still be produced and
+schema-valid (``benchmarks/check_bench_schema.py``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import statistics
 import time
@@ -151,8 +159,10 @@ def fresh_engine(script, labels, baseline):
     return CIEngine(script, Testset(labels=labels), baseline)
 
 
-def bench_commit_throughput() -> dict:
-    script, labels, baseline, models = build_world()
+def bench_commit_throughput(quick: bool = False) -> dict:
+    batch = 16 if quick else BATCH
+    seq_runs, batch_runs = (2, 3) if quick else (9, 15)
+    script, labels, baseline, models = build_world(batch=batch)
 
     def run_sequential():
         engine = fresh_engine(script, labels, baseline)
@@ -168,11 +178,11 @@ def bench_commit_throughput() -> dict:
     run_sequential()
     run_batched()
     sequential_times, batched_times = [], []
-    for _ in range(9):
+    for _ in range(seq_runs):
         t0 = time.perf_counter()
         _, sequential_results = run_sequential()
         sequential_times.append(time.perf_counter() - t0)
-    for _ in range(15):
+    for _ in range(batch_runs):
         t0 = time.perf_counter()
         _, batched_results = run_batched()
         batched_times.append(time.perf_counter() - t0)
@@ -184,13 +194,13 @@ def bench_commit_throughput() -> dict:
     )
     return {
         "condition": CONDITION,
-        "batch_size": BATCH,
+        "batch_size": batch,
         "pool_size": int(len(labels)),
         "promotions": sum(r.promoted for r in batched_results),
         "sequential_seconds": t_seq,
         "batched_seconds": t_batch,
-        "sequential_commits_per_sec": BATCH / t_seq,
-        "batched_commits_per_sec": BATCH / t_batch,
+        "sequential_commits_per_sec": batch / t_seq,
+        "batched_commits_per_sec": batch / t_batch,
         "speedup": t_seq / t_batch,
         "results_identical": identical,
     }
@@ -207,11 +217,14 @@ def build_generations(labels, count, seed=23):
     return testsets
 
 
-def bench_multi_generation_throughput() -> dict:
+def bench_multi_generation_throughput(quick: bool = False) -> dict:
+    multi_batch = 32 if quick else MULTI_BATCH
+    generation_steps = 8 if quick else GENERATION_STEPS
+    seq_runs, batch_runs = (2, 3) if quick else (9, 15)
     script, labels, baseline, models = build_world(
-        batch=MULTI_BATCH, steps=GENERATION_STEPS
+        batch=multi_batch, steps=generation_steps
     )
-    testsets = build_generations(labels, GENERATIONS)
+    testsets = build_generations(labels, multi_batch // generation_steps)
 
     def run_sequential():
         """The caller-side idiom the pool replaces: catch, install, retry."""
@@ -236,11 +249,11 @@ def bench_multi_generation_throughput() -> dict:
     run_sequential()
     run_batched()
     sequential_times, batched_times = [], []
-    for _ in range(9):
+    for _ in range(seq_runs):
         t0 = time.perf_counter()
         _, sequential_results = run_sequential()
         sequential_times.append(time.perf_counter() - t0)
-    for _ in range(15):
+    for _ in range(batch_runs):
         t0 = time.perf_counter()
         engine, batched_results = run_batched()
         batched_times.append(time.perf_counter() - t0)
@@ -252,25 +265,28 @@ def bench_multi_generation_throughput() -> dict:
     )
     return {
         "condition": CONDITION,
-        "batch_size": MULTI_BATCH,
-        "generation_budget": GENERATION_STEPS,
+        "batch_size": multi_batch,
+        "generation_budget": generation_steps,
         "generations_served": int(engine.manager.generation),
         "rotations": len(engine.rotations),
         "pool_size": int(len(labels)),
         "sequential_seconds": t_seq,
         "batched_seconds": t_batch,
-        "sequential_commits_per_sec": MULTI_BATCH / t_seq,
-        "batched_commits_per_sec": MULTI_BATCH / t_batch,
+        "sequential_commits_per_sec": multi_batch / t_seq,
+        "batched_commits_per_sec": multi_batch / t_batch,
         "speedup": t_seq / t_batch,
         "results_identical": identical,
     }
 
 
-def bench_tight_epsilon_many() -> dict:
-    sizes = EPSILON_SIZES
+def bench_tight_epsilon_many(quick: bool = False) -> dict:
+    sizes = (
+        np.unique(np.linspace(1000, 2500, 4).astype(int)) if quick else EPSILON_SIZES
+    )
+    rounds = 1 if quick else 3
     clear_all_caches()
     many_times = []
-    for _ in range(3):
+    for _ in range(rounds):
         clear_all_caches()
         t0 = time.perf_counter()
         many = tight_epsilon_many(sizes, EPSILON_DELTA, tol=EPSILON_TOL)
@@ -318,22 +334,21 @@ def bench_tight_epsilon_many() -> dict:
     }
 
 
-def main() -> dict:
-    throughput = bench_commit_throughput()
-    multi_generation = bench_multi_generation_throughput()
-    epsilon = bench_tight_epsilon_many()
+def main(quick: bool = False) -> dict:
+    throughput = bench_commit_throughput(quick)
+    multi_generation = bench_multi_generation_throughput(quick)
+    epsilon = bench_tight_epsilon_many(quick)
     results = {
+        "quick": quick,
         "commit_throughput": throughput,
         "multi_generation_throughput": multi_generation,
         "tight_epsilon_many": epsilon,
     }
 
+    # Correctness gates hold in every mode; the speedup gates only on the
+    # full run (quick mode is a CI smoke on a shared, noisy runner).
     assert throughput["results_identical"], (
         "submit_many diverged from the sequential engine"
-    )
-    assert throughput["speedup"] >= 10.0, (
-        f"batched commit throughput {throughput['speedup']:.1f}x is below "
-        "the required 10x"
     )
     assert multi_generation["results_identical"], (
         "pool-aware submit_many diverged from the manual rotate-and-resubmit loop"
@@ -342,18 +357,23 @@ def main() -> dict:
         f"sustained scenario only crossed {multi_generation['rotations']} "
         "rotations; the benchmark requires >= 3"
     )
-    assert multi_generation["speedup"] >= 8.0, (
-        f"multi-generation batched throughput {multi_generation['speedup']:.1f}x "
-        "is below the required 8x"
-    )
     assert epsilon["bracket_contract_upper_ok"] and epsilon["bracket_contract_lower_ok"], (
         "tight_epsilon_many broke the scalar bisection's bracket contract"
     )
-    assert epsilon["speedup_vs_cold_per_call"] >= 3.0, (
-        f"tight_epsilon_many speedup {epsilon['speedup_vs_cold_per_call']:.1f}x "
-        "is below the 3x floor (see module docstring for the 5x -> ~4x "
-        "target revision)"
-    )
+    if not quick:
+        assert throughput["speedup"] >= 10.0, (
+            f"batched commit throughput {throughput['speedup']:.1f}x is below "
+            "the required 10x"
+        )
+        assert multi_generation["speedup"] >= 8.0, (
+            f"multi-generation batched throughput {multi_generation['speedup']:.1f}x "
+            "is below the required 8x"
+        )
+        assert epsilon["speedup_vs_cold_per_call"] >= 3.0, (
+            f"tight_epsilon_many speedup {epsilon['speedup_vs_cold_per_call']:.1f}x "
+            "is below the 3x floor (see module docstring for the 5x -> ~4x "
+            "target revision)"
+        )
 
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
@@ -369,7 +389,8 @@ def main() -> dict:
         f"commits/sec ({multi_generation['speedup']:.1f}x)"
     )
     print(
-        f"tight_epsilon over {len(EPSILON_SIZES)} sizes: per-call "
+        f"tight_epsilon over "
+        f"{len(results['tight_epsilon_many']['testset_sizes'])} sizes: per-call "
         f"{epsilon['per_call_cold_seconds']:.2f}s, batched "
         f"{epsilon['many_seconds']:.2f}s "
         f"({epsilon['speedup_vs_cold_per_call']:.1f}x)"
@@ -378,4 +399,10 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller queues/sweeps, speedup gates skipped",
+    )
+    main(quick=parser.parse_args().quick)

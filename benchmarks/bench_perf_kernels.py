@@ -16,10 +16,17 @@ plan call is served in under a millisecond.
 Run via ``make bench-perf`` or directly:
 
     PYTHONPATH=src python benchmarks/bench_perf_kernels.py
+
+``--quick`` (what ``make ci`` runs) is the smoke mode: the cheapest case
+per section, correctness assertions kept, the timing gates skipped —
+hosted CI runners are too noisy to enforce speedups, but the JSON
+artifact must still be produced and schema-valid
+(``benchmarks/check_bench_schema.py``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import statistics
 import time
@@ -58,9 +65,9 @@ def _timed(fn, *, repeats: int = 3, cold: bool = True) -> tuple[float, object]:
     return statistics.median(times), result
 
 
-def bench_worst_case() -> list[dict]:
+def bench_worst_case(cases=WORST_CASES) -> list[dict]:
     rows = []
-    for case in WORST_CASES:
+    for case in cases:
         n, eps = case["n"], case["epsilon"]
         t_scalar, f_scalar = _timed(
             lambda: worst_case_failure_probability(n, eps, backend="scalar"), repeats=1
@@ -82,9 +89,9 @@ def bench_worst_case() -> list[dict]:
     return rows
 
 
-def bench_tight_sample_size() -> list[dict]:
+def bench_tight_sample_size(cases=TIGHT_CASES) -> list[dict]:
     rows = []
-    for case in TIGHT_CASES:
+    for case in cases:
         eps, delta = case["epsilon"], case["delta"]
         t_scalar, n_scalar = _timed(
             lambda: tight_sample_size(eps, delta, backend="scalar"), repeats=1
@@ -127,10 +134,16 @@ def bench_plan_cache() -> dict:
     }
 
 
-def main() -> dict:
+def main(quick: bool = False) -> dict:
+    # Quick mode (CI smoke): the cheapest case per section, correctness
+    # still asserted, timing gates skipped — the runner is shared and
+    # noisy, but the artifact must be produced and schema-valid.
+    worst_cases = WORST_CASES[:1] if quick else WORST_CASES
+    tight_cases = TIGHT_CASES[:1] if quick else TIGHT_CASES
     results = {
-        "worst_case_failure_probability": bench_worst_case(),
-        "tight_sample_size": bench_tight_sample_size(),
+        "quick": quick,
+        "worst_case_failure_probability": bench_worst_case(worst_cases),
+        "tight_sample_size": bench_tight_sample_size(tight_cases),
         "sample_size_estimator_plan": bench_plan_cache(),
         "cache_info_after": {
             name: {"hits": info.hits, "misses": info.misses, "currsize": info.currsize}
@@ -142,23 +155,25 @@ def main() -> dict:
     headline = next(
         row
         for row in results["tight_sample_size"]
-        if row["epsilon"] == 0.02 and row["delta"] == 1e-3
+        if quick or (row["epsilon"] == 0.02 and row["delta"] == 1e-3)
     )
     assert headline["results_equal"], "batch and scalar tight_sample_size diverged"
-    assert headline["speedup_cold"] >= 20.0, (
-        f"tight_sample_size speedup {headline['speedup_cold']:.1f}x is below "
-        "the required 20x"
-    )
     plan_row = results["sample_size_estimator_plan"]
     assert plan_row["plans_identical"], "cached plan differs from cold plan"
-    assert plan_row["warm_is_sub_millisecond"], (
-        f"warm plan took {plan_row['warm_seconds'] * 1e3:.3f} ms (>= 1 ms)"
-    )
+    if not quick:
+        assert headline["speedup_cold"] >= 20.0, (
+            f"tight_sample_size speedup {headline['speedup_cold']:.1f}x is below "
+            "the required 20x"
+        )
+        assert plan_row["warm_is_sub_millisecond"], (
+            f"warm plan took {plan_row['warm_seconds'] * 1e3:.3f} ms (>= 1 ms)"
+        )
 
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
     print(
-        f"tight_sample_size(0.02, 1e-3): scalar {headline['scalar_seconds']:.3f}s, "
+        f"tight_sample_size({headline['epsilon']}, {headline['delta']}): "
+        f"scalar {headline['scalar_seconds']:.3f}s, "
         f"batch {headline['batch_cold_seconds'] * 1e3:.1f}ms "
         f"({headline['speedup_cold']:.0f}x), "
         f"warm {headline['batch_warm_seconds'] * 1e6:.0f}us"
@@ -171,4 +186,10 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: cheapest cases, timing gates skipped",
+    )
+    main(quick=parser.parse_args().quick)

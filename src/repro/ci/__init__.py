@@ -12,7 +12,12 @@ directly:
   for tests, console for examples);
 * :mod:`service` — :class:`~repro.ci.service.CIService`, which watches a
   repository, triggers a build per commit, runs the ease.ml/ci engine and
-  routes signals/alarms to the right parties.
+  routes signals/alarms to the right parties;
+* :mod:`persistence` — durable state: atomic versioned snapshots plus an
+  append-only event journal, giving the service restart-identical resume
+  (:meth:`~repro.ci.service.CIService.persist_to` /
+  :meth:`~repro.ci.service.CIService.resume`) and the ``repro ops``
+  operations surface.
 """
 
 from repro.ci.commit import Commit, CommitStatus
@@ -23,7 +28,14 @@ from repro.ci.notifications import (
     InMemoryEmailTransport,
     ConsoleTransport,
 )
-from repro.ci.service import BuildRecord, CIService
+from repro.ci.persistence import (
+    EventJournal,
+    JournalRecord,
+    SnapshotInfo,
+    SnapshotStore,
+    open_state_dir,
+)
+from repro.ci.service import BuildRecord, CIService, OperationsReport
 
 __all__ = [
     "Commit",
@@ -33,6 +45,12 @@ __all__ = [
     "NotificationTransport",
     "InMemoryEmailTransport",
     "ConsoleTransport",
+    "EventJournal",
+    "JournalRecord",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "open_state_dir",
     "BuildRecord",
     "CIService",
+    "OperationsReport",
 ]

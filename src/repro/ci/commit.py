@@ -42,6 +42,15 @@ class Commit:
         by the CI service once the build ran (``None`` while pending or
         skipped).  Under a testset pool this annotates repository history
         with which released dev set each signal came from.
+    repo_nonce:
+        The owning repository's identity nonce, mixed into
+        :attr:`commit_id` so commits of *different* repositories (or of a
+        restored-then-diverged copy re-seeded with a fresh nonce) never
+        collide even at identical ``sequence:author:message`` triples.
+    parent_sha:
+        :attr:`commit_id` of the preceding commit (``None`` for the
+        root), chaining ids git-style: once two histories diverge at any
+        commit, every later id diverges too.
     """
 
     sequence: int
@@ -50,11 +59,23 @@ class Commit:
     author: str = "developer"
     status: CommitStatus = field(default=CommitStatus.PENDING)
     generation: int | None = field(default=None)
+    repo_nonce: str = ""
+    parent_sha: str | None = None
 
     @property
     def commit_id(self) -> str:
-        """A stable short hex id derived from sequence/author/message."""
-        payload = f"{self.sequence}:{self.author}:{self.message}".encode()
+        """A stable short hex id naming this commit within its history.
+
+        Derived from the repository nonce, the parent chain and the
+        ``sequence:author:message`` triple — the triple alone collides
+        across repositories (two fresh repos both mint ``#0 developer:
+        "fix"``), which matters once histories are persisted, restored
+        and diverge.
+        """
+        payload = (
+            f"{self.repo_nonce}:{self.parent_sha or ''}:"
+            f"{self.sequence}:{self.author}:{self.message}"
+        ).encode()
         return hashlib.sha1(payload).hexdigest()[:10]
 
     def __str__(self) -> str:

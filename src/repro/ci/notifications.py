@@ -14,6 +14,15 @@ Three delivery paths flow through one transport:
 Production systems would plug in SMTP or a chat webhook; the experiments
 use :class:`InMemoryEmailTransport` (assertable) and examples use
 :class:`ConsoleTransport`.
+
+Transports are *runtime wiring*, not durable CI state: service snapshots
+(:mod:`repro.ci.persistence`) never carry them, and a restore re-attaches
+whichever transport the new process supplies
+(``CIService.resume(state_dir, transport=...)``).  Journal replay
+deliberately suppresses delivery — the pre-crash process already sent
+those messages — so a transport sees each notification at most once per
+process lifetime, and at most the single in-flight commit's notification
+can be lost to a crash.
 """
 
 from __future__ import annotations

@@ -1,0 +1,475 @@
+"""Durable CI state: versioned snapshots plus an append-only event journal.
+
+ease.ml/ci's statistical guarantees live in server-side state — the
+per-testset evaluation budget ``H``, the adaptivity-mode accounting, the
+pool of unreleased test-set generations.  Losing that state to a process
+restart is not an inconvenience, it *forfeits budget accounting*: a
+rebooted service that re-evaluates commits on a released testset replays
+labels the math says are spent.  This module makes the state durable:
+
+* :class:`SnapshotStore` — versioned, atomic (write-temp-then-rename)
+  pickle snapshots of :meth:`CIService.export_state` /
+  :meth:`CIEngine.export_state` mappings.  Every snapshot records the
+  journal sequence it was taken at, so a restorer knows where replay
+  begins.
+* :class:`EventJournal` — an append-only JSON-lines event log (commit
+  received / build recorded / promotion / rotation / alarm / snapshot /
+  restore).  ``commit-received`` records embed the committed model
+  (pickled, base64) *before* the build runs, so a crash mid-build loses
+  no commit: restore replays it deterministically.
+* :func:`open_state_dir` — the one-directory layout convention
+  (``<dir>/snapshots/`` + ``<dir>/journal.jsonl``) used by
+  :meth:`CIService.persist_to` / :meth:`CIService.resume` and the
+  ``repro ops`` CLI.
+
+Crash model
+-----------
+Kill the process at any *journal boundary* (between two appends; each
+append is flushed and fsynced before returning) and restore: the service
+loads the latest snapshot, then replays every journaled
+``commit-received`` whose repository sequence the snapshot does not yet
+contain, in order, deduplicated by sequence.  Because evaluation is a
+pure function of engine state and the committed model, the replayed
+:class:`CommitResult`/:class:`BuildRecord` sequence is element-wise
+identical to the uninterrupted run — in all three adaptivity modes (the
+restart-parity suite asserts this).  A torn trailing journal line (the
+crash landed mid-append) is ignored; a torn line *followed by* intact
+records means real corruption and raises :class:`PersistenceError`.
+
+Side effects are recovered as state, not re-fired: notification
+transports are runtime wiring, so replay suppresses the notifier — the
+pre-crash process already delivered those messages, and at most the
+single in-flight commit's notification can be lost.
+
+Security note: snapshots and ``commit-received`` payloads contain
+pickles (models are arbitrary objects).  State directories are trusted,
+server-local data — never restore from an untrusted one.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import re
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.exceptions import PersistenceError
+from repro.utils.serialization import to_jsonable
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "COMMIT_RECEIVED",
+    "BUILD_RECORDED",
+    "PROMOTION",
+    "ROTATION",
+    "ALARM",
+    "SNAPSHOT",
+    "RESTORE",
+    "EVENT_TYPES",
+    "JournalRecord",
+    "EventJournal",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "open_state_dir",
+    "encode_model",
+    "decode_model",
+]
+
+#: Version of the on-disk snapshot envelope; bumped on incompatible change.
+SNAPSHOT_FORMAT_VERSION = 1
+
+# Journal event types.  The first is the one replay is driven by; the rest
+# form the operational audit trail.
+COMMIT_RECEIVED = "commit-received"
+BUILD_RECORDED = "build-recorded"
+PROMOTION = "promotion"
+ROTATION = "rotation"
+ALARM = "alarm"
+SNAPSHOT = "snapshot"
+RESTORE = "restore"
+
+EVENT_TYPES = frozenset(
+    {COMMIT_RECEIVED, BUILD_RECORDED, PROMOTION, ROTATION, ALARM, SNAPSHOT, RESTORE}
+)
+
+_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{6})\.pkl$")
+
+
+# ---------------------------------------------------------------------------
+# Model payload encoding
+# ---------------------------------------------------------------------------
+
+def encode_model(model: Any) -> str:
+    """Pickle ``model`` into a base64 string for a JSON journal payload."""
+    return base64.b64encode(
+        pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_model(payload: str) -> Any:
+    """Invert :func:`encode_model` (trusted, server-local data only)."""
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal line.
+
+    Attributes
+    ----------
+    sequence:
+        Journal-wide 1-based append counter (monotonic; snapshots store
+        the sequence they were taken at, and ``journal lag`` on the
+        operations surface is the distance from it).
+    type:
+        One of the module's event-type constants.
+    recorded_at:
+        ISO-8601 UTC wall-clock stamp.  Operational metadata only — no
+        result ever depends on it, preserving the library's determinism.
+    payload:
+        Event-specific JSON-compatible mapping.
+    """
+
+    sequence: int
+    type: str
+    recorded_at: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class EventJournal:
+    """An append-only JSON-lines event log with fsync durability.
+
+    Parameters
+    ----------
+    path:
+        The journal file (created, along with parent directories, on
+        first append).  Existing records are scanned once at open to
+        resume the sequence counter.
+    sync:
+        Fsync after every append (default).  Turning it off trades the
+        crash guarantee for throughput — acceptable for tests and
+        simulations, not for a deployment.
+    clock:
+        Timestamp source for ``recorded_at`` (UTC now by default);
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        sync: bool = True,
+        clock: Callable[[], datetime] | None = None,
+    ):
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self._clock = clock or (lambda: datetime.now(timezone.utc))
+        self._next_sequence = self._repair_and_scan() + 1
+
+    def _repair_and_scan(self) -> int:
+        """Scan intact records; truncate a torn *trailing* line in place.
+
+        A torn trailing line is the tolerated crash artifact — the append
+        never completed, so by the crash model its event never happened.
+        It cannot be left in the file: :meth:`append` opens in append
+        mode, so the next record would merge into the torn bytes (losing
+        it), and one more append after that would make the merged line
+        *non*-trailing — permanently unreadable corruption.  Truncating
+        the torn tail once, at open, keeps append blind and the journal
+        self-healing.  Garbage *followed by* intact records is real
+        corruption; it is left untouched for :meth:`records` to raise on.
+        """
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes()
+        last, valid_end, offset = 0, 0, 0
+        for chunk in raw.splitlines(keepends=True):
+            offset += len(chunk)
+            line = chunk.decode("utf-8", errors="replace").strip()
+            if not line:
+                valid_end = offset
+                continue
+            try:
+                record = json.loads(line)
+                sequence = int(record["sequence"])
+                record["type"], record["recorded_at"]
+            except (ValueError, KeyError, TypeError):
+                continue  # valid_end stays put; trailing garbage truncates
+            last = sequence
+            valid_end = offset
+        if valid_end < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+        return last
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence of the newest record (0 for an empty journal)."""
+        return self._next_sequence - 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # -- writing -------------------------------------------------------------
+    def append(self, type: str, payload: dict[str, Any] | None = None) -> JournalRecord:
+        """Append one event; flushed (and fsynced) before returning.
+
+        The record's JSON line is rendered through
+        :func:`repro.utils.serialization.to_jsonable`, so payloads may
+        carry datetimes, paths, enums and numpy values directly.
+        """
+        if type not in EVENT_TYPES:
+            raise PersistenceError(
+                f"unknown journal event type {type!r}; expected one of "
+                f"{sorted(EVENT_TYPES)}"
+            )
+        record = JournalRecord(
+            sequence=self._next_sequence,
+            type=type,
+            recorded_at=self._clock().isoformat(),
+            payload=dict(payload or {}),
+        )
+        line = json.dumps(to_jsonable(record), sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        self._next_sequence += 1
+        return record
+
+    # -- reading -------------------------------------------------------------
+    def records(self) -> Iterator[JournalRecord]:
+        """Yield every intact record, oldest first.
+
+        A torn *trailing* line — the crash landed mid-append — is
+        silently dropped (its event never happened, by the crash model).
+        A malformed line with intact records after it is corruption and
+        raises :class:`PersistenceError`.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        pending_error: PersistenceError | None = None
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                record = JournalRecord(
+                    sequence=int(raw["sequence"]),
+                    type=str(raw["type"]),
+                    recorded_at=str(raw["recorded_at"]),
+                    payload=dict(raw.get("payload") or {}),
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                pending_error = PersistenceError(
+                    f"journal {self.path} line {number} is corrupt "
+                    f"(non-trailing): {exc}"
+                )
+                continue
+            if pending_error is not None:
+                raise pending_error
+            yield record
+
+    def records_of(self, type: str) -> Iterator[JournalRecord]:
+        """Yield intact records of one event type, oldest first."""
+        return (record for record in self.records() if record.type == type)
+
+
+# ---------------------------------------------------------------------------
+# The snapshot store
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Metadata of one stored snapshot.
+
+    Attributes
+    ----------
+    sequence:
+        1-based snapshot counter within the store.
+    journal_sequence:
+        The journal's :attr:`~EventJournal.last_sequence` at save time —
+        where replay begins for a restore from this snapshot.
+    format_version:
+        On-disk envelope version the snapshot was written with.
+    path:
+        The snapshot file.
+    """
+
+    sequence: int
+    journal_sequence: int
+    format_version: int
+    path: Path
+
+
+class SnapshotStore:
+    """Versioned, atomically-written snapshots of exported CI state.
+
+    Each :meth:`save` pickles an envelope ``{format_version, sequence,
+    journal_sequence, payload}`` to a temporary file in the store
+    directory and :func:`os.replace`-renames it into place — a reader
+    (or a crash) never observes a half-written snapshot.  Snapshots are
+    numbered; :meth:`load_latest` restores from the newest one and older
+    generations remain on disk as a fallback/audit trail (prune with
+    :meth:`prune`).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        # Metadata of snapshots this instance has saved or loaded, so the
+        # operations surface (journal lag needs only 3 ints) does not
+        # unpickle whole engine states from disk on every report.  Keyed
+        # by sequence; a sequence minted by another process is simply not
+        # cached yet and falls back to a disk read.
+        self._info_cache: dict[int, SnapshotInfo] = {}
+
+    # -- inspection ----------------------------------------------------------
+    def _entries(self) -> list[tuple[int, Path]]:
+        if not self.directory.is_dir():
+            return []
+        entries = []
+        for child in self.directory.iterdir():
+            match = _SNAPSHOT_NAME.match(child.name)
+            if match:
+                entries.append((int(match.group(1)), child))
+        return sorted(entries)
+
+    def sequences(self) -> list[int]:
+        """Stored snapshot sequence numbers, oldest first."""
+        return [sequence for sequence, _ in self._entries()]
+
+    @property
+    def latest_sequence(self) -> int:
+        """Newest stored sequence (0 for an empty store)."""
+        entries = self._entries()
+        return entries[-1][0] if entries else 0
+
+    def snapshots(self) -> list[SnapshotInfo]:
+        """Metadata of every stored snapshot, oldest first (no payloads)."""
+        return [self._info(sequence) for sequence in self.sequences()]
+
+    def _info(self, sequence: int) -> SnapshotInfo:
+        cached = self._info_cache.get(sequence)
+        return cached if cached is not None else self.load(sequence)[1]
+
+    # -- writing -------------------------------------------------------------
+    def save(self, payload: Any, *, journal_sequence: int = 0) -> SnapshotInfo:
+        """Persist ``payload`` as the next snapshot generation, atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        sequence = self.latest_sequence + 1
+        envelope = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "sequence": sequence,
+            "journal_sequence": int(journal_sequence),
+            "payload": payload,
+        }
+        path = self.directory / f"snapshot-{sequence:06d}.pkl"
+        temp = path.with_suffix(".pkl.tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        info = SnapshotInfo(
+            sequence=sequence,
+            journal_sequence=int(journal_sequence),
+            format_version=SNAPSHOT_FORMAT_VERSION,
+            path=path,
+        )
+        self._info_cache[sequence] = info
+        return info
+
+    def prune(self, keep: int = 1) -> list[Path]:
+        """Delete all but the newest ``keep`` snapshots; returns removed paths."""
+        if keep < 1:
+            raise PersistenceError(f"keep must be >= 1, got {keep}")
+        removed = []
+        for sequence, path in self._entries()[:-keep]:
+            path.unlink()
+            self._info_cache.pop(sequence, None)
+            removed.append(path)
+        return removed
+
+    # -- reading -------------------------------------------------------------
+    def load(self, sequence: int) -> tuple[Any, SnapshotInfo]:
+        """Load one snapshot generation; returns ``(payload, info)``."""
+        path = self.directory / f"snapshot-{sequence:06d}.pkl"
+        if not path.exists():
+            raise PersistenceError(
+                f"snapshot {sequence} not found in {self.directory}"
+            )
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        version = envelope.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise PersistenceError(
+                f"snapshot {path} has format version {version!r}; this build "
+                f"reads version {SNAPSHOT_FORMAT_VERSION}"
+            )
+        info = SnapshotInfo(
+            sequence=int(envelope["sequence"]),
+            journal_sequence=int(envelope["journal_sequence"]),
+            format_version=int(version),
+            path=path,
+        )
+        self._info_cache[info.sequence] = info
+        return envelope["payload"], info
+
+    def load_latest(self) -> tuple[Any, SnapshotInfo] | None:
+        """Load the newest snapshot, or ``None`` for an empty store."""
+        latest = self.latest_sequence
+        if latest == 0:
+            return None
+        return self.load(latest)
+
+    def latest_info(self) -> SnapshotInfo | None:
+        """Metadata of the newest snapshot (``None`` for an empty store).
+
+        Served from the instance's metadata cache when this process saved
+        or loaded that snapshot — the operations surface calls this per
+        report, and unpickling a full engine state to read three ints
+        would make a cheap counters report cost a disk-sized load.
+        """
+        latest = self.latest_sequence
+        if latest == 0:
+            return None
+        return self._info(latest)
+
+
+# ---------------------------------------------------------------------------
+# State-directory convention
+# ---------------------------------------------------------------------------
+
+def open_state_dir(
+    path: str | Path, *, create: bool = True, sync: bool = True
+) -> tuple[SnapshotStore, EventJournal]:
+    """Open (or create) the one-directory layout the service and CLI share.
+
+    ``<path>/snapshots/`` holds the :class:`SnapshotStore`;
+    ``<path>/journal.jsonl`` is the :class:`EventJournal`.  With
+    ``create=False`` a missing directory raises :class:`PersistenceError`
+    (the ``repro ops`` CLI uses this so a typo'd path fails loudly
+    instead of materializing an empty state dir).
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        if not create:
+            raise PersistenceError(f"state directory {directory} does not exist")
+        directory.mkdir(parents=True, exist_ok=True)
+    return (
+        SnapshotStore(directory / "snapshots"),
+        EventJournal(directory / "journal.jsonl", sync=sync),
+    )

@@ -22,6 +22,7 @@ repository log is where that audit trail lives.
 
 from __future__ import annotations
 
+import uuid
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.ci.commit import Commit
@@ -37,24 +38,53 @@ class ModelRepository:
     ----------
     name:
         Repository identifier used in logs and notifications.
+    nonce:
+        Identity nonce mixed into every commit's
+        :attr:`~repro.ci.commit.Commit.commit_id` (a fresh random hex
+        string by default).  Two repositories therefore never mint
+        colliding commit ids, while a repository restored from a snapshot
+        keeps its nonce and reproduces its ids exactly.  Pass an explicit
+        nonce for runs that must mint reproducible ids.
+
+    Notes
+    -----
+    Commit history (and the nonce) is durable repository *state* and
+    round-trips through pickling/snapshots; observers are runtime wiring
+    and are dropped — the CI service re-subscribes itself on restore, and
+    any extra observers must be re-registered.
     """
 
-    def __init__(self, name: str = "ml-repo"):
+    def __init__(self, name: str = "ml-repo", *, nonce: str | None = None):
         self.name = name
+        self.nonce = uuid.uuid4().hex[:12] if nonce is None else str(nonce)
         self._commits: list[Commit] = []
         self._observers: list[
             tuple[Callable[[Commit], None], Callable[[list[Commit]], None] | None]
         ] = []
 
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_observers"] = []  # runtime wiring, not repository state
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- committing -----------------------------------------------------------
-    def commit(self, model: Any, message: str = "", author: str = "developer") -> Commit:
-        """Append a new model version and notify observers (webhook)."""
-        commit = Commit(
+    def _mint(self, model: Any, message: str, author: str) -> Commit:
+        """Build the next commit, chained to the current head."""
+        return Commit(
             sequence=len(self._commits),
             model=model,
             message=message,
             author=author,
+            repo_nonce=self.nonce,
+            parent_sha=self._commits[-1].commit_id if self._commits else None,
         )
+
+    def commit(self, model: Any, message: str = "", author: str = "developer") -> Commit:
+        """Append a new model version and notify observers (webhook)."""
+        commit = self._mint(model, message, author)
         self._commits.append(commit)
         for observer, _ in self._observers:
             observer(commit)
@@ -81,11 +111,10 @@ class ModelRepository:
         commits = []
         for i, model in enumerate(models):
             commits.append(
-                Commit(
-                    sequence=len(self._commits),
-                    model=model,
-                    message=messages[i] if messages is not None else "",
-                    author=author,
+                self._mint(
+                    model,
+                    messages[i] if messages is not None else "",
+                    author,
                 )
             )
             self._commits.append(commits[-1])

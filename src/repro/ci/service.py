@@ -38,22 +38,56 @@ rotates on exhaustion (and on the retirement alarms that cause it),
 rotation notices go out through the transport, and every build record and
 commit is annotated with the generation that served it.  Skipped builds
 then occur only when the pool is truly dry.
+
+Durability: :meth:`CIService.persist_to` binds the service to a state
+directory (:mod:`repro.ci.persistence`).  From then on every webhook
+journals the commit *before* evaluating it and the build outcome after,
+and :meth:`CIService.snapshot` (or the ``snapshot_every`` cadence)
+captures the full exported state atomically.  After a crash,
+:meth:`CIService.resume` loads the latest snapshot and replays the
+journaled commits the snapshot predates — producing build records
+element-wise identical to the uninterrupted run.
+:meth:`CIService.operations` (and the ``repro ops`` CLI) reports pool
+runway, generation budgets, cache statistics and journal lag.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.ci.commit import Commit, CommitStatus
 from repro.ci.notifications import NotificationTransport
+from repro.ci.persistence import (
+    ALARM,
+    BUILD_RECORDED,
+    COMMIT_RECEIVED,
+    PROMOTION,
+    RESTORE,
+    ROTATION,
+    SNAPSHOT,
+    EventJournal,
+    SnapshotInfo,
+    SnapshotStore,
+    decode_model,
+    encode_model,
+    open_state_dir,
+)
 from repro.ci.repository import ModelRepository
 from repro.core.engine import CIEngine, CommitResult
 from repro.core.script.config import CIScript
 from repro.core.testset import Testset, TestsetPool
-from repro.exceptions import TestsetExhaustedError, TestsetSizeError
+from repro.exceptions import (
+    PersistenceError,
+    TestsetExhaustedError,
+    TestsetSizeError,
+)
 
-__all__ = ["BuildRecord", "CIService"]
+__all__ = ["BuildRecord", "CIService", "OperationsReport", "SERVICE_STATE_FORMAT"]
+
+#: Version tag of the service's exported-state contract.
+SERVICE_STATE_FORMAT = "repro.ci-service/v1"
 
 
 @dataclass(frozen=True)
@@ -89,6 +123,89 @@ class BuildRecord:
     def ran(self) -> bool:
         """Whether the build executed an evaluation."""
         return self.result is not None
+
+
+@dataclass(frozen=True)
+class OperationsReport:
+    """Point-in-time operational view of a CI service.
+
+    Everything an on-call integration engineer asks of a running (or
+    restored) service: build/commit counters, the active generation's
+    budget, pool runway, planning/serving cache statistics, and how far
+    the journal has run ahead of the last snapshot.  JSON-compatible via
+    :func:`repro.utils.serialization.to_jsonable`; rendered for terminals
+    by :meth:`describe`.
+    """
+
+    repository: str
+    builds_total: int
+    builds_ran: int
+    builds_skipped: int
+    commits_evaluated: int
+    promotions: int
+    alarms: int
+    rotations: int
+    active_generation: int
+    generation_budget: int
+    generation_uses: int
+    generation_remaining: int
+    generation_exhausted: bool
+    pool_attached: bool
+    pool_pending_generations: int
+    pool_remaining_evaluations: int
+    pool_low_watermark: int | None
+    planning_cache: Mapping[str, Any]
+    caches: Mapping[str, Mapping[str, Any]]
+    persistence_attached: bool
+    snapshot_sequence: int | None
+    snapshot_journal_sequence: int | None
+    journal_sequence: int | None
+    journal_lag: int | None
+
+    def describe(self) -> str:
+        """A terminal-friendly rendering (what ``repro ops`` prints)."""
+        lines = [
+            f"operations report for repository {self.repository!r}:",
+            f"  builds        : {self.builds_total} total, "
+            f"{self.builds_ran} ran, {self.builds_skipped} skipped",
+            f"  commits       : {self.commits_evaluated} evaluated, "
+            f"{self.promotions} promoted",
+            f"  alarms        : {self.alarms} fired, {self.rotations} rotations",
+            f"  generation    : #{self.active_generation}, "
+            f"budget {self.generation_uses}/{self.generation_budget} used "
+            f"({self.generation_remaining} remaining"
+            f"{', RETIRED' if self.generation_exhausted else ''})",
+        ]
+        if self.pool_attached:
+            lines.append(
+                f"  pool runway   : {self.pool_pending_generations} pending "
+                f"generation(s), {self.pool_remaining_evaluations} "
+                f"evaluation(s), low watermark {self.pool_low_watermark}"
+            )
+        else:
+            lines.append("  pool runway   : (no pool attached)")
+        plan = self.planning_cache
+        lines.append(
+            f"  plan cache    : {plan['hits']} hits / {plan['misses']} misses "
+            f"({plan['currsize']} plans cached)"
+        )
+        warm = sum(1 for info in self.caches.values() if info["currsize"])
+        lines.append(f"  caches        : {warm}/{len(self.caches)} warm")
+        if self.persistence_attached and self.journal_lag is not None:
+            lines.append(
+                f"  durable state : snapshot #{self.snapshot_sequence or 0} "
+                f"at journal seq {self.snapshot_journal_sequence or 0}, "
+                f"journal at seq {self.journal_sequence or 0} "
+                f"(lag {self.journal_lag} event(s))"
+            )
+        elif self.persistence_attached:
+            lines.append(
+                f"  durable state : snapshot #{self.snapshot_sequence or 0} "
+                "(no journal attached)"
+            )
+        else:
+            lines.append("  durable state : (persistence not attached)")
+        return "\n".join(lines)
 
 
 class CIService:
@@ -130,6 +247,15 @@ class CIService:
         self.repository = repository if repository is not None else ModelRepository()
         self.repository.on_commit(self._on_commit, batch_observer=self._on_commit_batch)
         self._builds: list[BuildRecord] = []
+        self._init_runtime_state()
+
+    def _init_runtime_state(self) -> None:
+        """Persistence wiring defaults (shared by __init__ and restore)."""
+        self._store: SnapshotStore | None = None
+        self._journal: EventJournal | None = None
+        self._snapshot_every: int | None = None
+        self._builds_since_snapshot = 0
+        self._replaying = False
 
     # -- inspection --------------------------------------------------------------
     @property
@@ -154,8 +280,75 @@ class CIService:
 
         return SampleSizeEstimator.plan_cache_info()
 
+    def operations(self) -> OperationsReport:
+        """The operations surface: runway, budgets, caches, journal lag.
+
+        Safe to call at any lifecycle point, persisted or not; the
+        ``repro ops`` CLI restores a service from its state directory and
+        prints exactly this report.
+        """
+        from repro.stats.cache import all_cache_info
+
+        manager = self.engine.manager
+        pool = self.engine.pool
+        snapshot_info = self._store.latest_info() if self._store is not None else None
+        journal_sequence = (
+            self._journal.last_sequence if self._journal is not None else None
+        )
+        journal_lag = None
+        if journal_sequence is not None:
+            anchored = snapshot_info.journal_sequence if snapshot_info else 0
+            journal_lag = journal_sequence - anchored
+        plan_info = self.planning_cache_info()
+        return OperationsReport(
+            repository=self.repository.name,
+            builds_total=len(self._builds),
+            builds_ran=sum(1 for build in self._builds if build.ran),
+            builds_skipped=sum(1 for build in self._builds if not build.ran),
+            commits_evaluated=self.engine.commits_evaluated,
+            promotions=sum(1 for r in self.engine.results if r.promoted),
+            alarms=len(self.engine.alarm.events),
+            rotations=len(self.engine.rotations),
+            active_generation=manager.generation,
+            generation_budget=manager.budget,
+            generation_uses=manager.uses,
+            generation_remaining=manager.remaining,
+            generation_exhausted=manager.is_exhausted,
+            pool_attached=pool is not None,
+            pool_pending_generations=pool.pending if pool is not None else 0,
+            pool_remaining_evaluations=(
+                pool.remaining_evaluations() if pool is not None else 0
+            ),
+            pool_low_watermark=pool.low_watermark if pool is not None else None,
+            planning_cache={
+                "hits": plan_info.hits,
+                "misses": plan_info.misses,
+                "maxsize": plan_info.maxsize,
+                "currsize": plan_info.currsize,
+                "hit_rate": plan_info.hit_rate,
+            },
+            caches={
+                name: {
+                    "hits": info.hits,
+                    "misses": info.misses,
+                    "maxsize": info.maxsize,
+                    "currsize": info.currsize,
+                }
+                for name, info in all_cache_info().items()
+            },
+            persistence_attached=self._store is not None,
+            snapshot_sequence=snapshot_info.sequence if snapshot_info else None,
+            snapshot_journal_sequence=(
+                snapshot_info.journal_sequence if snapshot_info else None
+            ),
+            journal_sequence=journal_sequence,
+            journal_lag=journal_lag,
+        )
+
     # -- the webhook ---------------------------------------------------------------
     def _on_commit(self, commit: Commit) -> None:
+        self._journal_commit_received(commit)
+        rotations_before = len(self.engine.rotations)
         build_number = len(self._builds) + 1
         try:
             result = self.engine.submit(commit.model)
@@ -164,22 +357,27 @@ class CIService:
             # pool's next generation is undersized): either way the build
             # is recorded as skipped rather than lost.
             commit.status = CommitStatus.SKIPPED
-            self._builds.append(
-                BuildRecord(
-                    build_number=build_number,
-                    commit=commit,
-                    result=None,
-                    skipped_reason=str(exc),
-                )
+            build = BuildRecord(
+                build_number=build_number,
+                commit=commit,
+                result=None,
+                skipped_reason=str(exc),
             )
+            self._builds.append(build)
+            self._journal_build(build, rotations_before)
+            self._maybe_auto_snapshot()
             return
         commit.status = self._status_for(result)
         commit.generation = result.generation
-        self._builds.append(
-            BuildRecord(build_number=build_number, commit=commit, result=result)
-        )
+        build = BuildRecord(build_number=build_number, commit=commit, result=result)
+        self._builds.append(build)
+        self._journal_build(build, rotations_before)
+        self._maybe_auto_snapshot()
 
     def _on_commit_batch(self, commits: list[Commit]) -> None:
+        for commit in commits:
+            self._journal_commit_received(commit)
+        rotations_before = len(self.engine.rotations)
         before = self.engine.commits_evaluated
         skipped_reason: str | None = None
         try:
@@ -191,24 +389,26 @@ class CIService:
             # reports — engine.results and service.builds stay in sync.
             results = self.engine.results[before:]
             skipped_reason = str(exc)
+        self._journal_rotations(rotations_before)
         for commit, result in zip(commits, results):
             commit.status = self._status_for(result)
             commit.generation = result.generation
-            self._builds.append(
-                BuildRecord(
-                    build_number=len(self._builds) + 1, commit=commit, result=result
-                )
+            build = BuildRecord(
+                build_number=len(self._builds) + 1, commit=commit, result=result
             )
+            self._builds.append(build)
+            self._journal_build(build, rotations_before=None)
         for commit in commits[len(results):]:
             commit.status = CommitStatus.SKIPPED
-            self._builds.append(
-                BuildRecord(
-                    build_number=len(self._builds) + 1,
-                    commit=commit,
-                    result=None,
-                    skipped_reason=skipped_reason,
-                )
+            build = BuildRecord(
+                build_number=len(self._builds) + 1,
+                commit=commit,
+                result=None,
+                skipped_reason=skipped_reason,
             )
+            self._builds.append(build)
+            self._journal_build(build, rotations_before=None)
+        self._maybe_auto_snapshot(builds=len(commits))
 
     # -- the batched ingest path ---------------------------------------------------
     def process_batch(
@@ -232,6 +432,327 @@ class CIService:
         if result.developer_signal is None:
             return CommitStatus.ACCEPTED
         return CommitStatus.PASSED if result.developer_signal else CommitStatus.FAILED
+
+    # -- journaling ---------------------------------------------------------------
+    def _journal_event(self, type: str, payload: dict[str, Any]) -> None:
+        if self._journal is not None and not self._replaying:
+            self._journal.append(type, payload)
+
+    def _journal_commit_received(self, commit: Commit) -> None:
+        """Journal a commit *before* its build runs.
+
+        This is the record replay is driven by: it embeds the committed
+        model, so a crash anywhere between this append and the build's
+        completion loses nothing — restore re-runs the evaluation
+        deterministically from the snapshot-exact engine state.
+        """
+        if self._journal is None or self._replaying:
+            return
+        self._journal.append(
+            COMMIT_RECEIVED,
+            {
+                "sequence": commit.sequence,
+                "commit_id": commit.commit_id,
+                "author": commit.author,
+                "message": commit.message,
+                "model_pickle": encode_model(commit.model),
+            },
+        )
+
+    def _journal_build(
+        self, build: BuildRecord, rotations_before: int | None
+    ) -> None:
+        """Journal the outcome trail of one recorded build.
+
+        ``rotations_before`` is the rotation count captured before the
+        engine call for the per-commit webhook (``None`` when the caller
+        already journaled the batch's rotations itself).
+        """
+        if self._journal is None or self._replaying:
+            return
+        if rotations_before is not None:
+            self._journal_rotations(rotations_before)
+        result = build.result
+        if result is not None and result.promoted:
+            self._journal.append(
+                PROMOTION,
+                {
+                    "build_number": build.build_number,
+                    "commit_sequence": build.commit.sequence,
+                    "generation": result.generation,
+                },
+            )
+        if result is not None and result.alarm_event is not None:
+            event = result.alarm_event
+            self._journal.append(
+                ALARM,
+                {
+                    "reason": event.reason,
+                    "testset_name": event.testset_name,
+                    "uses": event.uses,
+                    "generation": event.generation,
+                },
+            )
+        self._journal.append(
+            BUILD_RECORDED,
+            {
+                "build_number": build.build_number,
+                "commit_sequence": build.commit.sequence,
+                "commit_id": build.commit.commit_id,
+                "status": build.commit.status,
+                "ran": build.ran,
+                "generation": build.generation,
+                "skipped_reason": build.skipped_reason,
+                "truly_passed": result.truly_passed if result else None,
+                "promoted": result.promoted if result else None,
+                "testset_uses": result.testset_uses if result else None,
+            },
+        )
+
+    def _journal_rotations(self, rotations_before: int) -> None:
+        if self._journal is None or self._replaying:
+            return
+        for event in self.engine.rotations[rotations_before:]:
+            self._journal.append(
+                ROTATION,
+                {
+                    "retired": event.retired_testset_name,
+                    "installed": event.installed_testset_name,
+                    "from_generation": event.from_generation,
+                    "to_generation": event.to_generation,
+                    "pending_generations": event.pending_generations,
+                },
+            )
+
+    # -- durable state ------------------------------------------------------------
+    def attach_persistence(
+        self,
+        store: SnapshotStore,
+        journal: EventJournal | None = None,
+        *,
+        snapshot_every: int | None = None,
+    ) -> None:
+        """Bind the service to a snapshot store (and optionally a journal).
+
+        With a journal attached every webhook journals the commit before
+        evaluating and the build trail after; ``snapshot_every=N`` also
+        snapshots automatically after every ``N`` builds, bounding replay
+        work (journal lag) at restore time.
+        """
+        if snapshot_every is not None and snapshot_every < 1:
+            raise PersistenceError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self._store = store
+        self._journal = journal
+        self._snapshot_every = snapshot_every
+        self._builds_since_snapshot = 0
+
+    def persist_to(
+        self,
+        state_dir: str | Path,
+        *,
+        snapshot_every: int | None = None,
+        sync: bool = True,
+    ) -> SnapshotInfo:
+        """Bind to ``state_dir`` (creating it) and take the first snapshot.
+
+        The initial snapshot makes the service restorable immediately —
+        a crash before the first commit restores to this exact state.
+        """
+        store, journal = open_state_dir(state_dir, create=True, sync=sync)
+        self.attach_persistence(store, journal, snapshot_every=snapshot_every)
+        return self.snapshot()
+
+    def snapshot(self) -> SnapshotInfo:
+        """Atomically persist the full exported state as a new snapshot."""
+        if self._store is None:
+            raise PersistenceError(
+                "no snapshot store attached; call persist_to()/attach_persistence()"
+            )
+        journal_sequence = (
+            self._journal.last_sequence if self._journal is not None else 0
+        )
+        info = self._store.save(
+            self.export_state(), journal_sequence=journal_sequence
+        )
+        self._builds_since_snapshot = 0
+        self._journal_event(
+            SNAPSHOT,
+            {"snapshot_sequence": info.sequence, "path": info.path},
+        )
+        return info
+
+    def _maybe_auto_snapshot(self, builds: int = 1) -> None:
+        self._builds_since_snapshot += builds
+        if (
+            self._snapshot_every is not None
+            and self._store is not None
+            and not self._replaying
+            and self._builds_since_snapshot >= self._snapshot_every
+        ):
+            self.snapshot()
+
+    def export_state(self) -> dict[str, Any]:
+        """The service's durable state (format ``repro.ci-service/v1``).
+
+        One mapping holding the engine's exported state, the repository
+        (history + nonce; observers dropped) and the build records.  The
+        transport — like the engine's notifier it feeds — is runtime
+        wiring, re-supplied on restore.
+        """
+        return {
+            "format": SERVICE_STATE_FORMAT,
+            "engine": self.engine.export_state(),
+            "repository": self.repository,
+            "builds": list(self._builds),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict[str, Any],
+        *,
+        transport: NotificationTransport | None = None,
+    ) -> "CIService":
+        """Rebuild a service from :meth:`export_state` output.
+
+        Rebuilds the engine (re-deriving plans through warm caches),
+        rewires the repository webhook, and reattaches the runtime-only
+        ``transport``.  Journal replay is :meth:`restore`'s job, not
+        this method's.
+        """
+        fmt = state.get("format")
+        if fmt != SERVICE_STATE_FORMAT:
+            raise PersistenceError(
+                f"unsupported service state format {fmt!r} "
+                f"(this build reads {SERVICE_STATE_FORMAT!r})"
+            )
+        service = object.__new__(cls)
+        service.transport = transport
+        notifier = transport.send if transport is not None else None
+        service.engine = CIEngine.from_state(state["engine"], notifier=notifier)
+        service.script = service.engine.script
+        service.repository = state["repository"]
+        service.repository.on_commit(
+            service._on_commit, batch_observer=service._on_commit_batch
+        )
+        service._builds = list(state["builds"])
+        service._init_runtime_state()
+        return service
+
+    def __getstate__(self) -> dict[str, Any]:
+        return self.export_state()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        restored = CIService.from_state(state)
+        self.__dict__.update(restored.__dict__)
+        # The unpickled copy, not `restored`, must be the webhook target.
+        self.repository._observers = []
+        self.repository.on_commit(
+            self._on_commit, batch_observer=self._on_commit_batch
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        store: SnapshotStore,
+        journal: EventJournal | None = None,
+        *,
+        transport: NotificationTransport | None = None,
+        snapshot_every: int | None = None,
+        record: bool = True,
+    ) -> "CIService":
+        """Restore from the latest snapshot and replay the journal tail.
+
+        Every journaled ``commit-received`` the snapshot predates is
+        re-committed in sequence order (deduplicated by sequence, so
+        restoring twice — or restoring a journal that already contains a
+        previous restore's replay — never double-spends budget).  Replay
+        recovers *state*, not side effects: the notifier is suppressed
+        while replaying, since the pre-crash process already delivered
+        those messages.  With ``record=True`` a ``restore`` event is
+        journaled afterwards; ``repro ops`` passes ``record=False`` so
+        inspection never mutates the journal.
+        """
+        loaded = store.load_latest()
+        if loaded is None:
+            raise PersistenceError(
+                f"no snapshot to restore from in {store.directory}; "
+                "persist_to() must have run at least once"
+            )
+        state, info = loaded
+        service = cls.from_state(state, transport=transport)
+        service.attach_persistence(store, journal, snapshot_every=snapshot_every)
+        replayed = 0
+        if journal is not None:
+            replayed = service._replay_journal()
+            if record:
+                journal.append(
+                    RESTORE,
+                    {
+                        "snapshot_sequence": info.sequence,
+                        "replayed_commits": replayed,
+                    },
+                )
+        return service
+
+    @classmethod
+    def resume(
+        cls,
+        state_dir: str | Path,
+        *,
+        transport: NotificationTransport | None = None,
+        snapshot_every: int | None = None,
+        record: bool = True,
+    ) -> "CIService":
+        """:meth:`restore` from a :func:`open_state_dir` directory."""
+        store, journal = open_state_dir(state_dir, create=False)
+        return cls.restore(
+            store,
+            journal,
+            transport=transport,
+            snapshot_every=snapshot_every,
+            record=record,
+        )
+
+    def _replay_journal(self) -> int:
+        """Re-commit every journaled commit the snapshot predates.
+
+        Deduplicates by repository sequence (append-only journals may
+        legitimately contain a sequence twice after repeated restores)
+        and demands a gap-free run from the restored repository head —
+        a hole means the journal and snapshot disagree, which is
+        corruption, not a crash artifact.
+        """
+        assert self._journal is not None
+        start = len(self.repository)
+        pending: dict[int, dict[str, Any]] = {}
+        for record in self._journal.records_of(COMMIT_RECEIVED):
+            sequence = int(record.payload["sequence"])
+            if sequence >= start:
+                pending.setdefault(sequence, record.payload)
+        engine_notifier = self.engine.notifier
+        self._replaying = True
+        self.engine.notifier = None  # replay recovers state, not side effects
+        try:
+            for sequence in sorted(pending):
+                if sequence != len(self.repository):
+                    raise PersistenceError(
+                        f"journal replay expected commit sequence "
+                        f"{len(self.repository)} but found {sequence}; the "
+                        "journal does not line up with the snapshot"
+                    )
+                payload = pending[sequence]
+                self.repository.commit(
+                    decode_model(payload["model_pickle"]),
+                    message=payload.get("message", ""),
+                    author=payload.get("author", "developer"),
+                )
+        finally:
+            self._replaying = False
+            self.engine.notifier = engine_notifier
+        return len(pending)
 
     # -- integration-team operations --------------------------------------------------
     def install_testset(self, testset: Testset, baseline_model: Any | None = None) -> None:

@@ -14,6 +14,12 @@ integration team runs before collecting data (§2.3).  This CLI exposes it:
 ``python -m repro figure2``
     Regenerate the paper's Figure 2 table on stdout.
 
+``python -m repro ops <state-dir>``
+    Restore a persisted CI service (snapshot + journal replay, without
+    mutating the journal) and print its operations report — pool runway,
+    generation budgets, cache statistics, journal lag.  ``--json`` emits
+    the machine-readable form.
+
 Examples
 --------
 ::
@@ -83,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure2", help="regenerate the paper's Figure 2 table")
 
+    ops = sub.add_parser(
+        "ops", help="operations report of a persisted CI service"
+    )
+    ops.add_argument(
+        "state_dir",
+        type=Path,
+        help="state directory written by CIService.persist_to()",
+    )
+    ops.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the table",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="run all E1-E9 experiments, writing JSON artifacts"
     )
@@ -125,6 +145,19 @@ def _run_validate(args: argparse.Namespace) -> int:
     )
     print()
     print(plan.describe())
+    return 0
+
+
+def _run_ops(args: argparse.Namespace) -> int:
+    from repro.ci.persistence import open_state_dir
+    from repro.ci.service import CIService
+    from repro.utils.serialization import dumps
+
+    # Restore without recording: inspection must never mutate the journal.
+    store, journal = open_state_dir(args.state_dir, create=False)
+    service = CIService.restore(store, journal, record=False)
+    report = service.operations()
+    print(dumps(report) if args.json else report.describe())
     return 0
 
 
@@ -171,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _run_plan,
         "validate": _run_validate,
         "figure2": _run_figure2,
+        "ops": _run_ops,
         "experiments": _run_experiments,
     }
     try:

@@ -68,11 +68,24 @@ class NewTestsetAlarm:
     Subscribers are callables taking an :class:`AlarmEvent`; exceptions
     from subscribers propagate (a CI deployment would rather fail loudly
     than silently drop an alarm).
+
+    Fired events are durable alarm *state* and round-trip through
+    pickling/snapshots; subscribers are runtime wiring (like repository
+    observers and pool callbacks) and are dropped — re-subscribe after a
+    restore.
     """
 
     def __init__(self):
         self._events: list[AlarmEvent] = []
         self._subscribers: list[Callable[[AlarmEvent], None]] = []
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_subscribers"] = []  # runtime wiring, not alarm state
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     @property
     def events(self) -> list[AlarmEvent]:

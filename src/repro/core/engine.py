@@ -43,6 +43,15 @@ the pool's next generation automatically (re-planning through the cached
 remainder), emit a :class:`~repro.core.testset.GenerationRotationEvent`
 through the notification channel, and keep draining.  The exhaustion
 error then surfaces only when the pool is truly dry.
+
+Durability: the engine's guarantees hinge on state that must never
+silently reset — the per-testset budget accounting, the adaptivity-mode
+history, the pool of unreleased generations.  :meth:`CIEngine.export_state`
+/ :meth:`CIEngine.from_state` (and plain pickling, which delegates to
+them) capture exactly that state; cached plan and evaluator objects are
+*re-derived* through the estimator on restore — warmed via the snapshot's
+plan manifest — never serialized.  See :mod:`repro.ci.persistence` for
+the snapshot/journal machinery built on this contract.
 """
 
 from __future__ import annotations
@@ -64,10 +73,15 @@ from repro.core.testset import (
     TestsetManager,
     TestsetPool,
 )
-from repro.exceptions import EngineStateError, TestsetSizeError
+from repro.exceptions import EngineStateError, PersistenceError, TestsetSizeError
+from repro.stats.cache import warm_after_restore
 from repro.stats.estimation import PairedSample, PairedSampleBatch
 
-__all__ = ["CommitResult", "CIEngine"]
+__all__ = ["CommitResult", "CIEngine", "ENGINE_STATE_FORMAT"]
+
+#: Version tag of the engine's exported-state contract; bumped whenever the
+#: mapping returned by :meth:`CIEngine.export_state` changes incompatibly.
+ENGINE_STATE_FORMAT = "repro.ci-engine/v1"
 
 
 @dataclass(frozen=True)
@@ -436,6 +450,113 @@ class CIEngine:
         self._pool = pool
         if self.manager.is_exhausted and not pool.is_empty:
             self._rotate_from_pool()
+
+    # -- durable state -----------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """Everything that must never silently reset, as one mapping.
+
+        The contract (format ``repro.ci-engine/v1``): script, estimator
+        *configuration*, testset manager (active generation, uses,
+        remaining budget, released sets), alarm events, active-model
+        baseline and its cached predictions, the commit-result history,
+        the testset pool and the rotation log — plus a *warm manifest*
+        naming the plan requests behind the state.  Deliberately absent:
+
+        * the :class:`SampleSizePlan` and :class:`ConditionEvaluator` —
+          derived objects, re-derived through :class:`SampleSizeEstimator`
+          (and the warm manifest) on restore, never serialized;
+        * the ``notifier`` — runtime wiring, re-supplied to
+          :meth:`from_state`;
+        * pool low-watermark callbacks and alarm subscribers — runtime
+          wiring dropped by those objects' own pickling contracts.
+        """
+        return {
+            "format": ENGINE_STATE_FORMAT,
+            "script": self.script,
+            "estimator": self.estimator.export_config(),
+            "manager": self.manager,
+            "alarm": self.alarm,
+            "active_model": self.active_model,
+            "active_predictions": self._active_predictions,
+            "results": list(self._results),
+            "pool": self._pool,
+            "rotations": list(self._rotations),
+            "enforce_sample_size": self.evaluator.enforce_sample_size,
+            "warm_manifest": self.warm_manifest(),
+        }
+
+    def warm_manifest(self) -> dict[str, Any]:
+        """The plan requests a restorer must replay to warm the caches.
+
+        Consumed by :func:`repro.stats.cache.warm_after_restore` (the
+        estimator layer's restore warmer re-derives each request into the
+        process-wide plan cache before the engine re-plans).
+        """
+        return {
+            "plans": [
+                {
+                    "condition": self.script.condition_source,
+                    "delta": self.script.delta,
+                    "adaptivity": self.script.adaptivity.value,
+                    "steps": self.script.steps,
+                    "known_variance_bound": self.script.variance_bound,
+                    "estimator": self.estimator.export_config(),
+                }
+            ]
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict[str, Any],
+        *,
+        notifier: Callable[[str, str, str], None] | None = None,
+    ) -> "CIEngine":
+        """Rebuild an engine from :meth:`export_state` output.
+
+        Warms the shared caches from the state's manifest, re-derives the
+        plan through the estimator (bit-identical by purity), rebuilds the
+        evaluator, and rewires the runtime-only ``notifier``.
+        """
+        engine = object.__new__(cls)
+        engine._apply_state(state, notifier=notifier)
+        return engine
+
+    def _apply_state(
+        self,
+        state: dict[str, Any],
+        *,
+        notifier: Callable[[str, str, str], None] | None,
+    ) -> None:
+        fmt = state.get("format")
+        if fmt != ENGINE_STATE_FORMAT:
+            raise PersistenceError(
+                f"unsupported engine state format {fmt!r} "
+                f"(this build reads {ENGINE_STATE_FORMAT!r})"
+            )
+        warm_after_restore(state["warm_manifest"])
+        self.script = state["script"]
+        self.estimator = SampleSizeEstimator(**state["estimator"])
+        self.plan = self._compute_plan()
+        self.manager = state["manager"]
+        self.alarm = state["alarm"]
+        self.notifier = notifier
+        self.evaluator = ConditionEvaluator(
+            self.plan,
+            self.script.mode,
+            enforce_sample_size=state["enforce_sample_size"],
+        )
+        self.active_model = state["active_model"]
+        self._active_predictions = state["active_predictions"]
+        self._results = list(state["results"])
+        self._pool = state["pool"]
+        self._rotations = list(state["rotations"])
+
+    def __getstate__(self) -> dict[str, Any]:
+        return self.export_state()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._apply_state(state, notifier=None)
 
     # -- internals ------------------------------------------------------------
     def _compute_plan(self) -> SampleSizePlan:

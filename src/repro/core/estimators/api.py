@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.dsl.linear import linearize
 from repro.core.dsl.nodes import Clause, Formula
@@ -41,7 +42,12 @@ from repro.core.patterns.matcher import (
     match_pattern1,
 )
 from repro.exceptions import InfeasibleConditionError, InvalidParameterError
-from repro.stats.cache import CacheInfo, LRUCache, register_cache
+from repro.stats.cache import (
+    CacheInfo,
+    LRUCache,
+    register_cache,
+    register_restore_warmer,
+)
 from repro.stats.inequalities import BennettInequality
 from repro.stats.tight_bounds import tight_sample_size
 from repro.utils.validation import check_positive_int, check_probability
@@ -135,6 +141,22 @@ class SampleSizeEstimator:
             self.variance_bound_policy,
             self.use_exact_binomial,
         )
+
+    def export_config(self) -> dict[str, Any]:
+        """Constructor kwargs reproducing this estimator.
+
+        This is what engine snapshots persist instead of the estimator
+        object's caches: ``SampleSizeEstimator(**config)`` on restore
+        yields an estimator whose plans are bit-identical to the
+        originals (plans are pure functions of condition, spec and this
+        configuration).
+        """
+        return {
+            "optimizations": self.optimizations,
+            "variance_bound_policy": self.variance_bound_policy,
+            "use_exact_binomial": self.use_exact_binomial,
+            "use_plan_cache": self.use_plan_cache,
+        }
 
     @staticmethod
     def plan_cache_info() -> CacheInfo:
@@ -442,3 +464,31 @@ class SampleSizeEstimator:
             adaptivity = Adaptivity.parse(str(adaptivity))
         steps = check_positive_int(steps, "steps")
         return _ReliabilitySpec(delta=delta, adaptivity=adaptivity, steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# Restore warmer: re-derive snapshot-manifested plans into the shared cache
+# ---------------------------------------------------------------------------
+
+def _warm_plan_cache(manifest: Mapping[str, Any]) -> None:
+    """Re-derive every plan request named in a snapshot's warm manifest.
+
+    Engine snapshots never serialize :class:`SampleSizePlan` objects; they
+    carry ``manifest["plans"]`` — a list of plan *requests* (condition
+    source, delta, adaptivity, steps, variance bound, estimator config).
+    Replaying the requests here repopulates the process-wide plan cache
+    (and, transitively, the tight-bound caches underneath), so a restored
+    engine's re-derived plan is served warm and bit-identical.
+    """
+    for request in manifest.get("plans", ()):
+        estimator = SampleSizeEstimator(**request.get("estimator", {}))
+        estimator.plan(
+            request["condition"],
+            delta=request["delta"],
+            adaptivity=request["adaptivity"],
+            steps=request["steps"],
+            known_variance_bound=request.get("known_variance_bound"),
+        )
+
+
+register_restore_warmer("estimators.plan_cache", _warm_plan_cache)

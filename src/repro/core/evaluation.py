@@ -263,6 +263,25 @@ class ConditionEvaluator:
         self._batch_static: list[_ClauseStatic] | None = None
         self._kernel: _BatchKernel | None = None
 
+    def __getstate__(self) -> dict:
+        # The memoized per-clause batch kernel is derived state (plain
+        # arrays recomputed from the plan on the first evaluate_batch), so
+        # pickles stay lean and restored evaluators repack lazily.  Engine
+        # snapshots go further and drop the evaluator entirely, rebuilding
+        # it from the re-derived plan (see CIEngine.export_state).
+        return {
+            "plan": self.plan,
+            "mode": self.mode,
+            "enforce_sample_size": self.enforce_sample_size,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["plan"],
+            state["mode"],
+            enforce_sample_size=state["enforce_sample_size"],
+        )
+
     def _check_size(self, size: int) -> None:
         if self.enforce_sample_size and size < self.plan.pool_size:
             raise TestsetSizeError(

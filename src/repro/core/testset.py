@@ -164,6 +164,16 @@ class TestsetManager:
         return self._current.budget - self._current.uses
 
     @property
+    def budget(self) -> int:
+        """The current generation's full evaluation budget ``H``.
+
+        Reported (alongside :attr:`uses` and :attr:`remaining`) on the
+        service's operations surface; unlike :attr:`current` this stays
+        readable after the generation retires.
+        """
+        return self._current.budget
+
+    @property
     def generation(self) -> int:
         """1-based counter of testsets installed so far."""
         return self._generation

@@ -11,6 +11,7 @@ The hierarchy mirrors the system layers described in ``DESIGN.md``:
   :class:`InfeasibleConditionError`);
 * CI runtime errors (:class:`TestsetExhaustedError`,
   :class:`TestsetSizeError`, :class:`EngineStateError`);
+* durable-state errors (:class:`PersistenceError`);
 * labeling errors (:class:`LabelBudgetExceededError`).
 """
 
@@ -28,6 +29,7 @@ __all__ = [
     "TestsetExhaustedError",
     "TestsetSizeError",
     "EngineStateError",
+    "PersistenceError",
     "LabelBudgetExceededError",
     "SimulationError",
 ]
@@ -121,6 +123,16 @@ class TestsetSizeError(ReproError):
 
 class EngineStateError(ReproError):
     """An operation is invalid in the engine's current lifecycle state."""
+
+
+class PersistenceError(ReproError):
+    """Durable CI state cannot be saved, loaded or replayed.
+
+    Raised by the snapshot/journal subsystem (:mod:`repro.ci.persistence`)
+    for unreadable state directories, unsupported snapshot format versions,
+    corrupt (non-trailing) journal records, and journal replays whose
+    commit sequence does not line up with the restored repository.
+    """
 
 
 class LabelBudgetExceededError(ReproError):

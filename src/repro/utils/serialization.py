@@ -9,8 +9,10 @@ JSON-compatible structures.
 from __future__ import annotations
 
 import dataclasses
+import datetime
 import enum
 import json
+import pathlib
 from typing import Any
 
 import numpy as np
@@ -23,9 +25,11 @@ def to_jsonable(obj: Any) -> Any:
 
     Supported inputs: dataclasses (converted field-by-field so nested numpy
     values are handled), objects exposing a ``__jsonable__()`` hook (e.g.
-    lazily-materialized evaluation results), enums (by value), numpy
-    scalars and arrays, sets, mappings and sequences.  Unknown objects
-    raise ``TypeError`` rather than being silently stringified.
+    lazily-materialized evaluation results), enums (by value), datetimes
+    and dates (ISO-8601 strings — the form journal records use for their
+    ``recorded_at`` stamps), :class:`pathlib.Path` objects (plain strings),
+    numpy scalars and arrays, sets, mappings and sequences.  Unknown
+    objects raise ``TypeError`` rather than being silently stringified.
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
@@ -33,6 +37,10 @@ def to_jsonable(obj: Any) -> Any:
         return to_jsonable(obj.__jsonable__())
     if isinstance(obj, enum.Enum):
         return to_jsonable(obj.value)
+    if isinstance(obj, (datetime.datetime, datetime.date)):
+        return obj.isoformat()
+    if isinstance(obj, pathlib.PurePath):
+        return str(obj)
     if isinstance(obj, (np.bool_,)):
         return bool(obj)
     if isinstance(obj, np.integer):

@@ -26,6 +26,18 @@ class TestCommit:
     def test_initial_status_pending(self):
         assert Commit(sequence=0, model=Dummy()).status is CommitStatus.PENDING
 
+    def test_commit_id_varies_with_repo_nonce(self):
+        # Regression: the id once hashed only sequence:author:message, so
+        # two repositories minted identical shas for their first commits.
+        a = Commit(sequence=0, model=Dummy(), message="m", repo_nonce="repo-a")
+        b = Commit(sequence=0, model=Dummy(), message="m", repo_nonce="repo-b")
+        assert a.commit_id != b.commit_id
+
+    def test_commit_id_varies_with_parent(self):
+        a = Commit(sequence=1, model=Dummy(), message="m", parent_sha="aaaa")
+        b = Commit(sequence=1, model=Dummy(), message="m", parent_sha="bbbb")
+        assert a.commit_id != b.commit_id
+
     def test_str_contains_id(self):
         commit = Commit(sequence=0, model=Dummy())
         assert commit.commit_id in str(commit)
@@ -73,3 +85,58 @@ class TestRepository:
         repo.commit(Dummy(), message="new")
         lines = repo.log().splitlines()
         assert "new" in lines[0] and "old" in lines[1]
+
+
+class TestCommitShaCollisions:
+    """Regression suite for the sequence:author:message collision."""
+
+    def test_two_repositories_never_collide(self):
+        repo_a, repo_b = ModelRepository(), ModelRepository()
+        ids_a = [repo_a.commit(Dummy(), message="fix").commit_id for _ in range(3)]
+        ids_b = [repo_b.commit(Dummy(), message="fix").commit_id for _ in range(3)]
+        assert not set(ids_a) & set(ids_b)
+
+    def test_same_name_distinct_nonce(self):
+        # Name alone is not identity: a restored-then-diverged copy gets a
+        # fresh nonce and mints non-colliding ids from then on.
+        repo_a = ModelRepository(name="ml-repo")
+        repo_b = ModelRepository(name="ml-repo")
+        assert repo_a.nonce != repo_b.nonce
+        assert (
+            repo_a.commit(Dummy(), message="m").commit_id
+            != repo_b.commit(Dummy(), message="m").commit_id
+        )
+
+    def test_explicit_nonce_reproducible(self):
+        repo_a = ModelRepository(nonce="seed")
+        repo_b = ModelRepository(nonce="seed")
+        assert (
+            repo_a.commit(Dummy(), message="m").commit_id
+            == repo_b.commit(Dummy(), message="m").commit_id
+        )
+
+    def test_parent_chaining_diverges_history(self):
+        # Same nonce, histories diverge at commit 1 -> every later id
+        # diverges too even when sequence/author/message realign.
+        repo_a = ModelRepository(nonce="seed")
+        repo_b = ModelRepository(nonce="seed")
+        repo_a.commit(Dummy(), message="root")
+        repo_b.commit(Dummy(), message="root")
+        repo_a.commit(Dummy(), message="left")
+        repo_b.commit(Dummy(), message="right")
+        a_tail = repo_a.commit(Dummy(), message="same-again")
+        b_tail = repo_b.commit(Dummy(), message="same-again")
+        assert a_tail.commit_id != b_tail.commit_id
+
+    def test_commits_chain_to_head(self):
+        repo = ModelRepository(nonce="seed")
+        first = repo.commit(Dummy(), message="a")
+        second = repo.commit(Dummy(), message="b")
+        assert first.parent_sha is None
+        assert second.parent_sha == first.commit_id
+        assert second.repo_nonce == "seed"
+
+    def test_commit_many_chains_too(self):
+        repo = ModelRepository(nonce="seed")
+        commits = repo.commit_many([Dummy(), Dummy()], messages=["a", "b"])
+        assert commits[1].parent_sha == commits[0].commit_id

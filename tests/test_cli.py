@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestPlanCommand:
@@ -106,3 +114,127 @@ class TestFigure2Command:
         out = capsys.readouterr().out
         assert code == 0
         assert "404" in out and "156,956*" in out
+
+
+@pytest.fixture()
+def state_dir(tmp_path):
+    """A persisted CI service with one evaluated commit."""
+    from repro.ci.repository import ModelRepository
+    from repro.ci.service import CIService
+    from repro.core.estimators.api import SampleSizeEstimator
+    from repro.core.script.config import CIScript
+    from repro.core.testset import Testset
+    from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+
+    script = CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": "d < 0.25 +/- 0.1 /\\ n - o > 0.05 +/- 0.1",
+            "reliability": 0.999,
+            "mode": "fp-free",
+            "adaptivity": "full",
+            "steps": 4,
+        }
+    )
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.82, difference=0.1),
+        n_examples=plan.pool_size,
+        seed=0,
+    )
+    service = CIService(
+        script,
+        Testset(labels=pair.labels, name="gen-0"),
+        pair.old_model,
+        repository=ModelRepository(nonce="cli-nonce"),
+    )
+    directory = tmp_path / "state"
+    service.persist_to(directory)
+    service.repository.commit(pair.new_model, message="candidate")
+    return directory
+
+
+class TestOpsCommand:
+    def test_prints_report_table(self, state_dir, capsys):
+        code = main(["ops", str(state_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operations report" in out
+        assert "durable state" in out
+        assert "1 total, 1 ran" in out
+
+    def test_json_output_is_machine_readable(self, state_dir, capsys):
+        code = main(["ops", str(state_dir), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["builds_total"] == 1
+        assert payload["commits_evaluated"] == 1
+        assert payload["persistence_attached"] is True
+        assert payload["journal_lag"] >= 1
+
+    def test_inspection_does_not_mutate_journal(self, state_dir):
+        from repro.ci.persistence import EventJournal
+
+        journal = state_dir / "journal.jsonl"
+        before = EventJournal(journal).last_sequence
+        assert main(["ops", str(state_dir)]) == 0
+        assert EventJournal(journal).last_sequence == before
+
+    def test_missing_state_dir_exits_2(self, tmp_path, capsys):
+        code = main(["ops", str(tmp_path / "nope")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_empty_state_dir_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "state"
+        empty.mkdir()
+        code = main(["ops", str(empty)])
+        assert code == 2
+        assert "no snapshot" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    """`python -m repro` wires argparse to the same main()."""
+
+    def _run(self, *argv):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+
+    def test_help_lists_subcommands(self):
+        proc = self._run("--help")
+        assert proc.returncode == 0
+        for command in ("plan", "validate", "figure2", "ops", "experiments"):
+            assert command in proc.stdout
+
+    def test_no_arguments_exits_2(self):
+        proc = self._run()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
+
+    def test_plan_subcommand_round_trips(self):
+        proc = self._run(
+            "plan", "--condition", "n > 0.8 +/- 0.05",
+            "--reliability", "0.9999", "--adaptivity", "full", "--steps", "32",
+        )
+        assert proc.returncode == 0
+        assert "6,279" in proc.stdout
+
+    def test_ops_subcommand_round_trips(self, state_dir):
+        proc = self._run("ops", str(state_dir))
+        assert proc.returncode == 0
+        assert "operations report" in proc.stdout

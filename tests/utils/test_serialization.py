@@ -1,6 +1,8 @@
 """Tests for repro.utils.serialization."""
 
+import datetime
 import enum
+import pathlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,6 +46,38 @@ class TestToJsonable:
 
     def test_set_sorted(self):
         assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_datetime_iso8601(self):
+        stamp = datetime.datetime(2026, 7, 30, 12, 34, 56, tzinfo=datetime.timezone.utc)
+        assert to_jsonable(stamp) == "2026-07-30T12:34:56+00:00"
+
+    def test_naive_datetime_iso8601(self):
+        assert to_jsonable(datetime.datetime(2026, 1, 2, 3, 4, 5)) == (
+            "2026-01-02T03:04:05"
+        )
+
+    def test_date_iso8601(self):
+        assert to_jsonable(datetime.date(2026, 7, 30)) == "2026-07-30"
+
+    def test_path_as_string(self):
+        path = pathlib.Path("state") / "journal.jsonl"
+        assert to_jsonable(path) == str(path)
+
+    def test_pure_path_as_string(self):
+        assert to_jsonable(pathlib.PurePosixPath("/a/b")) == "/a/b"
+
+    def test_journal_style_payload_round_trips(self):
+        # The shape journal records use: datetimes and paths nested in a dict.
+        payload = {
+            "recorded_at": datetime.datetime(2026, 7, 30, 1, 2, 3),
+            "path": pathlib.Path("snapshots/snapshot-000001.pkl"),
+            "sequence": np.int64(4),
+        }
+        assert loads(dumps(payload)) == {
+            "recorded_at": "2026-07-30T01:02:03",
+            "path": "snapshots/snapshot-000001.pkl",
+            "sequence": 4,
+        }
 
     def test_unknown_type_raises(self):
         with pytest.raises(TypeError, match="cannot serialize"):

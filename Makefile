@@ -8,7 +8,9 @@
 #   make bench-smoke      - the --quick benchmark runs + schema check alone
 #   make docs             - doctests over README.md and docs/*.md code blocks
 #   make bench-perf       - scalar-vs-batch perf kernels benchmark
-#                           (writes BENCH_perf_kernels.json)
+#                           (writes BENCH_perf_kernels.json); pass
+#                           WORKERS=N to set the epsilon-sweep shard
+#                           width (default 4)
 #   make bench-throughput - batched commit-evaluation + epsilon planning
 #                           benchmark (writes BENCH_commit_throughput.json)
 #   make bench            - full pytest-benchmark suite over the paper
@@ -37,7 +39,7 @@ docs:
 	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs
 
 bench-perf:
-	$(PYTHON) benchmarks/bench_perf_kernels.py
+	$(PYTHON) benchmarks/bench_perf_kernels.py $(if $(WORKERS),--workers $(WORKERS),)
 
 bench-throughput:
 	$(PYTHON) benchmarks/bench_commit_throughput.py

@@ -44,6 +44,18 @@ SCHEMAS = {
         "sample_size_estimator_plan.warm_seconds": NUMBER,
         "sample_size_estimator_plan.plans_identical": bool,
         "sample_size_estimator_plan.samples": int,
+        "tight_epsilon_sweep.testset_sizes": list,
+        "tight_epsilon_sweep.delta": NUMBER,
+        "tight_epsilon_sweep.tol": NUMBER,
+        "tight_epsilon_sweep.workers": int,
+        "tight_epsilon_sweep.available_cpus": int,
+        "tight_epsilon_sweep.serial_seconds": NUMBER,
+        "tight_epsilon_sweep.sharded_seconds": NUMBER,
+        "tight_epsilon_sweep.sharded_speedup": NUMBER,
+        "tight_epsilon_sweep.results_identical": bool,
+        "tight_epsilon_sweep.bracket_contract_upper_ok": bool,
+        "tight_epsilon_sweep.bracket_contract_lower_ok": bool,
+        "tight_epsilon_sweep.speedup_gate_enforced": bool,
         "cache_info_after": dict,
     },
     "BENCH_commit_throughput.json": {
@@ -65,6 +77,9 @@ SCHEMAS = {
         "tight_epsilon_many.speedup_vs_cold_per_call": NUMBER,
         "tight_epsilon_many.bracket_contract_upper_ok": bool,
         "tight_epsilon_many.bracket_contract_lower_ok": bool,
+        "tight_epsilon_many.sharded_workers": int,
+        "tight_epsilon_many.sharded_seconds": NUMBER,
+        "tight_epsilon_many.sharded_identical": bool,
     },
 }
 

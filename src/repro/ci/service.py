@@ -223,6 +223,15 @@ class CIService:
         The watched repository (a fresh one is created when omitted).
     transport:
         Notification transport for third-party signals and alarms.
+    workers:
+        Planning-executor configuration forwarded to the engine and its
+        estimator (``None`` = serial / ``$REPRO_PLAN_WORKERS``,
+        ``"auto"`` = one worker process per CPU, or an explicit count).
+        Cold plan derivations — construction, pool rotations — then run
+        in worker processes with their warm cache state merged back;
+        worker count never changes build records, signals or budgets,
+        and snapshots taken under any worker setting restore identically
+        on any other (plans are re-derived, never serialized).
     engine_kwargs:
         Extra keyword arguments forwarded to :class:`CIEngine` (e.g.
         ``estimator`` or ``enforce_testset_size``).
@@ -236,13 +245,19 @@ class CIService:
         *,
         repository: ModelRepository | None = None,
         transport: NotificationTransport | None = None,
+        workers: int | str | None = None,
         **engine_kwargs: Any,
     ):
         self.script = script
         self.transport = transport
         notifier = transport.send if transport is not None else None
         self.engine = CIEngine(
-            script, testset, baseline_model, notifier=notifier, **engine_kwargs
+            script,
+            testset,
+            baseline_model,
+            notifier=notifier,
+            workers=workers,
+            **engine_kwargs,
         )
         self.repository = repository if repository is not None else ModelRepository()
         self.repository.on_commit(self._on_commit, batch_observer=self._on_commit_batch)

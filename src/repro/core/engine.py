@@ -75,6 +75,7 @@ from repro.core.testset import (
 )
 from repro.exceptions import EngineStateError, PersistenceError, TestsetSizeError
 from repro.stats.cache import warm_after_restore
+from repro.stats.parallel import resolve_workers
 from repro.stats.estimation import PairedSample, PairedSampleBatch
 
 __all__ = ["CommitResult", "CIEngine", "ENGINE_STATE_FORMAT"]
@@ -153,6 +154,19 @@ class CIEngine:
         given, the engine rotates to the pool's next generation instead of
         raising on exhaustion; ``testset`` may then be ``None``, in which
         case the first generation is popped from the pool.
+    workers:
+        Planning-executor configuration forwarded to the estimator
+        (``None`` = serial / ``$REPRO_PLAN_WORKERS``, ``"auto"`` = one
+        worker process per CPU, or an explicit count; see
+        :mod:`repro.stats.parallel`).  With workers configured, cold
+        plan derivations — including the re-plan a pool rotation
+        triggers mid-queue — run in worker processes, so multi-generation
+        re-planning overlaps with serving instead of stalling it.
+        Worker count never changes plans, signals or budgets.  When a
+        custom ``estimator`` is supplied alongside a *parallel*
+        ``workers`` setting, the engine rebuilds it — same class — from
+        its exported config with ``workers`` applied; serial settings
+        leave the supplied estimator untouched.
     """
 
     def __init__(
@@ -165,9 +179,20 @@ class CIEngine:
         notifier: Callable[[str, str, str], None] | None = None,
         enforce_testset_size: bool = True,
         testset_pool: TestsetPool | None = None,
+        workers: int | str | None = None,
     ):
         self.script = script
-        self.estimator = estimator or SampleSizeEstimator()
+        if estimator is None:
+            estimator = SampleSizeEstimator(workers=workers)
+        elif workers is not None and resolve_workers(workers) > 1:
+            # Rebuild with the estimator's own class so subclass planning
+            # behavior survives; export_config() is its constructor
+            # contract.  A serial workers value changes nothing, so the
+            # supplied instance is kept as-is.
+            config = estimator.export_config()
+            config["workers"] = workers
+            estimator = type(estimator)(**config)
+        self.estimator = estimator
         self.plan: SampleSizePlan = self._compute_plan()
         self._pool: TestsetPool | None = None
         self._rotations: list[GenerationRotationEvent] = []
@@ -607,6 +632,10 @@ class CIEngine:
         condition/spec, so the cached plan comes back in microseconds),
         installs the popped testset with its budget, and emits a
         :class:`GenerationRotationEvent` through the notification channel.
+        Should the re-plan ever be cold (cleared caches, reconfigured
+        estimator), a ``workers``-configured engine derives it through
+        the parallel executor — worker processes burn the planning CPU
+        while this thread keeps serving.
         """
         assert self._pool is not None and not self._pool.is_empty
         retired_name = self.manager.released_testsets[-1].name

@@ -54,7 +54,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.stats.cache import register_cache
+from repro.stats.cache import register_cache, register_manifest_codec
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = [
@@ -376,6 +376,7 @@ def exact_coverage_failure_probability_vec(n: int, p_grid, epsilon: float) -> np
 
 _PAIRS_LAYOUT_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
 _PAIRS_LAYOUT_CACHE_SIZE = 8
+_PAIRS_LAYOUT_STATS = {"hits": 0, "misses": 0}
 
 
 class _PairsLayoutProxy:
@@ -386,29 +387,38 @@ class _PairsLayoutProxy:
     def clear(self) -> None:
         with _TABLE_LOCK:
             _PAIRS_LAYOUT_CACHE.clear()
+            _PAIRS_LAYOUT_STATS["hits"] = 0
+            _PAIRS_LAYOUT_STATS["misses"] = 0
 
-    def info(self):  # pragma: no cover - trivial
+    def info(self):
         from repro.stats.cache import CacheInfo
 
-        return CacheInfo(
-            hits=0,
-            misses=0,
-            maxsize=self.maxsize,
-            currsize=len(_PAIRS_LAYOUT_CACHE),
-        )
+        with _TABLE_LOCK:
+            return CacheInfo(
+                hits=_PAIRS_LAYOUT_STATS["hits"],
+                misses=_PAIRS_LAYOUT_STATS["misses"],
+                maxsize=self.maxsize,
+                currsize=len(_PAIRS_LAYOUT_CACHE),
+            )
 
 
 register_cache("stats.batch.pairs_layout", _PairsLayoutProxy())  # type: ignore[arg-type]
 
 
 def _pairs_layout(unique_ns: tuple, pad: int) -> tuple[np.ndarray, np.ndarray]:
-    """Concatenated padded log-comb segments for a set of ``n`` (cached)."""
+    """Concatenated padded log-comb segments for a set of ``n`` (cached).
+
+    Keys are ``(tuple_of_python_ints, int)`` — plain picklable scalars —
+    so layout entries travel inside cross-process cache manifests.
+    """
     key = (unique_ns, pad)
     with _TABLE_LOCK:
         entry = _PAIRS_LAYOUT_CACHE.get(key)
         if entry is not None:
             _PAIRS_LAYOUT_CACHE.move_to_end(key)
+            _PAIRS_LAYOUT_STATS["hits"] += 1
             return entry
+        _PAIRS_LAYOUT_STATS["misses"] += 1
     ns_arr = np.asarray(unique_ns, dtype=np.int64)
     seg_sizes = ns_arr + 1 + 2 * pad
     seg_offsets = np.concatenate([[0], np.cumsum(seg_sizes)[:-1]])
@@ -423,6 +433,57 @@ def _pairs_layout(unique_ns: tuple, pad: int) -> tuple[np.ndarray, np.ndarray]:
         while len(_PAIRS_LAYOUT_CACHE) > _PAIRS_LAYOUT_CACHE_SIZE:
             _PAIRS_LAYOUT_CACHE.popitem(last=False)
     return concat, seg_bases
+
+
+def _export_pairs_layout() -> list[tuple[tuple, tuple[np.ndarray, np.ndarray]]]:
+    """Manifest codec export: the layout entries, LRU order."""
+    with _TABLE_LOCK:
+        return list(_PAIRS_LAYOUT_CACHE.items())
+
+
+def _merge_pairs_layout(entries) -> None:
+    """Manifest codec merge: adopt layouts absent locally.
+
+    Layout values are pure functions of their ``(ns, pad)`` key (the
+    log-comb rows underneath are bit-deterministic), so adopt-if-absent
+    is idempotent and commutative — an entry present on both sides is
+    already identical.
+    """
+    for key, (concat, seg_bases) in entries:
+        key = (tuple(int(n) for n in key[0]), int(key[1]))
+        concat = np.asarray(concat, dtype=np.float64)
+        if concat.flags.writeable:
+            concat.flags.writeable = False
+        seg_bases = np.asarray(seg_bases, dtype=np.int64)
+        with _TABLE_LOCK:
+            if key not in _PAIRS_LAYOUT_CACHE:
+                _PAIRS_LAYOUT_CACHE[key] = (concat, seg_bases)
+                while len(_PAIRS_LAYOUT_CACHE) > _PAIRS_LAYOUT_CACHE_SIZE:
+                    _PAIRS_LAYOUT_CACHE.popitem(last=False)
+
+
+def _export_log_factorial() -> int:
+    """Manifest codec export: the highest ``m`` the shared table covers."""
+    return len(_LOG_FACTORIAL) - 1
+
+
+def _merge_log_factorial(limit) -> None:
+    """Manifest codec merge: regrow the table to cover ``limit``.
+
+    The table contents are a pure function of the limit (``math.lgamma``
+    is deterministic), so growing to the max of both sides is the join.
+    """
+    limit = int(limit)
+    if limit > 0:
+        log_factorial_table(limit)
+
+
+register_manifest_codec(
+    "stats.batch.pairs_layout", _export_pairs_layout, _merge_pairs_layout
+)
+register_manifest_codec(
+    "stats.batch.log_factorial_table", _export_log_factorial, _merge_log_factorial
+)
 
 
 def exact_coverage_failure_probability_pairs(
@@ -443,12 +504,18 @@ def exact_coverage_failure_probability_pairs(
 
     The padded ``log C(n, .)`` rows of every distinct ``n`` are laid out
     in one concatenated array; each element's two tail windows gather from
-    its segment at a shared window width (the maximum needed by any
-    element — extra positions either fall on padding cells whose ``exp``
-    is exactly zero or pick up real-but-negligible terms deeper in the
-    tail, which only *improves* accuracy).  Default precision matches the
-    vec kernel: windows reach at least ``_WINDOW_SIGMAS`` standard
-    deviations past the mean, bounding the omitted mass below ~1.5e-14.
+    its segment at a width quantized onto an absolute power-of-two ladder
+    (extra positions beyond the natural depth either fall on padding
+    cells whose ``exp`` is exactly zero or pick up real-but-negligible
+    terms deeper in the tail, which only *improves* accuracy).  Because
+    the ladder is absolute — anchored at ``2 * slack``, never at the
+    batch maximum — an element's value is a pure function of its own
+    ``(n, p, epsilon, sigmas, slack)``: **bit-identical however the
+    surrounding batch is composed**, which is what lets the parallel
+    planning executor shard sweeps across processes without perturbing a
+    single probe.  Default precision matches the vec kernel: windows
+    reach at least ``_WINDOW_SIGMAS`` standard deviations past the mean,
+    bounding the omitted mass below ~1.5e-14.
 
     ``window_sigmas`` / ``window_slack`` trade accuracy for speed: the
     omitted tail mass is below ``~exp(-window_sigmas**2 / 2)``, and the
@@ -488,14 +555,26 @@ def exact_coverage_failure_probability_pairs(
     log1mp = np.log1p(-pi)
     logit = logp - log1mp
 
-    # Per-element natural window depth; the shared width is the maximum.
+    # Per-element natural window depth, then quantized onto an *absolute*
+    # power-of-two ladder anchored at 2*slack: a row's summation width
+    # depends only on its own (n, p, eps, sigmas, slack) — never on what
+    # else happens to share the dispatch — so every probe value is
+    # bit-identical however a planning sweep is batched, chunked, or
+    # sharded across worker processes.  Widening a window past its
+    # natural depth only adds padding cells (whose ``exp`` is exactly
+    # zero) or real-but-negligible deeper-tail terms, so quantization
+    # never weakens a row's accuracy guarantee.
     sigma = np.sqrt(nf * pi * (1.0 - pi))
     depth = np.ceil(sigmas * sigma).astype(np.int64) + slack
     natural = np.minimum(
         ni + 1,
         np.maximum(slack, depth - np.floor(ei * nf).astype(np.int64) + 2),
     )
-    length = int(natural.max())
+    ladder = [2 * slack]
+    while ladder[-1] < int(natural.max()):
+        ladder.append(2 * ladder[-1])
+    ladder_arr = np.asarray(ladder, dtype=np.int64)
+    max_width = int(ladder_arr[-1])
 
     # One concatenated array of padded log-comb segments, one per unique n.
     # The pad covers the deepest window any element can ask for; it is
@@ -505,7 +584,7 @@ def exact_coverage_failure_probability_pairs(
     unique_ns, inv = np.unique(ni, return_inverse=True)
     eps_max = np.zeros(len(unique_ns))
     np.maximum.at(eps_max, inv, ei)
-    pad_needed = int(length + np.ceil(eps_max * unique_ns).max() + 4)
+    pad_needed = int(max_width + np.ceil(eps_max * unique_ns).max() + 4)
     pad = 1 << (pad_needed - 1).bit_length()
     concat, seg_bases = _pairs_layout(tuple(unique_ns.tolist()), pad)
     base_index = seg_bases[inv]
@@ -522,22 +601,15 @@ def exact_coverage_failure_probability_pairs(
     lo_end = lo_cut  # k of the last cell of each lower window
     hi_start = hi_cut  # k of the first cell of each upper window
 
-    # Bucket rows by their natural window length: rows far from p = 1/2
+    # Bucket rows by their quantized window width: rows far from p = 1/2
     # need far smaller windows than the global maximum, and the work
-    # matrix cost is rows x width.  Shrinking a window drops only its
-    # deepest-in-the-tail terms, so every bucket keeps the element's
-    # accuracy guarantee.
+    # matrix cost is rows x width.  The ladder lookup assigns each row
+    # the smallest rung that covers its natural depth.
     natural2 = np.concatenate([natural, natural])
+    widths2 = ladder_arr[np.searchsorted(ladder_arr, natural2)]
     sums = np.empty(2 * m, dtype=np.float64)
-    widths = [length]
-    while widths[-1] > 2 * slack:
-        widths.append(max(2 * slack, widths[-1] // 2))
-    previous = 0
-    for width in sorted(widths):
-        in_bucket = np.flatnonzero((natural2 > previous) & (natural2 <= width))
-        previous = width
-        if not len(in_bucket):
-            continue
+    for width in np.unique(widths2).tolist():
+        in_bucket = np.flatnonzero(widths2 == width)
         lower_rows = in_bucket < m
         # k-space position of each window's first cell.
         first_k = np.where(
@@ -546,7 +618,6 @@ def exact_coverage_failure_probability_pairs(
         bucket_starts = base2[in_bucket] + first_k
         windows = np.lib.stride_tricks.sliding_window_view(concat, width)
         offsets_in_window = np.arange(width, dtype=np.float64)
-        ones = np.ones(width)
         bucket_logit = logit2[in_bucket]
         bucket_const = bucket_logit * first_k + n2[in_bucket] * log1mp2[in_bucket]
         chunk = max(1, _MAX_MATRIX_CELLS // width)
@@ -556,7 +627,10 @@ def exact_coverage_failure_probability_pairs(
             work += bucket_logit[sl, None] * offsets_in_window[None, :]
             work += bucket_const[sl, None]
             np.exp(work, out=work)
-            sums[in_bucket[sl]] = work @ ones
+            # Per-row pairwise reduction (not a BLAS matvec): the
+            # summation order then depends only on the row width, keeping
+            # each element's value batch-composition invariant.
+            sums[in_bucket[sl]] = np.add.reduce(work, axis=1)
     out[interior] = np.minimum(1.0, sums[:m] + sums[m:])
     return out
 

@@ -1,0 +1,373 @@
+"""Process-pool planning executor: shard sweeps and cold derivations.
+
+The planning kernels scale with vector width (:mod:`repro.stats.batch`)
+but, until this module, ran on one core: an epsilon sweep over dozens of
+testset sizes, or a batch of cold plan derivations, serialized behind the
+GIL however many CPUs the host offered.  :class:`PlanningExecutor` moves
+that work onto worker *processes* while keeping the process-wide caches
+coherent through the cache-manifest contract of :mod:`repro.stats.cache`:
+
+* at pool spawn, each worker is initialized with the parent's
+  :func:`~repro.stats.cache.export_manifest` — workers plan against the
+  parent's warm anchors, layouts and memoized bounds;
+* each task returns its result *plus* the worker's manifest; the parent
+  folds them back with :func:`~repro.stats.cache.merge_manifest` (a
+  commutative, idempotent join, so completion order is irrelevant) and
+  subsequent single-process calls stay warm.
+
+Determinism
+-----------
+Worker count never changes results.  The sweep is sharded over the
+*unique* testset sizes (:func:`~repro.stats.tight_bounds.epsilon_sweep_shards`)
+and every planning kernel is batch-composition invariant (see
+:func:`~repro.stats.batch.exact_coverage_failure_probability_pairs`), so
+each shard's lockstep scan is bit-identical to its rows of the serial
+scan; stitching shard results together reproduces the serial sweep
+element-wise, probe certificates included.  ``tight_sample_size`` and
+plan derivation are deterministic functions of their arguments, so
+fanning them out is equally invisible to callers.
+
+Configuration
+-------------
+``workers`` accepts ``None``/``"serial"``/``0``/``1`` (serial — the
+default everywhere), ``"auto"`` (one worker per CPU), or a positive
+integer.  When ``workers`` is ``None``, the ``REPRO_PLAN_WORKERS``
+environment variable supplies the default — the CI matrix forces
+``auto`` through it so the parallel path is exercised on every push.
+:func:`get_executor` hands out process-wide shared executors (one per
+worker count), shut down atexit; construct a :class:`PlanningExecutor`
+directly for an isolated pool (benchmarks measuring cold spawns do).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.cache import export_manifest, merge_manifest, warm_after_restore
+from repro.stats.tight_bounds import (
+    _compute_epsilon_sweep,
+    adopt_epsilon_sweep,
+    cached_epsilon_sweep,
+    epsilon_sweep_shards,
+    tight_sample_size,
+)
+
+__all__ = [
+    "resolve_workers",
+    "PlanningExecutor",
+    "get_executor",
+    "shutdown_executors",
+]
+
+#: Environment variable supplying the default worker count when callers
+#: pass ``workers=None`` (the CI workflow forces ``auto`` through it).
+WORKERS_ENV = "REPRO_PLAN_WORKERS"
+
+_SERIAL_NAMES = ("", "serial", "none", "0", "1")
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
+    """Normalize a ``workers=`` setting to a concrete process count.
+
+    ``None`` defers to ``$REPRO_PLAN_WORKERS`` (serial when unset);
+    ``"serial"``/``"none"``/``0``/``1`` mean serial; ``"auto"`` means one
+    worker per available CPU; a positive integer is taken literally.
+    """
+    if workers is None:
+        workers = os.environ.get(WORKERS_ENV) or "serial"
+    if isinstance(workers, str):
+        name = workers.strip().lower()
+        if name in _SERIAL_NAMES:
+            return 1
+        if name == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(name)
+        except ValueError:
+            raise InvalidParameterError(
+                f"workers must be an integer, 'auto' or 'serial', got {workers!r}"
+            ) from None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise InvalidParameterError(
+            f"workers must be an integer, 'auto' or 'serial', got {workers!r}"
+        )
+    if workers < 0:
+        raise InvalidParameterError(f"workers must be >= 0, got {workers}")
+    return max(1, workers)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side task functions (module-level so spawn contexts can import them)
+# ---------------------------------------------------------------------------
+
+def _initialize_worker(manifest: Mapping[str, Any]) -> None:
+    """Pool initializer: adopt the parent's warm state."""
+    merge_manifest(manifest)
+
+
+def _chunked(items: list, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous non-empty runs.
+
+    Every sharded entry point dispatches *one task per chunk* (not per
+    item) and each task returns a single worker manifest, so the
+    manifest shipping + merge cost per call is bounded by the worker
+    count, never by the item count.
+    """
+    chunks = min(chunks, len(items))
+    bounds = [len(items) * k // chunks for k in range(chunks + 1)]
+    return [items[bounds[k] : bounds[k + 1]] for k in range(chunks)]
+
+
+def _epsilon_chunk_task(payload: tuple) -> tuple[np.ndarray, dict[str, Any]]:
+    """One shard of an epsilon sweep: serial scan + the worker's manifest."""
+    ns, delta, tol, grid, refine = payload
+    ns_arr = np.asarray(ns, dtype=np.int64)
+    eps = cached_epsilon_sweep(ns_arr, delta, tol=tol, grid=grid, refine=refine)
+    if eps is None:
+        eps = _compute_epsilon_sweep(ns_arr, delta, tol, grid, refine)
+    return np.asarray(eps, dtype=np.float64), export_manifest()
+
+
+def _sample_size_chunk_task(payload: tuple) -> tuple[list[int], dict[str, Any]]:
+    """A run of cold tight-bound derivations + one worker manifest."""
+    specs, grid, refine = payload
+    ns = [
+        tight_sample_size(epsilon, delta, grid=grid, refine=refine)
+        for epsilon, delta in specs
+    ]
+    return ns, export_manifest()
+
+
+def _plan_chunk_task(requests: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Derive a run of plan requests in the worker; return its manifest.
+
+    Requests use the warm-manifest shape of
+    :meth:`repro.core.engine.CIEngine.warm_manifest`, and derivation goes
+    through the registered restore warmers
+    (:func:`repro.stats.cache.warm_after_restore`) — the same single copy
+    of the replay logic snapshots use, which already forces the worker's
+    estimator serial so it never spawns a nested pool.
+    """
+    # Imported for its side effect: registering the estimator layer's
+    # restore warmer (spawn-context workers start with a bare registry).
+    import repro.core.estimators.api  # noqa: F401
+
+    warm_after_restore({"plans": list(requests)})
+    return export_manifest()
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+class PlanningExecutor:
+    """Shards planning work across worker processes, manifests merged back.
+
+    Parameters
+    ----------
+    workers:
+        Anything :func:`resolve_workers` accepts.  A resolved count of 1
+        short-circuits every method to the serial implementation — no
+        pool is ever created, so ``workers="serial"`` costs nothing.
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); the platform default when
+        omitted.  The worker task functions are module-level, so spawn
+        contexts work — they just pay interpreter start-up per worker.
+
+    The pool is created lazily on the first sharded call; the parent's
+    cache manifest is exported at that moment and shipped to every
+    worker.  Usable as a context manager (:meth:`close` on exit).
+    """
+
+    def __init__(
+        self,
+        workers: int | str | None = "auto",
+        *,
+        start_method: str | None = None,
+    ):
+        self.processes = resolve_workers(workers)
+        self._start_method = start_method
+        self._pool = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(self._start_method)
+                self._pool = context.Pool(
+                    processes=self.processes,
+                    initializer=_initialize_worker,
+                    initargs=(export_manifest(),),
+                )
+            return self._pool
+
+    def start(self) -> "PlanningExecutor":
+        """Spawn the worker pool now instead of lazily on first use.
+
+        Benchmarks (and latency-sensitive services) call this so the
+        one-time fork cost is paid outside the serving path; the workers
+        receive whatever manifest the parent holds at this moment.
+        """
+        if self.processes > 1:
+            self._ensure_pool()
+        return self
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "PlanningExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sharded entry points -------------------------------------------------
+    def tight_epsilon_many(
+        self,
+        ns,
+        delta: float,
+        *,
+        tol: float = 1e-6,
+        grid: int = 256,
+        refine: int = 2,
+    ) -> np.ndarray:
+        """Sharded :func:`repro.stats.tight_bounds.tight_epsilon_many`.
+
+        Element-wise identical to the serial sweep (same memo key, same
+        anchors planted); the parent's caches end up warm exactly as if
+        the sweep had run in-process.
+        """
+        cached = cached_epsilon_sweep(ns, delta, tol=tol, grid=grid, refine=refine)
+        if cached is not None:
+            return cached
+        ns_arr = np.atleast_1d(np.asarray(ns)).astype(np.int64)
+        shards = epsilon_sweep_shards(ns_arr, self.processes, grid=grid, refine=refine)
+        if self.processes == 1 or len(shards) < 2:
+            # The cached_epsilon_sweep miss above was this call's one
+            # recorded lookup; compute probe-free so stats stay 1:1.
+            return _compute_epsilon_sweep(ns_arr, delta, tol, grid, refine)
+        payloads = [
+            (shard.tolist(), delta, tol, grid, refine) for shard in shards
+        ]
+        outputs = self._ensure_pool().map(_epsilon_chunk_task, payloads, chunksize=1)
+        for _, manifest in outputs:
+            merge_manifest(manifest)
+        eps_unique = np.concatenate([eps for eps, _ in outputs])
+        unique = np.concatenate(shards)
+        return adopt_epsilon_sweep(
+            ns, delta, unique, eps_unique, tol=tol, grid=grid, refine=refine
+        )
+
+    def tight_sample_size_many(
+        self,
+        specs: Sequence[tuple[float, float]],
+        *,
+        grid: int = 256,
+        refine: int = 2,
+    ) -> list[int]:
+        """Cold ``tight_sample_size`` for many ``(epsilon, delta)`` specs.
+
+        The specs are split into at most one contiguous run per worker;
+        results are identical to the serial loop (the search is a
+        deterministic function of its arguments), with each worker's
+        memoized probes folded back into the parent once per run.
+        """
+        specs = [(float(epsilon), float(delta)) for epsilon, delta in specs]
+        if self.processes == 1 or len(specs) < 2:
+            return [
+                tight_sample_size(epsilon, delta, grid=grid, refine=refine)
+                for epsilon, delta in specs
+            ]
+        payloads = [
+            (chunk, grid, refine) for chunk in _chunked(specs, self.processes)
+        ]
+        outputs = self._ensure_pool().map(
+            _sample_size_chunk_task, payloads, chunksize=1
+        )
+        for _, manifest in outputs:
+            merge_manifest(manifest)
+        return [n for ns, _ in outputs for n in ns]
+
+    def tight_sample_size(
+        self, epsilon: float, delta: float, *, grid: int = 256, refine: int = 2
+    ) -> int:
+        """Single-spec convenience over :meth:`tight_sample_size_many`."""
+        return self.tight_sample_size_many(
+            [(epsilon, delta)], grid=grid, refine=refine
+        )[0]
+
+    def warm_plans(self, requests: Sequence[Mapping[str, Any]]) -> int:
+        """Derive plan requests in workers; fold their caches back.
+
+        Each request uses the warm-manifest shape
+        (``condition``/``delta``/``adaptivity``/``steps``/
+        ``known_variance_bound``/``estimator``).  After the merge the
+        parent's plan cache holds every requested plan, so re-planning
+        in-process is a cache hit.  Returns the number of requests
+        derived.  A single request still runs in a worker when a pool is
+        configured — the parent thread only merges manifests, which is
+        what lets a serving thread overlap rotation re-planning with
+        traffic.
+        """
+        requests = list(requests)
+        if not requests:
+            return 0
+        if self.processes == 1:
+            _plan_chunk_task(requests)
+            return len(requests)
+        chunks = _chunked(requests, self.processes)
+        manifests = self._ensure_pool().map(_plan_chunk_task, chunks, chunksize=1)
+        for manifest in manifests:
+            merge_manifest(manifest)
+        return len(requests)
+
+
+# ---------------------------------------------------------------------------
+# Shared executors (one per worker count, shut down atexit)
+# ---------------------------------------------------------------------------
+
+_EXECUTORS: dict[int, PlanningExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def get_executor(workers: int | str | None = "auto") -> PlanningExecutor:
+    """The process-wide shared executor for this worker count.
+
+    Estimators and services resolve their ``workers=`` setting through
+    this, so every caller asking for the same count shares one pool
+    (spawn cost is paid once per process).  Shared executors are closed
+    by :func:`shutdown_executors`, registered atexit.
+    """
+    count = resolve_workers(workers)
+    with _EXECUTORS_LOCK:
+        executor = _EXECUTORS.get(count)
+        if executor is None:
+            executor = PlanningExecutor(count)
+            _EXECUTORS[count] = executor
+        return executor
+
+
+def shutdown_executors() -> None:
+    """Close every shared executor (safe to call repeatedly)."""
+    with _EXECUTORS_LOCK:
+        executors = list(_EXECUTORS.values())
+        _EXECUTORS.clear()
+    for executor in executors:
+        executor.close()
+
+
+atexit.register(shutdown_executors)

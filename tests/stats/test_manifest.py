@@ -1,0 +1,192 @@
+"""The cache-manifest contract: export, idempotent + commutative merge.
+
+Three invariants the parallel planning executor leans on (asserted here
+exactly as the ISSUE's satellite demands):
+
+1. ``merge_manifest(export_manifest())`` is a no-op — folding a cache's
+   own export back in changes neither contents, ordering, nor hit/miss
+   statistics;
+2. merges commute — two worker manifests folded in either order leave
+   identical registry contents;
+3. a cold process restored from a donor's manifest serves
+   ``tight_sample_size`` (and the epsilon sweeps) bit-identical to the
+   donor, from cache, without recomputing.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.stats.cache import (
+    LRUCache,
+    all_caches,
+    canonical_bytes,
+    clear_all_caches,
+    export_manifest,
+    merge_manifest,
+)
+from repro.stats.tight_bounds import tight_epsilon_many, tight_sample_size
+
+
+def fingerprint():
+    """Order-insensitive contents of every exported cache."""
+    out = {}
+    for name, payload in export_manifest()["caches"].items():
+        if isinstance(payload, list):
+            out[name] = {canonical_bytes(k): canonical_bytes(v) for k, v in payload}
+        else:
+            out[name] = canonical_bytes(payload)
+    return out
+
+
+def warm_state_a():
+    tight_sample_size(0.07, 1e-2)
+    tight_epsilon_many(np.array([300, 500]), 1e-2, tol=1e-5)
+
+
+def warm_state_b():
+    tight_sample_size(0.09, 1e-2)
+    tight_epsilon_many(np.array([700, 900]), 1e-2, tol=1e-5)
+    SampleSizeEstimator().plan("n > 0.7 +/- 0.1", delta=1e-2, steps=2)
+
+
+class TestExport:
+    def test_manifest_covers_the_registered_caches(self):
+        clear_all_caches()
+        warm_state_a()
+        payload = export_manifest()["caches"]
+        assert set(payload) <= set(all_caches())
+        # Every cache with entries is shipped, proxies included.
+        for name in (
+            "stats.tight_bounds.tight_sample_size",
+            "stats.tight_bounds.tight_epsilon_many",
+            "stats.tight_bounds.epsilon_anchors",
+            "stats.batch.pairs_layout",
+            "stats.batch.log_factorial_table",
+        ):
+            assert name in payload
+
+    def test_manifest_is_picklable(self):
+        clear_all_caches()
+        warm_state_b()
+        blob = pickle.dumps(export_manifest())
+        assert pickle.loads(blob)["format"] == "repro.cache-manifest/v1"
+
+    def test_unknown_format_is_rejected(self):
+        with pytest.raises(ValueError):
+            merge_manifest({"format": "repro.cache-manifest/v999", "caches": {}})
+
+    def test_none_and_empty_manifests_are_noops(self):
+        merge_manifest(None)
+        merge_manifest({})
+
+
+class TestIdempotence:
+    def test_merging_own_export_changes_nothing(self):
+        clear_all_caches()
+        warm_state_a()
+        warm_state_b()
+        before_fp = fingerprint()
+        before_items = {
+            name: cache.items()
+            for name, cache in all_caches().items()
+            if isinstance(cache, LRUCache)
+        }
+        before_info = {
+            name: cache.info() for name, cache in all_caches().items()
+        }
+        merge_manifest(export_manifest())
+        assert fingerprint() == before_fp
+        for name, cache in all_caches().items():
+            if isinstance(cache, LRUCache):
+                after = cache.items()
+                assert [k for k, _ in after] == [k for k, _ in before_items[name]]
+            assert cache.info() == before_info[name]
+
+
+class TestCommutativity:
+    def build_manifests(self):
+        clear_all_caches()
+        warm_state_a()
+        manifest_a = pickle.dumps(export_manifest())
+        clear_all_caches()
+        warm_state_b()
+        manifest_b = pickle.dumps(export_manifest())
+        clear_all_caches()
+        return manifest_a, manifest_b
+
+    def test_merge_order_is_irrelevant(self):
+        manifest_a, manifest_b = self.build_manifests()
+        merge_manifest(pickle.loads(manifest_a))
+        merge_manifest(pickle.loads(manifest_b))
+        ab = fingerprint()
+        clear_all_caches()
+        merge_manifest(pickle.loads(manifest_b))
+        merge_manifest(pickle.loads(manifest_a))
+        ba = fingerprint()
+        assert ab == ba
+
+    def test_merge_into_a_warm_base_commutes_too(self):
+        manifest_a, manifest_b = self.build_manifests()
+        tight_sample_size(0.05, 1e-2)  # the base state both runs share
+        merge_manifest(pickle.loads(manifest_a))
+        merge_manifest(pickle.loads(manifest_b))
+        ab = fingerprint()
+        clear_all_caches()
+        tight_sample_size(0.05, 1e-2)
+        merge_manifest(pickle.loads(manifest_b))
+        merge_manifest(pickle.loads(manifest_a))
+        assert fingerprint() == ab
+
+
+class TestColdRestore:
+    def test_cold_process_serves_tight_sample_size_bit_identical(self):
+        clear_all_caches()
+        donor_n = tight_sample_size(0.06, 1e-3)
+        blob = pickle.dumps(export_manifest())
+        clear_all_caches()  # the "cold process"
+        merge_manifest(pickle.loads(blob))
+        cache = all_caches()["stats.tight_bounds.tight_sample_size"]
+        hits, misses = cache.info().hits, cache.info().misses
+        assert tight_sample_size(0.06, 1e-3) == donor_n
+        assert cache.info().hits == hits + 1  # served from the manifest,
+        assert cache.info().misses == misses  # not recomputed
+
+    def test_cold_process_serves_epsilon_sweep_bit_identical(self):
+        clear_all_caches()
+        sizes = np.array([400, 650, 900])
+        donor = tight_epsilon_many(sizes, 1e-2, tol=1e-5)
+        blob = pickle.dumps(export_manifest())
+        clear_all_caches()
+        merge_manifest(pickle.loads(blob))
+        cache = all_caches()["stats.tight_bounds.tight_epsilon_many"]
+        hits = cache.info().hits
+        restored = tight_epsilon_many(sizes, 1e-2, tol=1e-5)
+        assert np.array_equal(restored, donor)
+        assert cache.info().hits == hits + 1
+
+    def test_restored_plan_cache_serves_the_donor_plan(self):
+        clear_all_caches()
+        estimator = SampleSizeEstimator(use_exact_binomial=True)
+        donor = estimator.plan("n > 0.8 +/- 0.08", delta=1e-3, steps=2)
+        blob = pickle.dumps(export_manifest())
+        clear_all_caches()
+        merge_manifest(pickle.loads(blob))
+        restored = estimator.plan("n > 0.8 +/- 0.08", delta=1e-3, steps=2)
+        assert restored == donor
+
+    def test_anchor_merge_unions_across_donors(self):
+        clear_all_caches()
+        tight_epsilon_many(np.array([300, 500]), 1e-2, tol=1e-5)
+        manifest_a = pickle.dumps(export_manifest())
+        clear_all_caches()
+        tight_epsilon_many(np.array([700, 900]), 1e-2, tol=1e-5)
+        manifest_b = pickle.dumps(export_manifest())
+        clear_all_caches()
+        merge_manifest(pickle.loads(manifest_a))
+        merge_manifest(pickle.loads(manifest_b))
+        anchors = all_caches()["stats.tight_bounds.epsilon_anchors"]
+        (entries,) = [value for _, value in anchors.items()]
+        assert {n for n, _ in entries} == {300, 500, 700, 900}

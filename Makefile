@@ -6,6 +6,8 @@
 #                           --quick benchmark smoke runs + BENCH_*.json
 #                           schema validation
 #   make bench-smoke      - the --quick benchmark runs + schema check alone
+#   make test-faults      - the chaos suite: fault injection, supervised
+#                           executor, corruption restore, chaos parity
 #   make docs             - doctests over README.md and docs/*.md code blocks
 #   make bench-perf       - scalar-vs-batch perf kernels benchmark
 #                           (writes BENCH_perf_kernels.json); pass
@@ -19,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast ci bench-smoke docs bench bench-perf bench-throughput
+.PHONY: verify verify-fast ci bench-smoke test-faults docs bench bench-perf bench-throughput
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -33,7 +35,11 @@ ci: verify bench-smoke
 bench-smoke:
 	$(PYTHON) benchmarks/bench_perf_kernels.py --quick
 	$(PYTHON) benchmarks/bench_commit_throughput.py --quick
+	$(PYTHON) benchmarks/bench_fault_recovery.py --quick
 	$(PYTHON) benchmarks/check_bench_schema.py
+
+test-faults:
+	$(PYTHON) -m pytest -q tests/reliability
 
 docs:
 	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs

@@ -81,6 +81,22 @@ SCHEMAS = {
         "tight_epsilon_many.sharded_seconds": NUMBER,
         "tight_epsilon_many.sharded_identical": bool,
     },
+    "BENCH_fault_recovery.json": {
+        "quick": bool,
+        "snapshot_fallback.commits": int,
+        "snapshot_fallback.clean_restore_seconds": NUMBER,
+        "snapshot_fallback.fallback_restore_seconds": NUMBER,
+        "snapshot_fallback.replay_commits_clean": int,
+        "snapshot_fallback.replay_commits_fallback": int,
+        "snapshot_fallback.quarantined_files": int,
+        "snapshot_fallback.results_identical": bool,
+        "worker_kill.shards": int,
+        "worker_kill.serial_seconds": NUMBER,
+        "worker_kill.supervised_kill_seconds": NUMBER,
+        "worker_kill.respawns": int,
+        "worker_kill.degraded": bool,
+        "worker_kill.results_identical": bool,
+    },
 }
 
 

@@ -15,6 +15,13 @@ Production systems would plug in SMTP or a chat webhook; the experiments
 use :class:`InMemoryEmailTransport` (assertable) and examples use
 :class:`ConsoleTransport`.
 
+Transports fail — webhooks time out, SMTP servers bounce — and a build
+result must never be lost to one.  :class:`RetryingTransport` wraps any
+transport with bounded retries, exponential backoff and a dead-letter
+callback; :class:`CIService` wraps its transport in one automatically,
+routing dead letters to the repository's durable dead-letter log, so a
+flaky transport can no longer raise through ``submit``/``process_batch``.
+
 Transports are *runtime wiring*, not durable CI state: service snapshots
 (:mod:`repro.ci.persistence`) never carry them, and a restore re-attaches
 whichever transport the new process supplies
@@ -27,14 +34,21 @@ can be lost to a crash.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Protocol
+
+from repro.reliability.events import record_event
+from repro.reliability.faults import fault_point
 
 __all__ = [
     "EmailMessage",
+    "DeadLetter",
     "NotificationTransport",
     "InMemoryEmailTransport",
     "ConsoleTransport",
+    "RetryingTransport",
+    "FlakyTransport",
 ]
 
 
@@ -108,3 +122,157 @@ class ConsoleTransport:
         print(f"--- mail to {recipient}: {subject}")
         for line in body.splitlines():
             print(f"    {line}")
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A notification that could not be delivered after every retry.
+
+    Attributes
+    ----------
+    recipient, subject, body:
+        The undeliverable message, kept whole so an operator can re-send
+        it once the transport recovers.
+    error:
+        String form of the final delivery error.
+    attempts:
+        Total delivery attempts made (1 + retries).
+    """
+
+    recipient: str
+    subject: str
+    body: str
+    error: str
+    attempts: int
+
+
+class RetryingTransport:
+    """Wraps a transport with bounded retries, backoff and dead-letters.
+
+    A delivery that raises is retried up to ``retries`` more times with
+    exponential backoff; when the final attempt also fails the message
+    becomes a :class:`DeadLetter` handed to ``on_dead_letter`` — and the
+    failure *stops here*: ``send`` never raises, so a flaky webhook can
+    no longer blow up the CI webhook that triggered it.  Build results
+    are never lost either way: they live in the service's build records
+    and journal, and the dead letter preserves the message itself.
+
+    The ``notification.send`` fault-injection point is traversed before
+    each attempt: a ``raise`` rule simulates the flaky transport, and a
+    ``drop`` rule simulates silent message loss (recorded, not retried —
+    no acknowledgement exists to retry on).
+
+    Parameters
+    ----------
+    transport:
+        The wrapped delivery transport.
+    retries:
+        Extra attempts after the first failure.
+    backoff, max_backoff:
+        Exponential-backoff base and cap in seconds.
+    on_dead_letter:
+        Called with the :class:`DeadLetter` after the final failure.
+    sleep:
+        Injectable sleep for the backoff (tests pass a no-op).
+    """
+
+    def __init__(
+        self,
+        transport: NotificationTransport,
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        on_dead_letter: Callable[[DeadLetter], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.transport = transport
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self.on_dead_letter = on_dead_letter
+        self._sleep = sleep
+        self._dead_letters: list[DeadLetter] = []
+
+    @property
+    def dead_letters(self) -> list[DeadLetter]:
+        """Messages that exhausted their retries, in order."""
+        return list(self._dead_letters)
+
+    def send(self, recipient: str, subject: str, body: str) -> None:
+        """Deliver with retries; dead-letter instead of raising."""
+        error: Exception | None = None
+        for attempt in range(1, self.retries + 2):
+            try:
+                fault = fault_point("notification.send")
+                if fault is not None and fault.action == "drop":
+                    record_event(
+                        "notification-dropped",
+                        "ci.notifications",
+                        recipient=recipient,
+                        subject=subject,
+                    )
+                    return
+                self.transport.send(recipient, subject, body)
+                return
+            except Exception as exc:
+                error = exc
+                if attempt <= self.retries:
+                    record_event(
+                        "notification-retry",
+                        "ci.notifications",
+                        recipient=recipient,
+                        subject=subject,
+                        attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    self._sleep(
+                        min(self.backoff * (2 ** (attempt - 1)), self.max_backoff)
+                    )
+        letter = DeadLetter(
+            recipient=recipient,
+            subject=subject,
+            body=body,
+            error=f"{type(error).__name__}: {error}",
+            attempts=self.retries + 1,
+        )
+        self._dead_letters.append(letter)
+        record_event(
+            "notification-dead-letter",
+            "ci.notifications",
+            recipient=recipient,
+            subject=subject,
+            error=letter.error,
+            attempts=letter.attempts,
+        )
+        if self.on_dead_letter is not None:
+            self.on_dead_letter(letter)
+
+
+class FlakyTransport:
+    """A test transport that fails the first ``failures`` deliveries.
+
+    Failed attempts raise ``ConnectionError``; once the budget is spent,
+    deliveries are recorded like :class:`InMemoryEmailTransport`.  The
+    chaos suite uses it to exercise the retry and dead-letter paths
+    without fault-injection rules.
+    """
+
+    def __init__(self, failures: int = 1):
+        self.failures = int(failures)
+        self.attempts = 0
+        self._inner = InMemoryEmailTransport()
+
+    @property
+    def messages(self) -> list[EmailMessage]:
+        """Messages that made it through."""
+        return self._inner.messages
+
+    def send(self, recipient: str, subject: str, body: str) -> None:
+        """Fail while the failure budget lasts, then deliver."""
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise ConnectionError(
+                f"simulated transport outage (attempt {self.attempts})"
+            )
+        self._inner.send(recipient, subject, body)

@@ -36,6 +36,24 @@ restart-parity suite asserts this).  A torn trailing journal line (the
 crash landed mid-append) is ignored; a torn line *followed by* intact
 records means real corruption and raises :class:`PersistenceError`.
 
+Corruption model
+----------------
+Beyond clean crashes, the store tolerates *damaged files*.  Snapshot
+envelopes carry a CRC-32 over the pickled payload and journal lines
+carry a per-line CRC, so truncation and bit-rot are detected, not
+deserialized.  A corrupt or truncated snapshot raises
+:class:`~repro.exceptions.SnapshotCorruptError` from :meth:`SnapshotStore.load`;
+:meth:`SnapshotStore.load_latest` instead *quarantines* it (renamed with
+a ``.quarantined`` suffix — never deleted) and falls back to the next
+older generation, which simply extends journal replay: the restored run
+stays element-wise identical.  A torn trailing journal line is likewise
+quarantined into a sidecar file before the self-healing truncation.
+Every fallback/quarantine is recorded on the process-wide reliability
+event log (:mod:`repro.reliability.events`) and reported by
+``repro ops``; the read-only doctor behind ``repro ops --fsck``
+(:mod:`repro.reliability.fsck`) classifies a state directory without
+mutating it.
+
 Side effects are recovered as state, not re-fired: notification
 transports are runtime wiring, so replay suppresses the notifier — the
 pre-crash process already delivered those messages, and at most the
@@ -53,12 +71,15 @@ import json
 import os
 import pickle
 import re
+import zlib
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from repro.exceptions import PersistenceError
+from repro.exceptions import PersistenceError, SnapshotCorruptError
+from repro.reliability.events import record_event
+from repro.reliability.faults import InjectedFault, fault_point, torn_bytes
 from repro.utils.serialization import to_jsonable
 
 __all__ = [
@@ -73,6 +94,8 @@ __all__ = [
     "EVENT_TYPES",
     "JournalRecord",
     "EventJournal",
+    "JournalScan",
+    "scan_journal",
     "SnapshotInfo",
     "SnapshotStore",
     "open_state_dir",
@@ -81,7 +104,13 @@ __all__ = [
 ]
 
 #: Version of the on-disk snapshot envelope; bumped on incompatible change.
-SNAPSHOT_FORMAT_VERSION = 1
+#: Version 2 wraps the payload pickle in a checksummed envelope; version 1
+#: (unchecksummed) envelopes are still read.
+SNAPSHOT_FORMAT_VERSION = 2
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 # Journal event types.  The first is the one replay is driven by; the rest
 # form the operational audit trail.
@@ -119,6 +148,31 @@ def decode_model(payload: str) -> Any:
 # ---------------------------------------------------------------------------
 # The journal
 # ---------------------------------------------------------------------------
+
+def _parse_journal_line(line: str) -> dict[str, Any] | None:
+    """Parse one journal line into its record mapping, or ``None``.
+
+    ``None`` means the line is not an intact record: unparseable JSON, a
+    missing required field, or (for lines that carry one) a CRC that
+    does not match the canonical serialization of the rest of the line.
+    Lines without a ``crc`` field are accepted — journals written before
+    the checksummed format remain readable.
+    """
+    try:
+        raw = json.loads(line)
+        int(raw["sequence"])
+        raw["type"], raw["recorded_at"]
+    except (ValueError, KeyError, TypeError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+    crc = raw.pop("crc", None)
+    if crc is not None:
+        body = json.dumps(raw, sort_keys=True).encode("utf-8")
+        if crc != _crc32(body):
+            return None
+    return raw
+
 
 @dataclass(frozen=True)
 class JournalRecord:
@@ -185,8 +239,10 @@ class EventJournal:
         it), and one more append after that would make the merged line
         *non*-trailing — permanently unreadable corruption.  Truncating
         the torn tail once, at open, keeps append blind and the journal
-        self-healing.  Garbage *followed by* intact records is real
-        corruption; it is left untouched for :meth:`records` to raise on.
+        self-healing; the torn bytes are quarantined into a sidecar file
+        first (never deleted — they are forensic evidence, not state).
+        Garbage *followed by* intact records is real corruption; it is
+        left untouched for :meth:`records` to raise on.
         """
         if not self.path.exists():
             return 0
@@ -198,15 +254,23 @@ class EventJournal:
             if not line:
                 valid_end = offset
                 continue
-            try:
-                record = json.loads(line)
-                sequence = int(record["sequence"])
-                record["type"], record["recorded_at"]
-            except (ValueError, KeyError, TypeError):
+            if _parse_journal_line(line) is None:
                 continue  # valid_end stays put; trailing garbage truncates
-            last = sequence
+            last = int(json.loads(line)["sequence"])
             valid_end = offset
         if valid_end < len(raw):
+            torn = raw[valid_end:]
+            sidecar = self.path.with_name(
+                f"{self.path.name}.torn-{valid_end}.quarantined"
+            )
+            sidecar.write_bytes(torn)
+            record_event(
+                "journal-torn-tail",
+                "ci.persistence",
+                journal=str(self.path),
+                quarantined=str(sidecar),
+                torn_bytes=len(torn),
+            )
             with open(self.path, "r+b") as handle:
                 handle.truncate(valid_end)
         return last
@@ -224,8 +288,16 @@ class EventJournal:
         """Append one event; flushed (and fsynced) before returning.
 
         The record's JSON line is rendered through
-        :func:`repro.utils.serialization.to_jsonable`, so payloads may
-        carry datetimes, paths, enums and numpy values directly.
+        :func:`repro.utils.serialization.to_jsonable` — payloads may
+        carry datetimes, paths, enums and numpy values directly — and
+        stamped with a CRC-32 over its canonical serialization, so a
+        reader can tell a damaged line from a valid one.
+
+        Fault-injection points: ``journal.append`` (``tear`` writes a
+        partial line then raises — the crash-mid-append case the next
+        open self-heals) and ``journal.fsync`` (a failing disk; the
+        append raises and, as after any failed append, the process must
+        be treated as crashed — recovery is the next open's scan).
         """
         if type not in EVENT_TYPES:
             raise PersistenceError(
@@ -238,11 +310,22 @@ class EventJournal:
             recorded_at=self._clock().isoformat(),
             payload=dict(payload or {}),
         )
-        line = json.dumps(to_jsonable(record), sort_keys=True)
+        rendered = to_jsonable(record)
+        body = json.dumps(rendered, sort_keys=True).encode("utf-8")
+        rendered["crc"] = _crc32(body)
+        data = (json.dumps(rendered, sort_keys=True) + "\n").encode("utf-8")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        torn = torn_bytes(data, fault_point("journal.append"))
+        with open(self.path, "ab") as handle:
+            handle.write(data if torn is None else torn)
             handle.flush()
+            if torn is not None:
+                if self.sync:
+                    os.fsync(handle.fileno())
+                raise InjectedFault(
+                    "journal.append", f"write torn at byte {len(torn)}"
+                )
+            fault_point("journal.fsync")
             if self.sync:
                 os.fsync(handle.fileno())
         self._next_sequence += 1
@@ -254,8 +337,8 @@ class EventJournal:
 
         A torn *trailing* line — the crash landed mid-append — is
         silently dropped (its event never happened, by the crash model).
-        A malformed line with intact records after it is corruption and
-        raises :class:`PersistenceError`.
+        A malformed or CRC-failing line with intact records after it is
+        corruption and raises :class:`PersistenceError`.
         """
         if not self.path.exists():
             return
@@ -265,20 +348,19 @@ class EventJournal:
         for number, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
-            try:
-                raw = json.loads(line)
-                record = JournalRecord(
-                    sequence=int(raw["sequence"]),
-                    type=str(raw["type"]),
-                    recorded_at=str(raw["recorded_at"]),
-                    payload=dict(raw.get("payload") or {}),
-                )
-            except (ValueError, KeyError, TypeError) as exc:
+            raw = _parse_journal_line(line)
+            if raw is None:
                 pending_error = PersistenceError(
                     f"journal {self.path} line {number} is corrupt "
-                    f"(non-trailing): {exc}"
+                    "(non-trailing): malformed or checksum mismatch"
                 )
                 continue
+            record = JournalRecord(
+                sequence=int(raw["sequence"]),
+                type=str(raw["type"]),
+                recorded_at=str(raw["recorded_at"]),
+                payload=dict(raw.get("payload") or {}),
+            )
             if pending_error is not None:
                 raise pending_error
             yield record
@@ -286,6 +368,118 @@ class EventJournal:
     def records_of(self, type: str) -> Iterator[JournalRecord]:
         """Yield intact records of one event type, oldest first."""
         return (record for record in self.records() if record.type == type)
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """Read-only classification of a journal file (``repro ops --fsck``).
+
+    Unlike constructing an :class:`EventJournal` — which self-heals by
+    truncating a torn trailing line — producing this report never
+    touches the file.
+
+    Attributes
+    ----------
+    path:
+        The scanned journal file.
+    exists:
+        Whether the file exists at all.
+    records:
+        Count of intact records.
+    last_sequence:
+        Sequence of the newest intact record (0 when none).
+    corrupt_lines:
+        1-based line numbers of malformed / CRC-failing lines that are
+        *followed by* intact records (real corruption; replay raises).
+    torn_tail_bytes:
+        Size of the invalid trailing region (a crash artifact the next
+        open would quarantine and truncate), 0 when the tail is clean.
+    commit_sequences:
+        Repository sequences of every intact ``commit-received`` record,
+        in journal order — what replay depth is computed from.
+    commit_journal_sequences:
+        *Journal* sequences of those same records, aligned with
+        ``commit_sequences`` — how the doctor counts commits past a
+        snapshot's anchor.
+    """
+
+    path: Path
+    exists: bool
+    records: int
+    last_sequence: int
+    corrupt_lines: tuple[int, ...]
+    torn_tail_bytes: int
+    commit_sequences: tuple[int, ...]
+    commit_journal_sequences: tuple[int, ...]
+
+
+def scan_journal(path: str | Path) -> JournalScan:
+    """Classify a journal file without opening it for repair."""
+    path = Path(path)
+    if not path.exists():
+        return JournalScan(
+            path=path,
+            exists=False,
+            records=0,
+            last_sequence=0,
+            corrupt_lines=(),
+            torn_tail_bytes=0,
+            commit_sequences=(),
+            commit_journal_sequences=(),
+        )
+    raw = path.read_bytes()
+    records = 0
+    last_sequence = 0
+    invalid: list[int] = []
+    commit_sequences: list[int] = []
+    commit_journal_sequences: list[int] = []
+    valid_end = offset = 0
+    number = 0
+    for chunk in raw.splitlines(keepends=True):
+        offset += len(chunk)
+        number += 1
+        line = chunk.decode("utf-8", errors="replace").strip()
+        if not line:
+            valid_end = offset
+            continue
+        parsed = _parse_journal_line(line)
+        if parsed is None:
+            invalid.append(number)
+            continue
+        records += 1
+        last_sequence = int(parsed["sequence"])
+        valid_end = offset
+        if parsed.get("type") == COMMIT_RECEIVED:
+            payload = parsed.get("payload") or {}
+            if "sequence" in payload:
+                commit_sequences.append(int(payload["sequence"]))
+                commit_journal_sequences.append(int(parsed["sequence"]))
+    torn_tail_bytes = len(raw) - valid_end
+    # Invalid lines inside the valid region are corruption; invalid lines
+    # in the trailing region are the (tolerated) torn tail.
+    corrupt_lines = tuple(
+        n for n in invalid if _line_offset(raw, n) < valid_end
+    )
+    return JournalScan(
+        path=path,
+        exists=True,
+        records=records,
+        last_sequence=last_sequence,
+        corrupt_lines=corrupt_lines,
+        torn_tail_bytes=torn_tail_bytes,
+        commit_sequences=tuple(commit_sequences),
+        commit_journal_sequences=tuple(commit_journal_sequences),
+    )
+
+
+def _line_offset(raw: bytes, number: int) -> int:
+    """Byte offset at which 1-based line ``number`` starts."""
+    offset = 0
+    for index, chunk in enumerate(raw.splitlines(keepends=True), start=1):
+        if index == number:
+            return offset
+        offset += len(chunk)
+    return offset
 
 
 # ---------------------------------------------------------------------------
@@ -367,86 +561,229 @@ class SnapshotStore:
 
     # -- writing -------------------------------------------------------------
     def save(self, payload: Any, *, journal_sequence: int = 0) -> SnapshotInfo:
-        """Persist ``payload`` as the next snapshot generation, atomically."""
+        """Persist ``payload`` as the next snapshot generation, atomically.
+
+        The payload pickle is wrapped in an envelope carrying its CRC-32,
+        so a reader can tell truncation and bit-rot from valid state.
+
+        Fault-injection points: ``snapshot.write`` (``tear`` writes a
+        truncated envelope straight to the final path and *returns
+        normally* — the silent-corruption case a checksum exists to
+        catch) and ``snapshot.fsync`` (``raise`` simulates a failing
+        disk before the atomic rename; nothing is renamed into place).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         sequence = self.latest_sequence + 1
+        payload_pickle = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "sequence": sequence,
             "journal_sequence": int(journal_sequence),
-            "payload": payload,
+            "checksum": _crc32(payload_pickle),
+            "payload_pickle": payload_pickle,
         }
+        data = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         path = self.directory / f"snapshot-{sequence:06d}.pkl"
-        temp = path.with_suffix(".pkl.tmp")
-        with open(temp, "wb") as handle:
-            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
         info = SnapshotInfo(
             sequence=sequence,
             journal_sequence=int(journal_sequence),
             format_version=SNAPSHOT_FORMAT_VERSION,
             path=path,
         )
+        torn = torn_bytes(data, fault_point("snapshot.write"))
+        if torn is not None:
+            # Simulated bit-rot / non-atomic filesystem: the torn bytes
+            # land at the final path and the writer believes it
+            # succeeded.  load() detects this through the checksum.
+            path.write_bytes(torn)
+            self._info_cache[sequence] = info
+            return info
+        temp = path.with_suffix(".pkl.tmp")
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            fault_point("snapshot.fsync")
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
         self._info_cache[sequence] = info
         return info
 
     def prune(self, keep: int = 1) -> list[Path]:
-        """Delete all but the newest ``keep`` snapshots; returns removed paths."""
+        """Delete old *valid* snapshots, keeping the newest ``keep`` of them.
+
+        Only snapshots that verify (envelope readable, checksum intact)
+        are ever deleted: pruning on sequence number alone could, after
+        the latest snapshot was corrupted, remove the only restorable
+        generation while keeping the damaged one.  Corrupt files are
+        never deleted here — they are :meth:`load_latest`'s to
+        quarantine and ``repro ops --fsck``'s to report.
+        """
         if keep < 1:
             raise PersistenceError(f"keep must be >= 1, got {keep}")
+        entries = self._entries()
+        valid = [sequence for sequence, path in entries if self.verify(sequence)]
+        keep_sequences = set(valid[-keep:])
         removed = []
-        for sequence, path in self._entries()[:-keep]:
+        for sequence, path in entries:
+            if sequence in keep_sequences or sequence not in valid:
+                continue
             path.unlink()
             self._info_cache.pop(sequence, None)
             removed.append(path)
         return removed
 
     # -- reading -------------------------------------------------------------
-    def load(self, sequence: int) -> tuple[Any, SnapshotInfo]:
-        """Load one snapshot generation; returns ``(payload, info)``."""
+    def _read_envelope(self, sequence: int) -> tuple[dict[str, Any], Path]:
+        """Read and integrity-check one envelope (payload not unpickled)."""
         path = self.directory / f"snapshot-{sequence:06d}.pkl"
         if not path.exists():
             raise PersistenceError(
                 f"snapshot {sequence} not found in {self.directory}"
             )
-        with open(path, "rb") as handle:
-            envelope = pickle.load(handle)
+        try:
+            envelope = pickle.loads(path.read_bytes())
+            if not isinstance(envelope, dict):
+                raise ValueError(f"envelope is {type(envelope).__name__}, not dict")
+        except PersistenceError:
+            raise
+        except Exception as exc:
+            raise SnapshotCorruptError(
+                f"snapshot {path} is unreadable (truncated or damaged): {exc}"
+            ) from exc
         version = envelope.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
+        if version not in (1, SNAPSHOT_FORMAT_VERSION):
             raise PersistenceError(
                 f"snapshot {path} has format version {version!r}; this build "
                 f"reads version {SNAPSHOT_FORMAT_VERSION}"
             )
+        if version != 1 and _crc32(envelope["payload_pickle"]) != envelope.get(
+            "checksum"
+        ):
+            raise SnapshotCorruptError(
+                f"snapshot {path} failed its checksum (bit-rot or torn write)"
+            )
+        return envelope, path
+
+    def verify(self, sequence: int) -> bool:
+        """Whether snapshot ``sequence`` exists and passes integrity checks."""
+        try:
+            self._read_envelope(sequence)
+        except PersistenceError:
+            return False
+        return True
+
+    def load(self, sequence: int) -> tuple[Any, SnapshotInfo]:
+        """Load one snapshot generation; returns ``(payload, info)``.
+
+        Raises :class:`~repro.exceptions.SnapshotCorruptError` (a
+        :class:`PersistenceError`) when the file is truncated, fails its
+        checksum, or does not unpickle.
+        """
+        envelope, path = self._read_envelope(sequence)
+        version = int(envelope["format_version"])
+        if version == 1:
+            payload = envelope["payload"]
+        else:
+            try:
+                payload = pickle.loads(envelope["payload_pickle"])
+            except Exception as exc:
+                raise SnapshotCorruptError(
+                    f"snapshot {path} payload does not unpickle: {exc}"
+                ) from exc
         info = SnapshotInfo(
             sequence=int(envelope["sequence"]),
             journal_sequence=int(envelope["journal_sequence"]),
-            format_version=int(version),
+            format_version=version,
             path=path,
         )
         self._info_cache[info.sequence] = info
-        return envelope["payload"], info
+        return payload, info
 
-    def load_latest(self) -> tuple[Any, SnapshotInfo] | None:
-        """Load the newest snapshot, or ``None`` for an empty store."""
-        latest = self.latest_sequence
-        if latest == 0:
-            return None
-        return self.load(latest)
+    def quarantined(self) -> list[Path]:
+        """Quarantined snapshot files in this store, oldest name first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.quarantined*"))
+
+    def _quarantine(self, sequence: int, path: Path, error: Exception) -> Path:
+        """Move a corrupt snapshot aside (never delete) and log the event."""
+        target = path.with_name(path.name + ".quarantined")
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = path.with_name(f"{path.name}.quarantined.{suffix}")
+        os.replace(path, target)
+        self._info_cache.pop(sequence, None)
+        record_event(
+            "snapshot-quarantined",
+            "ci.persistence",
+            snapshot=str(path),
+            quarantined=str(target),
+            error=str(error),
+        )
+        return target
+
+    def load_latest(
+        self, *, quarantine: bool = True
+    ) -> tuple[Any, SnapshotInfo] | None:
+        """Load the newest *restorable* snapshot, or ``None`` for none.
+
+        A corrupt or truncated newest snapshot does not abort the
+        restore: it is quarantined (renamed aside, never deleted) and
+        the next older generation is tried, which simply extends the
+        journal replay a restorer performs.  Each skip is recorded on
+        the reliability event log.  With ``quarantine=False`` corrupt
+        snapshots are skipped but left in place — the read-only
+        inspection mode ``repro ops`` uses.
+        """
+        skipped = 0
+        for sequence, path in reversed(self._entries()):
+            try:
+                payload, info = self.load(sequence)
+            except SnapshotCorruptError as exc:
+                if quarantine:
+                    self._quarantine(sequence, path, exc)
+                else:
+                    record_event(
+                        "snapshot-skipped",
+                        "ci.persistence",
+                        snapshot=str(path),
+                        error=str(exc),
+                    )
+                skipped += 1
+                continue
+            if skipped:
+                record_event(
+                    "snapshot-fallback",
+                    "ci.persistence",
+                    restored_sequence=info.sequence,
+                    skipped_snapshots=skipped,
+                    journal_sequence=info.journal_sequence,
+                )
+            return payload, info
+        return None
 
     def latest_info(self) -> SnapshotInfo | None:
-        """Metadata of the newest snapshot (``None`` for an empty store).
+        """Metadata of the newest *readable* snapshot (``None`` for none).
 
         Served from the instance's metadata cache when this process saved
         or loaded that snapshot — the operations surface calls this per
         report, and unpickling a full engine state to read three ints
         would make a cheap counters report cost a disk-sized load.
+        Corrupt newer snapshots are skipped, mirroring what
+        :meth:`load_latest` would restore from, so an operations report
+        over a damaged store describes the restorable generation instead
+        of raising.
         """
-        latest = self.latest_sequence
-        if latest == 0:
-            return None
-        return self._info(latest)
+        for sequence, _ in reversed(self._entries()):
+            cached = self._info_cache.get(sequence)
+            if cached is not None:
+                return cached
+            try:
+                return self.load(sequence)[1]
+            except PersistenceError:
+                continue
+        return None
 
 
 # ---------------------------------------------------------------------------

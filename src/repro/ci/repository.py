@@ -52,12 +52,21 @@ class ModelRepository:
     round-trips through pickling/snapshots; observers are runtime wiring
     and are dropped — the CI service re-subscribes itself on restore, and
     any extra observers must be re-registered.
+
+    The repository also carries the *dead-letter log*: notifications the
+    service's retrying transport could not deliver (see
+    :class:`repro.ci.notifications.RetryingTransport`).  Dead letters
+    are durable state — they survive snapshots and restores so an
+    operator can re-send them once the transport recovers — and live
+    here, next to the commit history they annotate, rather than on the
+    (runtime-only, never-snapshotted) transport.
     """
 
     def __init__(self, name: str = "ml-repo", *, nonce: str | None = None):
         self.name = name
         self.nonce = uuid.uuid4().hex[:12] if nonce is None else str(nonce)
         self._commits: list[Commit] = []
+        self._dead_letters: list[Any] = []
         self._observers: list[
             tuple[Callable[[Commit], None], Callable[[list[Commit]], None] | None]
         ] = []
@@ -69,6 +78,18 @@ class ModelRepository:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # Snapshots written before the dead-letter log existed.
+        self.__dict__.setdefault("_dead_letters", [])
+
+    # -- dead letters ----------------------------------------------------------
+    def record_dead_letter(self, letter: Any) -> None:
+        """Append one undeliverable notification to the durable log."""
+        self._dead_letters.append(letter)
+
+    @property
+    def dead_letters(self) -> list[Any]:
+        """Undeliverable notifications recorded by the service, in order."""
+        return list(self._dead_letters)
 
     # -- committing -----------------------------------------------------------
     def _mint(self, model: Any, message: str, author: str) -> Commit:

@@ -58,7 +58,11 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.ci.commit import Commit, CommitStatus
-from repro.ci.notifications import NotificationTransport
+from repro.ci.notifications import (
+    DeadLetter,
+    NotificationTransport,
+    RetryingTransport,
+)
 from repro.ci.persistence import (
     ALARM,
     BUILD_RECORDED,
@@ -83,6 +87,7 @@ from repro.exceptions import (
     TestsetExhaustedError,
     TestsetSizeError,
 )
+from repro.reliability.events import reliability_events
 
 __all__ = ["BuildRecord", "CIService", "OperationsReport", "SERVICE_STATE_FORMAT"]
 
@@ -161,6 +166,11 @@ class OperationsReport:
     snapshot_journal_sequence: int | None
     journal_sequence: int | None
     journal_lag: int | None
+    planning_degraded: bool
+    pool_respawns: int
+    snapshot_fallbacks: int
+    quarantined_files: int
+    dead_letters: int
 
     def describe(self) -> str:
         """A terminal-friendly rendering (what ``repro ops`` prints)."""
@@ -205,6 +215,14 @@ class OperationsReport:
             )
         else:
             lines.append("  durable state : (persistence not attached)")
+        planning = "DEGRADED to serial" if self.planning_degraded else "healthy"
+        lines.append(
+            f"  reliability   : planning {planning}, "
+            f"{self.pool_respawns} pool respawn(s), "
+            f"{self.snapshot_fallbacks} snapshot fallback(s), "
+            f"{self.quarantined_files} quarantined file(s), "
+            f"{self.dead_letters} dead letter(s)"
+        )
         return "\n".join(lines)
 
 
@@ -249,8 +267,10 @@ class CIService:
         **engine_kwargs: Any,
     ):
         self.script = script
+        self.repository = repository if repository is not None else ModelRepository()
         self.transport = transport
-        notifier = transport.send if transport is not None else None
+        self.delivery = self._wrap_transport(transport)
+        notifier = self.delivery.send if self.delivery is not None else None
         self.engine = CIEngine(
             script,
             testset,
@@ -259,10 +279,34 @@ class CIService:
             workers=workers,
             **engine_kwargs,
         )
-        self.repository = repository if repository is not None else ModelRepository()
         self.repository.on_commit(self._on_commit, batch_observer=self._on_commit_batch)
         self._builds: list[BuildRecord] = []
         self._init_runtime_state()
+
+    def _wrap_transport(
+        self, transport: NotificationTransport | None
+    ) -> RetryingTransport | None:
+        """Wrap the user transport so delivery failures cannot reach webhooks.
+
+        Every notification flows through a :class:`RetryingTransport`
+        whose dead letters land in the repository's durable log — a flaky
+        transport can delay a signal, never raise through ``submit`` or
+        ``process_batch``, and never silently lose the message.  An
+        already-retrying transport is used as-is (dead letters are still
+        routed to the repository unless it routes them elsewhere).
+        """
+        if transport is None:
+            return None
+        if isinstance(transport, RetryingTransport):
+            if transport.on_dead_letter is None:
+                transport.on_dead_letter = self._record_dead_letter
+            return transport
+        return RetryingTransport(
+            transport, on_dead_letter=self._record_dead_letter
+        )
+
+    def _record_dead_letter(self, letter: DeadLetter) -> None:
+        self.repository.record_dead_letter(letter)
 
     def _init_runtime_state(self) -> None:
         """Persistence wiring defaults (shared by __init__ and restore)."""
@@ -315,6 +359,10 @@ class CIService:
             anchored = snapshot_info.journal_sequence if snapshot_info else 0
             journal_lag = journal_sequence - anchored
         plan_info = self.planning_cache_info()
+        events = reliability_events()
+        quarantined = (
+            len(self._store.quarantined()) if self._store is not None else 0
+        )
         return OperationsReport(
             repository=self.repository.name,
             builds_total=len(self._builds),
@@ -358,6 +406,15 @@ class CIService:
             ),
             journal_sequence=journal_sequence,
             journal_lag=journal_lag,
+            planning_degraded=any(
+                e.kind == "planning-degraded" for e in events
+            ),
+            pool_respawns=sum(1 for e in events if e.kind == "pool-respawn"),
+            snapshot_fallbacks=sum(
+                1 for e in events if e.kind == "snapshot-fallback"
+            ),
+            quarantined_files=quarantined,
+            dead_letters=len(self.repository.dead_letters),
         )
 
     # -- the webhook ---------------------------------------------------------------
@@ -644,11 +701,12 @@ class CIService:
                 f"(this build reads {SERVICE_STATE_FORMAT!r})"
             )
         service = object.__new__(cls)
+        service.repository = state["repository"]
         service.transport = transport
-        notifier = transport.send if transport is not None else None
+        service.delivery = service._wrap_transport(transport)
+        notifier = service.delivery.send if service.delivery is not None else None
         service.engine = CIEngine.from_state(state["engine"], notifier=notifier)
         service.script = service.engine.script
-        service.repository = state["repository"]
         service.repository.on_commit(
             service._on_commit, batch_observer=service._on_commit_batch
         )
@@ -689,8 +747,15 @@ class CIService:
         those messages.  With ``record=True`` a ``restore`` event is
         journaled afterwards; ``repro ops`` passes ``record=False`` so
         inspection never mutates the journal.
+
+        Corrupt snapshots do not stop a restore:
+        :meth:`SnapshotStore.load_latest` falls back to the newest
+        *valid* snapshot, and the longer journal tail re-derives the
+        missing builds.  Damaged files are quarantined (renamed, never
+        deleted) only when ``record=True``; read-only inspection skips
+        them in place.
         """
-        loaded = store.load_latest()
+        loaded = store.load_latest(quarantine=record)
         if loaded is None:
             raise PersistenceError(
                 f"no snapshot to restore from in {store.directory}; "

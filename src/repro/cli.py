@@ -22,8 +22,11 @@ integration team runs before collecting data (§2.3).  This CLI exposes it:
 ``python -m repro ops <state-dir>``
     Restore a persisted CI service (snapshot + journal replay, without
     mutating the journal) and print its operations report — pool runway,
-    generation budgets, cache statistics, journal lag.  ``--json`` emits
-    the machine-readable form.
+    generation budgets, cache statistics, journal lag, reliability
+    counters.  ``--json`` emits the machine-readable form.  ``--fsck``
+    instead runs the read-only state-directory doctor
+    (:mod:`repro.reliability.fsck`): snapshot classification, quarantined
+    files, replay depth — exit code 2 when nothing is restorable.
 
 Examples
 --------
@@ -113,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable report instead of the table",
     )
+    ops.add_argument(
+        "--fsck",
+        action="store_true",
+        help="integrity-check the state directory instead of restoring it: "
+        "classify snapshots, list quarantined files, measure replay depth "
+        "(read-only — never repairs, truncates or journals)",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="run all E1-E9 experiments, writing JSON artifacts"
@@ -180,7 +190,14 @@ def _run_ops(args: argparse.Namespace) -> int:
     from repro.ci.service import CIService
     from repro.utils.serialization import dumps
 
-    # Restore without recording: inspection must never mutate the journal.
+    if args.fsck:
+        from repro.reliability.fsck import fsck_state_dir
+
+        report = fsck_state_dir(args.state_dir)
+        print(dumps(report) if args.json else report.describe())
+        return 0 if report.restorable else 2
+    # Restore without recording: inspection must never mutate the journal
+    # (and, with record=False, never quarantines corrupt snapshots either).
     store, journal = open_state_dir(args.state_dir, create=False)
     service = CIService.restore(store, journal, record=False)
     report = service.operations()

@@ -30,6 +30,7 @@ __all__ = [
     "TestsetSizeError",
     "EngineStateError",
     "PersistenceError",
+    "SnapshotCorruptError",
     "LabelBudgetExceededError",
     "SimulationError",
 ]
@@ -132,6 +133,18 @@ class PersistenceError(ReproError):
     for unreadable state directories, unsupported snapshot format versions,
     corrupt (non-trailing) journal records, and journal replays whose
     commit sequence does not line up with the restored repository.
+    """
+
+
+class SnapshotCorruptError(PersistenceError):
+    """A stored snapshot is unreadable: truncated, bit-rotted, or torn.
+
+    Distinct from the broader :class:`PersistenceError` because
+    corruption of one snapshot *file* is recoverable —
+    :meth:`~repro.ci.persistence.SnapshotStore.load_latest` quarantines
+    the corrupt generation and falls back to an older one, extending
+    journal replay accordingly — whereas a format-version mismatch or a
+    journal/snapshot disagreement is not.
     """
 
 

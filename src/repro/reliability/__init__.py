@@ -1,0 +1,60 @@
+"""Fault tolerance for the CI service: supervision, recovery, chaos.
+
+The paper's guarantees are statistical; this package is about the
+*systems* failures a production ease.ml/ci must survive without ever
+silently weakening the (epsilon, delta) contract:
+
+* :mod:`repro.reliability.events` — the process-wide reliability event
+  log.  Degraded-mode transitions (parallel planning falling back to the
+  serial backend, a restore skipping a corrupt snapshot, a notification
+  dead-lettered) are recorded here and surfaced through
+  :meth:`repro.ci.service.CIService.operations` / ``repro ops``.
+* :mod:`repro.reliability.faults` — the deterministic fault-injection
+  harness: a seeded registry of injection points (kill a worker, hang a
+  worker, fail an fsync, tear a write at byte *k*, drop a notification)
+  wired into the planning executor, the persistence layer and the
+  notification transport.  Every chaos test is reproducible from its
+  rule list and seed.
+* :mod:`repro.reliability.fsck` — the read-only state-directory doctor
+  behind ``repro ops --fsck``: classifies snapshots, scans the journal
+  without repairing it, and reports quarantined files and replay depth.
+
+The recovery invariant threading through all three: a retried task, a
+serially-recomputed shard, or a restore from an older snapshot with a
+longer journal replay produces results *bit-identical* to the
+undisturbed run — fault tolerance rides on the same determinism
+contracts (manifest merge, batch-composition invariance, replay parity)
+that PR 4/5 already enforce.
+"""
+
+from repro.reliability.events import (
+    ReliabilityEvent,
+    clear_events,
+    record_event,
+    reliability_events,
+)
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    fault_point,
+    get_injector,
+    injected_faults,
+    install_injector,
+    uninstall_injector,
+)
+
+__all__ = [
+    "ReliabilityEvent",
+    "record_event",
+    "reliability_events",
+    "clear_events",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedFault",
+    "fault_point",
+    "install_injector",
+    "uninstall_injector",
+    "get_injector",
+    "injected_faults",
+]

@@ -1,0 +1,78 @@
+"""The process-wide reliability event log.
+
+Every degraded-mode transition the reliability layer performs is
+recorded here so operators can see *that* the system healed itself, not
+just that results kept flowing: a planning pool respawned after a worker
+crash, the executor fell back to the serial backend, a restore skipped a
+corrupt snapshot and replayed a longer journal tail, a notification was
+retried or dead-lettered.  The log is runtime operational state — like
+cache statistics it is per-process, never snapshotted, and starts empty
+after a restore (the restore's own fallback events are the first
+entries the new process records).
+
+:meth:`repro.ci.service.CIService.operations` folds the log into its
+report and ``repro ops`` renders it; tests assert on it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ReliabilityEvent",
+    "record_event",
+    "reliability_events",
+    "clear_events",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityEvent:
+    """One recovery or degradation action taken by the reliability layer.
+
+    Attributes
+    ----------
+    kind:
+        What happened — e.g. ``"pool-respawn"``, ``"planning-degraded"``,
+        ``"snapshot-quarantined"``, ``"snapshot-fallback"``,
+        ``"journal-torn-tail"``, ``"notification-retry"``,
+        ``"notification-dead-letter"``.
+    site:
+        Where — the subsystem or injection-point name that observed the
+        failure (``"stats.parallel"``, ``"ci.persistence"``, ...).
+    detail:
+        JSON-compatible context (paths, attempt counts, error strings).
+    """
+
+    kind: str
+    site: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+_EVENTS: list[ReliabilityEvent] = []
+_LOCK = threading.Lock()
+
+
+def record_event(kind: str, site: str, **detail: Any) -> ReliabilityEvent:
+    """Append one event to the process-wide log and return it."""
+    event = ReliabilityEvent(kind=kind, site=site, detail=dict(detail))
+    with _LOCK:
+        _EVENTS.append(event)
+    return event
+
+
+def reliability_events(kind: str | None = None) -> list[ReliabilityEvent]:
+    """All recorded events in order, optionally filtered by ``kind``."""
+    with _LOCK:
+        events = list(_EVENTS)
+    if kind is None:
+        return events
+    return [event for event in events if event.kind == kind]
+
+
+def clear_events() -> None:
+    """Empty the log (test isolation)."""
+    with _LOCK:
+        _EVENTS.clear()

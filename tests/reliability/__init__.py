@@ -1,0 +1,1 @@
+"""Chaos suite: fault injection, supervision, corruption-tolerant restore."""

@@ -1,0 +1,200 @@
+"""Flaky transports: retry, dead-letter, and the service guarantee.
+
+A webhook or mail endpoint that raises must never blow up ``submit`` /
+``process_batch`` or silently lose a build's notification: the service
+wraps every transport in a :class:`RetryingTransport`, and messages that
+exhaust their retries become :class:`DeadLetter` records on the
+repository's *durable* log — they survive snapshots and restores so an
+operator can re-send them.
+"""
+
+import pytest
+
+from repro.ci.notifications import (
+    DeadLetter,
+    FlakyTransport,
+    InMemoryEmailTransport,
+    RetryingTransport,
+)
+from repro.ci.repository import ModelRepository
+from repro.ci.service import CIService
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+from repro.reliability.events import reliability_events
+from repro.reliability.faults import FaultRule, injected_faults
+
+NO_SLEEP = dict(backoff=0.0, sleep=lambda _: None)
+
+
+class TestRetryingTransport:
+    def test_transient_failure_is_retried_to_success(self):
+        flaky = FlakyTransport(failures=2)
+        transport = RetryingTransport(flaky, retries=2, **NO_SLEEP)
+        transport.send("dev", "s", "b")
+        assert flaky.attempts == 3
+        assert [m.subject for m in flaky.messages] == ["s"]
+        assert transport.dead_letters == []
+        assert len(reliability_events("notification-retry")) == 2
+
+    def test_exhausted_retries_dead_letter_instead_of_raising(self):
+        flaky = FlakyTransport(failures=10)
+        seen = []
+        transport = RetryingTransport(
+            flaky, retries=1, on_dead_letter=seen.append, **NO_SLEEP
+        )
+        transport.send("dev", "s", "b")  # must not raise
+        (letter,) = transport.dead_letters
+        assert seen == [letter]
+        assert letter == DeadLetter(
+            recipient="dev",
+            subject="s",
+            body="b",
+            error=letter.error,
+            attempts=2,
+        )
+        assert "ConnectionError" in letter.error
+        assert reliability_events("notification-dead-letter")
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        sleeps = []
+        transport = RetryingTransport(
+            FlakyTransport(failures=10),
+            retries=4,
+            backoff=0.1,
+            max_backoff=0.3,
+            sleep=sleeps.append,
+        )
+        transport.send("dev", "s", "b")
+        assert sleeps == [0.1, 0.2, 0.3, 0.3]
+
+    def test_drop_rule_loses_the_message_without_retrying(self):
+        inner = InMemoryEmailTransport()
+        transport = RetryingTransport(inner, retries=2, **NO_SLEEP)
+        with injected_faults(
+            [FaultRule(site="notification.send", action="drop", at=1)]
+        ):
+            transport.send("dev", "s", "b")
+        assert inner.messages == []
+        assert transport.dead_letters == []
+        assert reliability_events("notification-dropped")
+
+    def test_injected_raise_exercises_the_retry_path(self):
+        inner = InMemoryEmailTransport()
+        transport = RetryingTransport(inner, retries=2, **NO_SLEEP)
+        with injected_faults(
+            [FaultRule(site="notification.send", action="raise", at=1)]
+        ):
+            transport.send("dev", "s", "b")
+        assert [m.subject for m in inner.messages] == ["s"]
+
+
+class TestRepositoryDeadLetterLog:
+    def test_record_and_read(self):
+        repository = ModelRepository()
+        letter = DeadLetter("dev", "s", "b", "boom", 3)
+        repository.record_dead_letter(letter)
+        assert repository.dead_letters == [letter]
+
+    def test_log_survives_pickling(self):
+        import pickle
+
+        repository = ModelRepository()
+        repository.record_dead_letter(DeadLetter("dev", "s", "b", "boom", 3))
+        restored = pickle.loads(pickle.dumps(repository))
+        assert restored.dead_letters == repository.dead_letters
+
+    def test_old_state_defaults_to_empty_log(self):
+        repository = ModelRepository()
+        state = repository.__getstate__()
+        state.pop("_dead_letters")
+        reborn = ModelRepository.__new__(ModelRepository)
+        reborn.__setstate__(state)
+        assert reborn.dead_letters == []
+
+
+def make_world():
+    script = CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": "n - o > 0.02 +/- 0.1",
+            "reliability": 0.99,
+            "mode": "fp-free",
+            "adaptivity": "none -> third-party@example.com",
+            "steps": 4,
+        }
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.85, difference=0.1),
+        n_examples=2000,
+        seed=3,
+    )
+    testset = Testset(labels=pair.labels[:2000], name="gen-0")
+    model = FixedPredictionModel(pair.new_model.predictions[:2000], name="m0")
+    return script, testset, pair.old_model, model
+
+
+class TestServiceGuarantee:
+    def test_flaky_transport_cannot_raise_through_submit(self):
+        script, testset, baseline, model = make_world()
+        flaky = FlakyTransport(failures=10**6)  # never delivers
+        service = CIService(script, testset, baseline, transport=flaky)
+        service.delivery._sleep = lambda _: None
+        service.repository.commit(model)  # would raise without the wrapper
+        assert len(service.builds) == 1 and service.builds[0].ran
+        assert service.repository.dead_letters  # the signal was preserved
+        letter = service.repository.dead_letters[0]
+        assert letter.recipient == "third-party@example.com"
+
+    def test_retries_eventually_deliver(self):
+        script, testset, baseline, model = make_world()
+        flaky = FlakyTransport(failures=1)
+        service = CIService(script, testset, baseline, transport=flaky)
+        service.delivery._sleep = lambda _: None
+        service.repository.commit(model)
+        assert [m.recipient for m in flaky.messages] == ["third-party@example.com"]
+        assert service.repository.dead_letters == []
+
+    def test_dead_letters_survive_snapshot_and_restore(self, tmp_path):
+        script, testset, baseline, model = make_world()
+        flaky = FlakyTransport(failures=10**6)
+        service = CIService(script, testset, baseline, transport=flaky)
+        service.delivery._sleep = lambda _: None
+        service.persist_to(tmp_path / "state")
+        service.repository.commit(model)
+        service.snapshot()
+        restored = CIService.resume(tmp_path / "state")
+        assert restored.repository.dead_letters == service.repository.dead_letters
+
+    def test_dead_letters_surface_on_the_operations_report(self):
+        script, testset, baseline, model = make_world()
+        flaky = FlakyTransport(failures=10**6)
+        service = CIService(script, testset, baseline, transport=flaky)
+        service.delivery._sleep = lambda _: None
+        service.repository.commit(model)
+        report = service.operations()
+        assert report.dead_letters == len(service.repository.dead_letters) > 0
+        assert "dead letter(s)" in report.describe()
+
+    def test_already_retrying_transport_is_not_double_wrapped(self):
+        script, testset, baseline, _ = make_world()
+        transport = RetryingTransport(InMemoryEmailTransport(), **NO_SLEEP)
+        service = CIService(script, testset, baseline, transport=transport)
+        assert service.delivery is transport
+        # ...but its dead letters are still routed to the repository.
+        assert transport.on_dead_letter == service._record_dead_letter
+
+    def test_restored_service_rewraps_the_new_transport(self, tmp_path):
+        script, testset, baseline, model = make_world()
+        service = CIService(
+            script, testset, baseline, transport=InMemoryEmailTransport()
+        )
+        service.persist_to(tmp_path / "state")
+        service.repository.commit(model)
+        flaky = FlakyTransport(failures=10**6)
+        restored = CIService.resume(tmp_path / "state", transport=flaky)
+        restored.delivery._sleep = lambda _: None
+        assert isinstance(restored.delivery, RetryingTransport)
+        restored.repository.commit(model)
+        assert restored.repository.dead_letters

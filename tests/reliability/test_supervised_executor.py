@@ -1,0 +1,198 @@
+"""Supervision ladder: retry, respawn, degrade — results never change.
+
+The executor contract under chaos mirrors the worker-count-invariance
+contract of the parallel-planning suite: kill a worker mid-shard, hang
+it, or make its task raise, and the caller still receives exactly the
+serial answer — the only observable differences are the supervision
+events (``task-retry``, ``pool-respawn``, ``planning-degraded``) and the
+:attr:`PlanningExecutor.degraded` flag.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability.events import reliability_events
+from repro.reliability.faults import FaultRule, injected_faults
+from repro.stats.cache import clear_all_caches
+from repro.stats.parallel import (
+    TASK_TIMEOUT_ENV,
+    PlanningExecutor,
+    get_executor,
+    shutdown_executors,
+)
+from repro.stats.tight_bounds import tight_sample_size
+
+SIZES = np.unique(np.linspace(300, 1600, 8).astype(int))
+DELTA, TOL = 1e-2, 1e-5
+SPECS = [(0.05, 1e-3), (0.04, 1e-3), (0.06, 1e-2), (0.05, 1e-2)]
+
+# Fast supervisor settings: no real backoff sleeps, short retry ladder.
+FAST = dict(max_retries=1, backoff=0.0, sleep=lambda _: None)
+
+
+def serial_epsilons():
+    clear_all_caches()
+    with PlanningExecutor(workers=1) as executor:
+        return executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+
+
+def serial_sample_sizes():
+    clear_all_caches()
+    return [tight_sample_size(e, d) for e, d in SPECS]
+
+
+class TestRetryRecovers:
+    def test_single_raise_is_retried_and_result_is_serial(self, tmp_path):
+        # counter_dir makes the schedule global: the raise fires exactly
+        # once across every worker, so the second dispatch round succeeds.
+        expected = serial_epsilons()
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="raise", at=1)]
+        with injected_faults(rules, counter_dir=tmp_path / "counters"):
+            with PlanningExecutor(workers=2, **FAST) as executor:
+                got = executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+                assert not executor.degraded
+                assert executor.respawns == 1
+                kinds = [event.kind for event in executor.events]
+        np.testing.assert_array_equal(got, expected)
+        assert "task-retry" in kinds and "planning-degraded" not in kinds
+
+    def test_completed_shards_are_not_recomputed(self, tmp_path):
+        # Only the failed round's pending shards are re-dispatched; the
+        # retry event records how many remained.
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="raise", at=1)]
+        with injected_faults(rules, counter_dir=tmp_path / "counters"):
+            with PlanningExecutor(workers=2, **FAST) as executor:
+                executor.tight_sample_size_many(SPECS)
+                retry = next(
+                    event
+                    for event in executor.events
+                    if event.kind == "task-retry"
+                )
+        assert 1 <= retry.detail["remaining_tasks"] <= len(SPECS)
+
+
+class TestDegradation:
+    def test_repeated_worker_kills_degrade_to_serial(self):
+        # Per-process counters: every fresh worker's first task dies, so
+        # each dispatch round breaks the pool until the supervisor gives
+        # up and computes the remaining shards in-process.  The parent is
+        # not a worker, so the degraded re-traversal cannot be killed.
+        expected = serial_epsilons()
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="kill", at=1, times=None)]
+        with injected_faults(rules):
+            with PlanningExecutor(workers=2, **FAST) as executor:
+                got = executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+                assert executor.degraded
+                assert executor.respawns == 2  # initial round + one retry
+                kinds = [event.kind for event in executor.events]
+        np.testing.assert_array_equal(got, expected)
+        assert kinds.count("pool-respawn") == 2
+        assert kinds.count("planning-degraded") == 1
+
+    def test_degraded_executor_stays_serial(self):
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="kill", at=1, times=None)]
+        with injected_faults(rules):
+            with PlanningExecutor(workers=2, **FAST) as executor:
+                executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+                assert executor.degraded
+        # After the schedule is gone the executor still refuses to spawn.
+        assert executor._pool is None
+        got = executor.tight_sample_size_many(SPECS)
+        assert executor._pool is None
+        assert got == serial_sample_sizes()
+
+    def test_hung_worker_times_out_and_results_survive(self):
+        expected = serial_sample_sizes()
+        clear_all_caches()
+        rules = [
+            FaultRule(
+                site="executor.task",
+                action="hang",
+                at=1,
+                times=None,
+                hang_seconds=10.0,
+            )
+        ]
+        with injected_faults(rules):
+            with PlanningExecutor(
+                workers=2, task_timeout=0.5, max_retries=0, backoff=0.0
+            ) as executor:
+                got = executor.tight_sample_size_many(SPECS)
+                assert executor.degraded  # one hung round spends the budget
+        assert got == expected
+
+    def test_events_reach_the_process_wide_log(self):
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="kill", at=1, times=None)]
+        with injected_faults(rules):
+            with PlanningExecutor(workers=2, **FAST) as executor:
+                executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+        assert reliability_events("planning-degraded")
+        assert reliability_events("pool-respawn")
+
+
+class TestNonRetryableErrors:
+    def test_real_task_errors_propagate_immediately(self):
+        with PlanningExecutor(workers=2, **FAST) as executor:
+            with pytest.raises(Exception) as excinfo:
+                executor._run_tasks(_explode, [1, 2])
+            assert "genuine bug" in str(excinfo.value)
+            assert not executor.degraded
+            assert executor.respawns == 0
+
+
+def _explode(_payload):
+    raise ValueError("genuine bug in the task, not an infrastructure failure")
+
+
+class TestShutdownSafety:
+    def test_close_is_idempotent(self):
+        executor = PlanningExecutor(workers=2).start()
+        assert executor._pool is not None
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_close_after_broken_pool_does_not_hang(self):
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="kill", at=1, times=None)]
+        with injected_faults(rules):
+            executor = PlanningExecutor(workers=2, max_retries=0, backoff=0.0)
+            executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+        executor.close()
+        executor.close()
+
+    def test_shutdown_executors_reaps_degraded_shared_pools(self):
+        clear_all_caches()
+        rules = [FaultRule(site="executor.task", action="kill", at=1, times=None)]
+        with injected_faults(rules):
+            executor = get_executor(2)
+            executor.max_retries, executor.backoff = 0, 0.0
+            executor._sleep = lambda _: None
+            executor.tight_epsilon_many(SIZES, DELTA, tol=TOL)
+            assert executor.degraded
+        shutdown_executors()
+        fresh = get_executor(2)
+        assert fresh is not executor and not fresh.degraded
+
+
+class TestTaskTimeoutConfig:
+    def test_env_supplies_the_default(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "2.5")
+        assert PlanningExecutor(workers=1).task_timeout == 2.5
+        monkeypatch.delenv(TASK_TIMEOUT_ENV)
+        assert PlanningExecutor(workers=1).task_timeout is None
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TASK_TIMEOUT_ENV, "2.5")
+        assert PlanningExecutor(workers=1, task_timeout=9.0).task_timeout == 9.0
+
+    def test_non_positive_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="task_timeout"):
+            PlanningExecutor(workers=1, task_timeout=0)

@@ -15,13 +15,15 @@
 #                           width (default 4)
 #   make bench-throughput - batched commit-evaluation + epsilon planning
 #                           benchmark (writes BENCH_commit_throughput.json)
+#   make bench-fleet      - multi-tenant fleet parity + overload gate
+#                           (writes BENCH_fleet.json)
 #   make bench            - full pytest-benchmark suite over the paper
 #                           artifacts, plus the perf benchmarks above
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast ci bench-smoke test-faults docs bench bench-perf bench-throughput
+.PHONY: verify verify-fast ci bench-smoke test-faults docs bench bench-perf bench-throughput bench-fleet
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +38,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_perf_kernels.py --quick
 	$(PYTHON) benchmarks/bench_commit_throughput.py --quick
 	$(PYTHON) benchmarks/bench_fault_recovery.py --quick
+	$(PYTHON) benchmarks/bench_fleet.py --quick
 	$(PYTHON) benchmarks/check_bench_schema.py
 
 test-faults:
@@ -49,6 +52,9 @@ bench-perf:
 
 bench-throughput:
 	$(PYTHON) benchmarks/bench_commit_throughput.py
+
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet.py
 
 bench: bench-perf bench-throughput
 	$(PYTHON) -m pytest -q benchmarks -s

@@ -1,0 +1,273 @@
+"""Fleet benchmark: the multi-tenant parity gate plus overload accounting.
+
+Two legs, both gated on correctness in addition to being timed:
+
+1. **Parity under churn** — 100+ simulated tenants (``--quick``: 12)
+   split across all three adaptivity modes, their traffic interleaved
+   through one :class:`~repro.fleet.CIFleet` whose LRU is far smaller
+   than the tenant count, so every round of submissions evicts and
+   rehydrates engines.  The gate: every tenant's build fingerprint is
+   element-wise identical to an isolated ``CIService`` run of the same
+   world.  The artifact records the hydration/eviction churn and the
+   gateway's overhead against the N-isolated-services baseline.
+
+2. **Overload shedding** — a hot-tenant burst exceeding both admission
+   bounds.  The gate: every submission is either durably accepted (and
+   eventually processed) or rejected with a typed admission error —
+   accepted + rejected == attempted, none silently dropped.
+
+Run directly or via ``make bench-fleet`` / ``make bench-smoke``:
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ci.repository import ModelRepository
+from repro.ci.service import CIService
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetPool
+from repro.exceptions import AdmissionError
+from repro.fleet import AdmissionPolicy, CIFleet
+from repro.ml.models.base import FixedPredictionModel
+from repro.ml.models.simulated import (
+    ModelPairSpec,
+    evolve_predictions,
+    simulate_model_pair,
+)
+from repro.stats.cache import clear_all_caches
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CONDITION = "d < 0.25 +/- 0.1 /\\ n - o > 0.05 +/- 0.1"
+ADAPTIVITY_MODES = ["full", "none -> third-party@example.com", "firstChange"]
+
+
+def make_script(adaptivity):
+    return CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": CONDITION,
+            "reliability": 0.999,
+            "mode": "fp-free",
+            "adaptivity": adaptivity,
+            "steps": 4,
+        }
+    )
+
+
+def make_world(script, commits, seed):
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.80, difference=0.0),
+        n_examples=plan.pool_size,
+        seed=seed,
+    )
+    labels = pair.labels
+    models, current = [], pair.old_model.predictions
+    for index in range(commits):
+        target = 0.88 if index % 3 == 1 else 0.81
+        predictions = evolve_predictions(
+            current,
+            labels,
+            target_accuracy=target,
+            difference=0.12,
+            seed=1000 * seed + index,
+        )
+        models.append(FixedPredictionModel(predictions, name=f"m{index}"))
+        if index % 3 == 1:
+            current = predictions
+    rng = np.random.default_rng(seed + 1)
+    pool = [
+        Testset(labels=rng.integers(0, 2, size=plan.pool_size), name=f"gen-{g}")
+        for g in range(1, 3)
+    ]
+    return Testset(labels=labels, name="gen-0"), pool, pair.old_model, models
+
+
+def fingerprint(service):
+    return [
+        (
+            build.build_number,
+            build.commit.commit_id,
+            build.commit.status.value,
+            build.generation,
+            build.result.promoted if build.result else None,
+            build.result.testset_uses if build.result else None,
+        )
+        for build in service.builds
+    ]
+
+
+def bench_parity(quick: bool) -> dict:
+    tenants = 12 if quick else 102
+    commits = 2 if quick else 3
+    max_resident = 3 if quick else 8
+    scripts = {mode: make_script(mode) for mode in ADAPTIVITY_MODES}
+    worlds = {}
+    for index in range(tenants):
+        mode = ADAPTIVITY_MODES[index % len(ADAPTIVITY_MODES)]
+        worlds[f"t-{index:03d}"] = (
+            mode,
+            make_world(scripts[mode], commits, seed=index),
+        )
+
+    clear_all_caches()
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet = CIFleet(
+            Path(tmp) / "fleet", max_resident=max_resident, sync=False
+        )
+        start = time.perf_counter()
+        for tenant_id, (mode, world) in worlds.items():
+            testset, pool, baseline, _ = world
+            fleet.register(
+                tenant_id,
+                scripts[mode],
+                testset,
+                baseline,
+                repository=ModelRepository(nonce=f"bench-{tenant_id}"),
+                pool=TestsetPool(pool),
+            )
+        # Mixed traffic: round-robin interleaving, so every consecutive
+        # pair of submissions hits a different tenant and the LRU churns.
+        for index in range(commits):
+            for tenant_id, (_, world) in worlds.items():
+                fleet.submit(tenant_id, world[3][index], message=f"c{index}")
+        fleet_seconds = time.perf_counter() - start
+        hydrations, evictions = fleet.hydrations, fleet.evictions
+        assert evictions > 0, "LRU never churned; max_resident too generous"
+
+        fleet_prints = {
+            tenant_id: fingerprint(fleet.service(tenant_id))
+            for tenant_id in worlds
+        }
+
+    clear_all_caches()
+    start = time.perf_counter()
+    identical = True
+    for tenant_id, (mode, world) in worlds.items():
+        testset, pool, baseline, models = world
+        service = CIService(
+            scripts[mode],
+            testset,
+            baseline,
+            repository=ModelRepository(nonce=f"bench-{tenant_id}"),
+        )
+        service.install_testset_pool(TestsetPool(pool))
+        for index, model in enumerate(models):
+            service.repository.commit(model, message=f"c{index}")
+        identical = identical and fingerprint(service) == fleet_prints[tenant_id]
+    isolated_seconds = time.perf_counter() - start
+    assert identical, "fleet diverged from isolated per-tenant services"
+
+    return {
+        "tenants": tenants,
+        "modes": len(ADAPTIVITY_MODES),
+        "commits_per_tenant": commits,
+        "max_resident": max_resident,
+        "hydrations": hydrations,
+        "evictions": evictions,
+        "fleet_seconds": fleet_seconds,
+        "isolated_seconds": isolated_seconds,
+        "results_identical": identical,
+    }
+
+
+def bench_overload(quick: bool) -> dict:
+    burst = 24 if quick else 96
+    script = make_script("full")
+    testset, pool, baseline, models = make_world(script, 2, seed=7)
+
+    clear_all_caches()
+    with tempfile.TemporaryDirectory() as tmp:
+        fleet = CIFleet(
+            Path(tmp) / "fleet",
+            sync=False,
+            admission=AdmissionPolicy(
+                max_pending_per_tenant=8, max_pending_total=16
+            ),
+        )
+        fleet.register(
+            "hot",
+            script,
+            testset,
+            baseline,
+            repository=ModelRepository(nonce="bench-hot"),
+            pool=TestsetPool(pool),
+        )
+        accepted = rejected = 0
+        start = time.perf_counter()
+        for index in range(burst):
+            try:
+                fleet.enqueue("hot", models[index % 2], message=f"b{index}")
+                accepted += 1
+            except AdmissionError:
+                rejected += 1
+        burst_seconds = time.perf_counter() - start
+        processed = len(fleet.drain("hot").builds["hot"])
+
+    none_dropped = accepted + rejected == burst and processed == accepted
+    assert rejected > 0, "the burst never exceeded the admission bounds"
+    assert none_dropped, "a submission was silently dropped"
+
+    return {
+        "attempted": burst,
+        "accepted": accepted,
+        "rejected": rejected,
+        "processed": processed,
+        "burst_seconds": burst_seconds,
+        "none_dropped": none_dropped,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke mode: smaller fleet"
+    )
+    args = parser.parse_args()
+
+    payload = {
+        "quick": args.quick,
+        "parity": bench_parity(args.quick),
+        "overload": bench_overload(args.quick),
+    }
+    artifact = REPO_ROOT / "BENCH_fleet.json"
+    artifact.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    parity = payload["parity"]
+    overload = payload["overload"]
+    print(
+        f"parity: {parity['tenants']} tenants x {parity['commits_per_tenant']} "
+        f"commits across {parity['modes']} modes, LRU cap {parity['max_resident']} "
+        f"({parity['hydrations']} hydration(s), {parity['evictions']} eviction(s)): "
+        f"fleet {parity['fleet_seconds']:.3f}s vs isolated "
+        f"{parity['isolated_seconds']:.3f}s, identical={parity['results_identical']}"
+    )
+    print(
+        f"overload: {overload['attempted']} attempted -> {overload['accepted']} "
+        f"accepted, {overload['rejected']} rejected, {overload['processed']} "
+        f"processed in {overload['burst_seconds']:.3f}s, "
+        f"none_dropped={overload['none_dropped']}"
+    )
+    print(f"wrote {artifact.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

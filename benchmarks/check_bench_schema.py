@@ -97,6 +97,24 @@ SCHEMAS = {
         "worker_kill.degraded": bool,
         "worker_kill.results_identical": bool,
     },
+    "BENCH_fleet.json": {
+        "quick": bool,
+        "parity.tenants": int,
+        "parity.modes": int,
+        "parity.commits_per_tenant": int,
+        "parity.max_resident": int,
+        "parity.hydrations": int,
+        "parity.evictions": int,
+        "parity.fleet_seconds": NUMBER,
+        "parity.isolated_seconds": NUMBER,
+        "parity.results_identical": bool,
+        "overload.attempted": int,
+        "overload.accepted": int,
+        "overload.rejected": int,
+        "overload.processed": int,
+        "overload.burst_seconds": NUMBER,
+        "overload.none_dropped": bool,
+    },
 }
 
 

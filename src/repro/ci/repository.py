@@ -91,6 +91,23 @@ class ModelRepository:
         """Undeliverable notifications recorded by the service, in order."""
         return list(self._dead_letters)
 
+    def drain_dead_letters(self) -> list[Any]:
+        """Atomically return-and-clear the dead-letter log.
+
+        The acknowledgement primitive redelivery tooling needs: reading
+        :attr:`dead_letters` alone would hand the operator the same
+        letters on every poll, so a redelivery loop could never tell
+        "already re-sent" from "still stuck".  Draining transfers
+        ownership — the returned letters are the caller's to re-send (or
+        re-record on failure via :meth:`record_dead_letter`), and the
+        repository's log is empty afterwards.  The drained state is
+        durable like the log itself: a snapshot taken after a drain
+        restores with an empty log, not with the acknowledged letters
+        resurrected.
+        """
+        drained, self._dead_letters = self._dead_letters, []
+        return drained
+
     # -- committing -----------------------------------------------------------
     def _mint(self, model: Any, message: str, author: str) -> Commit:
         """Build the next commit, chained to the current head."""

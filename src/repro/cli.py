@@ -124,6 +124,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(read-only — never repairs, truncates or journals)",
     )
 
+    fleet = sub.add_parser(
+        "fleet", help="operations report of a multi-tenant fleet root"
+    )
+    fleet.add_argument(
+        "root",
+        type=Path,
+        help="fleet root directory owned by CIFleet (contains tenants/)",
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the table",
+    )
+    fleet.add_argument(
+        "--fsck",
+        action="store_true",
+        help="integrity-sweep every tenant state directory and intake queue "
+        "instead of reporting operations (read-only — never repairs)",
+    )
+    fleet.add_argument(
+        "--tenant",
+        metavar="ID",
+        help="report one tenant's full CIService operations report instead "
+        "of the fleet summary",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="run all E1-E9 experiments, writing JSON artifacts"
     )
@@ -205,6 +231,27 @@ def _run_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import CIFleet
+    from repro.utils.serialization import dumps
+
+    fleet = CIFleet(args.root, create=False)
+    if args.fsck:
+        report = fleet.fsck()
+        print(dumps(report) if args.json else report.describe())
+        return 0 if report.healthy else 2
+    if not (args.root / "tenants").is_dir():
+        print(f"error: no fleet root at {args.root}", file=sys.stderr)
+        return 2
+    if args.tenant:
+        # Full single-tenant report: restored read-only, never resident.
+        report = fleet.tenant_operations(args.tenant)
+    else:
+        report = fleet.operations()
+    print(dumps(report) if args.json else report.describe())
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
@@ -249,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _run_validate,
         "figure2": _run_figure2,
         "ops": _run_ops,
+        "fleet": _run_fleet,
         "experiments": _run_experiments,
     }
     try:

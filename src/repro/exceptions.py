@@ -12,6 +12,8 @@ The hierarchy mirrors the system layers described in ``DESIGN.md``:
 * CI runtime errors (:class:`TestsetExhaustedError`,
   :class:`TestsetSizeError`, :class:`EngineStateError`);
 * durable-state errors (:class:`PersistenceError`);
+* fleet admission errors (:class:`AdmissionError` and its typed
+  rejections — load shed at the gateway door, never mid-pipeline);
 * labeling errors (:class:`LabelBudgetExceededError`).
 """
 
@@ -31,6 +33,11 @@ __all__ = [
     "EngineStateError",
     "PersistenceError",
     "SnapshotCorruptError",
+    "AdmissionError",
+    "FleetOverloadedError",
+    "TenantQuotaExceededError",
+    "TenantQuarantinedError",
+    "UnknownTenantError",
     "LabelBudgetExceededError",
     "SimulationError",
 ]
@@ -146,6 +153,69 @@ class SnapshotCorruptError(PersistenceError):
     journal replay accordingly — whereas a format-version mismatch or a
     journal/snapshot disagreement is not.
     """
+
+
+class AdmissionError(ReproError):
+    """A fleet gateway refused a submission *at the door*.
+
+    Admission control sheds load before anything is enqueued or
+    evaluated: a rejected submission spends no statistical budget, writes
+    no durable state, and can safely be retried.  Every rejection carries
+    a ``retry_after_seconds`` hint for the caller's backoff.
+
+    Subclasses distinguish the three rejection reasons — fleet-wide
+    overload, a per-tenant quota, and a quarantined (circuit-broken)
+    tenant — so webhook front-ends can map them to distinct HTTP-style
+    responses.
+    """
+
+    def __init__(self, message: str, *, retry_after_seconds: float = 1.0):
+        self.retry_after_seconds = float(retry_after_seconds)
+        super().__init__(message)
+
+
+class FleetOverloadedError(AdmissionError):
+    """The fleet's total intake backlog is at capacity.
+
+    Raised by :meth:`repro.fleet.CIFleet.enqueue` when the sum of
+    pending submissions across *all* tenants has reached the admission
+    policy's ``max_pending_total`` — global backpressure, independent of
+    which tenant is asking.
+    """
+
+
+class TenantQuotaExceededError(AdmissionError):
+    """One tenant's intake backlog is at its per-tenant quota.
+
+    A hot tenant is throttled individually (``max_pending_per_tenant``)
+    before it can consume the fleet-wide budget and starve its
+    neighbors.
+    """
+
+    def __init__(
+        self, message: str, *, tenant: str, retry_after_seconds: float = 1.0
+    ):
+        self.tenant = tenant
+        super().__init__(message, retry_after_seconds=retry_after_seconds)
+
+
+class TenantQuarantinedError(AdmissionError):
+    """The tenant's circuit breaker is open: it failed repeatedly.
+
+    Submissions are rejected at the door until the breaker's cooldown
+    elapses and a half-open probe succeeds; ``retry_after_seconds`` is
+    the remaining cooldown.  The rest of the fleet keeps serving.
+    """
+
+    def __init__(
+        self, message: str, *, tenant: str, retry_after_seconds: float = 1.0
+    ):
+        self.tenant = tenant
+        super().__init__(message, retry_after_seconds=retry_after_seconds)
+
+
+class UnknownTenantError(ReproError):
+    """The fleet has no tenant registered under the requested id."""
 
 
 class LabelBudgetExceededError(ReproError):

@@ -1,0 +1,110 @@
+"""Admission control: shed load at the door, never mid-pipeline.
+
+The gateway's first decision about a webhook submission is whether to
+accept it at all.  Everything after acceptance is covered by the
+durable-intake guarantee (an accepted submission is never lost), so the
+*only* place load may be shed is here, before anything is written:
+
+* the fleet-wide backlog cap (``max_pending_total``) bounds memory and
+  replay work across all tenants — exceeding it raises
+  :class:`~repro.exceptions.FleetOverloadedError`;
+* the per-tenant quota (``max_pending_per_tenant``) stops one hot tenant
+  from consuming the shared budget —
+  :class:`~repro.exceptions.TenantQuotaExceededError`;
+* an open circuit breaker rejects a quarantined tenant's traffic —
+  :class:`~repro.exceptions.TenantQuarantinedError` (raised by the
+  gateway, which owns the breakers).
+
+Every rejection is typed, carries a retry-after hint, and is recorded on
+the reliability event log; none of them spends statistical budget or
+writes durable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    FleetOverloadedError,
+    TenantQuotaExceededError,
+)
+from repro.reliability.events import record_event
+
+__all__ = ["AdmissionPolicy"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds the gateway enforces before accepting a submission.
+
+    Attributes
+    ----------
+    max_pending_per_tenant:
+        Maximum unprocessed submissions one tenant's intake queue may
+        hold (its quota).
+    max_pending_total:
+        Maximum unprocessed submissions across *all* tenants — the
+        fleet's global backpressure bound.
+    retry_after_seconds:
+        The backoff hint attached to overload/quota rejections (breaker
+        rejections hint the breaker's own remaining cooldown instead).
+    """
+
+    max_pending_per_tenant: int = 64
+    max_pending_total: int = 1024
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.max_pending_per_tenant < 1:
+            raise ValueError(
+                "max_pending_per_tenant must be >= 1, got "
+                f"{self.max_pending_per_tenant}"
+            )
+        if self.max_pending_total < 1:
+            raise ValueError(
+                f"max_pending_total must be >= 1, got {self.max_pending_total}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ValueError(
+                "retry_after_seconds must be > 0, got "
+                f"{self.retry_after_seconds}"
+            )
+
+    def admit(
+        self, tenant: str, *, tenant_pending: int, total_pending: int
+    ) -> None:
+        """Raise the typed rejection when either bound is at capacity.
+
+        The fleet-wide bound is checked first: when the whole fleet is
+        saturated the answer is "overloaded" even for a tenant that is
+        individually under quota.
+        """
+        if total_pending >= self.max_pending_total:
+            record_event(
+                "admission-rejected",
+                "fleet.admission",
+                tenant=tenant,
+                reason="fleet-overloaded",
+                total_pending=total_pending,
+            )
+            raise FleetOverloadedError(
+                f"fleet intake is at capacity ({total_pending}/"
+                f"{self.max_pending_total} pending submissions); retry in "
+                f"{self.retry_after_seconds:g}s",
+                retry_after_seconds=self.retry_after_seconds,
+            )
+        if tenant_pending >= self.max_pending_per_tenant:
+            record_event(
+                "admission-rejected",
+                "fleet.admission",
+                tenant=tenant,
+                reason="tenant-quota",
+                tenant_pending=tenant_pending,
+            )
+            raise TenantQuotaExceededError(
+                f"tenant {tenant!r} is at its intake quota ({tenant_pending}/"
+                f"{self.max_pending_per_tenant} pending submissions); retry "
+                f"in {self.retry_after_seconds:g}s",
+                tenant=tenant,
+                retry_after_seconds=self.retry_after_seconds,
+            )

@@ -1,0 +1,165 @@
+"""Per-tenant circuit breakers: quarantine a failing tenant, not the fleet.
+
+A tenant whose engine fails repeatedly — a poisoned model pickle, a
+corrupted state dir that fails every hydration, an injected chaos rule —
+must not consume the fleet's capacity retrying forever.  The classic
+three-state breaker:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — ``failure_threshold`` consecutive failures trip the
+  breaker: submissions are rejected *at the door* (typed
+  :class:`~repro.exceptions.TenantQuarantinedError` with the remaining
+  cooldown as its retry-after hint) for ``cooldown_seconds``.
+* **half-open** — after the cooldown one probe submission is allowed
+  through.  Success closes the breaker (and the drain that carried the
+  probe processes the tenant's whole durable backlog); failure reopens
+  it for another full cooldown.
+
+Breaker state is runtime operational state, like the reliability event
+log: per-process, never snapshotted.  A restarted fleet starts every
+breaker closed — the first failures re-trip it, and nothing durable was
+lost in the meantime because rejected submissions were never enqueued
+and accepted ones survive in the intake queue.
+
+The clock is injectable so chaos tests drive open → half-open → closed
+transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Callable
+
+from repro.reliability.events import record_event
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(str, Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One tenant's failure accounting.
+
+    Parameters
+    ----------
+    name:
+        Tenant id, used in reliability events.
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_seconds:
+        How long the breaker stays open before allowing a half-open
+        probe.
+    clock:
+        Monotonic-seconds source (:func:`time.monotonic` by default);
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock or time.monotonic
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.times_opened = 0
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """The current state (open auto-advances to half-open on cooldown)."""
+        if self._opened_at is None:
+            return BreakerState.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown_seconds:
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success."""
+        return self._consecutive_failures
+
+    def retry_after(self) -> float:
+        """Seconds until a submission could be admitted (0 when it can now)."""
+        if self._opened_at is None:
+            return 0.0
+        return max(
+            0.0, self.cooldown_seconds - (self._clock() - self._opened_at)
+        )
+
+    def allows(self) -> bool:
+        """Whether a submission may pass the door right now.
+
+        Closed always allows.  Open never does.  Half-open allows one
+        probe at a time: the first caller gets through, further callers
+        are rejected until that probe's outcome is recorded.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        record_event(
+            "breaker-half-open", "fleet.breaker", tenant=self.name
+        )
+        return True
+
+    # -- outcomes ------------------------------------------------------------
+    def record_success(self) -> None:
+        """One successful pass through the tenant's pipeline."""
+        was_open = self._opened_at is not None
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probing = False
+        if was_open:
+            record_event("breaker-close", "fleet.breaker", tenant=self.name)
+
+    def record_failure(self, error: Exception | None = None) -> None:
+        """One failed pass; trips (or re-trips) the breaker at threshold."""
+        self._consecutive_failures += 1
+        self._probing = False
+        if self._opened_at is not None:
+            # A half-open probe failed: re-open for a full cooldown.
+            self._opened_at = self._clock()
+            record_event(
+                "breaker-reopen",
+                "fleet.breaker",
+                tenant=self.name,
+                consecutive_failures=self._consecutive_failures,
+                error=str(error) if error is not None else None,
+            )
+        elif self._consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self.times_opened += 1
+            record_event(
+                "breaker-open",
+                "fleet.breaker",
+                tenant=self.name,
+                consecutive_failures=self._consecutive_failures,
+                error=str(error) if error is not None else None,
+            )

@@ -1,0 +1,836 @@
+"""The fleet gateway: many repositories, one overload-safe front door.
+
+:class:`CIFleet` multiplexes N tenant repositories over shared
+infrastructure, the ROADMAP's "millions of users" shape.  Each tenant is
+a full :class:`~repro.ci.service.CIService` with its own state directory
+(PR 4 snapshot + journal) plus a durable intake queue; the gateway adds
+the three things a shared deployment needs that a single service does
+not:
+
+* **Bounded residency.**  Live engines are held in an LRU of at most
+  ``max_resident`` tenants.  Eviction snapshots the service and compacts
+  its intake queue, then drops it; the next submission hydrates it back
+  from disk (``CIService.restore`` — the PR 4 contract makes this
+  element-wise identical to never having been evicted).  A thousand
+  registered tenants cost the memory of ``max_resident`` engines.
+* **Admission control and durable intake.**  A submission is either
+  rejected *at the door* with a typed
+  :class:`~repro.exceptions.AdmissionError` (fleet overload, tenant
+  quota, quarantined tenant — each with a retry-after hint) or accepted
+  into the tenant's CRC'd, fsynced intake queue before anything
+  evaluates it.  Accepted work survives a crash at any point and replays
+  idempotently by repository sequence; there is no third outcome.
+* **Per-tenant isolation.**  A tenant whose engine fails repeatedly
+  trips its circuit breaker (open → half-open probe → close) and is
+  quarantined at the door while every other tenant keeps serving,
+  results unchanged.  Engine failures also never poison resident state:
+  the failing tenant's in-memory service is discarded and the next drain
+  re-hydrates it from its durable state, which the failure never
+  touched.
+
+Plans are shared across tenants for free: the process-wide plan cache
+(:mod:`repro.stats.cache`) is keyed on normalized condition + spec, so a
+fleet of tenants watching the same condition plans once.
+
+Fault-injection points (chaos suite): ``fleet.hydrate``,
+``fleet.evict``, ``fleet.process`` (plus the per-tenant
+``fleet.process.<tenant-id>`` variant) and the intake queue's
+``intake.append``.
+
+Single-writer assumption: one live :class:`CIFleet` per root directory,
+like one :class:`CIService` per state directory.  Read-only inspection
+(``repro fleet``, :func:`CIFleet.fsck`) is always safe.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.ci.notifications import NotificationTransport
+from repro.ci.persistence import open_state_dir
+from repro.ci.repository import ModelRepository
+from repro.ci.service import BuildRecord, CIService, OperationsReport
+from repro.core.script.config import CIScript
+from repro.core.testset import Testset, TestsetPool
+from repro.exceptions import (
+    PersistenceError,
+    TenantQuarantinedError,
+    UnknownTenantError,
+)
+from repro.fleet.admission import AdmissionPolicy
+from repro.fleet.breaker import BreakerState, CircuitBreaker
+from repro.fleet.intake import IntakeQueue, IntakeRecord, IntakeScan, scan_intake
+from repro.reliability.events import record_event
+from repro.reliability.faults import fault_point
+from repro.reliability.fsck import FsckReport, fsck_state_dir
+
+__all__ = [
+    "CIFleet",
+    "DrainReport",
+    "FleetReport",
+    "TenantStatus",
+    "TenantFsck",
+    "FleetFsckReport",
+]
+
+_TENANT_ID = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+
+@dataclass(frozen=True)
+class TenantStatus:
+    """One tenant's row in the fleet operations report.
+
+    ``builds_total``/``dead_letters`` are ``None`` for non-resident
+    tenants — the report never hydrates an engine just to count builds.
+    """
+
+    tenant_id: str
+    resident: bool
+    pending: int
+    breaker: str
+    retry_after_seconds: float
+    builds_total: int | None
+    dead_letters: int | None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Point-in-time operational view of the whole fleet.
+
+    JSON-compatible via :func:`repro.utils.serialization.to_jsonable`;
+    rendered for terminals by :meth:`describe` (what ``repro fleet``
+    prints).
+    """
+
+    root: str
+    tenants_registered: int
+    tenants_resident: int
+    max_resident: int
+    pending_total: int
+    accepted: int
+    processed: int
+    rejections: Mapping[str, int]
+    hydrations: int
+    evictions: int
+    breakers_open: int
+    breakers_half_open: int
+    tenant_status: tuple[TenantStatus, ...]
+
+    def describe(self) -> str:
+        """A terminal-friendly rendering (what ``repro fleet`` prints)."""
+        rejected = sum(self.rejections.values())
+        lines = [
+            f"fleet report for root {self.root!r}:",
+            f"  tenants       : {self.tenants_registered} registered, "
+            f"{self.tenants_resident} resident (cap {self.max_resident})",
+            f"  intake        : {self.pending_total} pending, "
+            f"{self.accepted} accepted, {self.processed} processed "
+            "this process",
+            f"  admission     : {rejected} rejected "
+            f"({self.rejections.get('fleet-overloaded', 0)} overloaded, "
+            f"{self.rejections.get('tenant-quota', 0)} over quota, "
+            f"{self.rejections.get('tenant-quarantined', 0)} quarantined)",
+            f"  lifecycle     : {self.hydrations} hydration(s), "
+            f"{self.evictions} eviction(s)",
+            f"  breakers      : {self.breakers_open} open, "
+            f"{self.breakers_half_open} half-open "
+            f"of {self.tenants_registered}",
+        ]
+        for status in self.tenant_status:
+            if status.resident:
+                engine = f"resident ({status.builds_total} builds)"
+            else:
+                engine = "cold"
+            lines.append(
+                f"    {status.tenant_id:<20} pending {status.pending:<4} "
+                f"breaker {status.breaker:<9} {engine}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """Outcome of a fleet-wide drain.
+
+    Attributes
+    ----------
+    builds:
+        Per-tenant build records produced (or re-matched) this drain.
+    errors:
+        Tenants whose drain failed, with the error message; their
+        remaining intake entries stay durably pending.
+    skipped:
+        Tenants skipped because their breaker was open.
+    """
+
+    builds: Mapping[str, list[BuildRecord]]
+    errors: Mapping[str, str]
+    skipped: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TenantFsck:
+    """One tenant's entry in the fleet fsck sweep."""
+
+    tenant_id: str
+    state: FsckReport
+    intake: IntakeScan
+
+
+@dataclass(frozen=True)
+class FleetFsckReport:
+    """Read-only integrity sweep across every tenant state directory."""
+
+    root: Path
+    exists: bool
+    tenants: tuple[TenantFsck, ...]
+
+    @property
+    def healthy(self) -> bool:
+        """Every tenant restorable, no corrupt intake lines."""
+        return self.exists and all(
+            t.state.restorable and not t.intake.corrupt_lines
+            for t in self.tenants
+        )
+
+    def describe(self) -> str:
+        """A terminal-friendly rendering (``repro fleet --fsck``)."""
+        if not self.exists:
+            return f"fleet fsck: root {str(self.root)!r} does not exist"
+        lines = [
+            f"fleet fsck for root {str(self.root)!r}: "
+            f"{len(self.tenants)} tenant(s), "
+            f"{'HEALTHY' if self.healthy else 'DAMAGED'}"
+        ]
+        for tenant in self.tenants:
+            state = tenant.state
+            verdict = (
+                f"restore #{state.restore_sequence} + replay "
+                f"{state.replay_commits} commit(s)"
+                if state.restorable
+                else "UNRESTORABLE"
+            )
+            intake = (
+                f"intake {tenant.intake.pending} pending"
+                if tenant.intake.exists
+                else "no intake"
+            )
+            if tenant.intake.corrupt_lines:
+                intake += (
+                    f", {len(tenant.intake.corrupt_lines)} corrupt line(s)"
+                )
+            lines.append(f"  {tenant.tenant_id:<20} {verdict}; {intake}")
+        return "\n".join(lines)
+
+
+class CIFleet:
+    """A bounded-residency, overload-safe gateway over N tenant services.
+
+    Parameters
+    ----------
+    root:
+        Fleet root directory; tenant state lives in
+        ``<root>/tenants/<tenant-id>/`` (a PR 4 state dir plus
+        ``intake.jsonl``).  An existing root's tenants are discovered
+        from disk and hydrated lazily.
+    max_resident:
+        LRU capacity: how many tenant engines stay live at once.
+    admission:
+        The :class:`AdmissionPolicy` enforced at the door.
+    failure_threshold / cooldown_seconds:
+        Per-tenant circuit-breaker configuration.
+    snapshot_every:
+        Auto-snapshot cadence forwarded to every tenant service.
+    sync:
+        Fsync journals/intakes on every append (default).  Benchmarks
+        simulating thousands of tenants turn this off.
+    transport_factory:
+        Optional ``tenant_id -> NotificationTransport`` hook supplying
+        each tenant's notification transport at registration/hydration.
+    workers:
+        Planning-executor configuration for newly registered tenants.
+    clock:
+        Monotonic-seconds source for the breakers (injectable for
+        deterministic chaos tests).
+    create:
+        Create ``<root>/tenants/`` when missing (default).  Read-only
+        inspectors pass ``False``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_resident: int = 8,
+        admission: AdmissionPolicy | None = None,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        snapshot_every: int | None = None,
+        sync: bool = True,
+        transport_factory: Callable[[str], NotificationTransport | None]
+        | None = None,
+        workers: int | str | None = None,
+        clock: Callable[[], float] | None = None,
+        create: bool = True,
+    ):
+        if max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self.root = Path(root)
+        self.max_resident = int(max_resident)
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.snapshot_every = snapshot_every
+        self.sync = bool(sync)
+        self.transport_factory = transport_factory
+        self.workers = workers
+        self._clock = clock or time.monotonic
+        self._resident: OrderedDict[str, CIService] = OrderedDict()
+        self._intakes: dict[str, IntakeQueue] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.hydrations = 0
+        self.evictions = 0
+        self.accepted = 0
+        self.processed = 0
+        self.rejections: dict[str, int] = {
+            "fleet-overloaded": 0,
+            "tenant-quota": 0,
+            "tenant-quarantined": 0,
+        }
+        if create:
+            # Read-only inspectors (`repro fleet`) pass create=False so
+            # pointing the CLI at a path never creates directories there.
+            (self.root / "tenants").mkdir(parents=True, exist_ok=True)
+
+    # -- tenant directory layout --------------------------------------------
+    def tenant_dir(self, tenant_id: str) -> Path:
+        """The tenant's state directory (validating the id)."""
+        if not _TENANT_ID.fullmatch(tenant_id):
+            raise UnknownTenantError(
+                f"invalid tenant id {tenant_id!r}: expected 1-64 characters "
+                "from [A-Za-z0-9._-], starting alphanumeric"
+            )
+        return self.root / "tenants" / tenant_id
+
+    def tenants(self) -> list[str]:
+        """Registered tenant ids, discovered from disk, sorted."""
+        base = self.root / "tenants"
+        if not base.is_dir():
+            return []
+        return sorted(
+            child.name for child in base.iterdir() if child.is_dir()
+        )
+
+    def has_tenant(self, tenant_id: str) -> bool:
+        """Whether a tenant state directory exists under this root."""
+        return self.tenant_dir(tenant_id).is_dir()
+
+    def _require_tenant(self, tenant_id: str) -> Path:
+        directory = self.tenant_dir(tenant_id)
+        if not directory.is_dir():
+            raise UnknownTenantError(
+                f"no tenant {tenant_id!r} registered under {self.root}"
+            )
+        return directory
+
+    # -- per-tenant runtime objects -----------------------------------------
+    def _breaker(self, tenant_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                tenant_id,
+                failure_threshold=self.failure_threshold,
+                cooldown_seconds=self.cooldown_seconds,
+                clock=self._clock,
+            )
+            self._breakers[tenant_id] = breaker
+        return breaker
+
+    def _intake(self, tenant_id: str) -> IntakeQueue:
+        queue = self._intakes.get(tenant_id)
+        if queue is None:
+            directory = self._require_tenant(tenant_id)
+            queue = IntakeQueue(directory / "intake.jsonl", sync=self.sync)
+            self._intakes[tenant_id] = queue
+        return queue
+
+    def _transport(self, tenant_id: str) -> NotificationTransport | None:
+        if self.transport_factory is None:
+            return None
+        return self.transport_factory(tenant_id)
+
+    # -- registration --------------------------------------------------------
+    def register(
+        self,
+        tenant_id: str,
+        script: CIScript,
+        testset: Testset,
+        baseline_model: Any,
+        *,
+        pool: TestsetPool | None = None,
+        repository: ModelRepository | None = None,
+        **engine_kwargs: Any,
+    ) -> CIService:
+        """Create a tenant: state dir, first snapshot, empty intake queue.
+
+        The returned service is resident (and may evict the LRU tenant).
+        All subsequent writes to the tenant must flow through
+        :meth:`enqueue`/:meth:`submit` — the intake queue's sequence
+        accounting assumes it is the only write path.
+        """
+        directory = self.tenant_dir(tenant_id)
+        if directory.exists():
+            raise PersistenceError(
+                f"tenant {tenant_id!r} already exists under {self.root}"
+            )
+        service = CIService(
+            script,
+            testset,
+            baseline_model,
+            repository=repository
+            if repository is not None
+            else ModelRepository(name=tenant_id),
+            transport=self._transport(tenant_id),
+            workers=self.workers,
+            **engine_kwargs,
+        )
+        if pool is not None:
+            service.install_testset_pool(pool)
+        service.persist_to(
+            directory, snapshot_every=self.snapshot_every, sync=self.sync
+        )
+        self._intakes[tenant_id] = IntakeQueue.create(
+            directory / "intake.jsonl",
+            base_repo_sequence=len(service.repository),
+            sync=self.sync,
+        )
+        self._resident[tenant_id] = service
+        self._resident.move_to_end(tenant_id)
+        self._enforce_capacity()
+        return service
+
+    # -- residency (LRU + hydration) ----------------------------------------
+    @property
+    def resident_tenants(self) -> list[str]:
+        """Currently live tenants, least-recently-used first."""
+        return list(self._resident)
+
+    def service(self, tenant_id: str) -> CIService:
+        """The tenant's live service, hydrating from disk when evicted.
+
+        Fault-injection point: ``fleet.hydrate`` (``raise`` simulates a
+        failing cold resume; the failure counts against the tenant's
+        circuit breaker and the fleet keeps serving everyone else).
+        """
+        service = self._resident.get(tenant_id)
+        if service is not None:
+            self._resident.move_to_end(tenant_id)
+            return service
+        directory = self._require_tenant(tenant_id)
+        try:
+            fault_point("fleet.hydrate")
+            store, journal = open_state_dir(
+                directory, create=False, sync=self.sync
+            )
+            service = CIService.restore(
+                store,
+                journal,
+                transport=self._transport(tenant_id),
+                snapshot_every=self.snapshot_every,
+            )
+        except Exception as exc:
+            self._breaker(tenant_id).record_failure(exc)
+            record_event(
+                "tenant-hydrate-failed",
+                "fleet.gateway",
+                tenant=tenant_id,
+                error=str(exc),
+            )
+            raise
+        self.hydrations += 1
+        record_event("tenant-hydrated", "fleet.gateway", tenant=tenant_id)
+        self._resident[tenant_id] = service
+        self._resident.move_to_end(tenant_id)
+        self._enforce_capacity()
+        return service
+
+    def _try_evict(self, tenant_id: str) -> bool:
+        """Snapshot + compact + drop one resident tenant; False on failure.
+
+        The fault point fires *before* the snapshot, so an injected
+        eviction failure leaves the tenant resident and loses nothing —
+        eviction is maintenance, never allowed to become a failure mode.
+        """
+        service = self._resident[tenant_id]
+        try:
+            fault_point("fleet.evict")
+            service.snapshot()
+            self._intake(tenant_id).compact()
+        except Exception as exc:
+            record_event(
+                "evict-failed",
+                "fleet.gateway",
+                tenant=tenant_id,
+                error=str(exc),
+            )
+            return False
+        del self._resident[tenant_id]
+        self.evictions += 1
+        record_event("tenant-evicted", "fleet.gateway", tenant=tenant_id)
+        return True
+
+    def _enforce_capacity(self) -> None:
+        while len(self._resident) > self.max_resident:
+            # Candidates in LRU order, sparing the most-recently-used
+            # entry — that is the tenant currently being served.
+            for tenant_id in list(self._resident)[:-1]:
+                if self._try_evict(tenant_id):
+                    break
+            else:
+                # Every eviction failed (e.g. injected faults): serve
+                # over capacity rather than refuse traffic.
+                return
+
+    # -- the front door ------------------------------------------------------
+    def _total_pending(self) -> int:
+        return sum(
+            self._intake(tenant_id).pending_count
+            for tenant_id in self.tenants()
+        )
+
+    def enqueue(
+        self,
+        tenant_id: str,
+        model: Any,
+        *,
+        message: str = "",
+        author: str = "developer",
+    ) -> IntakeRecord:
+        """Admit and durably accept one submission (no evaluation yet).
+
+        Raises a typed :class:`~repro.exceptions.AdmissionError` when
+        the door is closed; on return the submission is fsynced into the
+        tenant's intake queue and will be processed by the next
+        :meth:`drain` (or :meth:`submit`), surviving any crash in
+        between.
+        """
+        self._require_tenant(tenant_id)
+        breaker = self._breaker(tenant_id)
+        if not breaker.allows():
+            self.rejections["tenant-quarantined"] += 1
+            record_event(
+                "admission-rejected",
+                "fleet.admission",
+                tenant=tenant_id,
+                reason="tenant-quarantined",
+            )
+            raise TenantQuarantinedError(
+                f"tenant {tenant_id!r} is quarantined (circuit breaker "
+                f"open after {breaker.consecutive_failures} consecutive "
+                f"failures); retry in {breaker.retry_after():.1f}s",
+                tenant=tenant_id,
+                retry_after_seconds=breaker.retry_after(),
+            )
+        queue = self._intake(tenant_id)
+        try:
+            self.admission.admit(
+                tenant_id,
+                tenant_pending=queue.pending_count,
+                total_pending=self._total_pending(),
+            )
+        except Exception:
+            kind = (
+                "tenant-quota"
+                if queue.pending_count >= self.admission.max_pending_per_tenant
+                else "fleet-overloaded"
+            )
+            self.rejections[kind] += 1
+            raise
+        try:
+            record = queue.append(model, message=message, author=author)
+        except Exception:
+            # A torn append leaves trailing garbage in the intake file;
+            # drop the handle so the next open heals it exactly like a
+            # restart would.  By the crash model the submission was not
+            # accepted.
+            self._intakes.pop(tenant_id, None)
+            raise
+        self.accepted += 1
+        return record
+
+    # -- processing ----------------------------------------------------------
+    def _ack(
+        self, tenant_id: str, queue: IntakeQueue, repo_sequence: int
+    ) -> None:
+        try:
+            queue.ack(repo_sequence)
+        except Exception as exc:
+            # A torn ack leaves trailing garbage; drop the handle so the
+            # next open heals it like a restart.  The processed build is
+            # safe in the tenant journal — the next drain re-acks the
+            # entry by sequence without re-running it.
+            self._intakes.pop(tenant_id, None)
+            record_event(
+                "intake-ack-failed",
+                "fleet.gateway",
+                tenant=tenant_id,
+                repo_sequence=repo_sequence,
+                error=str(exc),
+            )
+            raise
+
+    def _drain_tenant(self, tenant_id: str) -> list[BuildRecord]:
+        """Process every pending intake entry of one tenant, in order.
+
+        Idempotent by repository sequence: an entry whose sequence the
+        repository already contains (the crash landed between the
+        tenant-journal append and the intake ack) is re-acked without
+        re-running its build.  A processing failure counts against the
+        breaker, discards the (possibly poisoned) resident service —
+        durable state is untouched, the next drain re-hydrates — and
+        leaves the failed entry pending.
+        """
+        queue = self._intake(tenant_id)
+        if queue.pending_count == 0:
+            return []
+        breaker = self._breaker(tenant_id)
+        # Gate on fully-open only: a half-open drain IS the probe (and
+        # submit() already consumed the door-side probe in enqueue()).
+        if breaker.state is BreakerState.OPEN:
+            raise TenantQuarantinedError(
+                f"tenant {tenant_id!r} is quarantined; retry in "
+                f"{breaker.retry_after():.1f}s",
+                tenant=tenant_id,
+                retry_after_seconds=breaker.retry_after(),
+            )
+        service = self.service(tenant_id)  # breaker-accounted on failure
+        builds: list[BuildRecord] = []
+        by_sequence: dict[int, BuildRecord] | None = None
+        for entry in queue.pending():
+            repo_length = len(service.repository)
+            if entry.repo_sequence < repo_length:
+                # Already journaled (and therefore already replayed into
+                # this service) by the pre-crash process: heal the ack.
+                if by_sequence is None:
+                    by_sequence = {
+                        build.commit.sequence: build
+                        for build in service.builds
+                    }
+                self._ack(tenant_id, queue, entry.repo_sequence)
+                record_event(
+                    "intake-ack-healed",
+                    "fleet.gateway",
+                    tenant=tenant_id,
+                    repo_sequence=entry.repo_sequence,
+                )
+                healed = by_sequence.get(entry.repo_sequence)
+                if healed is not None:
+                    builds.append(healed)
+                continue
+            if entry.repo_sequence != repo_length:
+                raise PersistenceError(
+                    f"intake queue for tenant {tenant_id!r} expected "
+                    f"repository sequence {repo_length} but holds "
+                    f"{entry.repo_sequence}; intake and state dir disagree"
+                )
+            try:
+                fault_point("fleet.process")
+                fault_point(f"fleet.process.{tenant_id}")
+                service.repository.commit(
+                    entry.model(),
+                    message=entry.payload.get("message", ""),
+                    author=entry.payload.get("author", "developer"),
+                )
+            except Exception as exc:
+                breaker.record_failure(exc)
+                self._resident.pop(tenant_id, None)
+                record_event(
+                    "tenant-process-failed",
+                    "fleet.gateway",
+                    tenant=tenant_id,
+                    repo_sequence=entry.repo_sequence,
+                    error=str(exc),
+                )
+                raise
+            self._ack(tenant_id, queue, entry.repo_sequence)
+            self.processed += 1
+            builds.append(service.builds[-1])
+        breaker.record_success()
+        return builds
+
+    def drain(self, tenant_id: str | None = None) -> DrainReport:
+        """Process pending intake entries — one tenant's, or everyone's.
+
+        With a ``tenant_id`` the tenant's failure (or open breaker)
+        raises.  Fleet-wide, failing tenants are recorded in the report
+        and *skipped past* — one wedged tenant never blocks the others'
+        backlog; its entries stay durably pending for a later drain.
+        """
+        if tenant_id is not None:
+            return DrainReport(
+                builds={tenant_id: self._drain_tenant(tenant_id)},
+                errors={},
+                skipped=(),
+            )
+        builds: dict[str, list[BuildRecord]] = {}
+        errors: dict[str, str] = {}
+        skipped: list[str] = []
+        for tenant in self.tenants():
+            if self._intake(tenant).pending_count == 0:
+                continue
+            if self._breaker(tenant).state is BreakerState.OPEN:
+                skipped.append(tenant)
+                continue
+            try:
+                builds[tenant] = self._drain_tenant(tenant)
+            except Exception as exc:
+                errors[tenant] = str(exc)
+        return DrainReport(
+            builds=builds, errors=errors, skipped=tuple(skipped)
+        )
+
+    def submit(
+        self,
+        tenant_id: str,
+        model: Any,
+        *,
+        message: str = "",
+        author: str = "developer",
+    ) -> BuildRecord:
+        """The webhook path: admit, durably accept, process, return the build.
+
+        Equivalent to :meth:`enqueue` followed by a tenant drain.  When
+        processing fails the exception propagates, but the submission is
+        already durable — a later drain (or a restart) completes it.
+        """
+        entry = self.enqueue(
+            tenant_id, model, message=message, author=author
+        )
+        for build in self._drain_tenant(tenant_id):
+            if build.commit.sequence == entry.repo_sequence:
+                return build
+        raise PersistenceError(
+            f"tenant {tenant_id!r} drain did not produce a build for "
+            f"repository sequence {entry.repo_sequence}"
+        )
+
+    # -- operations ----------------------------------------------------------
+    def operations(self) -> FleetReport:
+        """The fleet-level operations surface (``repro fleet``).
+
+        Aggregates intake depth and breaker state for every tenant
+        without hydrating anyone; engine-level counters are reported for
+        resident tenants only.
+        """
+        statuses = []
+        open_count = half_open_count = 0
+        for tenant in self.tenants():
+            breaker = self._breakers.get(tenant)
+            state = breaker.state if breaker is not None else BreakerState.CLOSED
+            if state is BreakerState.OPEN:
+                open_count += 1
+            elif state is BreakerState.HALF_OPEN:
+                half_open_count += 1
+            service = self._resident.get(tenant)
+            # Live queues report directly; queues this process never
+            # opened are scanned read-only, so a reporting-only fleet
+            # (the CLI) never heals/truncates anyone's intake file.
+            queue = self._intakes.get(tenant)
+            pending = (
+                queue.pending_count
+                if queue is not None
+                else scan_intake(
+                    self.tenant_dir(tenant) / "intake.jsonl"
+                ).pending
+            )
+            statuses.append(
+                TenantStatus(
+                    tenant_id=tenant,
+                    resident=service is not None,
+                    pending=pending,
+                    breaker=state.value,
+                    retry_after_seconds=(
+                        breaker.retry_after() if breaker is not None else 0.0
+                    ),
+                    builds_total=(
+                        len(service.builds) if service is not None else None
+                    ),
+                    dead_letters=(
+                        len(service.repository.dead_letters)
+                        if service is not None
+                        else None
+                    ),
+                )
+            )
+        return FleetReport(
+            root=str(self.root),
+            tenants_registered=len(statuses),
+            tenants_resident=len(self._resident),
+            max_resident=self.max_resident,
+            pending_total=sum(status.pending for status in statuses),
+            accepted=self.accepted,
+            processed=self.processed,
+            rejections=dict(self.rejections),
+            hydrations=self.hydrations,
+            evictions=self.evictions,
+            breakers_open=open_count,
+            breakers_half_open=half_open_count,
+            tenant_status=tuple(statuses),
+        )
+
+    def tenant_operations(self, tenant_id: str) -> OperationsReport:
+        """One tenant's full :class:`OperationsReport`.
+
+        Resident tenants report live; evicted tenants are restored
+        read-only (``record=False`` — inspection never mutates the
+        journal) without being made resident.
+        """
+        service = self._resident.get(tenant_id)
+        if service is None:
+            directory = self._require_tenant(tenant_id)
+            store, journal = open_state_dir(
+                directory, create=False, sync=self.sync
+            )
+            service = CIService.restore(store, journal, record=False)
+        return service.operations()
+
+    def fsck(self) -> FleetFsckReport:
+        """Read-only integrity sweep across all tenant state dirs."""
+        base = self.root / "tenants"
+        if not base.is_dir():
+            return FleetFsckReport(root=self.root, exists=False, tenants=())
+        return FleetFsckReport(
+            root=self.root,
+            exists=True,
+            tenants=tuple(
+                TenantFsck(
+                    tenant_id=tenant,
+                    state=fsck_state_dir(base / tenant),
+                    intake=scan_intake(base / tenant / "intake.jsonl"),
+                )
+                for tenant in self.tenants()
+            ),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Evict every resident tenant (snapshot + compact) cleanly."""
+        for tenant_id in list(self._resident):
+            self._try_evict(tenant_id)
+
+    def __enter__(self) -> "CIFleet":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tenants())
+
+    def __len__(self) -> int:
+        return len(self.tenants())

@@ -27,6 +27,22 @@ site                      instrumented where
 ``notification.send``     :class:`repro.ci.notifications.RetryingTransport`
                           — ``raise`` is a flaky transport (retried),
                           ``drop`` loses the message silently
+``intake.append``         :meth:`repro.fleet.intake.IntakeQueue.append` —
+                          ``tear`` writes a partial intake line then
+                          raises (crash mid-accept; the torn tail is
+                          quarantined and truncated at the next open)
+``fleet.hydrate``         :meth:`repro.fleet.CIFleet.service` — ``raise``
+                          simulates a tenant whose cold resume fails
+                          (counts against its circuit breaker)
+``fleet.evict``           the fleet's LRU eviction (snapshot + close) —
+                          ``raise`` aborts the eviction; the tenant
+                          stays resident, nothing is lost
+``fleet.process``         traversed before each intake entry is applied
+                          to a tenant's engine; the per-tenant variant
+                          ``fleet.process.<tenant-id>`` is traversed
+                          right after it, so a chaos schedule can fail
+                          exactly one tenant's engine repeatedly (the
+                          breaker-isolation scenario)
 ========================  =====================================================
 
 Determinism

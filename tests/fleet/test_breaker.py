@@ -1,0 +1,122 @@
+"""The per-tenant circuit breaker: open at threshold, probe, recover.
+
+All transitions are driven through an injected fake clock, so the tests
+are deterministic and instantaneous.
+"""
+
+import pytest
+
+from repro.fleet import BreakerState, CircuitBreaker
+from repro.reliability.events import reliability_events
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "t-0", failure_threshold=3, cooldown_seconds=30.0, clock=clock
+    )
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+        assert breaker.retry_after() == 0.0
+
+    def test_below_threshold_stays_closed(self, breaker):
+        breaker.record_failure(RuntimeError("x"))
+        breaker.record_failure(RuntimeError("x"))
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 2
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+
+    def test_threshold_trips_open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+        assert breaker.times_opened == 1
+        assert breaker.retry_after() == pytest.approx(30.0)
+
+    def test_retry_after_counts_down(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(12.0)
+        assert breaker.retry_after() == pytest.approx(18.0)
+
+    def test_cooldown_reaches_half_open(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.retry_after() == 0.0
+
+    def test_half_open_allows_single_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allows()  # the probe
+        assert not breaker.allows()  # outcome not yet recorded
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allows()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows() and breaker.allows()  # no probe limit now
+
+    def test_probe_failure_reopens_full_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allows()
+        breaker.record_failure(RuntimeError("still broken"))
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.retry_after() == pytest.approx(30.0)
+        clock.advance(30.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestEventsAndValidation:
+    def test_lifecycle_events_recorded(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        breaker.allows()
+        breaker.record_failure()
+        clock.advance(31.0)
+        breaker.allows()
+        breaker.record_success()
+        kinds = [e.kind for e in reliability_events() if e.site == "fleet.breaker"]
+        assert kinds == [
+            "breaker-open",
+            "breaker-half-open",
+            "breaker-reopen",
+            "breaker-half-open",
+            "breaker-close",
+        ]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker("t", failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            CircuitBreaker("t", cooldown_seconds=0)

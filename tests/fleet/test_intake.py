@@ -1,0 +1,190 @@
+"""The durable intake queue: accept-then-never-lose, byte for byte.
+
+Mirrors the event-journal contract tests: CRC'd records, torn-tail
+healing with a quarantined sidecar, strict corruption on non-trailing
+damage, and idempotent state across reopen and compaction.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import PersistenceError
+from repro.fleet import IntakeQueue, scan_intake
+from repro.ml.models.base import FixedPredictionModel
+from repro.reliability.events import reliability_events
+from repro.reliability.faults import FaultRule, InjectedFault, injected_faults
+
+import numpy as np
+
+
+def model(tag):
+    return FixedPredictionModel(np.array([0, 1, 1, 0]), name=tag)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return IntakeQueue.create(tmp_path / "intake.jsonl", sync=False)
+
+
+class TestLifecycle:
+    def test_create_writes_genesis_cursor(self, tmp_path):
+        queue = IntakeQueue.create(
+            tmp_path / "intake.jsonl", base_repo_sequence=7, sync=False
+        )
+        assert queue.next_repo_sequence == 7
+        assert queue.pending_count == 0
+        records = list(queue.records())
+        assert [r.kind for r in records] == ["cursor"]
+        assert records[0].repo_sequence == 7
+
+    def test_create_refuses_existing_file(self, queue):
+        with pytest.raises(PersistenceError, match="already exists"):
+            IntakeQueue.create(queue.path)
+
+    def test_open_requires_existing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="does not exist"):
+            IntakeQueue(tmp_path / "missing.jsonl")
+
+    def test_append_assigns_consecutive_repo_sequences(self, queue):
+        first = queue.append(model("a"), message="one", author="dev")
+        second = queue.append(model("b"))
+        assert (first.repo_sequence, second.repo_sequence) == (0, 1)
+        assert queue.next_repo_sequence == 2
+        assert [r.repo_sequence for r in queue.pending()] == [0, 1]
+        restored = first.model()
+        assert restored.name == "a"
+        assert first.payload["message"] == "one"
+        assert first.payload["author"] == "dev"
+
+    def test_ack_retires_pending(self, queue):
+        queue.append(model("a"))
+        queue.append(model("b"))
+        queue.ack(0)
+        assert [r.repo_sequence for r in queue.pending()] == [1]
+        assert queue.acked_count == 1
+
+    def test_reopen_restores_exact_state(self, queue):
+        queue.append(model("a"), message="m0")
+        queue.append(model("b"), message="m1")
+        queue.ack(0)
+        reopened = IntakeQueue(queue.path, sync=False)
+        assert reopened.next_repo_sequence == queue.next_repo_sequence
+        assert reopened.pending_count == 1
+        entry = reopened.pending()[0]
+        assert entry.repo_sequence == 1
+        assert entry.payload["message"] == "m1"
+        assert entry.model().name == "b"
+
+
+class TestCompaction:
+    def test_compact_drops_acked_keeps_pending(self, queue):
+        for tag in "abcd":
+            queue.append(model(tag))
+        queue.ack(0)
+        queue.ack(1)
+        dropped = queue.compact()
+        assert dropped == 2
+        assert queue.pending_count == 2
+        assert queue.next_repo_sequence == 4
+        # On disk: one fresh cursor anchored past the acked entries, then
+        # the pending submissions with their original identities.
+        records = list(queue.records())
+        assert [r.kind for r in records] == ["cursor", "submission", "submission"]
+        assert records[0].repo_sequence == 2
+        assert [r.repo_sequence for r in records[1:]] == [2, 3]
+
+    def test_reopen_after_compact_is_identical(self, queue):
+        for tag in "abc":
+            queue.append(model(tag))
+        queue.ack(0)
+        queue.compact()
+        reopened = IntakeQueue(queue.path, sync=False)
+        assert reopened.next_repo_sequence == 3
+        assert [r.repo_sequence for r in reopened.pending()] == [1, 2]
+        # Appending after reopen continues the sequence without collision.
+        assert reopened.append(model("d")).repo_sequence == 3
+
+    def test_compact_empty_queue_leaves_cursor_only(self, queue):
+        queue.append(model("a"))
+        queue.ack(0)
+        queue.compact()
+        assert [r.kind for r in queue.records()] == ["cursor"]
+        assert IntakeQueue(queue.path, sync=False).next_repo_sequence == 1
+
+
+class TestCrashArtifacts:
+    def test_torn_tail_is_quarantined_and_truncated(self, queue):
+        queue.append(model("a"))
+        with open(queue.path, "ab") as handle:
+            handle.write(b'{"kind": "submission", "torn...')
+        reopened = IntakeQueue(queue.path, sync=False)
+        assert reopened.pending_count == 1  # the torn append never happened
+        sidecars = list(queue.path.parent.glob("*.quarantined"))
+        assert len(sidecars) == 1
+        assert sidecars[0].read_bytes() == b'{"kind": "submission", "torn...'
+        assert any(
+            e.kind == "intake-torn-tail" for e in reliability_events()
+        )
+
+    def test_injected_append_tear_is_not_accepted(self, queue):
+        queue.append(model("a"))
+        with injected_faults(
+            [FaultRule(site="intake.append", action="tear", at=1, tear_at=10)]
+        ):
+            with pytest.raises(InjectedFault):
+                queue.append(model("b"))
+        reopened = IntakeQueue(queue.path, sync=False)
+        assert reopened.pending_count == 1
+        assert reopened.next_repo_sequence == 1
+        assert reopened.append(model("b2")).repo_sequence == 1
+
+    def test_midfile_corruption_raises_on_read(self, queue):
+        queue.append(model("a"))
+        queue.append(model("b"))
+        lines = queue.path.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][:-5] + "XXXXX"  # damage a non-trailing record
+        queue.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        fresh = IntakeQueue(queue.path, sync=False)
+        with pytest.raises(PersistenceError, match="non-trailing"):
+            list(fresh.records())
+
+    def test_crc_rejects_bitflip(self, queue):
+        queue.append(model("a"))
+        raw = queue.path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(raw[-1])
+        record["repo_sequence"] = 99  # tamper without recomputing the CRC
+        raw[-1] = json.dumps(record, sort_keys=True)
+        queue.path.write_text("\n".join(raw) + "\n", encoding="utf-8")
+        # The tampered line is trailing, so it heals as a torn tail.
+        reopened = IntakeQueue(queue.path, sync=False)
+        assert reopened.pending_count == 0
+
+
+class TestScan:
+    def test_scan_missing_file(self, tmp_path):
+        scan = scan_intake(tmp_path / "nope.jsonl")
+        assert not scan.exists
+        assert scan.records == 0
+
+    def test_scan_classifies_without_mutating(self, queue):
+        for tag in "abc":
+            queue.append(model(tag))
+        queue.ack(0)
+        with open(queue.path, "ab") as handle:
+            handle.write(b"torn-garbage")
+        before = queue.path.read_bytes()
+        scan = scan_intake(queue.path)
+        assert queue.path.read_bytes() == before  # strictly read-only
+        assert (scan.records, scan.pending, scan.acked) == (5, 2, 1)
+        assert scan.torn_tail_bytes == len(b"torn-garbage")
+        assert scan.corrupt_lines == ()
+
+    def test_scan_reports_midfile_corruption(self, queue):
+        queue.append(model("a"))
+        queue.append(model("b"))
+        lines = queue.path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "garbage-line"
+        queue.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        scan = scan_intake(queue.path)
+        assert scan.corrupt_lines == (2,)

@@ -1,0 +1,72 @@
+"""The reliability event log's ring buffer: bounded, newest-first wins."""
+
+import pytest
+
+from repro.reliability.events import (
+    DEFAULT_EVENT_CAPACITY,
+    clear_events,
+    dropped_event_count,
+    event_capacity,
+    record_event,
+    reliability_events,
+    set_event_capacity,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_capacity():
+    yield
+    set_event_capacity(DEFAULT_EVENT_CAPACITY)
+    clear_events()
+
+
+def test_default_capacity(capsys):
+    assert event_capacity() == DEFAULT_EVENT_CAPACITY
+    assert dropped_event_count() == 0
+
+
+def test_overflow_drops_oldest_and_tallies():
+    set_event_capacity(3)
+    for index in range(5):
+        record_event("tick", "test", index=index)
+    events = reliability_events("tick")
+    assert [e.detail["index"] for e in events] == [2, 3, 4]
+    assert dropped_event_count() == 2
+    # Semantics below capacity are unchanged: order, filtering, detail.
+    assert reliability_events("other") == []
+
+
+def test_shrink_keeps_newest():
+    set_event_capacity(10)
+    for index in range(6):
+        record_event("tick", "test", index=index)
+    set_event_capacity(2)
+    assert [e.detail["index"] for e in reliability_events()] == [4, 5]
+    assert dropped_event_count() == 4
+    assert event_capacity() == 2
+
+
+def test_grow_loses_nothing():
+    set_event_capacity(2)
+    record_event("a", "test")
+    record_event("b", "test")
+    set_event_capacity(50)
+    assert [e.kind for e in reliability_events()] == ["a", "b"]
+    record_event("c", "test")
+    assert len(reliability_events()) == 3
+    assert dropped_event_count() == 0
+
+
+def test_clear_resets_tally():
+    set_event_capacity(1)
+    record_event("a", "test")
+    record_event("b", "test")
+    assert dropped_event_count() == 1
+    clear_events()
+    assert reliability_events() == []
+    assert dropped_event_count() == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        set_event_capacity(0)

@@ -113,6 +113,24 @@ class TestRepositoryDeadLetterLog:
         reborn.__setstate__(state)
         assert reborn.dead_letters == []
 
+    def test_drain_returns_and_clears(self):
+        repository = ModelRepository()
+        letters = [DeadLetter("dev", f"s{i}", "b", "boom", 3) for i in range(3)]
+        for letter in letters:
+            repository.record_dead_letter(letter)
+        assert repository.drain_dead_letters() == letters
+        assert repository.dead_letters == []
+        # Draining is the acknowledgement: a second sweep sees nothing.
+        assert repository.drain_dead_letters() == []
+
+    def test_drain_does_not_share_the_internal_list(self):
+        repository = ModelRepository()
+        repository.record_dead_letter(DeadLetter("dev", "s", "b", "boom", 3))
+        drained = repository.drain_dead_letters()
+        repository.record_dead_letter(DeadLetter("dev", "s2", "b", "boom", 3))
+        assert [letter.subject for letter in drained] == ["s"]
+        assert [letter.subject for letter in repository.dead_letters] == ["s2"]
+
 
 def make_world():
     script = CIScript.from_dict(
@@ -166,6 +184,21 @@ class TestServiceGuarantee:
         service.snapshot()
         restored = CIService.resume(tmp_path / "state")
         assert restored.repository.dead_letters == service.repository.dead_letters
+
+    def test_drained_state_round_trips_snapshot_and_restore(self, tmp_path):
+        """An operator's drain is durable: restore does not resurrect."""
+        script, testset, baseline, model = make_world()
+        flaky = FlakyTransport(failures=10**6)
+        service = CIService(script, testset, baseline, transport=flaky)
+        service.delivery._sleep = lambda _: None
+        service.persist_to(tmp_path / "state")
+        service.repository.commit(model)
+        assert service.repository.dead_letters
+        drained = service.repository.drain_dead_letters()
+        assert drained and service.repository.dead_letters == []
+        service.snapshot()
+        restored = CIService.resume(tmp_path / "state")
+        assert restored.repository.dead_letters == []
 
     def test_dead_letters_surface_on_the_operations_report(self):
         script, testset, baseline, model = make_world()

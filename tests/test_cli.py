@@ -242,6 +242,186 @@ class TestOpsCommand:
         assert "no snapshot" in capsys.readouterr().err
 
 
+class TestOpsFsckExitCodes:
+    def test_healthy_state_dir_exits_0(self, state_dir, capsys):
+        code = main(["ops", str(state_dir), "--fsck"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restore" in out and "snapshot #1" in out
+
+    def test_healthy_json_is_parseable(self, state_dir, capsys):
+        code = main(["ops", str(state_dir), "--fsck", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["restorable"] is True
+        assert payload["journal"]["records"] >= 1
+
+    def test_unrestorable_state_dir_exits_2(self, state_dir, capsys):
+        for snapshot in (state_dir / "snapshots").glob("*"):
+            snapshot.write_bytes(b"garbage")
+        code = main(["ops", str(state_dir), "--fsck"])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_unrestorable_json_is_parseable(self, state_dir, capsys):
+        for snapshot in (state_dir / "snapshots").glob("*"):
+            snapshot.write_bytes(b"garbage")
+        code = main(["ops", str(state_dir), "--fsck", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["restorable"] is False
+
+    def test_fsck_is_read_only(self, state_dir):
+        before = {
+            path: path.read_bytes()
+            for path in state_dir.rglob("*")
+            if path.is_file()
+        }
+        assert main(["ops", str(state_dir), "--fsck"]) == 0
+        after = {
+            path: path.read_bytes()
+            for path in state_dir.rglob("*")
+            if path.is_file()
+        }
+        assert after == before
+
+
+@pytest.fixture()
+def fleet_root(tmp_path):
+    """A two-tenant fleet with one processed build and one pending entry."""
+    from repro.ci.repository import ModelRepository
+    from repro.core.estimators.api import SampleSizeEstimator
+    from repro.core.script.config import CIScript
+    from repro.core.testset import Testset
+    from repro.fleet import CIFleet
+    from repro.ml.models.simulated import ModelPairSpec, simulate_model_pair
+
+    script = CIScript.from_dict(
+        {
+            "script": "./test_model.py",
+            "condition": "n - o > 0.05 +/- 0.1",
+            "reliability": 0.99,
+            "mode": "fp-free",
+            "adaptivity": "full",
+            "steps": 4,
+        }
+    )
+    plan = SampleSizeEstimator().plan(
+        script.condition,
+        delta=script.delta,
+        adaptivity=script.adaptivity,
+        steps=script.steps,
+        known_variance_bound=script.variance_bound,
+    )
+    pair = simulate_model_pair(
+        ModelPairSpec(old_accuracy=0.80, new_accuracy=0.82, difference=0.1),
+        n_examples=plan.pool_size,
+        seed=0,
+    )
+    testset = Testset(labels=pair.labels, name="gen-0")
+    root = tmp_path / "fleet"
+    with CIFleet(root, sync=False) as fleet:
+        for tenant_id in ("alpha", "beta"):
+            fleet.register(
+                tenant_id,
+                script,
+                testset,
+                pair.old_model,
+                repository=ModelRepository(nonce=f"cli-{tenant_id}"),
+            )
+        fleet.submit("alpha", pair.new_model, message="candidate")
+        fleet.enqueue("beta", pair.new_model, message="queued")
+    return root
+
+
+class TestFleetCommand:
+    def test_prints_fleet_table(self, fleet_root, capsys):
+        code = main(["fleet", str(fleet_root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet report" in out
+        assert "2 registered" in out
+        assert "1 pending" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_json_output_is_machine_readable(self, fleet_root, capsys):
+        code = main(["fleet", str(fleet_root), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["tenants_registered"] == 2
+        assert payload["pending_total"] == 1
+        tenants = {t["tenant_id"]: t for t in payload["tenant_status"]}
+        assert tenants["beta"]["pending"] == 1
+
+    def test_report_does_not_mutate_tenant_state(self, fleet_root):
+        before = {
+            path: path.read_bytes()
+            for path in fleet_root.rglob("*")
+            if path.is_file()
+        }
+        assert main(["fleet", str(fleet_root)]) == 0
+        after = {
+            path: path.read_bytes()
+            for path in fleet_root.rglob("*")
+            if path.is_file()
+        }
+        assert after == before
+
+    def test_single_tenant_report(self, fleet_root, capsys):
+        code = main(["fleet", str(fleet_root), "--tenant", "alpha"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operations report" in out
+        assert "1 total, 1 ran" in out
+
+    def test_unknown_tenant_exits_2(self, fleet_root, capsys):
+        code = main(["fleet", str(fleet_root), "--tenant", "ghost"])
+        assert code == 2
+        assert "no tenant" in capsys.readouterr().err
+
+    def test_fsck_healthy_exits_0(self, fleet_root, capsys):
+        code = main(["fleet", str(fleet_root), "--fsck"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HEALTHY" in out
+
+    def test_fsck_damaged_exits_2_and_localizes(self, fleet_root, capsys):
+        for snapshot in (fleet_root / "tenants" / "beta" / "snapshots").glob("*"):
+            snapshot.write_bytes(b"garbage")
+        code = main(["fleet", str(fleet_root), "--fsck"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "UNRESTORABLE" in out and "beta" in out
+
+    def test_fsck_json_both_cases(self, fleet_root, capsys):
+        assert main(["fleet", str(fleet_root), "--fsck", "--json"]) == 0
+        healthy = json.loads(capsys.readouterr().out)
+        assert healthy["exists"] is True
+        for snapshot in (fleet_root / "tenants" / "beta" / "snapshots").glob("*"):
+            snapshot.write_bytes(b"garbage")
+        assert main(["fleet", str(fleet_root), "--fsck", "--json"]) == 2
+        damaged = json.loads(capsys.readouterr().out)
+        tenants = {t["tenant_id"]: t for t in damaged["tenants"]}
+        assert tenants["beta"]["state"]["restorable"] is False
+        assert tenants["alpha"]["state"]["restorable"] is True
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        code = main(["fleet", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "no fleet root" in capsys.readouterr().err
+
+    def test_missing_root_fsck_exits_2(self, tmp_path, capsys):
+        code = main(["fleet", str(tmp_path / "nowhere"), "--fsck"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "does not exist" in out
+
+    def test_cli_never_creates_directories(self, tmp_path):
+        target = tmp_path / "nowhere"
+        main(["fleet", str(target)])
+        assert not target.exists()
+
+
 class TestModuleEntryPoint:
     """`python -m repro` wires argparse to the same main()."""
 

@@ -8,6 +8,11 @@
 #   make bench-smoke      - the --quick benchmark runs + schema check alone
 #   make test-faults      - the chaos suite: fault injection, supervised
 #                           executor, corruption restore, chaos parity
+#   make conformance      - the backend conformance kit against the stock
+#                           and naive backends (pass BACKEND=name for one)
+#   make coverage         - line coverage (pytest-cov when installed,
+#                           stdlib settrace fallback offline) + the
+#                           ratchet-only floor gate
 #   make docs             - doctests over README.md and docs/*.md code blocks
 #   make bench-perf       - scalar-vs-batch perf kernels benchmark
 #                           (writes BENCH_perf_kernels.json); pass
@@ -23,7 +28,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast ci bench-smoke test-faults docs bench bench-perf bench-throughput bench-fleet
+.PHONY: verify verify-fast ci bench-smoke test-faults conformance coverage docs bench bench-perf bench-throughput bench-fleet
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +48,18 @@ bench-smoke:
 
 test-faults:
 	$(PYTHON) -m pytest -q tests/reliability
+
+conformance:
+ifdef BACKEND
+	$(PYTHON) -m pytest -q tests/conformance --engine-backend $(BACKEND)
+else
+	$(PYTHON) -m pytest -q tests/conformance --engine-backend default
+	$(PYTHON) -m pytest -q tests/conformance --engine-backend naive
+endif
+
+coverage:
+	$(PYTHON) tools/run_coverage.py
+	$(PYTHON) tools/check_coverage.py
 
 docs:
 	$(PYTHON) -m pytest -q --doctest-glob="*.md" README.md docs

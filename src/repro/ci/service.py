@@ -76,10 +76,15 @@ from repro.ci.persistence import (
     SnapshotStore,
     decode_model,
     encode_model,
-    open_state_dir,
 )
 from repro.ci.repository import ModelRepository
 from repro.core.engine import CIEngine, CommitResult
+from repro.core.kernel import (
+    DirectoryStateStore,
+    KernelBackend,
+    StateStore,
+    get_backend,
+)
 from repro.core.script.config import CIScript
 from repro.core.testset import Testset, TestsetPool
 from repro.exceptions import (
@@ -310,6 +315,11 @@ class CIService:
 
     def _init_runtime_state(self) -> None:
         """Persistence wiring defaults (shared by __init__ and restore)."""
+        # All durable I/O routes through the kernel StateStore seam; the
+        # _store/_journal pair mirrors the default backend's underlying
+        # snapshot store and journal (None under a foreign backend) for
+        # call sites that still speak the two-object PR-4 contract.
+        self._state_store: StateStore | None = None
         self._store: SnapshotStore | None = None
         self._journal: EventJournal | None = None
         self._snapshot_every: int | None = None
@@ -350,19 +360,16 @@ class CIService:
 
         manager = self.engine.manager
         pool = self.engine.pool
-        snapshot_info = self._store.latest_info() if self._store is not None else None
-        journal_sequence = (
-            self._journal.last_sequence if self._journal is not None else None
-        )
+        store = self._state_store
+        snapshot_info = store.latest_info() if store is not None else None
+        journal_sequence = store.journal_sequence if store is not None else None
         journal_lag = None
         if journal_sequence is not None:
             anchored = snapshot_info.journal_sequence if snapshot_info else 0
             journal_lag = journal_sequence - anchored
         plan_info = self.planning_cache_info()
         events = reliability_events()
-        quarantined = (
-            len(self._store.quarantined()) if self._store is not None else 0
-        )
+        quarantined = len(store.quarantined()) if store is not None else 0
         return OperationsReport(
             repository=self.repository.name,
             builds_total=len(self._builds),
@@ -399,7 +406,7 @@ class CIService:
                 }
                 for name, info in all_cache_info().items()
             },
-            persistence_attached=self._store is not None,
+            persistence_attached=self._state_store is not None,
             snapshot_sequence=snapshot_info.sequence if snapshot_info else None,
             snapshot_journal_sequence=(
                 snapshot_info.journal_sequence if snapshot_info else None
@@ -507,8 +514,8 @@ class CIService:
 
     # -- journaling ---------------------------------------------------------------
     def _journal_event(self, type: str, payload: dict[str, Any]) -> None:
-        if self._journal is not None and not self._replaying:
-            self._journal.append(type, payload)
+        if self._state_store is not None and not self._replaying:
+            self._state_store.append_event(type, payload)
 
     def _journal_commit_received(self, commit: Commit) -> None:
         """Journal a commit *before* its build runs.
@@ -518,9 +525,9 @@ class CIService:
         completion loses nothing — restore re-runs the evaluation
         deterministically from the snapshot-exact engine state.
         """
-        if self._journal is None or self._replaying:
+        if self._state_store is None or self._replaying:
             return
-        self._journal.append(
+        self._state_store.append_event(
             COMMIT_RECEIVED,
             {
                 "sequence": commit.sequence,
@@ -540,13 +547,13 @@ class CIService:
         engine call for the per-commit webhook (``None`` when the caller
         already journaled the batch's rotations itself).
         """
-        if self._journal is None or self._replaying:
+        if self._state_store is None or self._replaying:
             return
         if rotations_before is not None:
             self._journal_rotations(rotations_before)
         result = build.result
         if result is not None and result.promoted:
-            self._journal.append(
+            self._state_store.append_event(
                 PROMOTION,
                 {
                     "build_number": build.build_number,
@@ -556,7 +563,7 @@ class CIService:
             )
         if result is not None and result.alarm_event is not None:
             event = result.alarm_event
-            self._journal.append(
+            self._state_store.append_event(
                 ALARM,
                 {
                     "reason": event.reason,
@@ -565,7 +572,7 @@ class CIService:
                     "generation": event.generation,
                 },
             )
-        self._journal.append(
+        self._state_store.append_event(
             BUILD_RECORDED,
             {
                 "build_number": build.build_number,
@@ -582,10 +589,10 @@ class CIService:
         )
 
     def _journal_rotations(self, rotations_before: int) -> None:
-        if self._journal is None or self._replaying:
+        if self._state_store is None or self._replaying:
             return
         for event in self.engine.rotations[rotations_before:]:
-            self._journal.append(
+            self._state_store.append_event(
                 ROTATION,
                 {
                     "retired": event.retired_testset_name,
@@ -597,26 +604,54 @@ class CIService:
             )
 
     # -- durable state ------------------------------------------------------------
+    @staticmethod
+    def _coerce_state_store(
+        store: "StateStore | SnapshotStore",
+        journal: EventJournal | None,
+    ) -> StateStore:
+        """Accept the kernel seam or the legacy two-object PR-4 pair.
+
+        A :class:`~repro.core.kernel.StateStore` passes through (its
+        journal, if any, is its own business — ``journal`` must then be
+        ``None``); a bare :class:`SnapshotStore` plus optional
+        :class:`EventJournal` is wrapped in the default backend's
+        :class:`~repro.core.kernel.DirectoryStateStore`.
+        """
+        if isinstance(store, SnapshotStore):
+            return DirectoryStateStore(store, journal)
+        if journal is not None:
+            raise PersistenceError(
+                "journal= can only accompany a SnapshotStore; a StateStore "
+                "carries its own event record"
+            )
+        return store
+
     def attach_persistence(
         self,
-        store: SnapshotStore,
+        store: "StateStore | SnapshotStore",
         journal: EventJournal | None = None,
         *,
         snapshot_every: int | None = None,
     ) -> None:
-        """Bind the service to a snapshot store (and optionally a journal).
+        """Bind the service to a state store.
 
-        With a journal attached every webhook journals the commit before
-        evaluating and the build trail after; ``snapshot_every=N`` also
-        snapshots automatically after every ``N`` builds, bounding replay
-        work (journal lag) at restore time.
+        ``store`` is either a kernel
+        :class:`~repro.core.kernel.StateStore` or — the original PR-4
+        surface — a :class:`SnapshotStore` with an optional
+        :class:`EventJournal`.  With an event record available every
+        webhook journals the commit before evaluating and the build
+        trail after; ``snapshot_every=N`` also snapshots automatically
+        after every ``N`` builds, bounding replay work (journal lag) at
+        restore time.
         """
         if snapshot_every is not None and snapshot_every < 1:
             raise PersistenceError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
-        self._store = store
-        self._journal = journal
+        state_store = self._coerce_state_store(store, journal)
+        self._state_store = state_store
+        self._store = getattr(state_store, "snapshots", None)
+        self._journal = getattr(state_store, "journal", None)
         self._snapshot_every = snapshot_every
         self._builds_since_snapshot = 0
 
@@ -626,28 +661,31 @@ class CIService:
         *,
         snapshot_every: int | None = None,
         sync: bool = True,
+        backend: str | KernelBackend | None = None,
     ) -> SnapshotInfo:
         """Bind to ``state_dir`` (creating it) and take the first snapshot.
 
         The initial snapshot makes the service restorable immediately —
         a crash before the first commit restores to this exact state.
+        The state store is opened through ``backend`` when given, and
+        through the engine's own kernel backend otherwise, so a service
+        running on a registered backend persists through that backend's
+        durability layer without extra wiring.
         """
-        store, journal = open_state_dir(state_dir, create=True, sync=sync)
-        self.attach_persistence(store, journal, snapshot_every=snapshot_every)
+        kernel = (
+            self.engine.backend if backend is None else get_backend(backend)
+        )
+        store = kernel.open_state_store(state_dir, create=True, sync=sync)
+        self.attach_persistence(store, snapshot_every=snapshot_every)
         return self.snapshot()
 
     def snapshot(self) -> SnapshotInfo:
         """Atomically persist the full exported state as a new snapshot."""
-        if self._store is None:
+        if self._state_store is None:
             raise PersistenceError(
                 "no snapshot store attached; call persist_to()/attach_persistence()"
             )
-        journal_sequence = (
-            self._journal.last_sequence if self._journal is not None else 0
-        )
-        info = self._store.save(
-            self.export_state(), journal_sequence=journal_sequence
-        )
+        info = self._state_store.save_snapshot(self.export_state())
         self._builds_since_snapshot = 0
         self._journal_event(
             SNAPSHOT,
@@ -659,7 +697,7 @@ class CIService:
         self._builds_since_snapshot += builds
         if (
             self._snapshot_every is not None
-            and self._store is not None
+            and self._state_store is not None
             and not self._replaying
             and self._builds_since_snapshot >= self._snapshot_every
         ):
@@ -729,7 +767,7 @@ class CIService:
     @classmethod
     def restore(
         cls,
-        store: SnapshotStore,
+        store: "StateStore | SnapshotStore",
         journal: EventJournal | None = None,
         *,
         transport: NotificationTransport | None = None,
@@ -755,20 +793,21 @@ class CIService:
         deleted) only when ``record=True``; read-only inspection skips
         them in place.
         """
-        loaded = store.load_latest(quarantine=record)
+        state_store = cls._coerce_state_store(store, journal)
+        loaded = state_store.load_latest(quarantine=record)
         if loaded is None:
             raise PersistenceError(
-                f"no snapshot to restore from in {store.directory}; "
+                f"no snapshot to restore from in {state_store.location}; "
                 "persist_to() must have run at least once"
             )
         state, info = loaded
         service = cls.from_state(state, transport=transport)
-        service.attach_persistence(store, journal, snapshot_every=snapshot_every)
+        service.attach_persistence(state_store, snapshot_every=snapshot_every)
         replayed = 0
-        if journal is not None:
+        if state_store.journal_sequence is not None:
             replayed = service._replay_journal()
             if record:
-                journal.append(
+                state_store.append_event(
                     RESTORE,
                     {
                         "snapshot_sequence": info.sequence,
@@ -785,12 +824,17 @@ class CIService:
         transport: NotificationTransport | None = None,
         snapshot_every: int | None = None,
         record: bool = True,
+        backend: str | KernelBackend | None = None,
     ) -> "CIService":
-        """:meth:`restore` from a :func:`open_state_dir` directory."""
-        store, journal = open_state_dir(state_dir, create=False)
+        """:meth:`restore` from a persisted state directory.
+
+        ``backend`` selects whose state-store layer reads the directory
+        (``None`` = ``"default"``, the :func:`open_state_dir` layout) —
+        it must match the backend that persisted it.
+        """
+        store = get_backend(backend).open_state_store(state_dir, create=False)
         return cls.restore(
             store,
-            journal,
             transport=transport,
             snapshot_every=snapshot_every,
             record=record,
@@ -805,10 +849,10 @@ class CIService:
         a hole means the journal and snapshot disagree, which is
         corruption, not a crash artifact.
         """
-        assert self._journal is not None
+        assert self._state_store is not None
         start = len(self.repository)
         pending: dict[int, dict[str, Any]] = {}
-        for record in self._journal.records_of(COMMIT_RECEIVED):
+        for record in self._state_store.records_of(COMMIT_RECEIVED):
             sequence = int(record.payload["sequence"])
             if sequence >= start:
                 pending.setdefault(sequence, record.payload)

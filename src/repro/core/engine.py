@@ -4,12 +4,24 @@
 
 * a :class:`~repro.core.script.CIScript` (condition, reliability, mode,
   adaptivity, steps);
-* a :class:`~repro.core.estimators.SampleSizeEstimator` producing the
-  :class:`~repro.core.estimators.plans.SampleSizePlan`;
+* a kernel backend (:mod:`repro.core.kernel`) supplying the
+  :class:`~repro.core.kernel.interfaces.Planner` that produces the
+  :class:`~repro.core.estimators.plans.SampleSizePlan` and the
+  :class:`~repro.core.kernel.interfaces.Evaluator` applying the §3.5
+  interval semantics per commit (the ``"default"`` backend wraps
+  :class:`~repro.core.estimators.SampleSizeEstimator` and
+  :class:`~repro.core.evaluation.ConditionEvaluator`);
 * a :class:`~repro.core.testset.TestsetManager` tracking statistical
-  budget, with the :class:`~repro.core.alarm.NewTestsetAlarm` watching it;
-* a :class:`~repro.core.evaluation.ConditionEvaluator` applying the §3.5
-  interval semantics per commit.
+  budget, with the :class:`~repro.core.alarm.NewTestsetAlarm` watching it.
+
+The engine itself is pure orchestration: it owns the budget accounting,
+the signal routing, the pool rotations and the durable-state contract,
+and reaches planning/evaluation only through the backend's protocols —
+a new planning tier or serving kernel registers itself
+(:func:`repro.core.kernel.register_backend`) and is selected with the
+``backend=`` keyword, with zero edits here.  The conformance kit under
+``tests/conformance/`` certifies any registered backend element-wise
+against the stock one.
 
 Signal routing per adaptivity mode (§2.2, §3.2–3.4):
 
@@ -65,7 +77,8 @@ from repro.core.alarm import AlarmEvent, AlarmReason, NewTestsetAlarm
 from repro.core.estimators.adaptivity import Adaptivity
 from repro.core.estimators.api import SampleSizeEstimator
 from repro.core.estimators.plans import SampleSizePlan
-from repro.core.evaluation import ConditionEvaluator, EvaluationResult
+from repro.core.evaluation import EvaluationResult
+from repro.core.kernel import KernelBackend, get_backend
 from repro.core.script.config import CIScript
 from repro.core.testset import (
     GenerationRotationEvent,
@@ -75,7 +88,6 @@ from repro.core.testset import (
 )
 from repro.exceptions import EngineStateError, PersistenceError, TestsetSizeError
 from repro.stats.cache import warm_after_restore
-from repro.stats.parallel import resolve_workers
 from repro.stats.estimation import PairedSample, PairedSampleBatch
 
 __all__ = ["CommitResult", "CIEngine", "ENGINE_STATE_FORMAT"]
@@ -141,6 +153,9 @@ class CIEngine:
     estimator:
         Optional custom :class:`SampleSizeEstimator` (defaults to
         optimizations on, honouring the script's ``variance_bound``).
+        Handed to the backend's planner factory; the ``"default"``
+        backend wraps it in a
+        :class:`~repro.core.kernel.DefaultPlanner`.
     notifier:
         Callable ``(email, subject, body)`` used for third-party signal
         delivery under ``adaptivity: none``; also receives alarm emails.
@@ -164,9 +179,15 @@ class CIEngine:
         re-planning overlaps with serving instead of stalling it.
         Worker count never changes plans, signals or budgets.  When a
         custom ``estimator`` is supplied alongside a *parallel*
-        ``workers`` setting, the engine rebuilds it — same class — from
-        its exported config with ``workers`` applied; serial settings
-        leave the supplied estimator untouched.
+        ``workers`` setting, the default planner rebuilds it — same
+        class — from its exported config with ``workers`` applied;
+        serial settings leave the supplied estimator untouched.
+    backend:
+        The kernel backend supplying planner and evaluator: a name
+        registered with :func:`repro.core.kernel.register_backend`, a
+        :class:`~repro.core.kernel.KernelBackend` instance, or ``None``
+        for ``"default"`` (the stock
+        :class:`SampleSizeEstimator`/:class:`ConditionEvaluator` pair).
     """
 
     def __init__(
@@ -180,19 +201,13 @@ class CIEngine:
         enforce_testset_size: bool = True,
         testset_pool: TestsetPool | None = None,
         workers: int | str | None = None,
+        backend: str | KernelBackend | None = None,
     ):
         self.script = script
-        if estimator is None:
-            estimator = SampleSizeEstimator(workers=workers)
-        elif workers is not None and resolve_workers(workers) > 1:
-            # Rebuild with the estimator's own class so subclass planning
-            # behavior survives; export_config() is its constructor
-            # contract.  A serial workers value changes nothing, so the
-            # supplied instance is kept as-is.
-            config = estimator.export_config()
-            config["workers"] = workers
-            estimator = type(estimator)(**config)
-        self.estimator = estimator
+        self._backend = get_backend(backend)
+        self._planner = self._backend.make_planner(
+            workers=workers, estimator=estimator
+        )
         self.plan: SampleSizePlan = self._compute_plan()
         self._pool: TestsetPool | None = None
         self._rotations: list[GenerationRotationEvent] = []
@@ -215,7 +230,7 @@ class CIEngine:
         self.manager = TestsetManager(testset, budget=budget)
         self.alarm = NewTestsetAlarm()
         self.notifier = notifier
-        self.evaluator = ConditionEvaluator(
+        self.evaluator = self._backend.make_evaluator(
             self.plan, script.mode, enforce_sample_size=enforce_testset_size
         )
         self.active_model = baseline_model
@@ -225,6 +240,26 @@ class CIEngine:
             self.install_testset_pool(testset_pool)
 
     # -- inspection -------------------------------------------------------------
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this engine orchestrates over."""
+        return self._backend
+
+    @property
+    def planner(self):
+        """The backend's :class:`~repro.core.kernel.interfaces.Planner`."""
+        return self._planner
+
+    @property
+    def estimator(self):
+        """The planner's underlying estimator (compatibility surface).
+
+        The default planner wraps a :class:`SampleSizeEstimator` and
+        exposes it here; planners without one stand in for themselves
+        (they carry the same ``workers`` / ``export_config`` surface).
+        """
+        return getattr(self._planner, "estimator", self._planner)
+
     @property
     def results(self) -> list[CommitResult]:
         """All commit results, in order."""
@@ -487,9 +522,9 @@ class CIEngine:
         the testset pool and the rotation log — plus a *warm manifest*
         naming the plan requests behind the state.  Deliberately absent:
 
-        * the :class:`SampleSizePlan` and :class:`ConditionEvaluator` —
-          derived objects, re-derived through :class:`SampleSizeEstimator`
-          (and the warm manifest) on restore, never serialized;
+        * the :class:`SampleSizePlan` and the evaluator — derived
+          objects, re-derived through the backend's planner (and the
+          warm manifest) on restore, never serialized;
         * the ``notifier`` — runtime wiring, re-supplied to
           :meth:`from_state`;
         * pool low-watermark callbacks and alarm subscribers — runtime
@@ -497,8 +532,9 @@ class CIEngine:
         """
         return {
             "format": ENGINE_STATE_FORMAT,
+            "backend": self._backend.name,
             "script": self.script,
-            "estimator": self.estimator.export_config(),
+            "estimator": self._planner.export_config(),
             "manager": self.manager,
             "alarm": self.alarm,
             "active_model": self.active_model,
@@ -517,18 +553,7 @@ class CIEngine:
         estimator layer's restore warmer re-derives each request into the
         process-wide plan cache before the engine re-plans).
         """
-        return {
-            "plans": [
-                {
-                    "condition": self.script.condition_source,
-                    "delta": self.script.delta,
-                    "adaptivity": self.script.adaptivity.value,
-                    "steps": self.script.steps,
-                    "known_variance_bound": self.script.variance_bound,
-                    "estimator": self.estimator.export_config(),
-                }
-            ]
-        }
+        return {"plans": self._planner.plan_requests(self.script)}
 
     @classmethod
     def from_state(
@@ -540,8 +565,8 @@ class CIEngine:
         """Rebuild an engine from :meth:`export_state` output.
 
         Warms the shared caches from the state's manifest, re-derives the
-        plan through the estimator (bit-identical by purity), rebuilds the
-        evaluator, and rewires the runtime-only ``notifier``.
+        plan through the backend's planner (bit-identical by purity),
+        rebuilds the evaluator, and rewires the runtime-only ``notifier``.
         """
         engine = object.__new__(cls)
         engine._apply_state(state, notifier=notifier)
@@ -561,12 +586,15 @@ class CIEngine:
             )
         warm_after_restore(state["warm_manifest"])
         self.script = state["script"]
-        self.estimator = SampleSizeEstimator(**state["estimator"])
+        # Snapshots written before the kernel seam carry no backend key;
+        # they restore onto the stock components, exactly as they ran.
+        self._backend = get_backend(state.get("backend", "default"))
+        self._planner = self._backend.planner_from_config(state["estimator"])
         self.plan = self._compute_plan()
         self.manager = state["manager"]
         self.alarm = state["alarm"]
         self.notifier = notifier
-        self.evaluator = ConditionEvaluator(
+        self.evaluator = self._backend.make_evaluator(
             self.plan,
             self.script.mode,
             enforce_sample_size=state["enforce_sample_size"],
@@ -585,14 +613,8 @@ class CIEngine:
 
     # -- internals ------------------------------------------------------------
     def _compute_plan(self) -> SampleSizePlan:
-        """The script's plan, served from the process-wide plan cache."""
-        return self.estimator.plan(
-            self.script.condition,
-            delta=self.script.delta,
-            adaptivity=self.script.adaptivity,
-            steps=self.script.steps,
-            known_variance_bound=self.script.variance_bound,
-        )
+        """The script's plan, derived through the backend's planner."""
+        return self._planner.plan_for(self.script)
 
     def _check_initial_size(self, testset: Testset, enforce: bool) -> None:
         if enforce and testset.size < self.plan.pool_size:
@@ -651,14 +673,14 @@ class CIEngine:
                 f"{self.plan.pool_size}; replace it before commits can rotate"
             )
         testset, budget = self._pool.pop()
-        plan = self._compute_plan()
+        plan = self._planner.replan_for(self.script)
         if plan is not self.plan:
-            # The cache normally hands back the very plan object this
+            # The planner normally hands back the very plan object this
             # engine already evaluates with (same condition/spec/config);
             # only a genuinely different plan warrants a fresh evaluator
             # (and the loss of its memoized per-clause batch kernel).
             self.plan = plan
-            self.evaluator = ConditionEvaluator(
+            self.evaluator = self._backend.make_evaluator(
                 plan,
                 self.script.mode,
                 enforce_sample_size=self.evaluator.enforce_sample_size,

@@ -282,6 +282,15 @@ class ConditionEvaluator:
             enforce_sample_size=state["enforce_sample_size"],
         )
 
+    def prepack(self) -> None:
+        """Materialize the batched interval kernel ahead of serving.
+
+        The kernel is a pure function of the plan and is otherwise built
+        lazily on the first :meth:`evaluate_batch`; prepacking moves that
+        cost to a warm-up phase without changing any result.  Idempotent.
+        """
+        self._batch_kernel()
+
     def _check_size(self, size: int) -> None:
         if self.enforce_sample_size and size < self.plan.pool_size:
             raise TestsetSizeError(

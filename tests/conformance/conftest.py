@@ -1,0 +1,114 @@
+"""Fixture factories of the backend conformance kit.
+
+The suite certifies one backend per run — selected with
+``--engine-backend <name>`` (default ``"default"``) — by comparing its
+observable behavior element-wise against *reference* engines/services
+built on the stock components.  CI runs it once per registered backend;
+a new backend earns its registration by passing with
+
+    pytest tests/conformance --engine-backend <name>
+
+and nothing else.  Fixtures come in pairs: ``engine_factory`` /
+``service_factory`` build on the backend under test, their
+``reference_*`` twins on ``"default"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ci.repository import ModelRepository
+from repro.ci.service import CIService
+from repro.core.engine import CIEngine
+from repro.core.kernel import KernelBackend, available_backends, get_backend
+from repro.core.testset import TestsetPool
+
+import tests.conformance.naive_backend  # noqa: F401  (registers "naive")
+
+ADAPTIVITY_MODES = ["full", "none -> third-party@example.com", "firstChange"]
+
+
+@pytest.fixture(scope="session")
+def backend_name(request) -> str:
+    name = request.config.getoption("--engine-backend")
+    if name not in available_backends():
+        raise pytest.UsageError(
+            f"--engine-backend {name!r} is not registered; "
+            f"known backends: {', '.join(available_backends())}"
+        )
+    return name
+
+
+@pytest.fixture(scope="session")
+def backend(backend_name) -> KernelBackend:
+    return get_backend(backend_name)
+
+
+@pytest.fixture(scope="session")
+def world(parity_world_cache):
+    """``get(adaptivity) -> (script, testsets, baseline, models)``, cached."""
+    return parity_world_cache
+
+
+@pytest.fixture
+def engine_factory(backend_name):
+    """Build a pool-aware engine on the backend under test."""
+
+    def build(script, testsets, baseline, **kwargs):
+        return CIEngine(
+            script,
+            testsets[0],
+            baseline,
+            testset_pool=TestsetPool(list(testsets[1:])),
+            backend=backend_name,
+            **kwargs,
+        )
+
+    return build
+
+
+@pytest.fixture
+def reference_engine_factory():
+    """The same engine shape on the stock backend (the parity oracle)."""
+
+    def build(script, testsets, baseline, **kwargs):
+        return CIEngine(
+            script,
+            testsets[0],
+            baseline,
+            testset_pool=TestsetPool(list(testsets[1:])),
+            **kwargs,
+        )
+
+    return build
+
+
+def _service(script, testsets, baseline, backend_name=None):
+    kwargs = {} if backend_name is None else {"backend": backend_name}
+    service = CIService(
+        script,
+        testsets[0],
+        baseline,
+        repository=ModelRepository(nonce="conformance-nonce"),
+        **kwargs,
+    )
+    service.install_testset_pool(TestsetPool(list(testsets[1:])))
+    return service
+
+
+@pytest.fixture
+def service_factory(backend_name):
+    """Build a pool-aware service whose engine runs the backend under test."""
+
+    def build(script, testsets, baseline):
+        return _service(script, testsets, baseline, backend_name=backend_name)
+
+    return build
+
+
+@pytest.fixture
+def reference_service_factory():
+    def build(script, testsets, baseline):
+        return _service(script, testsets, baseline)
+
+    return build

@@ -1,0 +1,143 @@
+"""Manifest / state-format / component-contract checks.
+
+Everything here is about the seams themselves: the ``repro.ci-engine/v1``
+state format, the warm-manifest replay, the planner-config round trip,
+evaluator prepack purity, the raw ``StateStore`` read/write contract —
+and the headline guarantee that a backend registers without a single
+edit to ``core/engine.py``.
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+import repro.core.engine as engine_module
+from repro.ci.persistence import BUILD_RECORDED, COMMIT_RECEIVED
+from repro.core.engine import ENGINE_STATE_FORMAT, CIEngine
+from repro.stats.cache import clear_all_caches, warm_after_restore
+from repro.stats.estimation import PairedSample
+
+
+def test_export_state_keeps_v1_format_and_names_the_backend(
+    world, engine_factory, backend_name
+):
+    script, testsets, baseline, models = world("full")
+    engine = engine_factory(script, testsets, baseline)
+    state = engine.export_state()
+    assert state["format"] == ENGINE_STATE_FORMAT == "repro.ci-engine/v1"
+    assert state["backend"] == backend_name
+    # The whole export must survive a pickle round trip (snapshot payload).
+    assert pickle.loads(pickle.dumps(state))["backend"] == backend_name
+
+
+def test_from_state_resumes_element_wise_with_cold_caches(
+    world, engine_factory, backend_name
+):
+    script, testsets, baseline, models = world("full")
+    engine = engine_factory(script, testsets, baseline)
+    twin = engine_factory(script, testsets, baseline)
+    for model in models[:4]:
+        assert engine.submit(model) == twin.submit(model)
+
+    frozen = pickle.dumps(engine.export_state())
+    clear_all_caches()
+    restored = CIEngine.from_state(pickle.loads(frozen))
+    assert restored.backend.name == backend_name
+    assert restored.plan == engine.plan
+    for model in models[4:]:
+        assert restored.submit(model) == twin.submit(model)
+    assert restored.results == twin.results
+    assert restored.rotations == twin.rotations
+
+
+def test_warm_manifest_replay_rederives_the_same_plan(world, engine_factory):
+    script, testsets, baseline, models = world("full")
+    engine = engine_factory(script, testsets, baseline)
+    manifest = engine.warm_manifest()
+    assert manifest["plans"], "manifest must name at least one plan request"
+    clear_all_caches()
+    warm_after_restore(manifest)
+    assert engine.planner.replan_for(script) == engine.plan
+
+
+def test_planner_config_round_trip_plans_identically(world, backend):
+    script, testsets, baseline, models = world("full")
+    planner = backend.make_planner()
+    clone = backend.planner_from_config(planner.export_config())
+    assert clone.plan_for(script) == planner.plan_for(script)
+    assert clone.export_config() == planner.export_config()
+
+
+def test_prepack_is_idempotent_and_pure(world, backend):
+    script, testsets, baseline, models = world("full")
+    plan = backend.make_planner().plan_for(script)
+    evaluator = backend.make_evaluator(plan, script.mode)
+    testset = testsets[0]
+    old_predictions = testset.predict_with(baseline)
+
+    def sample_for(model):
+        return PairedSample(
+            old_predictions=old_predictions,
+            new_predictions=testset.predict_with(model),
+            labels=testset.labels,
+        )
+
+    before = [evaluator.evaluate(sample_for(model)) for model in models[:2]]
+    evaluator.prepack()
+    evaluator.prepack()  # idempotent: second call must be a no-op
+    after = [evaluator.evaluate(sample_for(model)) for model in models[:2]]
+    assert after == before
+
+
+def test_state_store_contract(backend, tmp_path):
+    store = backend.open_state_store(tmp_path / "state", create=True)
+    assert store.load_latest() is None
+    assert store.latest_info() is None
+    assert list(store.quarantined()) == []
+
+    base = store.journal_sequence
+    if base is not None:
+        store.append_event(COMMIT_RECEIVED, {"sequence": 0, "which": "first"})
+        store.append_event(BUILD_RECORDED, {"build_number": 1})
+        store.append_event(COMMIT_RECEIVED, {"sequence": 1, "which": "second"})
+        assert store.journal_sequence == base + 3
+        records = list(store.records_of(COMMIT_RECEIVED))
+        assert [r.payload["which"] for r in records] == ["first", "second"]
+        assert [r.sequence for r in records] == [base + 1, base + 3]
+        assert all(r.type == COMMIT_RECEIVED for r in records)
+
+    info = store.save_snapshot({"format": "conformance-probe", "value": 7})
+    assert info.sequence >= 1
+    state, loaded_info = store.load_latest()
+    assert state["value"] == 7
+    assert loaded_info.sequence == info.sequence
+    assert loaded_info.journal_sequence == info.journal_sequence
+
+    # A second snapshot strictly advances the sequence and wins load_latest.
+    second = store.save_snapshot({"format": "conformance-probe", "value": 8})
+    assert second.sequence > info.sequence
+    assert store.load_latest()[0]["value"] == 8
+
+    # Reopen from disk: everything above must be durable.
+    reopened = backend.open_state_store(tmp_path / "state", create=False)
+    assert reopened.load_latest()[0]["value"] == 8
+    assert reopened.journal_sequence == store.journal_sequence
+    assert str(tmp_path / "state") in reopened.location
+
+
+def test_open_missing_state_dir_without_create_fails(backend, tmp_path):
+    with pytest.raises(Exception):
+        backend.open_state_store(tmp_path / "does-not-exist", create=False)
+
+
+def test_backend_plugs_in_with_zero_engine_edits(backend_name):
+    source = Path(engine_module.__file__).read_text(encoding="utf-8")
+    assert "naive" not in source, (
+        "core/engine.py must never special-case the reference backend"
+    )
+    if backend_name != "default":
+        assert backend_name not in source, (
+            f"core/engine.py must not mention backend {backend_name!r}; "
+            "backends plug in through repro.core.kernel registration only"
+        )

@@ -15,6 +15,60 @@ settings.register_profile("repro", derandomize=True)
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--engine-backend",
+        action="store",
+        default="default",
+        help=(
+            "kernel backend name the conformance suite certifies "
+            "(tests/conformance/): 'default' for the stock components, "
+            "'naive' for the reference backend, or any name registered "
+            "via repro.core.kernel.register_backend"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def parity_world_cache():
+    """Session-cached parity worlds: ``(script, testsets, baseline, models)``.
+
+    ``make_world`` simulates predictions for a plan-sized testset per
+    (adaptivity, steps, ...) combination — rebuilding it per test is the
+    single biggest fixed cost of the parity-style suites.  The returned
+    getter derives each world once per session; everything in it is
+    read-only in engine use (tests build their own ``TestsetPool`` /
+    services around it), so sharing is safe.
+    """
+    from tests.ci.test_restart_parity import make_script, make_world
+
+    cache: dict[tuple, tuple] = {}
+
+    def get(
+        adaptivity: str,
+        *,
+        steps: int = 4,
+        commits: int = 10,
+        promote_at: tuple[int, ...] = (2, 6),
+        generations: int = 3,
+        seed: int = 0,
+    ) -> tuple:
+        key = (adaptivity, steps, commits, tuple(promote_at), generations, seed)
+        if key not in cache:
+            script = make_script(adaptivity, steps=steps)
+            testsets, baseline, models = make_world(
+                script,
+                commits=commits,
+                promote_at=promote_at,
+                generations=generations,
+                seed=seed,
+            )
+            cache[key] = (script, testsets, baseline, models)
+        return cache[key]
+
+    return get
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for ad-hoc draws."""

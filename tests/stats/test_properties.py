@@ -1,0 +1,255 @@
+"""Seeded property tests for the two load-bearing composition contracts.
+
+Plain stdlib ``random`` drives the generation (no new dependencies); every
+trial is wrapped so a failure names its seed — rerun with that seed to
+reproduce exactly.
+
+1. **Pairs-kernel batch-composition invariance** — the docstring promise
+   of :func:`~repro.stats.batch.exact_coverage_failure_probability_pairs`
+   that every element's value is a pure function of its own
+   ``(n, p, epsilon, sigmas, slack)``: fuse a random batch, split it at
+   random boundaries, permute it — bit-identical results however the
+   surrounding batch is composed.  This is the property the parallel
+   planning executor stands on when it shards sweeps across processes.
+
+2. **Cache-manifest merge algebra** — :func:`repro.stats.cache.merge_manifest`
+   must be idempotent (a cache's own export folds back in as a no-op)
+   and commutative at the contents level (random worker manifests merged
+   in any interleaving converge on identical entries).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+import repro.stats.cache as cache_mod
+from repro.stats.batch import exact_coverage_failure_probability_pairs
+from repro.stats.cache import (
+    MANIFEST_FORMAT,
+    LRUCache,
+    all_cache_info,
+    export_manifest,
+    merge_manifest,
+    register_cache,
+)
+
+TRIAL_SEEDS = range(10)
+
+
+def _seeded(trial, seed: int) -> None:
+    """Run ``trial(rng)``; on failure, re-raise with the seed attached."""
+    try:
+        trial(random.Random(seed))
+    except AssertionError as err:
+        raise AssertionError(f"[reproduce with seed={seed}] {err}") from err
+
+
+# ---------------------------------------------------------------------------
+# 1. Pairs-kernel batch-composition invariance
+# ---------------------------------------------------------------------------
+
+
+def _random_triples(rng: random.Random, size: int):
+    ns, ps, epss = [], [], []
+    for _ in range(size):
+        ns.append(rng.randrange(1, 2000))
+        roll = rng.random()
+        if roll < 0.05:
+            ps.append(0.0)  # boundary: probability mass collapses to zero
+        elif roll < 0.10:
+            ps.append(1.0)
+        else:
+            ps.append(rng.random())
+        epss.append(rng.uniform(1e-4, 0.5))
+    return np.asarray(ns), np.asarray(ps), np.asarray(epss)
+
+
+def _random_window(rng: random.Random):
+    """Either the default window or a random-but-shared (sigmas, slack)."""
+    if rng.random() < 0.5:
+        return {}
+    return {
+        "window_sigmas": rng.uniform(3.0, 10.0),
+        "window_slack": rng.randrange(1, 8),
+    }
+
+
+def _random_partition(rng: random.Random, size: int) -> list[slice]:
+    cuts = sorted(rng.sample(range(1, size), k=min(rng.randrange(1, 6), size - 1)))
+    bounds = [0, *cuts, size]
+    return [slice(a, b) for a, b in zip(bounds, bounds[1:])]
+
+
+def test_pairs_kernel_is_invariant_under_batch_splits():
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 64)
+        ns, ps, epss = _random_triples(rng, size)
+        window = _random_window(rng)
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss, **window)
+        pieces = [
+            exact_coverage_failure_probability_pairs(
+                ns[part], ps[part], epss[part], **window
+            )
+            for part in _random_partition(rng, size)
+        ]
+        chunked = np.concatenate(pieces)
+        assert np.array_equal(fused, chunked), (
+            f"split changed {np.sum(fused != chunked)} of {size} elements "
+            f"(max delta {np.max(np.abs(fused - chunked)):.3e}, window={window})"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+def test_pairs_kernel_is_invariant_under_permutation():
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 64)
+        ns, ps, epss = _random_triples(rng, size)
+        window = _random_window(rng)
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss, **window)
+        order = list(range(size))
+        rng.shuffle(order)
+        idx = np.asarray(order)
+        shuffled = exact_coverage_failure_probability_pairs(
+            ns[idx], ps[idx], epss[idx], **window
+        )
+        unshuffled = np.empty_like(shuffled)
+        unshuffled[idx] = shuffled
+        assert np.array_equal(fused, unshuffled), (
+            f"permutation changed {np.sum(fused != unshuffled)} of {size} elements"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+def test_pairs_kernel_singletons_match_fused_batch():
+    """The extreme split: every element alone equals its fused value."""
+
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(4, 16)
+        ns, ps, epss = _random_triples(rng, size)
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss)
+        for i in range(size):
+            alone = exact_coverage_failure_probability_pairs(
+                ns[i : i + 1], ps[i : i + 1], epss[i : i + 1]
+            )
+            assert alone[0] == fused[i], (
+                f"element {i} (n={ns[i]}, p={ps[i]:.6f}, eps={epss[i]:.6f}): "
+                f"alone={alone[0]!r} fused={fused[i]!r}"
+            )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+# ---------------------------------------------------------------------------
+# 2. Cache-manifest merge algebra
+# ---------------------------------------------------------------------------
+
+_TEMP_PREFIX = "tests.properties."
+
+
+def _with_temp_caches(count: int):
+    names = [f"{_TEMP_PREFIX}cache{i}" for i in range(count)]
+    caches = {name: register_cache(name, LRUCache(maxsize=256)) for name in names}
+    return names, caches
+
+
+def _drop_temp_caches(names) -> None:
+    with cache_mod._REGISTRY_LOCK:
+        for name in names:
+            cache_mod._REGISTRY.pop(name, None)
+
+
+def _random_worker_manifest(rng: random.Random, names) -> dict:
+    """A plausible worker export: per-cache entry lists, overlapping keys."""
+    payload = {}
+    for name in names:
+        entries = []
+        for _ in range(rng.randrange(0, 12)):
+            key = (rng.randrange(40), rng.choice("abc"))
+            if rng.random() < 0.8:
+                value = round(rng.uniform(0.0, 1.0), 6)
+            else:
+                value = [rng.randrange(10)] * rng.randrange(1, 4)
+            entries.append((key, value))
+        payload[name] = entries
+    return {"format": MANIFEST_FORMAT, "caches": payload}
+
+
+def _contents(caches) -> dict:
+    return {name: dict(cache.items()) for name, cache in caches.items()}
+
+
+def test_manifest_merge_is_commutative_under_random_interleavings():
+    def trial(rng: random.Random) -> None:
+        names, caches = _with_temp_caches(3)
+        try:
+            manifests = [
+                _random_worker_manifest(rng, names)
+                for _ in range(rng.randrange(2, 6))
+            ]
+            for manifest in manifests:
+                merge_manifest(manifest)
+            forward = _contents(caches)
+
+            for cache in caches.values():
+                cache.clear()
+            shuffled = list(manifests)
+            rng.shuffle(shuffled)
+            for manifest in shuffled:
+                merge_manifest(manifest)
+            assert _contents(caches) == forward, (
+                f"{len(manifests)} worker manifests merged in two orders "
+                "left different registry contents"
+            )
+        finally:
+            _drop_temp_caches(names)
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+def test_manifest_merge_is_idempotent():
+    def trial(rng: random.Random) -> None:
+        names, caches = _with_temp_caches(2)
+        try:
+            for manifest in (
+                _random_worker_manifest(rng, names),
+                _random_worker_manifest(rng, names),
+            ):
+                merge_manifest(manifest)
+            before = _contents(caches)
+            stats_before = {name: caches[name].info() for name in names}
+
+            exported = export_manifest()
+            merge_manifest(exported)
+            merge_manifest(exported)  # twice: still a no-op
+
+            assert _contents(caches) == before, "self-merge changed entries"
+            assert {name: caches[name].info() for name in names} == stats_before, (
+                "self-merge disturbed hit/miss statistics"
+            )
+        finally:
+            _drop_temp_caches(names)
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+def test_full_registry_manifest_self_merge_is_a_no_op():
+    """The real registry (plan cache, layout/table codecs) obeys the law too."""
+    # Warm the kernel-layer caches with real work first.
+    exact_coverage_failure_probability_pairs(
+        np.asarray([50, 200, 1000]),
+        np.asarray([0.3, 0.5, 0.9]),
+        np.asarray([0.05, 0.02, 0.01]),
+    )
+    exported = export_manifest()
+    before = all_cache_info()
+    merge_manifest(exported)
+    assert all_cache_info() == before

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Gate ``coverage.xml`` against the ratchet-only line-coverage floor.
+
+The floor lives in ``tools/coverage_floor.txt`` and only ever moves up:
+CI fails when measured line-rate drops below it, and ``--update``
+refuses to lower it (it writes ``measured - margin`` when that beats the
+current floor, leaving slack for engine drift between pytest-cov and the
+stdlib fallback in ``tools/run_coverage.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from xml.etree import ElementTree
+
+FLOOR_FILE = Path(__file__).resolve().with_name("coverage_floor.txt")
+UPDATE_MARGIN = 0.01
+
+
+def read_rate(xml_path: Path) -> float:
+    root = ElementTree.parse(xml_path).getroot()
+    return float(root.attrib["line-rate"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--xml", type=Path, default=Path("coverage.xml"))
+    parser.add_argument("--floor-file", type=Path, default=FLOOR_FILE)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="ratchet the floor up to (measured - margin); never lowers it",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.xml.exists():
+        print(f"error: {args.xml} not found — run tools/run_coverage.py first")
+        return 2
+    rate = read_rate(args.xml)
+    floor = float(args.floor_file.read_text().strip())
+    print(f"line coverage {rate:.2%} (floor {floor:.2%})")
+
+    if args.update:
+        candidate = round(rate - UPDATE_MARGIN, 4)
+        if candidate > floor:
+            args.floor_file.write_text(f"{candidate}\n")
+            print(f"floor ratcheted {floor:.2%} -> {candidate:.2%}")
+        else:
+            print("floor unchanged (ratchet only moves up)")
+        return 0
+
+    if rate < floor:
+        print(
+            f"FAIL: line coverage {rate:.2%} fell below the ratchet floor "
+            f"{floor:.2%} ({args.floor_file})"
+        )
+        return 1
+    print("coverage floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Run the test suite under line coverage and write ``coverage.xml``.
+
+Two engines, picked automatically:
+
+* **pytest-cov** when importable (CI installs it): the standard
+  ``--cov=repro --cov-report=term --cov-report=xml`` run.
+* A **stdlib fallback** otherwise (the offline dev container has no
+  coverage packages and installing them is not an option): a
+  ``sys.settrace`` line tracer scoped to ``src/repro`` frames runs
+  pytest in-process, then executable lines are recovered from compiled
+  code objects (``co_lines``) and the result is written as a minimal
+  Cobertura-style XML whose root ``line-rate`` is what
+  ``tools/check_coverage.py`` gates on.
+
+The two engines agree closely but not bit-for-bit (pytest-cov counts a
+few arc/line cases the fallback does not), which is why the floor in
+``tools/coverage_floor.txt`` ratchets just *below* measured values.
+
+Usage: ``python tools/run_coverage.py [pytest args...]`` (defaults to
+the full tier-1 selection).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+import threading
+import types
+from pathlib import Path
+from xml.etree import ElementTree
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+PACKAGE_ROOT = SRC_ROOT / "repro"
+XML_PATH = REPO_ROOT / "coverage.xml"
+
+
+def _run_pytest_cov(pytest_args: list[str]) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC_ROOT}{os.pathsep}{env['PYTHONPATH']}" if env.get(
+        "PYTHONPATH"
+    ) else str(SRC_ROOT)
+    return subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--cov=repro",
+            "--cov-report=term",
+            f"--cov-report=xml:{XML_PATH}",
+            *pytest_args,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stdlib fallback
+# ---------------------------------------------------------------------------
+
+
+class _LineCollector:
+    """Records executed (filename, lineno) pairs for frames under src/repro."""
+
+    def __init__(self, root: str):
+        self._root = root
+        self.hits: dict[str, set[int]] = {}
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            self.hits.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+        return self._local
+
+    def global_trace(self, frame, event, arg):
+        # Only frames whose code lives in the package are traced; every
+        # other frame (pytest, numpy, stdlib) returns None and runs at
+        # full speed.
+        if frame.f_code.co_filename.startswith(self._root):
+            return self._local
+        return None
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """Line numbers that carry bytecode, from the compiled code objects."""
+    try:
+        code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    except SyntaxError:
+        return set()
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        for _, _, lineno in obj.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        stack.extend(c for c in obj.co_consts if isinstance(c, types.CodeType))
+    # The compiler attributes module docstrings/headers to line ranges
+    # that always execute on import; RESUME pseudo-lines at 0 are gone
+    # via the None filter above.
+    return lines
+
+
+def _write_xml(per_file: list[tuple[str, int, int]], covered: int, valid: int) -> None:
+    rate = covered / valid if valid else 1.0
+    root = ElementTree.Element(
+        "coverage",
+        {
+            "line-rate": f"{rate:.4f}",
+            "branch-rate": "0",
+            "lines-covered": str(covered),
+            "lines-valid": str(valid),
+            "version": "repro-fallback-1",
+            "timestamp": "0",
+        },
+    )
+    packages = ElementTree.SubElement(root, "packages")
+    package = ElementTree.SubElement(
+        packages, "package", {"name": "repro", "line-rate": f"{rate:.4f}"}
+    )
+    classes = ElementTree.SubElement(package, "classes")
+    for rel, hit, total in per_file:
+        ElementTree.SubElement(
+            classes,
+            "class",
+            {
+                "name": rel.replace("/", "."),
+                "filename": rel,
+                "line-rate": f"{(hit / total) if total else 1.0:.4f}",
+                "lines-covered": str(hit),
+                "lines-valid": str(total),
+            },
+        )
+    ElementTree.ElementTree(root).write(XML_PATH, encoding="utf-8")
+
+
+def _run_fallback(pytest_args: list[str]) -> int:
+    sys.path.insert(0, str(SRC_ROOT))
+    import pytest
+
+    collector = _LineCollector(str(PACKAGE_ROOT))
+    threading.settrace(collector.global_trace)
+    sys.settrace(collector.global_trace)
+    try:
+        exit_code = pytest.main(["-q", *pytest_args])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+    per_file: list[tuple[str, int, int]] = []
+    covered = valid = 0
+    for path in sorted(PACKAGE_ROOT.rglob("*.py")):
+        executable = _executable_lines(path)
+        hit = len(executable & collector.hits.get(str(path), set()))
+        per_file.append((str(path.relative_to(SRC_ROOT)), hit, len(executable)))
+        covered += hit
+        valid += len(executable)
+
+    print(f"\n{'file':60s} {'lines':>7s} {'hit':>7s} {'cover':>7s}")
+    for rel, hit, total in per_file:
+        pct = (hit / total * 100.0) if total else 100.0
+        print(f"{rel:60s} {total:7d} {hit:7d} {pct:6.1f}%")
+    rate = covered / valid if valid else 1.0
+    print(f"{'TOTAL':60s} {valid:7d} {covered:7d} {rate * 100.0:6.1f}%")
+    print(f"wrote {XML_PATH} (line-rate {rate:.4f}, stdlib settrace engine)")
+
+    _write_xml(per_file, covered, valid)
+    return int(exit_code)
+
+
+def main(argv: list[str]) -> int:
+    pytest_args = argv or []
+    if importlib.util.find_spec("pytest_cov") is not None:
+        return _run_pytest_cov(pytest_args)
+    print("pytest-cov not importable; using the stdlib settrace fallback", flush=True)
+    return _run_fallback(pytest_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -56,6 +56,22 @@ SCHEMAS = {
         "tight_epsilon_sweep.bracket_contract_upper_ok": bool,
         "tight_epsilon_sweep.bracket_contract_lower_ok": bool,
         "tight_epsilon_sweep.speedup_gate_enforced": bool,
+        "pairs_bandwidth.elements": int,
+        "pairs_bandwidth.n_range": list,
+        "pairs_bandwidth.window_cells": int,
+        "pairs_bandwidth.tiers": list,
+        "pairs_bandwidth.tiers.[].tier": str,
+        "pairs_bandwidth.tiers.[].seconds": NUMBER,
+        "pairs_bandwidth.tiers.[].bytes_per_cell": int,
+        "pairs_bandwidth.tiers.[].window_bytes": int,
+        "pairs_bandwidth.tiers.[].effective_gbps": NUMBER,
+        "pairs_bandwidth.tiers.[].speedup_vs_reference": NUMBER,
+        "pairs_bandwidth.fused_identical_to_reference": bool,
+        "pairs_bandwidth.float32_within_certified_bound": bool,
+        "pairs_bandwidth.float32_max_abs_error": NUMBER,
+        "pairs_bandwidth.float32_speedup": NUMBER,
+        "pairs_bandwidth.jit_available": bool,
+        "pairs_bandwidth.speedup_gate_enforced": bool,
         "cache_info_after": dict,
     },
     "BENCH_commit_throughput.json": {

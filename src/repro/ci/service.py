@@ -255,6 +255,13 @@ class CIService:
         worker count never changes build records, signals or budgets,
         and snapshots taken under any worker setting restore identically
         on any other (plans are re-derived, never serialized).
+    precision:
+        Planning-kernel accumulation tier forwarded to the engine:
+        ``None`` keeps the estimator's setting (``"float64"`` for the
+        stock one); ``"float32"`` halves the planning kernels' memory
+        traffic while every adopted plan is still certified against the
+        float64 reference — build records, signals and budgets never
+        change with the tier.
     engine_kwargs:
         Extra keyword arguments forwarded to :class:`CIEngine` (e.g.
         ``estimator`` or ``enforce_testset_size``).
@@ -269,6 +276,7 @@ class CIService:
         repository: ModelRepository | None = None,
         transport: NotificationTransport | None = None,
         workers: int | str | None = None,
+        precision: str | None = None,
         **engine_kwargs: Any,
     ):
         self.script = script
@@ -282,6 +290,7 @@ class CIService:
             baseline_model,
             notifier=notifier,
             workers=workers,
+            precision=precision,
             **engine_kwargs,
         )
         self.repository.on_commit(self._on_commit, batch_observer=self._on_commit_batch)

@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="planning worker processes: a count, 'auto' (one per CPU) or "
         "'serial' (default: serial, or $REPRO_PLAN_WORKERS)",
     )
+    plan.add_argument(
+        "--precision",
+        default="float64",
+        choices=["float64", "float32"],
+        help="planning-kernel accumulation tier: float32 halves memory "
+        "traffic; adopted plans are certified against the float64 "
+        "reference either way (default: float64)",
+    )
 
     validate = sub.add_parser("validate", help="validate a script file")
     validate.add_argument("script", type=Path, help="path to the .travis.yml-style file")
@@ -172,6 +180,7 @@ def _run_plan(args: argparse.Namespace) -> int:
         optimizations="none" if args.baseline else "auto",
         use_exact_binomial=args.exact_binomial,
         workers=args.workers,
+        precision=args.precision,
     )
     plan = estimator.plan(
         args.condition,

@@ -86,7 +86,12 @@ from repro.core.testset import (
     TestsetManager,
     TestsetPool,
 )
-from repro.exceptions import EngineStateError, PersistenceError, TestsetSizeError
+from repro.exceptions import (
+    EngineStateError,
+    InvalidParameterError,
+    PersistenceError,
+    TestsetSizeError,
+)
 from repro.stats.cache import warm_after_restore
 from repro.stats.estimation import PairedSample, PairedSampleBatch
 
@@ -188,6 +193,15 @@ class CIEngine:
         :class:`~repro.core.kernel.KernelBackend` instance, or ``None``
         for ``"default"`` (the stock
         :class:`SampleSizeEstimator`/:class:`ConditionEvaluator` pair).
+    precision:
+        Accumulation tier of the planning kernels: ``None`` (keep the
+        estimator's setting — ``"float64"`` for the stock one) or an
+        explicit ``"float64"`` / ``"float32"``.  The float32 tier halves
+        the planning kernels' memory traffic; its probes are certified
+        against the float64 reference, so plans never weaken.  When a
+        custom ``estimator`` disagrees, it is rebuilt — same class — from
+        its exported config with ``precision`` applied, mirroring how a
+        parallel ``workers`` setting is grafted on.
     """
 
     def __init__(
@@ -202,8 +216,20 @@ class CIEngine:
         testset_pool: TestsetPool | None = None,
         workers: int | str | None = None,
         backend: str | KernelBackend | None = None,
+        precision: str | None = None,
     ):
         self.script = script
+        if precision is not None:
+            if precision not in ("float64", "float32"):
+                raise InvalidParameterError(
+                    f"precision must be 'float64' or 'float32', got {precision!r}"
+                )
+            if estimator is None:
+                estimator = SampleSizeEstimator(precision=precision)
+            elif getattr(estimator, "precision", "float64") != precision:
+                config = dict(estimator.export_config())
+                config["precision"] = precision
+                estimator = type(estimator)(**config)
         self._backend = get_backend(backend)
         self._planner = self._backend.make_planner(
             workers=workers, estimator=estimator

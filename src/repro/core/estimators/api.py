@@ -94,6 +94,18 @@ class SampleSizeEstimator:
         Size single-variable clauses by §4.3 exact binomial inversion
         instead of Hoeffding (never larger; 10–40% smaller typically).
         Off by default because the paper's headline tables use Hoeffding.
+    precision:
+        Accumulation tier of the exact-binomial planning kernels:
+        ``"float64"`` (default, bit-identical to every release so far) or
+        ``"float32"`` (half the memory traffic in the bandwidth-bound
+        scans).  Reduced-precision probes are *certified, not trusted* —
+        every adopted sample size is re-checked against the float64
+        reference, so plans never weaken (see
+        :func:`repro.stats.tight_bounds.tight_sample_size`).
+    kernel:
+        ``"numpy"`` (default) or ``"jit"`` — the optional Numba windowed
+        scan registered as kernel backend ``"jit"`` and certified by the
+        conformance suite.  Requires numba; validated eagerly.
     use_plan_cache:
         Serve repeated :meth:`plan` calls from a process-wide LRU cache
         keyed on the normalized condition source, the reliability spec and
@@ -131,6 +143,8 @@ class SampleSizeEstimator:
         use_exact_binomial: bool = False,
         use_plan_cache: bool = True,
         workers: int | str | None = None,
+        precision: str = "float64",
+        kernel: str = "numpy",
     ):
         if optimizations not in ("auto", "none"):
             raise InvalidParameterError(
@@ -141,6 +155,21 @@ class SampleSizeEstimator:
                 f"variance_bound_policy must be one of {self._POLICIES}, "
                 f"got {variance_bound_policy!r}"
             )
+        if precision not in ("float64", "float32"):
+            raise InvalidParameterError(
+                f"precision must be 'float64' or 'float32', got {precision!r}"
+            )
+        if kernel not in ("numpy", "jit"):
+            raise InvalidParameterError(
+                f"kernel must be 'numpy' or 'jit', got {kernel!r}"
+            )
+        if kernel == "jit":
+            from repro.stats.jit import NUMBA_AVAILABLE
+
+            if not NUMBA_AVAILABLE:
+                raise InvalidParameterError(
+                    "kernel='jit' requires numba, which is not importable"
+                )
         if workers is not None:
             resolve_workers(workers)  # validate eagerly; resolve per call
         self.optimizations = optimizations
@@ -148,6 +177,8 @@ class SampleSizeEstimator:
         self.use_exact_binomial = bool(use_exact_binomial)
         self.use_plan_cache = bool(use_plan_cache)
         self.workers = workers
+        self.precision = precision
+        self.kernel = kernel
 
     # -- plan cache --------------------------------------------------------------
     def _config_key(self) -> tuple:
@@ -155,6 +186,8 @@ class SampleSizeEstimator:
             self.optimizations,
             self.variance_bound_policy,
             self.use_exact_binomial,
+            self.precision,
+            self.kernel,
         )
 
     def export_config(self) -> dict[str, Any]:
@@ -172,6 +205,8 @@ class SampleSizeEstimator:
             "use_exact_binomial": self.use_exact_binomial,
             "use_plan_cache": self.use_plan_cache,
             "workers": self.workers,
+            "precision": self.precision,
+            "kernel": self.kernel,
         }
 
     @staticmethod
@@ -397,7 +432,12 @@ class SampleSizeEstimator:
             )
         if strategy is ClauseStrategy.EXACT_BINOMIAL:
             samples = float(
-                tight_sample_size(clause.tolerance, min(delta_clause, 0.5))
+                tight_sample_size(
+                    clause.tolerance,
+                    min(delta_clause, 0.5),
+                    precision=self.precision,
+                    kernel=self.kernel,
+                )
             )
             lin = linearize(clause)
             (variable,) = lin.variables()

@@ -12,6 +12,7 @@ against the stock behavior, element-wise.
 
 from repro.core.kernel.default import DefaultPlanner, DirectoryStateStore
 from repro.core.kernel.interfaces import Evaluator, Planner, StateStore
+from repro.core.kernel.jit import JitPlanner
 from repro.core.kernel.registry import (
     KernelBackend,
     available_backends,
@@ -31,6 +32,7 @@ __all__ = [
     "StateStore",
     "KernelBackend",
     "DefaultPlanner",
+    "JitPlanner",
     "DirectoryStateStore",
     "register_planner",
     "register_evaluator",

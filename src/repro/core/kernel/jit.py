@@ -1,0 +1,68 @@
+"""The ``"jit"`` kernel backend: Numba-compiled windowed-tail planning.
+
+A :class:`~repro.core.kernel.default.DefaultPlanner` whose estimator
+routes exact-binomial probes through the Numba windowed scan
+(``kernel="jit"``; see :mod:`repro.stats.jit`).  The jit loop performs
+the same float64 arithmetic as the NumPy tiers but accumulates each row
+left-to-right instead of pairwise, so its results are near- but not
+bit-identical to the default backend — exactly the situation the PR-8
+registry exists for: the backend registers under its own name, plans
+under its own memo keys, and is certified by ``tests/conformance/``
+rather than trusted as a drop-in.
+
+Importing this module is always safe.  Registration is conditional on
+numba being importable — without numba, :func:`available_backends` simply
+omits ``"jit"`` and requesting it raises the registry's usual unknown-
+backend error, so a numba-less host degrades to an accurate message
+instead of a deferred compile failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.core.kernel.default import DefaultPlanner
+from repro.core.kernel.registry import register_backend, register_planner
+from repro.stats.jit import NUMBA_AVAILABLE
+from repro.stats.parallel import resolve_workers
+
+__all__ = ["JitPlanner"]
+
+
+class JitPlanner(DefaultPlanner):
+    """:class:`DefaultPlanner` pinned to the ``kernel="jit"`` estimator."""
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        workers: int | str | None = None,
+        estimator: SampleSizeEstimator | None = None,
+        config: Mapping[str, Any] | None = None,
+    ) -> "JitPlanner":
+        """The registered factory: graft ``kernel="jit"`` onto any source.
+
+        Mirrors :meth:`DefaultPlanner.build`, with one addition: whatever
+        the estimator's provenance (persisted config, caller-supplied
+        instance, or fresh), it is (re)built with ``kernel="jit"`` so
+        every plan this backend produces really exercises the jit scan.
+        """
+        if config is not None:
+            rebuilt = dict(config)
+            rebuilt["kernel"] = "jit"
+            estimator = SampleSizeEstimator(**rebuilt)
+        elif estimator is None:
+            estimator = SampleSizeEstimator(workers=workers, kernel="jit")
+        else:
+            rebuilt = estimator.export_config()
+            rebuilt["kernel"] = "jit"
+            if workers is not None and resolve_workers(workers) > 1:
+                rebuilt["workers"] = workers
+            estimator = type(estimator)(**rebuilt)
+        return cls(estimator)
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    register_planner("jit", JitPlanner.build)
+    register_backend("jit", planner="jit")

@@ -1,0 +1,77 @@
+"""Optional Numba-jit windowed-tail scan (the ``"jit"`` kernel tier).
+
+The pairs kernel's inner loop — gather a window of log-binomial
+coefficients, add the per-row affine term, exponentiate, reduce — is a
+natural single-pass scalar loop; when :mod:`numba` is importable it
+compiles to machine code that fuses all four passes per element instead
+of per array.  This module is a *graceful no-op* without numba: it
+imports cleanly everywhere, :data:`NUMBA_AVAILABLE` is ``False``, and
+:func:`jit_window_sums` raises — the ``"jit"`` kernel backend
+(:mod:`repro.core.kernel.jit`) only registers when numba is present, so
+nothing reaches the raise in a numba-less process.
+
+The jit loop accumulates each row left-to-right, so a row's value is a
+pure function of its own inputs and width — batch-composition invariance
+holds exactly as in the NumPy tiers — but the summation *order* differs
+from NumPy's pairwise reduction, so jit results are close to, not
+bit-identical with, the default tier.  That is why the jit tier is a
+separate kernel backend certified by ``tests/conformance/`` (and why its
+results join the planning memo caches under their own key), never a
+silent drop-in.  The scalar and batch implementations serve as its
+oracles in ``tests/stats/test_precision_tiers.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NUMBA_AVAILABLE", "jit_window_sums"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the common, numba-less case
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True, fastmath=False)
+    def _window_sums_loop(src, starts, logit, const, width, out):
+        for r in range(starts.shape[0]):
+            base = starts[r]
+            lg = logit[r]
+            c = const[r]
+            acc = 0.0
+            for j in range(width):
+                acc += np.exp(src[base + j] + lg * j + c)
+            out[r] = acc
+
+    def jit_window_sums(
+        src: np.ndarray,
+        starts: np.ndarray,
+        logit: np.ndarray,
+        const: np.ndarray,
+        width: int,
+    ) -> np.ndarray:
+        """Per-row window sums ``sum_j exp(src[s+j] + logit*j + const)``."""
+        out = np.empty(len(starts), dtype=np.float64)
+        _window_sums_loop(
+            np.ascontiguousarray(src, dtype=np.float64),
+            np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(logit, dtype=np.float64),
+            np.ascontiguousarray(const, dtype=np.float64),
+            int(width),
+            out,
+        )
+        return out
+
+else:
+
+    def jit_window_sums(src, starts, logit, const, width):  # noqa: D103
+        raise RuntimeError(
+            "the jit kernel tier requires numba, which is not importable; "
+            "use the default kernel (impl='fused') instead"
+        )

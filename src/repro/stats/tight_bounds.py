@@ -96,6 +96,8 @@ __all__ = [
 ]
 
 _BACKENDS = ("batch", "scalar")
+_PRECISIONS = ("float64", "float32")
+_KERNELS = ("numpy", "jit")
 
 
 def _check_backend(backend: str) -> str:
@@ -104,6 +106,22 @@ def _check_backend(backend: str) -> str:
             f"backend must be one of {_BACKENDS}, got {backend!r}"
         )
     return backend
+
+
+def _check_precision(precision: str) -> str:
+    if precision not in _PRECISIONS:
+        raise InvalidParameterError(
+            f"precision must be one of {_PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in _KERNELS:
+        raise InvalidParameterError(
+            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+        )
+    return kernel
 
 
 def exact_coverage_failure_probability(n: int, p: float, epsilon: float) -> float:
@@ -221,14 +239,49 @@ def _exceeds_delta_batch(
 
 @memoize("stats.tight_bounds.tight_sample_size", maxsize=4096)
 def _tight_sample_size_cached(
-    epsilon: float, delta: float, grid: int, refine: int, backend: str, hint: int
+    epsilon: float,
+    delta: float,
+    grid: int,
+    refine: int,
+    backend: str,
+    hint: int,
+    precision: str,
+    kernel: str,
 ) -> int:
     if backend == "scalar":
         def exceeds(n: int) -> bool:
             return _scan_scalar(n, epsilon, grid, refine)[0] > delta
-    else:
+    elif kernel == "numpy":
+        # Both precision tiers run float64 probes.  The discrete
+        # distribution ripples near the boundary, so the "certified local
+        # boundary" is not unique — two sizes a couple apart can both
+        # satisfy ``not exceeds(n), exceeds(n-1)`` — and equality with the
+        # default tier needs every probe to answer exactly the float64
+        # question.  A certified float32 screen cannot help here: at
+        # planning-grade deltas the exceedance only surfaces in the scan's
+        # refinement levels (measured 2/8 of the boundary probes certify
+        # even from a dense level-0 screen), so the float32 tier keeps its
+        # speed wins in the vectorized sweeps and delegates this scalar
+        # bisection to the reference probes wholesale.
         def exceeds(n: int) -> bool:
             return _exceeds_delta_batch(n, epsilon, delta, grid, refine)
+    else:
+        # jit kernel: route probes through the pairs kernel so the
+        # requested impl actually drives the scans.
+        impl = "jit" if kernel == "jit" else None
+
+        def exceeds(n: int) -> bool:
+            return bool(
+                exceeds_delta_many(
+                    [n],
+                    [epsilon],
+                    delta,
+                    grid=grid,
+                    refine=refine,
+                    precision=precision,
+                    impl=impl,
+                )[0]
+            )
 
     hi = hint
     # Ensure hi is feasible (it should be, Hoeffding dominates); expand if not.
@@ -261,6 +314,8 @@ def tight_sample_size(
     refine: int = 2,
     n_hint: int | None = None,
     backend: str = "batch",
+    precision: str = "float64",
+    kernel: str = "numpy",
 ) -> int:
     """Minimal ``n`` with worst-case coverage failure at most ``delta``.
 
@@ -282,10 +337,28 @@ def tight_sample_size(
     backend:
         ``"batch"`` (vectorized, memoized; the default) or ``"scalar"``
         (the pure-Python reference).  Both return the same ``n``.
+    precision:
+        ``"float64"`` (default) or ``"float32"``.  The minimal-``n``
+        search adopts float64 probe answers in *every* tier — the
+        discrete distribution ripples near the boundary, so only probes
+        that answer exactly the float64 question make the returned ``n``
+        equal to the default tier's.  The float32 tier's speed wins live
+        in the vectorized scans (:func:`tight_epsilon_many`,
+        :func:`exceeds_delta_many`); here the parameter is accepted for
+        API uniformity and never changes the plan.
+    kernel:
+        ``"numpy"`` (default) or ``"jit"`` (the optional Numba windowed
+        scan, certified by the conformance suite; requires numba).
     """
     check_positive(epsilon, "epsilon")
     check_probability(delta, "delta")
     _check_backend(backend)
+    _check_precision(precision)
+    _check_kernel(kernel)
+    if backend == "scalar" and (precision != "float64" or kernel != "numpy"):
+        raise InvalidParameterError(
+            "backend='scalar' supports only precision='float64', kernel='numpy'"
+        )
     if epsilon >= 1.0:
         return 1
     hoeffding_n = int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
@@ -293,13 +366,14 @@ def tight_sample_size(
     if n_hint is None or n_hint == hoeffding_n:
         # The common, hint-free call: one shared cache entry.
         return _tight_sample_size_cached(
-            epsilon, delta, grid, refine, backend, max(1, hoeffding_n)
+            epsilon, delta, grid, refine, backend, max(1, hoeffding_n),
+            precision, kernel,
         )
     # A custom hint changes the probe trajectory but not the answer; bypass
     # the memo (still benefiting from the per-probe caches) so the cache
     # never depends on hints.
     return _tight_sample_size_cached.__wrapped__(
-        epsilon, delta, grid, refine, backend, hint
+        epsilon, delta, grid, refine, backend, hint, precision, kernel
     )
 
 
@@ -457,13 +531,31 @@ _ADVISORY_SIGMAS, _ADVISORY_SLACK = 6.0, 24
 _VERIFY_SIGMAS, _VERIFY_SLACK = 6.5, 28
 
 
-def _pairs_f(ns, ps, epsilons, sigmas=None, slack=None) -> np.ndarray:
+def _pairs_f(
+    ns,
+    ps,
+    epsilons,
+    sigmas=None,
+    slack=None,
+    precision="float64",
+    impl=None,
+    return_error_bound=False,
+):
     return exact_coverage_failure_probability_pairs(
-        ns, ps, epsilons, window_sigmas=sigmas, window_slack=slack
+        ns,
+        ps,
+        epsilons,
+        window_sigmas=sigmas,
+        window_slack=slack,
+        precision=precision,
+        impl=impl,
+        return_error_bound=return_error_bound,
     )
 
 
-def _level0_values(ns, epsilons, offsets, grid, sigmas, slack) -> np.ndarray:
+def _level0_values(
+    ns, epsilons, offsets, grid, sigmas, slack, precision="float64", impl=None
+) -> np.ndarray:
     """Level-0 grid values over ``[0, 1]`` for each probe, one dispatch.
 
     Exploits the exact binomial symmetry ``f(n, p, eps) = f(n, 1-p, eps)``:
@@ -480,6 +572,8 @@ def _level0_values(ns, epsilons, offsets, grid, sigmas, slack) -> np.ndarray:
             np.repeat(epsilons, grid + 1),
             sigmas,
             slack,
+            precision,
+            impl,
         ).reshape(count, grid + 1)
     half = grid // 2
     points = np.broadcast_to(offsets[: half + 1] * step, (count, half + 1))
@@ -489,6 +583,8 @@ def _level0_values(ns, epsilons, offsets, grid, sigmas, slack) -> np.ndarray:
         np.repeat(epsilons, half + 1),
         sigmas,
         slack,
+        precision,
+        impl,
     ).reshape(count, half + 1)
     return np.concatenate([left, left[:, :half][:, ::-1]], axis=1)
 
@@ -502,6 +598,8 @@ def exceeds_delta_many(
     refine: int = 2,
     window_sigmas: float | None = None,
     window_slack: int | None = None,
+    precision: str = "float64",
+    impl: str | None = None,
 ) -> np.ndarray:
     """Vectorized ``max_p f(n_i, p, eps_i) > delta`` for a vector of probes.
 
@@ -518,7 +616,15 @@ def exceeds_delta_many(
     This is the kernel behind :func:`tight_epsilon_many` and the building
     block for sharded planning services that probe many testset sizes per
     request.
+
+    ``precision`` / ``impl`` select the pairs-kernel tier for the scans
+    (see :func:`~repro.stats.batch.exact_coverage_failure_probability_pairs`).
+    Non-default tiers are **advisory**: a float32 scan may flip a
+    razor-thin threshold comparison, so certificate-grade callers (the
+    VERIFY passes of :func:`tight_epsilon_many`, the minimal-``n``
+    probes of :func:`tight_sample_size`) always adopt float64 answers.
     """
+    _check_precision(precision)
     ns = np.atleast_1d(np.asarray(ns)).astype(np.int64)
     eps = np.atleast_1d(np.asarray(epsilons, dtype=np.float64))
     ns, eps = np.broadcast_arrays(ns, eps)
@@ -548,7 +654,14 @@ def exceeds_delta_many(
         points = lo[active][:, None] + offsets[None, :] * step[:, None]
         if level == 0:
             values = _level0_values(
-                ns[active], eps[active], offsets, grid, window_sigmas, window_slack
+                ns[active],
+                eps[active],
+                offsets,
+                grid,
+                window_sigmas,
+                window_slack,
+                precision,
+                impl,
             )
         else:
             values = _pairs_f(
@@ -557,6 +670,8 @@ def exceeds_delta_many(
                 np.repeat(eps[active], grid + 1),
                 window_sigmas,
                 window_slack,
+                precision,
+                impl,
             ).reshape(len(active), grid + 1)
         arg = np.argmax(values, axis=1)
         rows = np.arange(len(active))
@@ -581,12 +696,15 @@ def _record_scan_anchors(
     grid: int,
     refine: int,
     top_k: int,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Full trajectory scans (lockstep) returning each probe's top-k ``p``.
 
     The anchors are the highest-failure-probability points across every
     refinement level — the raw material for the cutoff-tracking witnesses
-    of :func:`tight_epsilon_many`.  Shape ``(len(ns), top_k)``.
+    of :func:`tight_epsilon_many`.  Shape ``(len(ns), top_k)``.  The
+    recording is purely advisory (anchors only position later probes), so
+    it honours the requested precision tier wholesale.
     """
     count = len(ns)
     offsets = np.arange(grid + 1, dtype=np.float64)
@@ -606,7 +724,13 @@ def _record_scan_anchors(
         points = lo[:, None] + level_offsets[None, :] * step[:, None]
         if level == 0:
             values = _level0_values(
-                ns, epsilons, offsets, grid, _ADVISORY_SIGMAS, _ADVISORY_SLACK
+                ns,
+                epsilons,
+                offsets,
+                grid,
+                _ADVISORY_SIGMAS,
+                _ADVISORY_SLACK,
+                precision,
             )
         else:
             values = _pairs_f(
@@ -615,6 +739,7 @@ def _record_scan_anchors(
                 np.repeat(epsilons, level_grid + 1),
                 _ADVISORY_SIGMAS,
                 _ADVISORY_SLACK,
+                precision,
             ).reshape(count, level_grid + 1)
         all_points.append(points)
         all_values.append(values)
@@ -641,6 +766,7 @@ def _tracked_witness_crossing(
     lo: np.ndarray,
     hi: np.ndarray,
     tol: float,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Lockstep bisection on the cutoff-tracking witness maximum.
 
@@ -656,6 +782,12 @@ def _tracked_witness_crossing(
     under-estimates).  Returns ``(crossing, sound_lo)`` where ``sound_lo``
     is the largest epsilon at which a lattice witness certified an
     exceedance (``-inf`` when none did).
+
+    In the float32 tier the bisection steering stays advisory as-is, but
+    a lattice certificate additionally demands the exceedance to clear
+    the tier's derived error bound — ``value - bound > delta`` implies
+    the float64 value exceeds too, so ``sound_lo`` remains sound in every
+    tier ("certified, not trusted").
     """
     lo = lo.copy()
     hi = hi.copy()
@@ -679,17 +811,30 @@ def _tracked_witness_crossing(
         # Out-of-range translates are parked at the boundary, where the
         # failure probability is exactly zero — never a certificate.
         np.clip(points, 0.0, 1.0, out=points)
+        float32 = precision == "float32"
         values = _pairs_f(
             flat_ns.reshape(count, width)[open_idx].ravel(),
             points.ravel(),
             np.repeat(mids[open_idx], width),
             _ADVISORY_SIGMAS,
             _ADVISORY_SLACK,
-        ).reshape(len(open_idx), width)
+            precision,
+            None,
+            float32,
+        )
+        if float32:
+            values, tier_bound = values
+            tier_bound = tier_bound.reshape(len(open_idx), width)
+        values = values.reshape(len(open_idx), width)
         witnessed = np.any(values > delta, axis=1)
         # Tiny guard above delta: the advisory window under-estimates by
-        # up to ~1e-14, so a razor-thin exceedance is not certified.
-        lattice_certified = np.any(values[:, :n_center] > delta + 1e-12, axis=1)
+        # up to ~1e-14, so a razor-thin exceedance is not certified.  The
+        # float32 tier must additionally clear its derived error bound
+        # before its exceedance counts as a certificate.
+        certifiable = values[:, :n_center]
+        if float32:
+            certifiable = certifiable - tier_bound[:, :n_center]
+        lattice_certified = np.any(certifiable > delta + 1e-12, axis=1)
         certified_idx = open_idx[lattice_certified]
         sound_lo[certified_idx] = np.maximum(
             sound_lo[certified_idx], mids[certified_idx]
@@ -711,6 +856,7 @@ def tight_epsilon_many(
     tol: float = 1e-6,
     grid: int = 256,
     refine: int = 2,
+    precision: str = "float64",
 ) -> np.ndarray:
     """:func:`tight_epsilon` for a whole vector of testset sizes at once.
 
@@ -732,23 +878,37 @@ def tight_epsilon_many(
        provides, so every element agrees with scalar/batch
        :func:`tight_epsilon` within ``tol``.
 
-    Results are memoized per ``(ns, delta, tol, grid, refine)`` and each
-    element feeds the warm-start anchor registry used by
+    Results are memoized per ``(ns, delta, tol, grid, refine, precision)``
+    and each element feeds the warm-start anchor registry used by
     :func:`tight_epsilon`.
+
+    ``precision="float32"`` runs the *advisory* phases (recording scans,
+    witness bisection) in the half-width tier; the certification pass is
+    always float64, so the returned epsilons carry exactly the same
+    probe-certificate contract as the default tier (certified
+    not-exceeding, with a point at most ``tol`` below certified
+    exceeding) — they may differ from the float64 sweep only within
+    ``tol``, never in what they guarantee.
     """
+    _check_precision(precision)
     ns_arr = _validate_sweep_sizes(ns, delta, tol)
     if ns_arr.size == 0:
         return np.zeros(0, dtype=np.float64)
     cached = _TIGHT_EPSILON_MANY_CACHE.get(
-        (tuple(ns_arr.tolist()), delta, tol, grid, refine)
+        (tuple(ns_arr.tolist()), delta, tol, grid, refine, precision)
     )
     if cached is not None:
         return cached.copy()
-    return _compute_epsilon_sweep(ns_arr, delta, tol, grid, refine)
+    return _compute_epsilon_sweep(ns_arr, delta, tol, grid, refine, precision)
 
 
 def _compute_epsilon_sweep(
-    ns_arr: np.ndarray, delta: float, tol: float, grid: int, refine: int
+    ns_arr: np.ndarray,
+    delta: float,
+    tol: float,
+    grid: int,
+    refine: int,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Run and memoize a sweep, *without* probing the cache first.
 
@@ -758,8 +918,8 @@ def _compute_epsilon_sweep(
     ``ns_arr`` must already be validated.
     """
     unique, inverse = np.unique(ns_arr, return_inverse=True)
-    eps_unique = _tight_epsilon_many_impl(unique, delta, tol, grid, refine)
-    key = (tuple(ns_arr.tolist()), delta, tol, grid, refine)
+    eps_unique = _tight_epsilon_many_impl(unique, delta, tol, grid, refine, precision)
+    key = (tuple(ns_arr.tolist()), delta, tol, grid, refine, precision)
     return _adopt_sweep(key, unique, inverse, eps_unique)
 
 
@@ -777,9 +937,14 @@ def _validate_sweep_sizes(ns, delta: float, tol: float) -> np.ndarray:
 def _adopt_sweep(
     key: tuple, unique: np.ndarray, inverse: np.ndarray, eps_unique: np.ndarray
 ) -> np.ndarray:
-    """Memoize a finished sweep and plant its anchors (the serial tail)."""
+    """Memoize a finished sweep and plant its anchors (the serial tail).
+
+    Anchors are warm-start advice shared across precision tiers (any
+    certified epsilon positions a nearby bracket equally well), so the
+    anchor key deliberately omits the tier.
+    """
     result = eps_unique[inverse]
-    _, delta, tol, grid, refine = key
+    _, delta, tol, grid, refine, _precision = key
     anchor_key = (delta, tol, grid, refine)
     for n, eps in zip(unique.tolist(), eps_unique.tolist()):
         _record_anchor(int(n), float(eps), anchor_key)
@@ -790,7 +955,13 @@ def _adopt_sweep(
 
 
 def cached_epsilon_sweep(
-    ns, delta: float, *, tol: float = 1e-6, grid: int = 256, refine: int = 2
+    ns,
+    delta: float,
+    *,
+    tol: float = 1e-6,
+    grid: int = 256,
+    refine: int = 2,
+    precision: str = "float64",
 ) -> np.ndarray | None:
     """The memoized :func:`tight_epsilon_many` result, or ``None``.
 
@@ -800,11 +971,12 @@ def cached_epsilon_sweep(
     already owns (and then computes probe-free, so each executor call
     still records exactly one lookup).
     """
+    _check_precision(precision)
     ns_arr = _validate_sweep_sizes(ns, delta, tol)
     if ns_arr.size == 0:
         return np.zeros(0, dtype=np.float64)
     cached = _TIGHT_EPSILON_MANY_CACHE.get(
-        (tuple(ns_arr.tolist()), delta, tol, grid, refine)
+        (tuple(ns_arr.tolist()), delta, tol, grid, refine, precision)
     )
     return cached.copy() if cached is not None else None
 
@@ -818,6 +990,7 @@ def adopt_epsilon_sweep(
     tol: float = 1e-6,
     grid: int = 256,
     refine: int = 2,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Adopt a sweep computed elsewhere (worker shards) as if run serially.
 
@@ -828,6 +1001,7 @@ def adopt_epsilon_sweep(
     element-wise identical because the underlying kernels are
     batch-composition invariant.
     """
+    _check_precision(precision)
     ns_arr = _validate_sweep_sizes(ns, delta, tol)
     unique_arr = np.asarray(unique, dtype=np.int64)
     eps_arr = np.asarray(eps_unique, dtype=np.float64)
@@ -840,7 +1014,7 @@ def adopt_epsilon_sweep(
         raise InvalidParameterError(
             "adopt_epsilon_sweep: eps_unique must align with unique"
         )
-    key = (tuple(ns_arr.tolist()), delta, tol, grid, refine)
+    key = (tuple(ns_arr.tolist()), delta, tol, grid, refine, precision)
     return _adopt_sweep(key, unique_arr, inverse, eps_arr)
 
 
@@ -891,7 +1065,12 @@ def epsilon_sweep_shards(
 
 
 def _tight_epsilon_many_impl(
-    unique: np.ndarray, delta: float, tol: float, grid: int, refine: int
+    unique: np.ndarray,
+    delta: float,
+    tol: float,
+    grid: int,
+    refine: int,
+    precision: str = "float64",
 ) -> np.ndarray:
     count = len(unique)
     nf = unique.astype(np.float64)
@@ -903,7 +1082,9 @@ def _tight_epsilon_many_impl(
     seeds = np.minimum(upper * (1.0 - 1e-9), z / (2.0 * np.sqrt(nf)))
     seeds = np.maximum(seeds, np.minimum(0.5, 1.0 / nf))
 
-    anchors = _record_scan_anchors(unique, seeds, delta, grid, refine, top_k=8)
+    anchors = _record_scan_anchors(
+        unique, seeds, delta, grid, refine, top_k=8, precision=precision
+    )
     step0 = (1.0 - 0.0) / grid
     center = grid // 2
     center_points = np.array(
@@ -913,11 +1094,22 @@ def _tight_epsilon_many_impl(
     bracket_hi = np.minimum(upper, seeds + 4096.0 * tol)
     bracket_hi = np.maximum(bracket_hi, np.minimum(upper, 2.0 * seeds))
     estimate, sound_lo = _tracked_witness_crossing(
-        unique, anchors, seeds, center_points, delta, bracket_lo, bracket_hi, tol / 4.0
+        unique,
+        anchors,
+        seeds,
+        center_points,
+        delta,
+        bracket_lo,
+        bracket_hi,
+        tol / 4.0,
+        precision,
     )
 
     # Certification: find, per n, an epsilon whose trajectory probe is
-    # False while tol below it is True.  Sizes whose tracked phase
+    # False while tol below it is True.  These probes (and the certified
+    # bisection below) always run at the default float64 tier — whatever
+    # precision steered the advisory phases above, adopted results are
+    # certified, not trusted.  Sizes whose tracked phase
     # produced a *lattice* exceedance already own a sound lower
     # certificate (however far below the estimate it sits — the certified
     # bisection below closes the bracket in lockstep); the rest probe the

@@ -1,0 +1,364 @@
+"""Seeded property tests for the precision tiers and kernel impls.
+
+Plain stdlib ``random`` drives the generation (no new dependencies);
+every trial is wrapped so a failure names its seed — rerun with that
+seed to reproduce exactly.
+
+The contracts under test, in guarantee order:
+
+1. **Fused float64 is the float64** — the cache-blocked fused kernel is
+   bit-identical to the pre-fusion reference loop on every random batch,
+   so turning the optimization on is unobservable.
+2. **Float32 is certified, not trusted** — the float32 tier's returned
+   absolute error bound really contains ``|value32 - value64|`` for
+   every element of every random batch (including the deep-tail rows
+   where float32 ``exp`` underflows to exact zero).
+3. **Every tier composes** — batch-composition invariance (split,
+   permute) holds element-wise in the float32 tier and its bounds too,
+   which is what lets the parallel executor shard float32 sweeps.
+4. **The tiers agree where it matters** — ``tight_sample_size`` and
+   ``tight_epsilon_many`` under ``precision="float32"`` return answers
+   certified against float64 probes, so adopted plans match the default
+   tier exactly (sizes) or within the bracket tolerance (epsilons).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CIEngine
+from repro.core.estimators.api import SampleSizeEstimator
+from repro.exceptions import InvalidParameterError
+from repro.stats.batch import exact_coverage_failure_probability_pairs
+from repro.stats.cache import clear_all_caches
+from repro.stats.jit import NUMBA_AVAILABLE, jit_window_sums
+from repro.stats.tight_bounds import (
+    exceeds_delta_many,
+    tight_epsilon_many,
+    tight_sample_size,
+)
+
+TRIAL_SEEDS = range(8)
+
+# (precision, impl) pairs every composition property must hold for; the
+# jit impl joins the matrix only where numba is importable.
+TIERS = [("float64", None), ("float64", "reference"), ("float32", None)]
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+    TIERS.append(("float64", "jit"))
+
+
+def _seeded(trial, seed: int) -> None:
+    """Run ``trial(rng)``; on failure, re-raise with the seed attached."""
+    try:
+        trial(random.Random(seed))
+    except AssertionError as err:
+        raise AssertionError(f"[reproduce with seed={seed}] {err}") from err
+
+
+def _random_triples(rng: random.Random, size: int):
+    """Heterogeneous (n, p, eps) including boundary p and large-n rows."""
+    ns, ps, epss = [], [], []
+    for _ in range(size):
+        if rng.random() < 0.25:
+            ns.append(rng.randrange(10_000, 60_000))  # bandwidth-tier rows
+        else:
+            ns.append(rng.randrange(1, 3000))
+        roll = rng.random()
+        if roll < 0.05:
+            ps.append(0.0)
+        elif roll < 0.10:
+            ps.append(1.0)
+        else:
+            ps.append(rng.random())
+        epss.append(rng.uniform(1e-4, 0.5))
+    return np.asarray(ns), np.asarray(ps), np.asarray(epss)
+
+
+def _random_partition(rng: random.Random, size: int) -> list[slice]:
+    cuts = sorted(rng.sample(range(1, size), k=min(rng.randrange(1, 6), size - 1)))
+    bounds = [0, *cuts, size]
+    return [slice(a, b) for a, b in zip(bounds, bounds[1:])]
+
+
+# ---------------------------------------------------------------------------
+# 1. Fused float64 == reference, bit for bit
+# ---------------------------------------------------------------------------
+
+
+def test_fused_float64_is_bit_identical_to_reference():
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 64)
+        ns, ps, epss = _random_triples(rng, size)
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss)
+        reference = exact_coverage_failure_probability_pairs(
+            ns, ps, epss, impl="reference"
+        )
+        assert np.array_equal(fused, reference), (
+            f"fused diverged on {np.sum(fused != reference)} of {size} elements "
+            f"(max delta {np.max(np.abs(fused - reference)):.3e})"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+# ---------------------------------------------------------------------------
+# 2. Float32 stays inside its certified absolute bound
+# ---------------------------------------------------------------------------
+
+
+def test_float32_errors_stay_within_certified_bound():
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 64)
+        ns, ps, epss = _random_triples(rng, size)
+        reference = exact_coverage_failure_probability_pairs(ns, ps, epss)
+        values, bounds = exact_coverage_failure_probability_pairs(
+            ns, ps, epss, precision="float32", return_error_bound=True
+        )
+        errors = np.abs(values - reference)
+        assert np.all(np.isfinite(bounds)) and np.all(bounds >= 0.0)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+        assert np.all(errors <= bounds), (
+            f"{np.sum(errors > bounds)} of {size} elements escaped the bound "
+            f"(worst error {errors.max():.3e} vs bound "
+            f"{bounds[np.argmax(errors - bounds)]:.3e})"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+# ---------------------------------------------------------------------------
+# 3. Composition invariance in every tier (values AND float32 bounds)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("precision,impl", TIERS)
+def test_every_tier_is_invariant_under_batch_splits(precision, impl):
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 48)
+        ns, ps, epss = _random_triples(rng, size)
+        kwargs = {"precision": precision, "impl": impl}
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss, **kwargs)
+        pieces = [
+            exact_coverage_failure_probability_pairs(
+                ns[part], ps[part], epss[part], **kwargs
+            )
+            for part in _random_partition(rng, size)
+        ]
+        chunked = np.concatenate(pieces)
+        assert np.array_equal(fused, chunked), (
+            f"[{precision}/{impl}] split changed "
+            f"{np.sum(fused != chunked)} of {size} elements"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+@pytest.mark.parametrize("precision,impl", TIERS)
+def test_every_tier_is_invariant_under_permutation(precision, impl):
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 48)
+        ns, ps, epss = _random_triples(rng, size)
+        kwargs = {"precision": precision, "impl": impl}
+        fused = exact_coverage_failure_probability_pairs(ns, ps, epss, **kwargs)
+        order = list(range(size))
+        rng.shuffle(order)
+        idx = np.asarray(order)
+        shuffled = exact_coverage_failure_probability_pairs(
+            ns[idx], ps[idx], epss[idx], **kwargs
+        )
+        unshuffled = np.empty_like(shuffled)
+        unshuffled[idx] = shuffled
+        assert np.array_equal(fused, unshuffled), (
+            f"[{precision}/{impl}] permutation changed "
+            f"{np.sum(fused != unshuffled)} of {size} elements"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+def test_float32_bounds_are_invariant_under_batch_splits():
+    """The certificate itself composes: a row's bound is its own."""
+
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 48)
+        ns, ps, epss = _random_triples(rng, size)
+        _, bounds = exact_coverage_failure_probability_pairs(
+            ns, ps, epss, precision="float32", return_error_bound=True
+        )
+        pieces = [
+            exact_coverage_failure_probability_pairs(
+                ns[part],
+                ps[part],
+                epss[part],
+                precision="float32",
+                return_error_bound=True,
+            )[1]
+            for part in _random_partition(rng, size)
+        ]
+        assert np.array_equal(bounds, np.concatenate(pieces)), (
+            "splitting the batch changed per-element float32 error bounds"
+        )
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+# ---------------------------------------------------------------------------
+# 4. Parameter validation and the numba-less degradation path
+# ---------------------------------------------------------------------------
+
+
+def test_invalid_tier_parameters_are_rejected():
+    ns, ps, epss = np.asarray([100]), np.asarray([0.5]), np.asarray([0.05])
+    with pytest.raises(InvalidParameterError):
+        exact_coverage_failure_probability_pairs(ns, ps, epss, precision="float16")
+    with pytest.raises(InvalidParameterError):
+        exact_coverage_failure_probability_pairs(ns, ps, epss, impl="blas")
+    # Non-fused impls are float64-only: the reference loop is the oracle,
+    # the jit loop a float64 scan — neither carries the float32 bound.
+    with pytest.raises(InvalidParameterError):
+        exact_coverage_failure_probability_pairs(
+            ns, ps, epss, impl="reference", precision="float32"
+        )
+    with pytest.raises(InvalidParameterError):
+        tight_sample_size(0.05, 1e-3, precision="float16")
+    with pytest.raises(InvalidParameterError):
+        tight_sample_size(0.05, 1e-3, kernel="cuda")
+    # The scalar backend has no tiered kernels to route through.
+    with pytest.raises(InvalidParameterError):
+        tight_sample_size(0.05, 1e-3, backend="scalar", precision="float32")
+
+
+@pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba importable: jit tier is live")
+def test_jit_degrades_to_an_accurate_error_without_numba():
+    with pytest.raises(RuntimeError, match="numba"):
+        jit_window_sums(
+            np.zeros(8), np.zeros(1, dtype=np.int64), np.zeros(1), np.zeros(1), 4
+        )
+    with pytest.raises(InvalidParameterError, match="numba"):
+        SampleSizeEstimator(kernel="jit")
+    from repro.core.kernel import available_backends
+
+    assert "jit" not in available_backends()
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not importable")
+def test_jit_impl_matches_reference_closely():  # pragma: no cover
+    def trial(rng: random.Random) -> None:
+        size = rng.randrange(8, 48)
+        ns, ps, epss = _random_triples(rng, size)
+        reference = exact_coverage_failure_probability_pairs(ns, ps, epss)
+        jit = exact_coverage_failure_probability_pairs(ns, ps, epss, impl="jit")
+        np.testing.assert_allclose(jit, reference, rtol=1e-9, atol=0.0)
+
+    for seed in TRIAL_SEEDS:
+        _seeded(trial, seed)
+
+
+# ---------------------------------------------------------------------------
+# 5. Certified agreement through the planning stack
+# ---------------------------------------------------------------------------
+
+SIZE_SPECS = [
+    (0.05, 1e-3),
+    (0.04, 1e-2),
+    (0.03, 1e-3),
+    # Regression: at this spec the discrete distribution ripples right at
+    # the boundary (exceeds at 148,949 but not at 148,948), so any probe
+    # tier that merely finds *a* certified local boundary can land two
+    # sizes away from the default tier's answer.
+    (0.01, 1e-4 / 2**33),
+]
+
+
+@pytest.mark.parametrize("epsilon,delta", SIZE_SPECS)
+def test_tight_sample_size_float32_equals_float64(epsilon, delta):
+    """Every tier's minimal-n probes answer the float64 question exactly."""
+    expected = tight_sample_size(epsilon, delta)
+    assert tight_sample_size(epsilon, delta, precision="float32") == expected
+
+
+def test_tight_epsilon_many_float32_is_certified_within_tolerance():
+    sizes = np.unique(np.linspace(300, 1500, 5).astype(int))
+    delta, tol = 1e-2, 1e-5
+    eps64 = tight_epsilon_many(sizes, delta, tol=tol)
+    eps32 = tight_epsilon_many(sizes, delta, tol=tol, precision="float32")
+    # Both tiers certify the same float64 bracket around the true
+    # crossing, so they agree to within one bracket width.
+    assert np.all(np.abs(eps32 - eps64) <= 2 * tol)
+    # Re-check the certificates at full fidelity.
+    assert not exceeds_delta_many(sizes, eps32, delta).any()
+    assert exceeds_delta_many(sizes, eps32 - tol, delta).all()
+
+
+def test_estimator_float32_plans_match_float64():
+    condition = "n - o > 0.02 +/- 0.02 /\\ n > 0.8 +/- 0.05"
+    kwargs = {"reliability": 0.999, "adaptivity": "full", "steps": 8}
+    clear_all_caches()
+    plan64 = SampleSizeEstimator(use_exact_binomial=True).plan(condition, **kwargs)
+    estimator32 = SampleSizeEstimator(use_exact_binomial=True, precision="float32")
+    plan32 = estimator32.plan(condition, **kwargs)
+    assert plan32 == plan64
+
+    config = estimator32.export_config()
+    assert config["precision"] == "float32"
+    assert config["kernel"] == "numpy"
+    rebuilt = SampleSizeEstimator(**config)
+    assert rebuilt.plan(condition, **kwargs) == plan64
+
+
+def test_estimator_rejects_invalid_tiers():
+    with pytest.raises(InvalidParameterError):
+        SampleSizeEstimator(precision="float16")
+    with pytest.raises(InvalidParameterError):
+        SampleSizeEstimator(kernel="cuda")
+
+
+def test_engine_precision_parameter_rebuilds_the_estimator(parity_world_cache):
+    script, testsets, baseline, _ = parity_world_cache("full")
+    engine = CIEngine(script, testsets[0], baseline, precision="float32")
+    assert engine.estimator.precision == "float32"
+    # A float64 estimator handed in alongside precision="float32" is
+    # rebuilt onto the requested tier rather than silently kept.
+    engine = CIEngine(
+        script,
+        testsets[0],
+        baseline,
+        estimator=SampleSizeEstimator(use_exact_binomial=True),
+        precision="float32",
+    )
+    assert engine.estimator.precision == "float32"
+    assert engine.estimator.use_exact_binomial
+    with pytest.raises(InvalidParameterError):
+        CIEngine(script, testsets[0], baseline, precision="float16")
+
+
+def test_cli_plan_accepts_precision_tier(capsys):
+    from repro.cli import main
+
+    argv = [
+        "plan",
+        "--condition",
+        "n > 0.8 +/- 0.05",
+        "--reliability",
+        "0.999",
+        "--adaptivity",
+        "full",
+        "--steps",
+        "8",
+        "--exact-binomial",
+    ]
+    assert main([*argv, "--precision", "float32"]) == 0
+    out32 = capsys.readouterr().out
+    assert main(argv) == 0
+    out64 = capsys.readouterr().out
+    # Same plan either way — the float32 tier is certified against the
+    # float64 reference before adoption.
+    assert out32.splitlines()[0] == out64.splitlines()[0]

@@ -1,0 +1,199 @@
+"""Shared log-factorial table: lifecycle, certification, fault fallback.
+
+The table is the hottest read-only structure in the planning process;
+PR-sized sweeps made every worker materialize its own copy.  The shared
+segment changes the manifest join from "regrow to the max" to "attach
+and extend": the owner publishes one read-only mmap, workers attach it
+through the ``shm.attach`` fault point, spot-check it against
+``math.lgamma`` (shared state is adopted certified, not trusted), and
+extend privately past the shared prefix when they need more.  Every
+failure path — injected fault, dead segment, corrupt contents — must
+fall back to the plain private regrow with identical results.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+import repro.stats.batch as batch
+from repro.reliability.faults import FaultRule, injected_faults
+from repro.stats.batch import (
+    attach_shared_table,
+    log_factorial_table,
+    publish_shared_table,
+    release_shared_table,
+    shared_table_descriptor,
+)
+from repro.stats.cache import (
+    all_cache_info,
+    clear_all_caches,
+    export_manifest,
+    merge_manifest,
+)
+
+TABLE_CACHE = "stats.batch.log_factorial_table"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_table():
+    """Start and end with a fresh table and no shared segment."""
+    clear_all_caches()
+    release_shared_table()
+    yield
+    clear_all_caches()
+    release_shared_table()
+
+
+def _forget_private_table():
+    """Play the worker role in-process: drop the private table.
+
+    Returns the owner's segment bookkeeping so the test can restore it
+    (the autouse fixture then unlinks the segment through the owner).
+    """
+    saved = dict(batch._SHARED_TABLE)
+    batch._SHARED_TABLE.update(
+        {"shm": None, "name": None, "owner": False, "limit": -1}
+    )
+    batch._LOG_FACTORIAL = np.zeros(1, dtype=np.float64)
+    return saved
+
+
+def _restore_owner(saved):
+    """Put the owner's bookkeeping back (and re-register with the tracker).
+
+    In production the attacher is a *different* process, so its tracker
+    unregistration never collides with the owner's unlink.  The in-process
+    role-play here unregisters the owner's own segment; re-register it so
+    the eventual unlink doesn't trip the tracker daemon.
+    """
+    if saved.get("owner") and saved.get("shm") is not None:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(saved["shm"]._name, "shared_memory")
+        except Exception:
+            pass
+    batch._SHARED_TABLE.update(saved)
+
+
+def test_publish_attach_extend_roundtrip():
+    log_factorial_table(4096)
+    name, limit = publish_shared_table()
+    assert name is not None and limit >= 4096
+    # Republishing while the segment still covers the table reuses it.
+    assert publish_shared_table() == (name, limit)
+    # A process whose table already covers the limit declines to attach.
+    assert attach_shared_table(name, limit) is False
+
+    saved = _forget_private_table()
+    try:
+        assert attach_shared_table(name, limit) is True
+        assert shared_table_descriptor() == (name, limit)
+        table = log_factorial_table(limit)  # served straight off the mmap
+        assert not table.flags.writeable
+        assert table[0] == 0.0
+        assert table[limit] == math.lgamma(limit + 1.0)
+        # Extending past the shared prefix regrows privately and keeps
+        # every shared entry bit-identical.
+        bigger = log_factorial_table(limit + 10)
+        assert bigger.flags.writeable
+        assert np.array_equal(bigger[: limit + 1], table)
+        assert bigger[limit + 10] == math.lgamma(limit + 11.0)
+        release_shared_table()
+        assert shared_table_descriptor() == (None, -1)
+    finally:
+        _restore_owner(saved)
+
+
+def test_manifest_merge_attaches_the_published_segment():
+    log_factorial_table(2048)
+    name, limit = publish_shared_table()
+    manifest = export_manifest()
+
+    saved = _forget_private_table()
+    try:
+        merge_manifest(manifest)
+        attached_name, attached_limit = shared_table_descriptor()
+        assert attached_name == name and attached_limit >= limit
+        assert len(batch._LOG_FACTORIAL) - 1 >= limit
+        release_shared_table()
+    finally:
+        _restore_owner(saved)
+
+
+def test_injected_attach_fault_falls_back_to_private_regrow():
+    """The ``shm.attach`` chaos site: a failed attach never changes results."""
+    log_factorial_table(2048)
+    _, limit = publish_shared_table()
+    manifest = export_manifest()
+    expected = np.array(batch._LOG_FACTORIAL)
+
+    saved = _forget_private_table()
+    try:
+        with injected_faults([FaultRule(site="shm.attach", action="raise", at=1)]):
+            merge_manifest(manifest)
+        # No mapping was installed ...
+        assert shared_table_descriptor() == (None, -1)
+        # ... yet the join still covered the manifest's limit, privately,
+        # with entries bit-identical to the owner's.
+        table = batch._LOG_FACTORIAL
+        assert len(table) - 1 >= limit
+        assert np.array_equal(table[: limit + 1], expected[: limit + 1])
+    finally:
+        _restore_owner(saved)
+
+
+def test_attach_rejects_a_corrupt_segment():
+    """The lgamma spot-check: garbage shared state is refused, not adopted."""
+    limit = 512
+    segment = shared_memory.SharedMemory(create=True, size=(limit + 1) * 8)
+    try:
+        np.ndarray((limit + 1,), dtype=np.float64, buffer=segment.buf)[:] = 1.0
+        with pytest.raises(OSError, match="spot-check"):
+            attach_shared_table(segment.name, limit)
+        assert shared_table_descriptor() == (None, -1)
+    finally:
+        try:
+            # The refused attach already unregistered the name (see
+            # _restore_owner); re-register so our unlink is tracked.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(segment._name, "shared_memory")
+        except Exception:
+            pass
+        segment.close()
+        segment.unlink()
+
+
+def test_attach_to_a_dead_segment_raises_cleanly():
+    log_factorial_table(256)
+    name, limit = publish_shared_table()
+    release_shared_table()  # owner unlinks: the name is now dangling
+
+    saved = _forget_private_table()
+    try:
+        with pytest.raises((OSError, FileNotFoundError, ValueError)):
+            attach_shared_table(name, limit)
+    finally:
+        _restore_owner(saved)
+
+
+def test_table_counters_are_real():
+    """``repro ops`` reports genuine serve/grow traffic, not placeholders."""
+    info = all_cache_info()[TABLE_CACHE]
+    assert (info.hits, info.misses) == (0, 0)
+    log_factorial_table(100)  # grow
+    log_factorial_table(50)  # served by the existing table
+    log_factorial_table(80)  # served
+    log_factorial_table(200)  # grow again
+    info = all_cache_info()[TABLE_CACHE]
+    assert info.misses == 2
+    assert info.hits == 2
+    assert info.currsize == len(batch._LOG_FACTORIAL)
+    clear_all_caches()
+    info = all_cache_info()[TABLE_CACHE]
+    assert (info.hits, info.misses) == (0, 0)

@@ -22,13 +22,15 @@
 #                           benchmark (writes BENCH_commit_throughput.json)
 #   make bench-fleet      - multi-tenant fleet parity + overload gate
 #                           (writes BENCH_fleet.json)
+#   make bench-storage    - journal compaction + disk-budget gates
+#                           (writes BENCH_storage.json)
 #   make bench            - full pytest-benchmark suite over the paper
 #                           artifacts, plus the perf benchmarks above
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: verify verify-fast ci bench-smoke test-faults conformance coverage docs bench bench-perf bench-throughput bench-fleet
+.PHONY: verify verify-fast ci bench-smoke test-faults conformance coverage docs bench bench-perf bench-throughput bench-fleet bench-storage
 
 verify:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +46,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_commit_throughput.py --quick
 	$(PYTHON) benchmarks/bench_fault_recovery.py --quick
 	$(PYTHON) benchmarks/bench_fleet.py --quick
+	$(PYTHON) benchmarks/bench_storage.py --quick
 	$(PYTHON) benchmarks/check_bench_schema.py
 
 test-faults:
@@ -72,6 +75,9 @@ bench-throughput:
 
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet.py
+
+bench-storage:
+	$(PYTHON) benchmarks/bench_storage.py
 
 bench: bench-perf bench-throughput
 	$(PYTHON) -m pytest -q benchmarks -s

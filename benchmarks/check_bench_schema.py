@@ -113,6 +113,31 @@ SCHEMAS = {
         "worker_kill.degraded": bool,
         "worker_kill.results_identical": bool,
     },
+    "BENCH_storage.json": {
+        "quick": bool,
+        "compaction.commits": int,
+        "compaction.rotations": int,
+        "compaction.snapshot_every": int,
+        "compaction.keep_snapshots": int,
+        "compaction.compaction_passes": int,
+        "compaction.passes": list,
+        "compaction.passes.[].bytes_before": int,
+        "compaction.passes.[].bytes_after": int,
+        "compaction.journal_bytes_peak": int,
+        "compaction.journal_bytes_final": int,
+        "compaction.journal_bytes_uncompacted": int,
+        "compaction.state_dir_bytes_final": int,
+        "compaction.state_dir_bytes_uncompacted": int,
+        "compaction.compacted_through": int,
+        "compaction.snapshots_on_disk": int,
+        "compaction.bytes_bounded": bool,
+        "compaction.results_identical": bool,
+        "compaction.offline_compaction_pause_seconds": NUMBER,
+        "compaction.offline_pass_dropped_records": int,
+        "compaction.offline_pass_pruned_snapshots": int,
+        "compaction.governor_check_seconds": NUMBER,
+        "compaction.governor_level": str,
+    },
     "BENCH_fleet.json": {
         "quick": bool,
         "parity.tenants": int,

@@ -91,6 +91,7 @@ __all__ = [
     "ALARM",
     "SNAPSHOT",
     "RESTORE",
+    "COMPACTION",
     "EVENT_TYPES",
     "JournalRecord",
     "EventJournal",
@@ -113,7 +114,10 @@ def _crc32(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 # Journal event types.  The first is the one replay is driven by; the rest
-# form the operational audit trail.
+# form the operational audit trail.  COMPACTION is the checkpoint-truncate
+# header: a compacted journal's first record, declaring every sequence at
+# or below its ``compacted_through`` dropped (already captured by a
+# snapshot) — readers treat the missing prefix as compacted, not torn.
 COMMIT_RECEIVED = "commit-received"
 BUILD_RECORDED = "build-recorded"
 PROMOTION = "promotion"
@@ -121,9 +125,19 @@ ROTATION = "rotation"
 ALARM = "alarm"
 SNAPSHOT = "snapshot"
 RESTORE = "restore"
+COMPACTION = "compacted-through"
 
 EVENT_TYPES = frozenset(
-    {COMMIT_RECEIVED, BUILD_RECORDED, PROMOTION, ROTATION, ALARM, SNAPSHOT, RESTORE}
+    {
+        COMMIT_RECEIVED,
+        BUILD_RECORDED,
+        PROMOTION,
+        ROTATION,
+        ALARM,
+        SNAPSHOT,
+        RESTORE,
+        COMPACTION,
+    }
 )
 
 _SNAPSHOT_NAME = re.compile(r"^snapshot-(\d{6})\.pkl$")
@@ -227,6 +241,12 @@ class EventJournal:
         self.path = Path(path)
         self.sync = bool(sync)
         self._clock = clock or (lambda: datetime.now(timezone.utc))
+        # Cached append-mode handle (O_APPEND, so an external truncation
+        # of the tail cannot misplace a later write).  Opened lazily,
+        # popped whenever an append fails or a compaction replaces the
+        # file, so the next append reopens cleanly.
+        self._handle = None
+        self._compacted_through = 0
         self._next_sequence = self._repair_and_scan() + 1
 
     def _repair_and_scan(self) -> int:
@@ -254,10 +274,17 @@ class EventJournal:
             if not line:
                 valid_end = offset
                 continue
-            if _parse_journal_line(line) is None:
+            parsed = _parse_journal_line(line)
+            if parsed is None:
                 continue  # valid_end stays put; trailing garbage truncates
-            last = int(json.loads(line)["sequence"])
+            last = int(parsed["sequence"])
             valid_end = offset
+            if parsed.get("type") == COMPACTION:
+                payload = parsed.get("payload") or {}
+                self._compacted_through = max(
+                    self._compacted_through,
+                    int(payload.get("compacted_through", last)),
+                )
         if valid_end < len(raw):
             torn = raw[valid_end:]
             sidecar = self.path.with_name(
@@ -280,10 +307,89 @@ class EventJournal:
         """Sequence of the newest record (0 for an empty journal)."""
         return self._next_sequence - 1
 
+    @property
+    def compacted_through(self) -> int:
+        """Highest sequence a compaction has dropped through (0 = never).
+
+        Every record at or below this sequence was captured by a
+        snapshot before :meth:`compact` removed it; readers must not
+        interpret the missing prefix as loss.
+        """
+        return self._compacted_through
+
     def __len__(self) -> int:
         return sum(1 for _ in self.records())
 
+    # -- the append handle ---------------------------------------------------
+    def _acquire_handle(self):
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def close(self) -> None:
+        """Close the cached append handle (reopened lazily on next append)."""
+        handle, self._handle = self._handle, None
+        if handle is not None and not handle.closed:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def _discard_failed_append(self, start: int) -> None:
+        """Self-heal after a failed append: pop the handle, truncate the tail.
+
+        A failed append — torn write, failing fsync, ``ENOSPC`` — leaves
+        the cached handle in an indeterminate position and possibly
+        bytes on disk for an event the caller was told never happened
+        (a fully written line whose fsync failed even parses as valid,
+        which no later scan could distinguish from a real record).  The
+        handle is popped so the next append reopens cleanly, and the
+        file is truncated back to its pre-append size with the removed
+        bytes quarantined into a sidecar — mirroring the torn-tail
+        healing the next open would perform, but eagerly, while this
+        process can still tell where the append began.  Best-effort: a
+        disk too broken to truncate leaves recovery to the next open's
+        scan, exactly as before.
+        """
+        self.close()
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                end = handle.tell()
+                if end <= start:
+                    return
+                handle.seek(start)
+                torn = handle.read(end - start)
+                sidecar = self.path.with_name(
+                    f"{self.path.name}.torn-{start}.quarantined"
+                )
+                suffix = 0
+                while sidecar.exists():
+                    suffix += 1
+                    sidecar = self.path.with_name(
+                        f"{self.path.name}.torn-{start}.quarantined.{suffix}"
+                    )
+                sidecar.write_bytes(torn)
+                handle.truncate(start)
+        except OSError:
+            return
+        record_event(
+            "journal-torn-tail",
+            "ci.persistence",
+            journal=str(self.path),
+            quarantined=str(sidecar),
+            torn_bytes=len(torn),
+        )
+
     # -- writing -------------------------------------------------------------
+    def _render_line(self, record: JournalRecord) -> bytes:
+        """One CRC-stamped JSON line (canonical serialization)."""
+        rendered = to_jsonable(record)
+        body = json.dumps(rendered, sort_keys=True).encode("utf-8")
+        rendered["crc"] = _crc32(body)
+        return (json.dumps(rendered, sort_keys=True) + "\n").encode("utf-8")
+
     def append(self, type: str, payload: dict[str, Any] | None = None) -> JournalRecord:
         """Append one event; flushed (and fsynced) before returning.
 
@@ -293,11 +399,18 @@ class EventJournal:
         stamped with a CRC-32 over its canonical serialization, so a
         reader can tell a damaged line from a valid one.
 
-        Fault-injection points: ``journal.append`` (``tear`` writes a
-        partial line then raises — the crash-mid-append case the next
-        open self-heals) and ``journal.fsync`` (a failing disk; the
-        append raises and, as after any failed append, the process must
-        be treated as crashed — recovery is the next open's scan).
+        Appends go through a cached ``O_APPEND`` handle.  Any failure —
+        an injected tear, a failing fsync, a real ``ENOSPC``/``EIO`` —
+        pops the handle and truncates the file back to its pre-append
+        size (quarantining whatever landed), so the journal self-heals
+        immediately and a subsequent append simply reopens and succeeds;
+        the event whose append failed never happened, exactly as the
+        crash model promises.
+
+        Fault-injection points: ``journal.write`` (``errno`` — the disk
+        fills before any byte lands), ``journal.append`` (``tear``
+        writes a partial line then raises — the crash-mid-append case)
+        and ``journal.fsync`` (a failing disk after a complete write).
         """
         if type not in EVENT_TYPES:
             raise PersistenceError(
@@ -310,13 +423,12 @@ class EventJournal:
             recorded_at=self._clock().isoformat(),
             payload=dict(payload or {}),
         )
-        rendered = to_jsonable(record)
-        body = json.dumps(rendered, sort_keys=True).encode("utf-8")
-        rendered["crc"] = _crc32(body)
-        data = (json.dumps(rendered, sort_keys=True) + "\n").encode("utf-8")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        torn = torn_bytes(data, fault_point("journal.append"))
-        with open(self.path, "ab") as handle:
+        data = self._render_line(record)
+        handle = self._acquire_handle()
+        start = os.fstat(handle.fileno()).st_size
+        try:
+            torn = torn_bytes(data, fault_point("journal.append"))
+            fault_point("journal.write")
             handle.write(data if torn is None else torn)
             handle.flush()
             if torn is not None:
@@ -328,8 +440,90 @@ class EventJournal:
             fault_point("journal.fsync")
             if self.sync:
                 os.fsync(handle.fileno())
+        except BaseException:
+            self._discard_failed_append(start)
+            raise
         self._next_sequence += 1
         return record
+
+    # -- compaction ----------------------------------------------------------
+    def compact(self, through_sequence: int) -> int:
+        """Checkpoint-truncate: drop records at or below ``through_sequence``.
+
+        The caller asserts — normally by pointing at a *valid* snapshot's
+        :attr:`~SnapshotInfo.journal_sequence` — that everything at or
+        below ``through_sequence`` is captured durably elsewhere.  The
+        journal is rewritten temp-then-rename: a ``compacted-through``
+        header record first (carrying ``through_sequence`` as its own
+        sequence, so the file stays monotonic and an all-dropped journal
+        still resumes its counter correctly), then every surviving
+        record with its original sequence and timestamp.  A crash at any
+        point leaves either the old or the new journal, both complete.
+
+        Compacting to a boundary at or below a previous compaction's is
+        a no-op; returns the number of records dropped this pass.
+
+        Fault-injection point: ``journal.compact`` (``errno`` — the
+        rewrite never starts; the original journal is untouched).
+        """
+        through = int(through_sequence)
+        if through <= self._compacted_through:
+            return 0
+        if through > self.last_sequence:
+            raise PersistenceError(
+                f"cannot compact journal {self.path} through sequence "
+                f"{through}: newest record is {self.last_sequence}"
+            )
+        survivors: list[JournalRecord] = []
+        dropped = 0
+        prior_dropped = 0
+        for record in self.records():
+            if record.type == COMPACTION:
+                prior_dropped = int(record.payload.get("dropped", 0))
+            if record.sequence <= through:
+                dropped += 1
+            else:
+                survivors.append(record)
+        fault_point("journal.compact")
+        header = JournalRecord(
+            sequence=through,
+            type=COMPACTION,
+            recorded_at=self._clock().isoformat(),
+            payload={
+                "compacted_through": through,
+                "dropped": prior_dropped + dropped,
+            },
+        )
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        data = b"".join(
+            self._render_line(record) for record in [header] + survivors
+        )
+        temp = self.path.with_name(self.path.name + ".compact.tmp")
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                if self.sync:
+                    os.fsync(handle.fileno())
+            self.close()  # the cached handle points at the old inode
+            os.replace(temp, self.path)
+        except BaseException:
+            try:
+                temp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
+        self._compacted_through = through
+        record_event(
+            "journal-compacted",
+            "ci.persistence",
+            journal=str(self.path),
+            compacted_through=through,
+            dropped=dropped,
+            bytes_before=bytes_before,
+            bytes_after=len(data),
+        )
+        return dropped
 
     # -- reading -------------------------------------------------------------
     def records(self) -> Iterator[JournalRecord]:
@@ -401,6 +595,12 @@ class JournalScan:
         *Journal* sequences of those same records, aligned with
         ``commit_sequences`` — how the doctor counts commits past a
         snapshot's anchor.
+    compacted_through:
+        Highest ``compacted-through`` header boundary in the file (0
+        when the journal was never compacted).  Records at or below
+        this sequence were deliberately dropped by compaction — their
+        absence is not loss, but a restore needs a snapshot anchored at
+        or past this boundary.
     """
 
     path: Path
@@ -411,6 +611,7 @@ class JournalScan:
     torn_tail_bytes: int
     commit_sequences: tuple[int, ...]
     commit_journal_sequences: tuple[int, ...]
+    compacted_through: int = 0
 
 
 def scan_journal(path: str | Path) -> JournalScan:
@@ -430,6 +631,7 @@ def scan_journal(path: str | Path) -> JournalScan:
     raw = path.read_bytes()
     records = 0
     last_sequence = 0
+    compacted_through = 0
     invalid: list[int] = []
     commit_sequences: list[int] = []
     commit_journal_sequences: list[int] = []
@@ -454,6 +656,12 @@ def scan_journal(path: str | Path) -> JournalScan:
             if "sequence" in payload:
                 commit_sequences.append(int(payload["sequence"]))
                 commit_journal_sequences.append(int(parsed["sequence"]))
+        elif parsed.get("type") == COMPACTION:
+            payload = parsed.get("payload") or {}
+            compacted_through = max(
+                compacted_through,
+                int(payload.get("compacted_through", parsed["sequence"])),
+            )
     torn_tail_bytes = len(raw) - valid_end
     # Invalid lines inside the valid region are corruption; invalid lines
     # in the trailing region are the (tolerated) torn tail.
@@ -469,6 +677,7 @@ def scan_journal(path: str | Path) -> JournalScan:
         torn_tail_bytes=torn_tail_bytes,
         commit_sequences=tuple(commit_sequences),
         commit_journal_sequences=tuple(commit_journal_sequences),
+        compacted_through=compacted_through,
     )
 
 
@@ -569,8 +778,11 @@ class SnapshotStore:
         Fault-injection points: ``snapshot.write`` (``tear`` writes a
         truncated envelope straight to the final path and *returns
         normally* — the silent-corruption case a checksum exists to
-        catch) and ``snapshot.fsync`` (``raise`` simulates a failing
-        disk before the atomic rename; nothing is renamed into place).
+        catch), ``snapshot.fsync`` (``raise`` simulates a failing disk
+        before the atomic rename; nothing is renamed into place) and
+        ``snapshot.rename`` (``errno`` — ``ENOSPC``/``EIO`` at the
+        rename itself; the temp file is removed and the previous
+        generation stays the newest).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         sequence = self.latest_sequence + 1
@@ -599,12 +811,20 @@ class SnapshotStore:
             self._info_cache[sequence] = info
             return info
         temp = path.with_suffix(".pkl.tmp")
-        with open(temp, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            fault_point("snapshot.fsync")
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                fault_point("snapshot.fsync")
+                os.fsync(handle.fileno())
+            fault_point("snapshot.rename")
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                temp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
         self._info_cache[sequence] = info
         return info
 

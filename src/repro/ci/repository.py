@@ -70,16 +70,19 @@ class ModelRepository:
         self._observers: list[
             tuple[Callable[[Commit], None], Callable[[list[Commit]], None] | None]
         ] = []
+        self._commit_gates: list[Callable[[int], None]] = []
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_observers"] = []  # runtime wiring, not repository state
+        state["_commit_gates"] = []
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         # Snapshots written before the dead-letter log existed.
         self.__dict__.setdefault("_dead_letters", [])
+        self.__dict__.setdefault("_commit_gates", [])
 
     # -- dead letters ----------------------------------------------------------
     def record_dead_letter(self, letter: Any) -> None:
@@ -120,8 +123,20 @@ class ModelRepository:
             parent_sha=self._commits[-1].commit_id if self._commits else None,
         )
 
+    def _check_gates(self, count: int) -> None:
+        """Run every admission gate before any history is mutated.
+
+        A gate that raises vetoes the whole commit (or push): nothing is
+        appended and no observer fires, so the caller can retry the
+        exact same commit later.  This is how a storage-degraded service
+        refuses durable writes *before* they half-happen.
+        """
+        for gate in self._commit_gates:
+            gate(count)
+
     def commit(self, model: Any, message: str = "", author: str = "developer") -> Commit:
         """Append a new model version and notify observers (webhook)."""
+        self._check_gates(1)
         commit = self._mint(model, message, author)
         self._commits.append(commit)
         for observer, _ in self._observers:
@@ -146,6 +161,7 @@ class ModelRepository:
             raise InvalidParameterError(
                 f"got {len(messages)} messages for {len(models)} models"
             )
+        self._check_gates(len(models))
         commits = []
         for i, model in enumerate(models):
             commits.append(
@@ -178,6 +194,16 @@ class ModelRepository:
         both).
         """
         self._observers.append((observer, batch_observer))
+
+    def add_commit_gate(self, gate: Callable[[int], None]) -> None:
+        """Register an admission gate run *before* any commit mutates history.
+
+        The gate receives the number of commits about to land and vetoes
+        by raising.  Like observers, gates are runtime wiring (dropped
+        from snapshots) — a persistence-attached service installs its
+        storage gate here on every attach/restore.
+        """
+        self._commit_gates.append(gate)
 
     # -- history ---------------------------------------------------------------
     def __len__(self) -> int:

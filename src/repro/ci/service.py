@@ -89,10 +89,13 @@ from repro.core.script.config import CIScript
 from repro.core.testset import Testset, TestsetPool
 from repro.exceptions import (
     PersistenceError,
+    StorageExhaustedError,
     TestsetExhaustedError,
     TestsetSizeError,
 )
-from repro.reliability.events import reliability_events
+from repro.reliability.events import record_event, reliability_events
+from repro.reliability.faults import InjectedFault
+from repro.reliability.storage import StorageGovernor, retention_anchor
 
 __all__ = ["BuildRecord", "CIService", "OperationsReport", "SERVICE_STATE_FORMAT"]
 
@@ -176,6 +179,13 @@ class OperationsReport:
     snapshot_fallbacks: int
     quarantined_files: int
     dead_letters: int
+    # Storage governance (defaults keep older constructors working).
+    storage_bytes: int | None = None
+    storage_soft_bytes: int | None = None
+    storage_hard_bytes: int | None = None
+    storage_level: str | None = None
+    storage_read_only: bool = False
+    journal_compacted_through: int | None = None
 
     def describe(self) -> str:
         """A terminal-friendly rendering (what ``repro ops`` prints)."""
@@ -207,11 +217,16 @@ class OperationsReport:
         warm = sum(1 for info in self.caches.values() if info["currsize"])
         lines.append(f"  caches        : {warm}/{len(self.caches)} warm")
         if self.persistence_attached and self.journal_lag is not None:
+            compacted = (
+                f", compacted through seq {self.journal_compacted_through}"
+                if self.journal_compacted_through
+                else ""
+            )
             lines.append(
                 f"  durable state : snapshot #{self.snapshot_sequence or 0} "
                 f"at journal seq {self.snapshot_journal_sequence or 0}, "
                 f"journal at seq {self.journal_sequence or 0} "
-                f"(lag {self.journal_lag} event(s))"
+                f"(lag {self.journal_lag} event(s){compacted})"
             )
         elif self.persistence_attached:
             lines.append(
@@ -220,6 +235,15 @@ class OperationsReport:
             )
         else:
             lines.append("  durable state : (persistence not attached)")
+        if self.storage_level is not None:
+            mode = "READ-ONLY" if self.storage_read_only else "writable"
+            soft = "-" if self.storage_soft_bytes is None else str(self.storage_soft_bytes)
+            hard = "-" if self.storage_hard_bytes is None else str(self.storage_hard_bytes)
+            lines.append(
+                f"  storage       : {self.storage_bytes}B used "
+                f"(soft {soft}, hard {hard}) — "
+                f"{self.storage_level}, {mode}"
+            )
         planning = "DEGRADED to serial" if self.planning_degraded else "healthy"
         lines.append(
             f"  reliability   : planning {planning}, "
@@ -334,6 +358,11 @@ class CIService:
         self._snapshot_every: int | None = None
         self._builds_since_snapshot = 0
         self._replaying = False
+        # Storage governance (attach_persistence wires these up).
+        self._keep_snapshots: int | None = None
+        self._storage: "StorageGovernor | None" = None
+        self._state_dir: Path | None = None
+        self._storage_read_only = False
 
     # -- inspection --------------------------------------------------------------
     @property
@@ -379,6 +408,9 @@ class CIService:
         plan_info = self.planning_cache_info()
         events = reliability_events()
         quarantined = len(store.quarantined()) if store is not None else 0
+        storage_status = None
+        if self._storage is not None and self._state_dir is not None:
+            storage_status = self._storage.check(self._state_dir)
         return OperationsReport(
             repository=self.repository.name,
             builds_total=len(self._builds),
@@ -431,6 +463,24 @@ class CIService:
             ),
             quarantined_files=quarantined,
             dead_letters=len(self.repository.dead_letters),
+            storage_bytes=(
+                storage_status.used_bytes if storage_status is not None else None
+            ),
+            storage_soft_bytes=(
+                storage_status.soft_bytes if storage_status is not None else None
+            ),
+            storage_hard_bytes=(
+                storage_status.hard_bytes if storage_status is not None else None
+            ),
+            storage_level=(
+                storage_status.level if storage_status is not None else None
+            ),
+            storage_read_only=self._storage_read_only,
+            journal_compacted_through=(
+                self._journal.compacted_through
+                if self._journal is not None
+                else None
+            ),
         )
 
     # -- the webhook ---------------------------------------------------------------
@@ -641,6 +691,8 @@ class CIService:
         journal: EventJournal | None = None,
         *,
         snapshot_every: int | None = None,
+        keep_snapshots: int | None = 3,
+        storage: StorageGovernor | None = None,
     ) -> None:
         """Bind the service to a state store.
 
@@ -652,10 +704,30 @@ class CIService:
         trail after; ``snapshot_every=N`` also snapshots automatically
         after every ``N`` builds, bounding replay work (journal lag) at
         restore time.
+
+        ``keep_snapshots=N`` (default 3) bounds the *disk*, the way
+        ``snapshot_every`` bounds replay: every snapshot also prunes the
+        store down to the newest ``N`` valid generations and compacts
+        the journal through the oldest retained one's anchor — replay
+        from any retained snapshot never hits a compacted gap.  Pass
+        ``None`` to keep every generation (crash-forensics harnesses
+        that reconstruct historical states need this).
+
+        ``storage`` attaches a :class:`StorageGovernor`: every commit is
+        gated on the state dir's byte budget *before* anything mutates —
+        at the soft watermark the service reclaims (snapshot + prune +
+        compact); at the hard watermark it degrades to read-only,
+        rejecting commits with a retryable
+        :class:`~repro.exceptions.StorageExhaustedError` until
+        reclamation (or an operator) brings usage back under.
         """
         if snapshot_every is not None and snapshot_every < 1:
             raise PersistenceError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        if keep_snapshots is not None and keep_snapshots < 1:
+            raise PersistenceError(
+                f"keep_snapshots must be >= 1, got {keep_snapshots}"
             )
         state_store = self._coerce_state_store(store, journal)
         self._state_store = state_store
@@ -663,6 +735,19 @@ class CIService:
         self._journal = getattr(state_store, "journal", None)
         self._snapshot_every = snapshot_every
         self._builds_since_snapshot = 0
+        self._keep_snapshots = keep_snapshots
+        self._storage = storage
+        self._state_dir = (
+            self._store.directory.parent if self._store is not None else None
+        )
+        self._storage_read_only = False
+        if storage is not None:
+            if self._state_dir is None:
+                raise PersistenceError(
+                    "a StorageGovernor needs the default directory backend; "
+                    "this state store exposes no on-disk state dir to meter"
+                )
+            self.repository.add_commit_gate(self._storage_gate)
 
     def persist_to(
         self,
@@ -671,6 +756,8 @@ class CIService:
         snapshot_every: int | None = None,
         sync: bool = True,
         backend: str | KernelBackend | None = None,
+        keep_snapshots: int | None = 3,
+        storage: StorageGovernor | None = None,
     ) -> SnapshotInfo:
         """Bind to ``state_dir`` (creating it) and take the first snapshot.
 
@@ -679,17 +766,32 @@ class CIService:
         The state store is opened through ``backend`` when given, and
         through the engine's own kernel backend otherwise, so a service
         running on a registered backend persists through that backend's
-        durability layer without extra wiring.
+        durability layer without extra wiring.  ``keep_snapshots`` and
+        ``storage`` govern disk growth — see :meth:`attach_persistence`.
         """
         kernel = (
             self.engine.backend if backend is None else get_backend(backend)
         )
         store = kernel.open_state_store(state_dir, create=True, sync=sync)
-        self.attach_persistence(store, snapshot_every=snapshot_every)
+        self.attach_persistence(
+            store,
+            snapshot_every=snapshot_every,
+            keep_snapshots=keep_snapshots,
+            storage=storage,
+        )
         return self.snapshot()
 
     def snapshot(self) -> SnapshotInfo:
-        """Atomically persist the full exported state as a new snapshot."""
+        """Atomically persist the full exported state as a new snapshot.
+
+        When a retention policy is attached (``keep_snapshots``), every
+        snapshot also reclaims: old valid generations are pruned and the
+        journal is checkpoint-truncated through the oldest retained
+        anchor — the snapshot cadence is simultaneously the compaction
+        cadence, so a long-running service's disk footprint is bounded
+        by ``keep_snapshots`` generations plus one snapshot-interval of
+        journal tail.
+        """
         if self._state_store is None:
             raise PersistenceError(
                 "no snapshot store attached; call persist_to()/attach_persistence()"
@@ -700,7 +802,88 @@ class CIService:
             SNAPSHOT,
             {"snapshot_sequence": info.sequence, "path": info.path},
         )
+        self._run_retention()
         return info
+
+    def _run_retention(self) -> None:
+        """Prune snapshots and compact the journal per ``keep_snapshots``.
+
+        A no-op when retention is off or the backend is foreign (no
+        directory snapshot store to prune).  Compaction's boundary is
+        the *oldest retained valid* snapshot's anchor, so every snapshot
+        still on disk — including older generations a corrupt-newest
+        fallback may restore from — replays without a gap.
+        """
+        if self._keep_snapshots is None or self._store is None:
+            return
+        if self._store.latest_sequence:
+            self._store.prune(keep=self._keep_snapshots)
+        if self._journal is None:
+            return
+        anchor = retention_anchor(self._store)
+        if (
+            anchor > self._journal.compacted_through
+            and anchor <= self._journal.last_sequence
+        ):
+            self._journal.compact(anchor)
+
+    def _storage_gate(self, count: int) -> None:
+        """Commit-admission gate installed when a governor is attached.
+
+        Runs *before* any commit mutates the repository.  Soft watermark
+        → reclaim (snapshot advances the compaction anchor, then prune +
+        compact) and proceed.  Hard watermark → reclaim without writing
+        (retention only — a full disk cannot take a new snapshot), and
+        if still over, degrade to read-only: the commit is refused with
+        a retryable typed error, nothing durable is half-written, and
+        the mode clears itself on the first gate pass back under the
+        watermark.  Never gates replay — restore must work on a full
+        disk.
+        """
+        if self._storage is None or self._state_dir is None or self._replaying:
+            return
+        status = self._storage.check(self._state_dir)
+        if status.level == "soft":
+            record_event(
+                "storage-soft-watermark",
+                "ci.service",
+                state_dir=str(self._state_dir),
+                used_bytes=status.used_bytes,
+                soft_bytes=status.soft_bytes,
+            )
+            try:
+                self.snapshot()
+            except (OSError, InjectedFault):
+                self._run_retention()
+            status = self._storage.check(self._state_dir)
+        if status.level == "hard":
+            self._run_retention()
+            status = self._storage.check(self._state_dir)
+        if status.read_only:
+            if not self._storage_read_only:
+                self._storage_read_only = True
+                record_event(
+                    "storage-degraded-read-only",
+                    "ci.service",
+                    state_dir=str(self._state_dir),
+                    used_bytes=status.used_bytes,
+                    hard_bytes=status.hard_bytes,
+                )
+            raise StorageExhaustedError(
+                f"state dir {self._state_dir} is at its hard storage "
+                f"watermark ({status.used_bytes}B >= {status.hard_bytes}B); "
+                "service is degraded to read-only — reclaim or raise the "
+                "budget, then retry",
+                retry_after_seconds=self._storage.retry_after_seconds,
+            )
+        if self._storage_read_only:
+            self._storage_read_only = False
+            record_event(
+                "storage-recovered",
+                "ci.service",
+                state_dir=str(self._state_dir),
+                used_bytes=status.used_bytes,
+            )
 
     def _maybe_auto_snapshot(self, builds: int = 1) -> None:
         self._builds_since_snapshot += builds
@@ -782,6 +965,8 @@ class CIService:
         transport: NotificationTransport | None = None,
         snapshot_every: int | None = None,
         record: bool = True,
+        keep_snapshots: int | None = 3,
+        storage: StorageGovernor | None = None,
     ) -> "CIService":
         """Restore from the latest snapshot and replay the journal tail.
 
@@ -811,7 +996,12 @@ class CIService:
             )
         state, info = loaded
         service = cls.from_state(state, transport=transport)
-        service.attach_persistence(state_store, snapshot_every=snapshot_every)
+        service.attach_persistence(
+            state_store,
+            snapshot_every=snapshot_every,
+            keep_snapshots=keep_snapshots,
+            storage=storage,
+        )
         replayed = 0
         if state_store.journal_sequence is not None:
             replayed = service._replay_journal()
@@ -834,6 +1024,8 @@ class CIService:
         snapshot_every: int | None = None,
         record: bool = True,
         backend: str | KernelBackend | None = None,
+        keep_snapshots: int | None = 3,
+        storage: StorageGovernor | None = None,
     ) -> "CIService":
         """:meth:`restore` from a persisted state directory.
 
@@ -847,6 +1039,8 @@ class CIService:
             transport=transport,
             snapshot_every=snapshot_every,
             record=record,
+            keep_snapshots=keep_snapshots,
+            storage=storage,
         )
 
     def _replay_journal(self) -> int:

@@ -37,6 +37,7 @@ __all__ = [
     "FleetOverloadedError",
     "TenantQuotaExceededError",
     "TenantQuarantinedError",
+    "StorageExhaustedError",
     "UnknownTenantError",
     "LabelBudgetExceededError",
     "SimulationError",
@@ -209,6 +210,31 @@ class TenantQuarantinedError(AdmissionError):
 
     def __init__(
         self, message: str, *, tenant: str, retry_after_seconds: float = 1.0
+    ):
+        self.tenant = tenant
+        super().__init__(message, retry_after_seconds=retry_after_seconds)
+
+
+class StorageExhaustedError(AdmissionError):
+    """Durable storage is at its hard watermark: degraded read-only mode.
+
+    Raised before anything is written — the rejected commit/submission
+    spends no statistical budget, mutates no repository history, and
+    half-writes nothing durable.  Inspection (``repro ops``,
+    ``repro fleet``, fsck) and restore keep working; the mode clears
+    itself once compaction/pruning (or an operator) brings the state
+    directory back under the watermark, so the error is retryable —
+    ``retry_after_seconds`` carries the backoff hint.  ``tenant`` is set
+    when a fleet gateway rejected one tenant's submission (the rest of
+    the fleet keeps serving).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        retry_after_seconds: float = 1.0,
     ):
         self.tenant = tenant
         super().__init__(message, retry_after_seconds=retry_after_seconds)

@@ -13,7 +13,11 @@ durable-intake guarantee (an accepted submission is never lost), so the
   :class:`~repro.exceptions.TenantQuotaExceededError`;
 * an open circuit breaker rejects a quarantined tenant's traffic —
   :class:`~repro.exceptions.TenantQuarantinedError` (raised by the
-  gateway, which owns the breakers).
+  gateway, which owns the breakers);
+* a state directory (or the fleet root) at its hard disk watermark
+  rejects writes before they half-happen —
+  :class:`~repro.exceptions.StorageExhaustedError` (the gateway passes
+  the measured :class:`~repro.reliability.storage.StorageStatus` in).
 
 Every rejection is typed, carries a retry-after hint, and is recorded on
 the reliability event log; none of them spends statistical budget or
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import (
     FleetOverloadedError,
+    StorageExhaustedError,
     TenantQuotaExceededError,
 )
 from repro.reliability.events import record_event
@@ -71,14 +76,44 @@ class AdmissionPolicy:
             )
 
     def admit(
-        self, tenant: str, *, tenant_pending: int, total_pending: int
+        self,
+        tenant: str,
+        *,
+        tenant_pending: int,
+        total_pending: int,
+        tenant_storage=None,
+        fleet_storage=None,
     ) -> None:
-        """Raise the typed rejection when either bound is at capacity.
+        """Raise the typed rejection when any bound is at capacity.
 
         The fleet-wide bound is checked first: when the whole fleet is
         saturated the answer is "overloaded" even for a tenant that is
-        individually under quota.
+        individually under quota.  ``tenant_storage`` / ``fleet_storage``
+        are optional :class:`~repro.reliability.storage.StorageStatus`
+        measurements — a hard watermark on either rejects with
+        :class:`~repro.exceptions.StorageExhaustedError` (fleet-wide
+        exhaustion, like fleet-wide overload, wins over the per-tenant
+        view), again before anything is written.
         """
+        for status, scope in ((fleet_storage, "fleet"), (tenant_storage, tenant)):
+            if status is None or not status.read_only:
+                continue
+            record_event(
+                "admission-rejected",
+                "fleet.admission",
+                tenant=tenant,
+                reason="storage-exhausted",
+                scope=scope,
+                used_bytes=status.used_bytes,
+                hard_bytes=status.hard_bytes,
+            )
+            raise StorageExhaustedError(
+                f"durable storage for {scope!r} is at its hard watermark "
+                f"({status.used_bytes}B >= {status.hard_bytes}B); degraded "
+                f"to read-only — retry in {status.retry_after_seconds:g}s",
+                tenant=tenant if scope != "fleet" else None,
+                retry_after_seconds=status.retry_after_seconds,
+            )
         if total_pending >= self.max_pending_total:
             record_event(
                 "admission-rejected",

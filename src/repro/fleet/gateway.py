@@ -35,7 +35,7 @@ fleet of tenants watching the same condition plans once.
 Fault-injection points (chaos suite): ``fleet.hydrate``,
 ``fleet.evict``, ``fleet.process`` (plus the per-tenant
 ``fleet.process.<tenant-id>`` variant) and the intake queue's
-``intake.append``.
+``intake.append`` (tear) / ``intake.write`` (errno).
 
 Single-writer assumption: one live :class:`CIFleet` per root directory,
 like one :class:`CIService` per state directory.  Read-only inspection
@@ -59,15 +59,22 @@ from repro.core.script.config import CIScript
 from repro.core.testset import Testset, TestsetPool
 from repro.exceptions import (
     PersistenceError,
+    StorageExhaustedError,
     TenantQuarantinedError,
+    TenantQuotaExceededError,
     UnknownTenantError,
 )
 from repro.fleet.admission import AdmissionPolicy
 from repro.fleet.breaker import BreakerState, CircuitBreaker
 from repro.fleet.intake import IntakeQueue, IntakeRecord, IntakeScan, scan_intake
 from repro.reliability.events import record_event
-from repro.reliability.faults import fault_point
+from repro.reliability.faults import InjectedFault, fault_point
 from repro.reliability.fsck import FsckReport, fsck_state_dir
+from repro.reliability.storage import (
+    StorageGovernor,
+    StorageStatus,
+    maintain_state_dir,
+)
 
 __all__ = [
     "CIFleet",
@@ -96,6 +103,9 @@ class TenantStatus:
     retry_after_seconds: float
     builds_total: int | None
     dead_letters: int | None
+    # Storage governance (None when no per-tenant governor is attached).
+    storage_bytes: int | None = None
+    storage_level: str | None = None
 
 
 @dataclass(frozen=True)
@@ -120,6 +130,9 @@ class FleetReport:
     breakers_open: int
     breakers_half_open: int
     tenant_status: tuple[TenantStatus, ...]
+    # Fleet-wide storage governance (None when no fleet governor).
+    storage_bytes: int | None = None
+    storage_level: str | None = None
 
     def describe(self) -> str:
         """A terminal-friendly rendering (what ``repro fleet`` prints)."""
@@ -134,18 +147,26 @@ class FleetReport:
             f"  admission     : {rejected} rejected "
             f"({self.rejections.get('fleet-overloaded', 0)} overloaded, "
             f"{self.rejections.get('tenant-quota', 0)} over quota, "
-            f"{self.rejections.get('tenant-quarantined', 0)} quarantined)",
+            f"{self.rejections.get('tenant-quarantined', 0)} quarantined, "
+            f"{self.rejections.get('storage-exhausted', 0)} storage-exhausted)",
             f"  lifecycle     : {self.hydrations} hydration(s), "
             f"{self.evictions} eviction(s)",
             f"  breakers      : {self.breakers_open} open, "
             f"{self.breakers_half_open} half-open "
             f"of {self.tenants_registered}",
         ]
+        if self.storage_level is not None:
+            lines.append(
+                f"  storage       : {self.storage_bytes}B used fleet-wide "
+                f"({self.storage_level})"
+            )
         for status in self.tenant_status:
             if status.resident:
                 engine = f"resident ({status.builds_total} builds)"
             else:
                 engine = "cold"
+            if status.storage_level is not None:
+                engine += f"; storage {status.storage_level}"
             lines.append(
                 f"    {status.tenant_id:<20} pending {status.pending:<4} "
                 f"breaker {status.breaker:<9} {engine}"
@@ -246,6 +267,23 @@ class CIFleet:
         Per-tenant circuit-breaker configuration.
     snapshot_every:
         Auto-snapshot cadence forwarded to every tenant service.
+    keep_snapshots:
+        Snapshot-retention depth forwarded to every tenant service
+        (default 3): each tenant snapshot prunes older generations and
+        compacts the tenant journal through the oldest retained anchor,
+        so tenant dirs stop growing monotonically.  ``None`` keeps every
+        generation.
+    storage:
+        Optional per-tenant :class:`StorageGovernor`: each submission is
+        admitted against its tenant dir's byte budget — soft triggers
+        reclamation (prune + compact + intake compaction), hard rejects
+        with a retryable
+        :class:`~repro.exceptions.StorageExhaustedError` while every
+        other tenant keeps serving.
+    fleet_storage:
+        Optional fleet-wide :class:`StorageGovernor` metering the whole
+        root; its hard watermark closes the door for everyone (like
+        fleet-wide overload) until reclamation brings usage back under.
     sync:
         Fsync journals/intakes on every append (default).  Benchmarks
         simulating thousands of tenants turn this off.
@@ -271,6 +309,9 @@ class CIFleet:
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
         snapshot_every: int | None = None,
+        keep_snapshots: int | None = 3,
+        storage: StorageGovernor | None = None,
+        fleet_storage: StorageGovernor | None = None,
         sync: bool = True,
         transport_factory: Callable[[str], NotificationTransport | None]
         | None = None,
@@ -286,6 +327,9 @@ class CIFleet:
         self.failure_threshold = int(failure_threshold)
         self.cooldown_seconds = float(cooldown_seconds)
         self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+        self.storage = storage
+        self.fleet_storage = fleet_storage
         self.sync = bool(sync)
         self.transport_factory = transport_factory
         self.workers = workers
@@ -301,6 +345,7 @@ class CIFleet:
             "fleet-overloaded": 0,
             "tenant-quota": 0,
             "tenant-quarantined": 0,
+            "storage-exhausted": 0,
         }
         if create:
             # Read-only inspectors (`repro fleet`) pass create=False so
@@ -402,7 +447,10 @@ class CIFleet:
         if pool is not None:
             service.install_testset_pool(pool)
         service.persist_to(
-            directory, snapshot_every=self.snapshot_every, sync=self.sync
+            directory,
+            snapshot_every=self.snapshot_every,
+            sync=self.sync,
+            keep_snapshots=self.keep_snapshots,
         )
         self._intakes[tenant_id] = IntakeQueue.create(
             directory / "intake.jsonl",
@@ -442,6 +490,7 @@ class CIFleet:
                 journal,
                 transport=self._transport(tenant_id),
                 snapshot_every=self.snapshot_every,
+                keep_snapshots=self.keep_snapshots,
             )
         except Exception as exc:
             self._breaker(tenant_id).record_failure(exc)
@@ -496,6 +545,64 @@ class CIFleet:
                 # over capacity rather than refuse traffic.
                 return
 
+    # -- storage governance ---------------------------------------------------
+    def _maintain_tenant(self, tenant_id: str) -> None:
+        """Reclaim one tenant dir: prune + compact journal, compact intake.
+
+        Resident tenants reclaim through their own service's retention
+        (which holds the live store/journal handles); cold tenants are
+        maintained offline via :func:`maintain_state_dir`.  Best-effort:
+        a reclamation failure (including an injected disk fault) is
+        recorded and swallowed — maintenance must never become its own
+        failure mode.
+        """
+        try:
+            service = self._resident.get(tenant_id)
+            if service is not None:
+                service._run_retention()
+            elif self.keep_snapshots is not None:
+                maintain_state_dir(
+                    self._require_tenant(tenant_id),
+                    keep=self.keep_snapshots,
+                    sync=self.sync,
+                )
+            queue = self._intakes.get(tenant_id)
+            if queue is not None:
+                queue.compact()
+        except (OSError, InjectedFault, PersistenceError) as exc:
+            record_event(
+                "storage-maintenance-failed",
+                "fleet.gateway",
+                tenant=tenant_id,
+                error=str(exc),
+            )
+
+    def _storage_statuses(
+        self, tenant_id: str
+    ) -> tuple[StorageStatus | None, StorageStatus | None]:
+        """Measure (tenant, fleet) storage, reclaiming once when over.
+
+        Either governor reading soft *or* hard triggers reclamation
+        (hard included: reclamation only deletes/rewrites, never grows
+        the disk) followed by a re-measure — the returned statuses are
+        post-reclamation, so a budget a compaction pass can satisfy
+        never rejects anyone.
+        """
+        tenant_status = fleet_status = None
+        if self.storage is not None:
+            directory = self.tenant_dir(tenant_id)
+            tenant_status = self.storage.check(directory)
+            if tenant_status.level != "ok":
+                self._maintain_tenant(tenant_id)
+                tenant_status = self.storage.check(directory)
+        if self.fleet_storage is not None:
+            fleet_status = self.fleet_storage.check(self.root)
+            if fleet_status.level != "ok":
+                for tenant in self.tenants():
+                    self._maintain_tenant(tenant)
+                fleet_status = self.fleet_storage.check(self.root)
+        return tenant_status, fleet_status
+
     # -- the front door ------------------------------------------------------
     def _total_pending(self) -> int:
         return sum(
@@ -537,19 +644,23 @@ class CIFleet:
                 retry_after_seconds=breaker.retry_after(),
             )
         queue = self._intake(tenant_id)
+        tenant_storage, fleet_storage = self._storage_statuses(tenant_id)
         try:
             self.admission.admit(
                 tenant_id,
                 tenant_pending=queue.pending_count,
                 total_pending=self._total_pending(),
+                tenant_storage=tenant_storage,
+                fleet_storage=fleet_storage,
             )
+        except StorageExhaustedError:
+            self.rejections["storage-exhausted"] += 1
+            raise
+        except TenantQuotaExceededError:
+            self.rejections["tenant-quota"] += 1
+            raise
         except Exception:
-            kind = (
-                "tenant-quota"
-                if queue.pending_count >= self.admission.max_pending_per_tenant
-                else "fleet-overloaded"
-            )
-            self.rejections[kind] += 1
+            self.rejections["fleet-overloaded"] += 1
             raise
         try:
             record = queue.append(model, message=message, author=author)
@@ -748,6 +859,11 @@ class CIFleet:
                     self.tenant_dir(tenant) / "intake.jsonl"
                 ).pending
             )
+            tenant_storage = (
+                self.storage.check(self.tenant_dir(tenant))
+                if self.storage is not None
+                else None
+            )
             statuses.append(
                 TenantStatus(
                     tenant_id=tenant,
@@ -765,8 +881,23 @@ class CIFleet:
                         if service is not None
                         else None
                     ),
+                    storage_bytes=(
+                        tenant_storage.used_bytes
+                        if tenant_storage is not None
+                        else None
+                    ),
+                    storage_level=(
+                        tenant_storage.level
+                        if tenant_storage is not None
+                        else None
+                    ),
                 )
             )
+        fleet_storage = (
+            self.fleet_storage.check(self.root)
+            if self.fleet_storage is not None
+            else None
+        )
         return FleetReport(
             root=str(self.root),
             tenants_registered=len(statuses),
@@ -781,6 +912,12 @@ class CIFleet:
             breakers_open=open_count,
             breakers_half_open=half_open_count,
             tenant_status=tuple(statuses),
+            storage_bytes=(
+                fleet_storage.used_bytes if fleet_storage is not None else None
+            ),
+            storage_level=(
+                fleet_storage.level if fleet_storage is not None else None
+            ),
         )
 
     def tenant_operations(self, tenant_id: str) -> OperationsReport:
@@ -796,7 +933,13 @@ class CIFleet:
             store, journal = open_state_dir(
                 directory, create=False, sync=self.sync
             )
-            service = CIService.restore(store, journal, record=False)
+            service = CIService.restore(
+                store,
+                journal,
+                record=False,
+                keep_snapshots=self.keep_snapshots,
+                storage=self.storage,
+            )
         return service.operations()
 
     def fsck(self) -> FleetFsckReport:

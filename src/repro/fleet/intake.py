@@ -36,7 +36,8 @@ crash artifact whose event never happened — it is quarantined into a
 sidecar file and truncated at the next open; garbage followed by intact
 records is real corruption and raises :class:`PersistenceError`.
 The ``intake.append`` fault-injection point simulates the mid-append
-crash (``tear``).
+crash (``tear``); ``intake.write`` simulates the disk filling or dying
+(``errno`` → ``ENOSPC``/``EIO``) before any byte lands.
 """
 
 from __future__ import annotations
@@ -334,6 +335,7 @@ class IntakeQueue:
         rendered["crc"] = _crc32(body)
         data = (json.dumps(rendered, sort_keys=True) + "\n").encode("utf-8")
         torn = torn_bytes(data, fault_point("intake.append"))
+        fault_point("intake.write")  # errno: the disk fills before any byte lands
         with open(self.path, "ab") as handle:
             handle.write(data if torn is None else torn)
             handle.flush()

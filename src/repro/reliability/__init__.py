@@ -18,6 +18,11 @@ silently weakening the (epsilon, delta) contract:
 * :mod:`repro.reliability.fsck` — the read-only state-directory doctor
   behind ``repro ops --fsck``: classifies snapshots, scans the journal
   without repairing it, and reports quarantined files and replay depth.
+* :mod:`repro.reliability.storage` — disk budgets: the
+  :class:`~repro.reliability.storage.StorageGovernor` meters state-dir
+  bytes against soft (reclaim) and hard (degrade-to-read-only)
+  watermarks, and :func:`~repro.reliability.storage.maintain_state_dir`
+  is the offline prune-and-compact reclamation primitive.
 
 The recovery invariant threading through all three: a retried task, a
 serially-recomputed shard, or a restore from an older snapshot with a
@@ -43,6 +48,13 @@ from repro.reliability.faults import (
     install_injector,
     uninstall_injector,
 )
+from repro.reliability.storage import (
+    MaintenanceReport,
+    StorageGovernor,
+    StorageStatus,
+    directory_bytes,
+    maintain_state_dir,
+)
 
 __all__ = [
     "ReliabilityEvent",
@@ -57,4 +69,9 @@ __all__ = [
     "uninstall_injector",
     "get_injector",
     "injected_faults",
+    "StorageStatus",
+    "StorageGovernor",
+    "MaintenanceReport",
+    "directory_bytes",
+    "maintain_state_dir",
 ]

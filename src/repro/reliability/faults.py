@@ -23,7 +23,21 @@ site                      instrumented where
                           simulates a failing disk
 ``journal.append``        :meth:`EventJournal.append` — ``tear`` writes a
                           partial line then raises (crash mid-append)
+``journal.write``         the journal's per-append ``write`` — ``errno``
+                          (ENOSPC/EIO) is the full-disk / dying-disk
+                          case before any byte lands
 ``journal.fsync``         the journal's per-append fsync
+``journal.compact``       :meth:`EventJournal.compact`, before the
+                          temp-then-rename rewrite — an aborted
+                          compaction leaves the original journal intact
+``snapshot.rename``       the snapshot's final ``os.replace`` — ``errno``
+                          leaves the temp file behind and no new
+                          generation visible; the previous snapshot
+                          still restores
+``intake.write``          :meth:`IntakeQueue._append_record`'s write —
+                          ``errno`` rejects the submission before any
+                          byte lands (by the crash model it was never
+                          accepted)
 ``notification.send``     :class:`repro.ci.notifications.RetryingTransport`
                           — ``raise`` is a flaky transport (retried),
                           ``drop`` loses the message silently
@@ -87,6 +101,7 @@ and spawn-context workers pick up the schedule.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import random
@@ -118,7 +133,7 @@ FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
 #: schedules from it); integer, default 0.
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
 
-_ACTIONS = frozenset({"raise", "kill", "hang", "tear", "drop"})
+_ACTIONS = frozenset({"raise", "kill", "hang", "tear", "drop", "errno"})
 #: Actions that must only fire inside an executor worker process.
 _WORKER_ONLY_ACTIONS = frozenset({"kill", "hang"})
 
@@ -151,7 +166,11 @@ class FaultRule:
         (``os._exit`` — worker processes only), ``"hang"`` (sleep
         ``hang_seconds`` — worker processes only), ``"tear"`` (the
         instrumented writer truncates its write at byte ``tear_at``),
-        ``"drop"`` (the instrumented sender silently loses the message).
+        ``"drop"`` (the instrumented sender silently loses the message),
+        ``"errno"`` (raise a real :class:`OSError` carrying
+        ``errno_name`` — the disk-failure case: the instrumented code
+        must survive genuine ``ENOSPC``/``EIO``, not just the library's
+        own exception types).
     at:
         Fire on exactly the ``at``-th traversal of the site (1-based).
         ``None`` means fire probabilistically instead.
@@ -166,6 +185,9 @@ class FaultRule:
         many bytes).
     hang_seconds:
         Sleep duration for ``hang`` actions.
+    errno_name:
+        Symbolic errno for ``errno`` actions (``"ENOSPC"``, ``"EIO"``,
+        or any name the :mod:`errno` module defines).
     """
 
     site: str
@@ -175,12 +197,18 @@ class FaultRule:
     times: int | None = 1
     tear_at: int = 0
     hang_seconds: float = 30.0
+    errno_name: str = "ENOSPC"
 
     def __post_init__(self):
         if self.action not in _ACTIONS:
             raise ValueError(
                 f"unknown fault action {self.action!r}; expected one of "
                 f"{sorted(_ACTIONS)}"
+            )
+        if self.action == "errno" and not hasattr(errno, self.errno_name):
+            raise ValueError(
+                f"unknown errno name {self.errno_name!r}; expected a "
+                "symbolic name from the errno module (e.g. ENOSPC, EIO)"
             )
         if self.at is not None and self.at < 1:
             raise ValueError(f"at must be >= 1, got {self.at}")
@@ -404,12 +432,16 @@ def fault_point(site: str) -> FiredFault | None:
     """Traverse injection point ``site``.
 
     With no injector installed this is a few-nanosecond no-op.  When a
-    rule fires: ``raise`` raises :class:`InjectedFault`; ``kill`` exits
-    the process immediately (worker processes only — the supervised
-    executor sees a broken pool); ``hang`` sleeps ``hang_seconds``
-    (worker only — the supervisor sees a task timeout) and then returns;
-    ``tear`` and ``drop`` are returned to the caller, which interprets
-    them (truncate the write at ``rule.tear_at`` / lose the message).
+    rule fires: ``raise`` raises :class:`InjectedFault`; ``errno``
+    raises a *real* :class:`OSError` with the rule's ``errno_name``
+    (deliberately not an :class:`InjectedFault` — the instrumented write
+    paths must survive the same exception a genuinely full or dying
+    disk produces); ``kill`` exits the process immediately (worker
+    processes only — the supervised executor sees a broken pool);
+    ``hang`` sleeps ``hang_seconds`` (worker only — the supervisor sees
+    a task timeout) and then returns; ``tear`` and ``drop`` are
+    returned to the caller, which interprets them (truncate the write
+    at ``rule.tear_at`` / lose the message).
     """
     injector = get_injector()
     if injector is None:
@@ -419,6 +451,13 @@ def fault_point(site: str) -> FiredFault | None:
         return None
     if fault.action == "raise":
         raise InjectedFault(site)
+    if fault.action == "errno":
+        code = getattr(errno, fault.rule.errno_name)
+        raise OSError(
+            code,
+            f"{os.strerror(code)} [injected at {site!r}, "
+            f"occurrence {fault.occurrence}]",
+        )
     if fault.action == "kill":
         os._exit(17)
     if fault.action == "hang":

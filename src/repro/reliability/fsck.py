@@ -79,7 +79,10 @@ class FsckReport:
     journal:
         Read-only journal classification (torn tail *not* truncated).
     restorable:
-        Whether at least one valid snapshot exists.
+        Whether at least one valid snapshot exists *and* its anchor
+        covers the journal's compaction boundary — a journal compacted
+        past every valid snapshot would leave a replay gap, which is
+        unrestorable corruption, not a crash artifact.
     restore_sequence:
         The snapshot generation a restore would load (0 when none).
     replay_commits:
@@ -123,11 +126,17 @@ class FsckReport:
         else:
             lines.append("  quarantined   : 0 file(s)")
         if self.journal.exists:
+            compacted = (
+                f", compacted through seq {self.journal.compacted_through}"
+                if self.journal.compacted_through
+                else ""
+            )
             lines.append(
                 f"  journal       : {self.journal.records} intact record(s) "
                 f"at seq {self.journal.last_sequence}, "
                 f"{len(self.journal.corrupt_lines)} corrupt line(s), "
                 f"torn tail {self.journal.torn_tail_bytes} byte(s)"
+                f"{compacted}"
             )
         else:
             lines.append("  journal       : (no journal file)")
@@ -204,14 +213,20 @@ def fsck_state_dir(state_dir: str | Path) -> FsckReport:
         if journal_sequence > (anchor or 0)
     )
     replay_events = max(0, journal_scan.last_sequence - (anchor or 0))
+    # A compacted journal only restores from a snapshot anchored at or
+    # past the compaction boundary: anything older would need records
+    # compaction deliberately dropped.
+    restorable = newest is not None and (
+        (anchor or 0) >= journal_scan.compacted_through
+    )
     return FsckReport(
         state_dir=directory,
         exists=True,
         snapshots=tuple(reports),
         quarantined=tuple(store.quarantined()),
         journal=journal_scan,
-        restorable=newest is not None,
+        restorable=restorable,
         restore_sequence=newest.sequence if newest is not None else 0,
-        replay_commits=replay_commits if newest is not None else 0,
-        replay_events=replay_events if newest is not None else 0,
+        replay_commits=replay_commits if restorable else 0,
+        replay_events=replay_events if restorable else 0,
     )

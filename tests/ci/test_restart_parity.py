@@ -147,6 +147,9 @@ def run_reference(script, testsets, baseline, models):
 
 def run_persisted(script, testsets, baseline, models, state_dir, **persist_kwargs):
     service = make_service(script, testsets, baseline)
+    # Retention off: crash_copy reconstructs historical crash states from
+    # the final directory, so every snapshot generation must survive.
+    persist_kwargs.setdefault("keep_snapshots", None)
     service.persist_to(state_dir, **persist_kwargs)
     for model in models:
         service.repository.commit(model, message=model.name)
@@ -212,7 +215,7 @@ def test_batch_ingest_crash_boundaries_restore_identically(tmp_path):
     reference.process_batch(models)
 
     persisted = make_service(script, testsets, baseline)
-    persisted.persist_to(tmp_path / "state")
+    persisted.persist_to(tmp_path / "state", keep_snapshots=None)
     persisted.process_batch(models)
     assert_parity(reference, persisted)
 
